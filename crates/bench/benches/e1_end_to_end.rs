@@ -1,0 +1,51 @@
+//! E1 — end-to-end update exchange over chain/star topologies (Fig. 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{chain_cdss, publish_inserts, star_cdss};
+use orchestra_updates::PeerId;
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_chain_exchange");
+    g.sample_size(10);
+    for peers in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
+            b.iter(|| {
+                let mut cdss = chain_cdss(peers);
+                publish_inserts(&mut cdss, &PeerId::new("P0"), 0, 64, 8);
+                for i in 1..peers {
+                    cdss.reconcile(&PeerId::new(format!("P{i}"))).unwrap();
+                }
+                black_box(cdss.stats().published_txns)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_star(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_star_exchange");
+    g.sample_size(10);
+    for peers in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(peers), &peers, |b, &peers| {
+            b.iter(|| {
+                let mut cdss = star_cdss(peers);
+                for i in 1..peers {
+                    publish_inserts(
+                        &mut cdss,
+                        &PeerId::new(format!("P{i}")),
+                        (i as i64) * 10_000,
+                        32,
+                        8,
+                    );
+                }
+                cdss.reconcile(&PeerId::new("Hub")).unwrap();
+                black_box(cdss.current_epoch())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_star);
+criterion_main!(benches);

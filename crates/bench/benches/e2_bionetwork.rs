@@ -1,0 +1,40 @@
+//! E2 — the Figure 2 bioinformatics network under growing load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::bio_cdss_seeded;
+use orchestra_updates::PeerId;
+use std::hint::black_box;
+
+fn bench_bio_reconcile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_bio_reconcile");
+    g.sample_size(10);
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cdss = bio_cdss_seeded(n);
+                cdss.reconcile(&PeerId::new("Dresden")).unwrap();
+                black_box(
+                    cdss.peer(&PeerId::new("Dresden"))
+                        .unwrap()
+                        .instance()
+                        .total_tuples(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_bio_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_bio_publish");
+    g.sample_size(10);
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(bio_cdss_seeded(n).stats().published_txns));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bio_reconcile, bench_bio_publish);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E4 — incremental insert propagation vs full recomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{bio_base_facts, bio_engine_parts, warm_engine};
+use std::hint::black_box;
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let (schema, rules) = bio_engine_parts();
+    let base = 512usize;
+    let base_facts = bio_base_facts(base);
+
+    let mut g = c.benchmark_group("e4_incremental_delta");
+    g.sample_size(10);
+    for delta in [8usize, 64, 512] {
+        let delta_facts: Vec<_> = bio_base_facts(base + delta)
+            .into_iter()
+            .skip(base_facts.len())
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter_batched(
+                || warm_engine(schema.clone(), rules.clone(), &base_facts, true),
+                |mut engine| {
+                    for (rel, t) in &delta_facts {
+                        engine.insert_base(rel, t.clone()).unwrap();
+                    }
+                    engine.propagate().unwrap();
+                    black_box(engine.total_tuples())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e4_full_recompute");
+    g.sample_size(10);
+    for delta in [8usize, 64, 512] {
+        let all = bio_base_facts(base + delta);
+        g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
+            b.iter(|| {
+                black_box(
+                    warm_engine(schema.clone(), rules.clone(), &all, true).total_tuples(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E5 — cost of maintaining provenance during update exchange.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{bio_base_facts, bio_engine_parts, warm_engine};
+use std::hint::black_box;
+
+fn bench_prov_overhead(c: &mut Criterion) {
+    let (schema, rules) = bio_engine_parts();
+    for provenance in [false, true] {
+        let label = if provenance { "with_prov" } else { "no_prov" };
+        let mut g = c.benchmark_group(format!("e5_{label}"));
+        g.sample_size(10);
+        for n in [128usize, 512] {
+            let facts = bio_base_facts(n);
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        warm_engine(schema.clone(), rules.clone(), &facts, provenance)
+                            .total_tuples(),
+                    )
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_prov_overhead);
+criterion_main!(benches);

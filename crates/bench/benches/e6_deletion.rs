@@ -1,0 +1,42 @@
+//! E6 — deletion propagation: provenance-based vs DRed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{bio_base_facts, bio_engine_parts, warm_engine};
+use orchestra_datalog::DeletionAlgorithm;
+use std::hint::black_box;
+
+fn bench_deletion(c: &mut Criterion) {
+    let (schema, rules) = bio_engine_parts();
+    let n = 512usize;
+    let facts = bio_base_facts(n);
+    let victims: Vec<_> = facts
+        .iter()
+        .filter(|(rel, _)| *rel == "Alaska.S")
+        .take(32)
+        .cloned()
+        .collect();
+
+    for (label, algo) in [
+        ("dred", DeletionAlgorithm::DRed),
+        ("provenance", DeletionAlgorithm::ProvenanceBased),
+    ] {
+        let mut g = c.benchmark_group(format!("e6_delete_{label}"));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || warm_engine(schema.clone(), rules.clone(), &facts, true),
+                |mut engine| {
+                    for (rel, t) in &victims {
+                        engine.remove_base(rel, t, algo).unwrap();
+                    }
+                    black_box(engine.total_tuples())
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_deletion);
+criterion_main!(benches);

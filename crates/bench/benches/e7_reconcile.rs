@@ -1,0 +1,43 @@
+//! E7 — reconciliation scaling: transaction count × conflict rate, greedy
+//! vs the naive O(n²) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{kv_schema, naive_reconcile, reconcile_candidates};
+use orchestra_reconcile::{Reconciler, TrustPolicy};
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    for pct in [0u32, 20] {
+        let mut g = c.benchmark_group(format!("e7_greedy_conflict{pct}"));
+        g.sample_size(10);
+        for n in [256usize, 1024] {
+            let cands = reconcile_candidates(n, pct, 3, 42);
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter_batched(
+                    || (Reconciler::new(kv_schema()), cands.clone()),
+                    |(mut r, cands)| {
+                        black_box(r.reconcile(cands, &TrustPolicy::open(1)).unwrap().accepted.len())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_naive_conflict20");
+    g.sample_size(10);
+    let schema = kv_schema();
+    for n in [256usize, 1024] {
+        let cands = reconcile_candidates(n, 20, 3, 42);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(naive_reconcile(&cands, &schema)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_naive);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E8 — the simulated P2P store: publish/fetch cost vs replication factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_relational::tuple;
+use orchestra_store::{ReplicatedStore, UpdateStore};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::hint::black_box;
+
+fn txns(n: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::new(
+                TxnId::new(PeerId::new("pub"), i),
+                Epoch::new(1),
+                vec![Update::insert("R", tuple![i as i64, 0])],
+            )
+        })
+        .collect()
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_publish_1000");
+    g.sample_size(10);
+    for repl in [1usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(repl), &repl, |b, &repl| {
+            b.iter(|| {
+                let store = ReplicatedStore::new(64, repl).unwrap();
+                store.publish(Epoch::new(1), txns(1000)).unwrap();
+                black_box(store.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fetch_under_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_fetch_churn25");
+    g.sample_size(10);
+    for repl in [3usize, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(repl), &repl, |b, &repl| {
+            let store = ReplicatedStore::new(64, repl).unwrap();
+            store.publish(Epoch::new(1), txns(1000)).unwrap();
+            for node in 0..16 {
+                store.take_node_down((node * 7) % 64);
+            }
+            b.iter(|| black_box(store.fetch_since(Epoch::zero()).unwrap().len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_fetch_under_churn);
+criterion_main!(benches);

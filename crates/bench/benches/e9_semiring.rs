@@ -1,0 +1,51 @@
+//! E9 — provenance polynomial algebra microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::random_polynomial;
+use orchestra_provenance::{Boolean, Semiring, Tropical};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let sizes = [(16usize, 8u32), (64, 16), (256, 32)];
+
+    let mut g = c.benchmark_group("e9_plus");
+    for &(terms, vars) in &sizes {
+        let a = random_polynomial(terms, vars, 1);
+        let b = random_polynomial(terms, vars, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(terms), &terms, |bch, _| {
+            bch.iter(|| black_box(a.plus(&b)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e9_times");
+    for &(terms, vars) in &sizes {
+        let a = random_polynomial(terms, vars, 1);
+        let b = random_polynomial(terms, vars, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(terms), &terms, |bch, _| {
+            bch.iter(|| black_box(a.times(&b)));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e9_eval_boolean");
+    for &(terms, vars) in &sizes {
+        let a = random_polynomial(terms, vars, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(terms), &terms, |bch, _| {
+            bch.iter(|| black_box(a.eval(|v| Boolean(v % 3 != 0))));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e9_eval_tropical");
+    for &(terms, vars) in &sizes {
+        let a = random_polynomial(terms, vars, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(terms), &terms, |bch, _| {
+            bch.iter(|| black_box(a.eval(|v| Tropical::cost((*v as u64) % 7))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,528 @@
+//! The experiment harness: regenerates every table/figure of the
+//! reproduction (DESIGN.md §3, results recorded in EXPERIMENTS.md).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p orchestra-bench --bin experiments            # all
+//! cargo run --release -p orchestra-bench --bin experiments -- e4 e6  # some
+//! ```
+
+use orchestra_bench::*;
+use orchestra_core::demo;
+use orchestra_datalog::DeletionAlgorithm;
+use orchestra_provenance::{Boolean, Counting, Semiring, Tropical};
+use orchestra_relational::tuple;
+use orchestra_reconcile::{Reconciler, TrustPolicy};
+use orchestra_store::{ReplicatedStore, UpdateStore};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(name));
+
+    println!("Orchestra CDSS reproduction — experiment harness");
+    println!("(shapes, not absolute numbers, are the reproduction target; see EXPERIMENTS.md)\n");
+
+    if want("e1") {
+        e1_end_to_end();
+    }
+    if want("e2") {
+        e2_bionetwork();
+    }
+    if want("e3") {
+        e3_scenarios();
+    }
+    if want("e4") {
+        e4_incremental();
+    }
+    if want("e5") {
+        e5_prov_overhead();
+    }
+    if want("e6") {
+        e6_deletion();
+    }
+    if want("e7") {
+        e7_reconcile();
+    }
+    if want("e8") {
+        e8_store();
+    }
+    if want("e9") {
+        e9_semiring();
+    }
+}
+
+/// E1 — Figure 1 architecture: end-to-end publish→translate→reconcile
+/// epochs over chain and star topologies.
+fn e1_end_to_end() {
+    println!("── E1: end-to-end update exchange (Fig. 1 architecture) ──");
+    println!(
+        "{:<10} {:>6} {:>9} {:>12} {:>14}",
+        "topology", "peers", "updates", "publish ms", "reconcile ms"
+    );
+    for &peers in &[2usize, 4, 8] {
+        for &updates in &[64usize, 256] {
+            // Chain: publish at head, reconcile down the chain.
+            let mut cdss = chain_cdss(peers);
+            let head = PeerId::new("P0");
+            let (_, t_pub) = timed(|| publish_inserts(&mut cdss, &head, 0, updates, 8));
+            let (_, t_rec) = timed(|| {
+                for i in 1..peers {
+                    cdss.reconcile(&PeerId::new(format!("P{i}"))).unwrap();
+                }
+            });
+            let tail_tuples = peer_total(&cdss, &format!("P{}", peers - 1));
+            assert_eq!(tail_tuples, updates, "all updates reach the chain tail");
+            println!(
+                "{:<10} {:>6} {:>9} {:>12} {:>14}",
+                "chain",
+                peers,
+                updates,
+                ms(t_pub),
+                ms(t_rec)
+            );
+        }
+    }
+    for &peers in &[4usize, 8] {
+        let updates = 128usize;
+        let mut cdss = star_cdss(peers);
+        let (_, t_pub) = timed(|| {
+            for i in 1..peers {
+                publish_inserts(
+                    &mut cdss,
+                    &PeerId::new(format!("P{i}")),
+                    (i as i64) * 10_000,
+                    updates / (peers - 1),
+                    8,
+                );
+            }
+        });
+        let (_, t_rec) = timed(|| {
+            cdss.reconcile(&PeerId::new("Hub")).unwrap();
+            for i in 1..peers {
+                cdss.reconcile(&PeerId::new(format!("P{i}"))).unwrap();
+            }
+        });
+        println!(
+            "{:<10} {:>6} {:>9} {:>12} {:>14}",
+            "star",
+            peers,
+            updates,
+            ms(t_pub),
+            ms(t_rec)
+        );
+    }
+    println!();
+}
+
+/// E2 — Figure 2 network: the bioinformatics CDSS under growing load.
+fn e2_bionetwork() {
+    println!("── E2: Figure 2 bioinformatics network ──");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "seqs", "publish ms", "dresden ms", "crete ms", "ops rows"
+    );
+    for &n in &[16usize, 64, 256, 1024] {
+        let (mut cdss, t_pub) = timed(|| bio_cdss_seeded(n));
+        let dresden = PeerId::new("Dresden");
+        let crete = PeerId::new("Crete");
+        let (_, t_d) = timed(|| cdss.reconcile(&dresden).unwrap());
+        let (_, t_c) = timed(|| cdss.reconcile(&crete).unwrap());
+        let ops = cdss
+            .peer(&dresden)
+            .unwrap()
+            .instance()
+            .relation("OPS")
+            .unwrap()
+            .len();
+        assert_eq!(ops, n, "every sequence joins into one OPS row");
+        println!(
+            "{:>8} {:>12} {:>14} {:>14} {:>12}",
+            n,
+            ms(t_pub),
+            ms(t_d),
+            ms(t_c),
+            ops
+        );
+    }
+    println!();
+}
+
+/// E3 — §4 scenarios: a pass/fail table (the full assertions live in
+/// tests/demo_scenarios.rs; this reruns the library-level checks).
+fn e3_scenarios() {
+    println!("── E3: demonstration scenarios (§4) ──");
+    let checks: Vec<(&str, fn() -> bool)> = vec![
+        ("1: Alaska↔Dresden translation", scenario1_ok),
+        ("2: priority rejection + cascade", scenario2_ok),
+        ("3: distrusted antecedent pulled in", scenario3_ok),
+        ("4: deferral + manual resolution", scenario4_ok),
+        ("5: offline publisher, archived updates", scenario5_ok),
+    ];
+    for (name, f) in checks {
+        println!("  scenario {name:<42} {}", if f() { "PASS" } else { "FAIL" });
+    }
+    println!();
+}
+
+fn scenario1_ok() -> bool {
+    let mut cdss = demo::figure2().unwrap();
+    cdss.publish_transaction(
+        &PeerId::new("Alaska"),
+        vec![
+            Update::insert("O", tuple!["HIV", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+            Update::insert("S", tuple![1, 2, "MRV"]),
+        ],
+    )
+    .unwrap();
+    cdss.reconcile(&PeerId::new("Dresden")).unwrap();
+    cdss.peer(&PeerId::new("Dresden"))
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap()
+        .contains(&tuple!["HIV", "gp120", "MRV"])
+}
+
+fn scenario2_ok() -> bool {
+    let mut cdss = demo::figure2().unwrap();
+    cdss.publish_transaction(
+        &PeerId::new("Beijing"),
+        vec![
+            Update::insert("O", tuple!["HIV", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+            Update::insert("S", tuple![1, 2, "B"]),
+        ],
+    )
+    .unwrap();
+    let d1 = cdss
+        .publish_transaction(
+            &PeerId::new("Dresden"),
+            vec![Update::insert("OPS", tuple!["HIV", "gp120", "D"])],
+        )
+        .unwrap();
+    let r = cdss.reconcile(&PeerId::new("Crete")).unwrap();
+    let first = r.outcome.rejected.contains(&d1);
+    let d2 = cdss
+        .publish_transaction(
+            &PeerId::new("Dresden"),
+            vec![Update::modify(
+                "OPS",
+                tuple!["HIV", "gp120", "D"],
+                tuple!["HIV", "gp120", "D2"],
+            )],
+        )
+        .unwrap();
+    let r = cdss.reconcile(&PeerId::new("Crete")).unwrap();
+    first && r.outcome.rejected.contains(&d2)
+}
+
+fn scenario3_ok() -> bool {
+    let mut cdss = demo::figure2().unwrap();
+    let a = cdss
+        .publish_transaction(
+            &PeerId::new("Alaska"),
+            vec![
+                Update::insert("O", tuple!["HIV", 1]),
+                Update::insert("P", tuple!["gp120", 2]),
+                Update::insert("S", tuple![1, 2, "V1"]),
+            ],
+        )
+        .unwrap();
+    cdss.reconcile(&PeerId::new("Beijing")).unwrap();
+    let b = cdss
+        .publish_transaction(
+            &PeerId::new("Beijing"),
+            vec![Update::modify("S", tuple![1, 2, "V1"], tuple![1, 2, "V2"])],
+        )
+        .unwrap();
+    let r = cdss.reconcile(&PeerId::new("Crete")).unwrap();
+    let ids: Vec<TxnId> = r.outcome.accepted.iter().map(|t| t.id.clone()).collect();
+    ids.contains(&a) && ids.contains(&b)
+}
+
+fn scenario4_ok() -> bool {
+    let mut cdss = demo::figure2().unwrap();
+    cdss.publish_transaction(
+        &PeerId::new("Alaska"),
+        vec![
+            Update::insert("O", tuple!["HIV", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+        ],
+    )
+    .unwrap();
+    cdss.reconcile(&PeerId::new("Beijing")).unwrap();
+    let a = cdss
+        .publish_transaction(
+            &PeerId::new("Alaska"),
+            vec![Update::insert("S", tuple![1, 2, "A"])],
+        )
+        .unwrap();
+    let b = cdss
+        .publish_transaction(
+            &PeerId::new("Beijing"),
+            vec![Update::insert("S", tuple![1, 2, "B"])],
+        )
+        .unwrap();
+    let r = cdss.reconcile(&PeerId::new("Dresden")).unwrap();
+    let deferred = r.outcome.deferred.contains(&a) && r.outcome.deferred.contains(&b);
+    let res = cdss.resolve(&PeerId::new("Dresden"), &b).unwrap();
+    deferred
+        && res.outcome.accepted.iter().any(|t| t.id == b)
+        && res.outcome.rejected.contains(&a)
+}
+
+fn scenario5_ok() -> bool {
+    let store = ReplicatedStore::new(8, 3).unwrap();
+    let mut cdss = demo::figure2_with_store(Box::new(store)).unwrap();
+    cdss.publish_transaction(
+        &PeerId::new("Beijing"),
+        vec![Update::insert("O", tuple!["Mouse", 1])],
+    )
+    .unwrap();
+    let r = cdss.reconcile(&PeerId::new("Alaska")).unwrap();
+    r.outcome.accepted.len() == 1
+}
+
+/// E4 — incremental vs full recomputation of update exchange.
+fn e4_incremental() {
+    println!("── E4: incremental vs full recomputation (companion [5]) ──");
+    println!(
+        "{:>8} {:>8} {:>14} {:>12} {:>10}",
+        "base", "delta", "full ms", "incr ms", "speedup"
+    );
+    let (schema, rules) = bio_engine_parts();
+    for &base in &[512usize] {
+        for &delta in &[8usize, 32, 128, 512] {
+            let base_facts = bio_base_facts(base);
+            let delta_facts: Vec<_> = bio_base_facts(base + delta)
+                .into_iter()
+                .skip(base_facts.len())
+                .collect();
+            // Warm engine, then incremental delta.
+            let mut warm = warm_engine(schema.clone(), rules.clone(), &base_facts, true);
+            let (_, t_incr) = timed(|| {
+                for (rel, t) in &delta_facts {
+                    warm.insert_base(rel, t.clone()).unwrap();
+                }
+                warm.propagate().unwrap();
+            });
+            // Full recomputation from scratch.
+            let (full, t_full) = timed(|| {
+                let mut all = base_facts.clone();
+                all.extend(delta_facts.iter().cloned());
+                warm_engine(schema.clone(), rules.clone(), &all, true)
+            });
+            assert_eq!(full.total_tuples(), warm.total_tuples());
+            println!(
+                "{:>8} {:>8} {:>14} {:>12} {:>10}",
+                base,
+                delta,
+                ms(t_full),
+                ms(t_incr),
+                ratio(t_full, t_incr)
+            );
+        }
+    }
+    println!();
+}
+
+/// E5 — provenance overhead: full N\[X\] graph vs no provenance.
+fn e5_prov_overhead() {
+    println!("── E5: provenance tracking overhead (companion [5]) ──");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12}",
+        "seqs", "no-prov ms", "with-prov ms", "overhead", "derivations"
+    );
+    let (schema, rules) = bio_engine_parts();
+    for &n in &[128usize, 512, 2048] {
+        let facts = bio_base_facts(n);
+        let (_e0, t0) = timed(|| warm_engine(schema.clone(), rules.clone(), &facts, false));
+        let (e1, t1) = timed(|| warm_engine(schema.clone(), rules.clone(), &facts, true));
+        println!(
+            "{:>8} {:>14} {:>14} {:>10} {:>12}",
+            n,
+            ms(t0),
+            ms(t1),
+            ratio(t1, t0),
+            e1.stats().derivations
+        );
+    }
+    println!();
+}
+
+/// E6 — deletion propagation: provenance-based vs DRed.
+fn e6_deletion() {
+    println!("── E6: deletion propagation, provenance vs DRed (companion [5]) ──");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12} {:>10}",
+        "seqs", "deleted", "dred ms", "prov ms", "speedup"
+    );
+    let (schema, rules) = bio_engine_parts();
+    for &n in &[256usize, 1024] {
+        for &frac in &[0.05f64, 0.25] {
+            let facts = bio_base_facts(n);
+            // Delete S rows (the join collapses).
+            let victims: Vec<_> = facts
+                .iter()
+                .filter(|(rel, _)| *rel == "Alaska.S")
+                .take(((n as f64) * frac) as usize)
+                .cloned()
+                .collect();
+            let mut dred = warm_engine(schema.clone(), rules.clone(), &facts, true);
+            let (_, t_dred) = timed(|| {
+                for (rel, t) in &victims {
+                    dred.remove_base(rel, t, DeletionAlgorithm::DRed).unwrap();
+                }
+            });
+            let mut prov = warm_engine(schema.clone(), rules.clone(), &facts, true);
+            let (_, t_prov) = timed(|| {
+                for (rel, t) in &victims {
+                    prov.remove_base(rel, t, DeletionAlgorithm::ProvenanceBased)
+                        .unwrap();
+                }
+            });
+            assert_eq!(dred.total_tuples(), prov.total_tuples());
+            println!(
+                "{:>8} {:>10} {:>14} {:>12} {:>10}",
+                n,
+                victims.len(),
+                ms(t_dred),
+                ms(t_prov),
+                ratio(t_dred, t_prov)
+            );
+        }
+    }
+    println!();
+}
+
+/// E7 — reconciliation scaling (companion \[11\]).
+fn e7_reconcile() {
+    println!("── E7: reconciliation scaling (companion [11]) ──");
+    println!(
+        "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "txns", "conflict%", "depth", "greedy ms", "naive ms", "accept", "defer", "reject"
+    );
+    for &n in &[256usize, 1024, 4096] {
+        for &pct in &[0u32, 5, 20, 50] {
+            let depth = 3usize;
+            let cands = reconcile_candidates(n, pct, depth, 42);
+            let schema = kv_schema();
+            let (_, t_naive) = timed(|| naive_reconcile(&cands, &schema));
+            let mut r = Reconciler::new(schema);
+            let (_, t_greedy) = timed(|| {
+                r.reconcile(cands.clone(), &TrustPolicy::open(1)).unwrap()
+            });
+            let accepted = cands
+                .iter()
+                .filter(|c| r.decision(c.id()) == Some(orchestra_reconcile::Decision::Accepted))
+                .count();
+            let deferred = r.deferred().len();
+            let rejected = cands
+                .iter()
+                .filter(|c| r.decision(c.id()) == Some(orchestra_reconcile::Decision::Rejected))
+                .count();
+            println!(
+                "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9}",
+                n,
+                pct,
+                depth,
+                ms(t_greedy),
+                ms(t_naive),
+                accepted,
+                deferred,
+                rejected
+            );
+        }
+    }
+    println!();
+}
+
+/// E8 — archived availability under churn × replication factor.
+fn e8_store() {
+    println!("── E8: store availability under churn (scenario 5 at scale) ──");
+    println!(
+        "{:>6} {:>12} {:>10} {:>14} {:>10}",
+        "repl", "churn", "avail %", "fetch ok", "probes"
+    );
+    let n_nodes = 64usize;
+    let n_txns = 1000u64;
+    for &repl in &[1usize, 2, 3, 5] {
+        for &churn_pct in &[10usize, 25, 50] {
+            let store = ReplicatedStore::new(n_nodes, repl).unwrap();
+            let txns: Vec<Transaction> = (0..n_txns)
+                .map(|i| {
+                    Transaction::new(
+                        TxnId::new(PeerId::new("pub"), i),
+                        Epoch::new(1),
+                        vec![Update::insert("R", tuple![i as i64, 0])],
+                    )
+                })
+                .collect();
+            store.publish(Epoch::new(1), txns).unwrap();
+            let down = n_nodes * churn_pct / 100;
+            for node in 0..down {
+                // Deterministic spread of failures.
+                store.take_node_down((node * 7) % n_nodes);
+            }
+            let avail = store.availability() * 100.0;
+            let fetch_ok = store.fetch_since(Epoch::zero()).is_ok();
+            println!(
+                "{:>6} {:>11}% {:>10.2} {:>14} {:>10}",
+                repl,
+                churn_pct,
+                avail,
+                fetch_ok,
+                store.stats().probes
+            );
+        }
+    }
+    println!();
+}
+
+/// E9 — semiring algebra microbenchmarks (companion \[6\]).
+fn e9_semiring() {
+    println!("── E9: provenance polynomial operations (companion [6]) ──");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>14} {:>14}",
+        "terms", "vars", "plus ms", "times ms", "eval(B) ms", "eval(Trop) ms"
+    );
+    for &(terms, vars) in &[(16usize, 8u32), (64, 16), (256, 32)] {
+        let a = random_polynomial(terms, vars, 1);
+        let b = random_polynomial(terms, vars, 2);
+        let (_, t_plus) = timed(|| {
+            for _ in 0..100 {
+                let _ = a.plus(&b);
+            }
+        });
+        let (_, t_times) = timed(|| {
+            for _ in 0..10 {
+                let _ = a.times(&b);
+            }
+        });
+        let (_, t_bool) = timed(|| {
+            for _ in 0..100 {
+                let _ = a.eval(|v| Boolean(v % 3 != 0));
+            }
+        });
+        let (_, t_trop) = timed(|| {
+            for _ in 0..100 {
+                let _ = a.eval(|v| Tropical::cost((*v as u64) % 7));
+            }
+        });
+        // Sanity: counting evaluation with all-1 equals sum of coefficients.
+        let total: u64 = a.iter().map(|(_, c)| c).sum();
+        assert_eq!(a.eval(|_| Counting(1)), Counting(total));
+        println!(
+            "{:>8} {:>8} {:>12} {:>12} {:>14} {:>14}",
+            terms,
+            vars,
+            ms(t_plus),
+            ms(t_times),
+            ms(t_bool),
+            ms(t_trop)
+        );
+    }
+    println!();
+}

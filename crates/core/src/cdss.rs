@@ -1,0 +1,594 @@
+//! The CDSS system object: peers + mappings + store + logical clock.
+
+use crate::error::CoreError;
+use crate::mapping::qualified_schema;
+use crate::peer::Peer;
+use crate::Result;
+use orchestra_datalog::{Engine, Rule, Tgd};
+use orchestra_relational::{DatabaseSchema, Tuple};
+use orchestra_reconcile::{ReconcileOutcome, ResolveOutcome, TrustPolicy};
+use orchestra_store::{InMemoryStore, StoreStats, UpdateStore};
+use orchestra_updates::{Epoch, LogicalClock, PeerId, Transaction, TxnId, Update};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+
+/// What one [`Cdss::reconcile`] call did.
+#[derive(Debug, Clone)]
+pub struct ReconcileReport {
+    /// The epoch this exchange advanced to.
+    pub epoch: Epoch,
+    /// Transactions fetched from the store (not yet seen by this peer).
+    pub fetched: usize,
+    /// Candidates produced by translation (excludes the peer's own).
+    pub candidates: usize,
+    /// The reconciliation decisions.
+    pub outcome: ReconcileOutcome,
+    /// Tuple-level updates applied to the local instance.
+    pub applied_updates: usize,
+}
+
+/// What one [`Cdss::resolve`] call did.
+#[derive(Debug, Clone)]
+pub struct ResolveReport {
+    /// The resolution decisions.
+    pub outcome: ResolveOutcome,
+    /// Tuple-level updates applied to the local instance.
+    pub applied_updates: usize,
+}
+
+/// Aggregate system counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CdssStats {
+    /// Current epoch value.
+    pub epoch: u64,
+    /// Transactions published across all peers.
+    pub published_txns: u64,
+    /// Store counters.
+    pub store: StoreStats,
+}
+
+/// Builder for a [`Cdss`].
+#[derive(Debug, Default)]
+pub struct CdssBuilder {
+    peers: Vec<(PeerId, DatabaseSchema, TrustPolicy)>,
+    mappings: Vec<Tgd>,
+}
+
+impl CdssBuilder {
+    /// Add a peer with its local schema and trust policy.
+    pub fn peer(
+        mut self,
+        name: impl AsRef<str>,
+        schema: DatabaseSchema,
+        policy: TrustPolicy,
+    ) -> Self {
+        self.peers
+            .push((PeerId::new(name.as_ref()), schema, policy));
+        self
+    }
+
+    /// Add a schema mapping (over qualified `"Peer.Relation"` names).
+    pub fn mapping(mut self, tgd: Tgd) -> Self {
+        self.mappings.push(tgd);
+        self
+    }
+
+    /// Add bidirectional identity mappings between two peers added
+    /// earlier, which must share a schema (the paper's `MA↔B`, `MC↔D`).
+    pub fn identity(mut self, a: impl AsRef<str>, b: impl AsRef<str>) -> Result<Self> {
+        let a = PeerId::new(a.as_ref());
+        let b = PeerId::new(b.as_ref());
+        let schema_a = self
+            .peers
+            .iter()
+            .find(|(id, _, _)| *id == a)
+            .map(|(_, s, _)| s.clone())
+            .ok_or_else(|| CoreError::UnknownPeer(a.name().to_string()))?;
+        let schema_b = self
+            .peers
+            .iter()
+            .find(|(id, _, _)| *id == b)
+            .map(|(_, s, _)| s.clone())
+            .ok_or_else(|| CoreError::UnknownPeer(b.name().to_string()))?;
+        if schema_a != schema_b {
+            return Err(CoreError::Config(format!(
+                "identity mappings require a shared schema ({} vs {})",
+                schema_a.name(),
+                schema_b.name()
+            )));
+        }
+        self.mappings
+            .extend(crate::mapping::identity_mappings(&a, &b, &schema_a)?);
+        Ok(self)
+    }
+
+    /// Build with the default centralized in-memory store.
+    pub fn build(self) -> Result<Cdss> {
+        self.build_with_store(Box::new(InMemoryStore::new()))
+    }
+
+    /// Build with a caller-provided store (e.g. the simulated DHT).
+    pub fn build_with_store(self, store: Box<dyn UpdateStore>) -> Result<Cdss> {
+        if self.peers.is_empty() {
+            return Err(CoreError::Config("a CDSS needs at least one peer".into()));
+        }
+        // Combined namespace: every peer's relations, qualified.
+        let mut combined = DatabaseSchema::new("cdss");
+        for (id, schema, _) in &self.peers {
+            for rel in qualified_schema(id, schema)? {
+                combined
+                    .add_relation(rel)
+                    .map_err(|_| CoreError::DuplicatePeer(id.name().to_string()))?;
+            }
+        }
+        // Compile the mapping program once.
+        let mut rules: Vec<Rule> = Vec::new();
+        for tgd in &self.mappings {
+            rules.extend(tgd.compile()?);
+        }
+        // One incremental engine per peer (peers see different prefixes of
+        // the published history).
+        let mut peers = BTreeMap::new();
+        for (id, schema, policy) in self.peers {
+            let engine = Engine::new(combined.clone(), rules.clone())?;
+            if peers.contains_key(&id) {
+                return Err(CoreError::DuplicatePeer(id.name().to_string()));
+            }
+            peers.insert(id.clone(), Peer::new(id, schema, policy, engine));
+        }
+        Ok(Cdss {
+            peers,
+            mappings: self.mappings,
+            store,
+            clock: LogicalClock::new(),
+            published_txns: 0,
+        })
+    }
+}
+
+/// The collaborative data sharing system.
+pub struct Cdss {
+    peers: BTreeMap<PeerId, Peer>,
+    mappings: Vec<Tgd>,
+    store: Box<dyn UpdateStore>,
+    clock: LogicalClock,
+    published_txns: u64,
+}
+
+impl Cdss {
+    /// Start building a CDSS.
+    pub fn builder() -> CdssBuilder {
+        CdssBuilder::default()
+    }
+
+    /// Borrow a peer.
+    pub fn peer(&self, id: &PeerId) -> Result<&Peer> {
+        self.peers
+            .get(id)
+            .ok_or_else(|| CoreError::UnknownPeer(id.to_string()))
+    }
+
+    /// Mutably borrow a peer (local edits happen here).
+    pub fn peer_mut(&mut self, id: &PeerId) -> Result<&mut Peer> {
+        self.peers
+            .get_mut(id)
+            .ok_or_else(|| CoreError::UnknownPeer(id.to_string()))
+    }
+
+    /// All peer ids, in order.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().cloned().collect()
+    }
+
+    /// The mapping program.
+    pub fn mappings(&self) -> &[Tgd] {
+        &self.mappings
+    }
+
+    /// The shared update store.
+    pub fn store(&self) -> &dyn UpdateStore {
+        &*self.store
+    }
+
+    /// The current logical epoch.
+    pub fn current_epoch(&self) -> Epoch {
+        self.clock.current()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CdssStats {
+        CdssStats {
+            epoch: self.clock.current().value(),
+            published_txns: self.published_txns,
+            store: self.store.stats(),
+        }
+    }
+
+    /// Publish a peer's pending local edits (diff against the last
+    /// published snapshot) as **one** transaction. Returns `None` when
+    /// there is nothing to publish. Use [`publish_transaction`] for
+    /// explicit transaction boundaries.
+    ///
+    /// [`publish_transaction`]: Cdss::publish_transaction
+    pub fn publish(&mut self, peer_id: &PeerId) -> Result<Option<TxnId>> {
+        let peer = self.peer(peer_id)?;
+        let delta = peer.published_snapshot.diff(&peer.instance)?;
+        if delta.is_empty() {
+            return Ok(None);
+        }
+        // Pair deletions and insertions on the same key into modifies.
+        let mut updates: Vec<Update> = Vec::new();
+        for rel_schema in peer.schema.relations().cloned().collect::<Vec<_>>() {
+            let name = rel_schema.name();
+            let dels = delta.deletions.get(name).cloned().unwrap_or_default();
+            let inss = delta.insertions.get(name).cloned().unwrap_or_default();
+            let mut dels_by_key: BTreeMap<Tuple, Tuple> = dels
+                .into_iter()
+                .map(|t| (rel_schema.key_of(&t), t))
+                .collect();
+            for ins in inss {
+                let key = rel_schema.key_of(&ins);
+                match dels_by_key.remove(&key) {
+                    Some(old) => updates.push(Update::modify(name, old, ins)),
+                    None => updates.push(Update::insert(name, ins)),
+                }
+            }
+            for (_, old) in dels_by_key {
+                updates.push(Update::delete(name, old));
+            }
+        }
+        let ids = self.publish_batch(peer_id, vec![updates])?;
+        Ok(ids.into_iter().next())
+    }
+
+    /// Apply updates to the peer's local instance and publish them as one
+    /// transaction (explicit transaction boundary — the unit the CDSS
+    /// propagates, translates, and reconciles atomically).
+    pub fn publish_transaction(
+        &mut self,
+        peer_id: &PeerId,
+        updates: Vec<Update>,
+    ) -> Result<TxnId> {
+        let ids = self.publish_transactions(peer_id, vec![updates])?;
+        Ok(ids.into_iter().next().expect("one txn"))
+    }
+
+    /// Apply and publish several transactions in a single epoch.
+    pub fn publish_transactions(
+        &mut self,
+        peer_id: &PeerId,
+        txns: Vec<Vec<Update>>,
+    ) -> Result<Vec<TxnId>> {
+        {
+            let peer = self.peer_mut(peer_id)?;
+            for updates in &txns {
+                for u in updates {
+                    let rel = peer.schema.relation(u.relation())?;
+                    u.validate(rel).map_err(CoreError::from)?;
+                    u.apply(&mut peer.instance).map_err(CoreError::from)?;
+                }
+            }
+        }
+        self.publish_batch(peer_id, txns)
+    }
+
+    /// Core publication path: stamp ids and provenance-derived
+    /// antecedents, archive in the store, ingest into the peer's own
+    /// engine, refresh the published snapshot.
+    fn publish_batch(
+        &mut self,
+        peer_id: &PeerId,
+        txn_updates: Vec<Vec<Update>>,
+    ) -> Result<Vec<TxnId>> {
+        let epoch = self.clock.advance();
+        let peer = self
+            .peers
+            .get_mut(peer_id)
+            .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
+        let mut built: Vec<Transaction> = Vec::new();
+        for updates in txn_updates {
+            if updates.is_empty() {
+                continue;
+            }
+            // Antecedents from provenance of the versions being read;
+            // sequential ingestion lets later transactions in the batch
+            // depend on earlier ones.
+            let ants: BTreeSet<TxnId> = peer.derive_antecedents(&updates)?;
+            peer.next_seq += 1;
+            let id = TxnId::new(peer.id.clone(), peer.next_seq);
+            let txn = Transaction::new(id, epoch, updates).with_antecedents(ants);
+            txn.validate(&peer.schema).map_err(CoreError::from)?;
+            peer.ingest_and_translate(&txn)?;
+            // The peer's own transaction counts as accepted history so
+            // foreign dependents can resolve their antecedents against it.
+            peer.reconciler.note_local(&txn)?;
+            built.push(txn);
+        }
+        if built.is_empty() {
+            return Ok(vec![]);
+        }
+        self.store.publish(epoch, built.clone())?;
+        self.published_txns += built.len() as u64;
+        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+        peer.published_snapshot = peer.instance.clone();
+        Ok(built.into_iter().map(|t| t.id).collect())
+    }
+
+    /// Perform update exchange for one peer: fetch newly published
+    /// transactions, translate them through the mapping program, reconcile
+    /// under the peer's trust policy, and apply accepted transactions to
+    /// the local instance.
+    pub fn reconcile(&mut self, peer_id: &PeerId) -> Result<ReconcileReport> {
+        let epoch = self.clock.advance();
+        let since = self.peer(peer_id)?.last_epoch;
+        let fetched = self.store.fetch_since(since)?;
+        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+
+        // New transactions, in causal order (in-batch antecedents first).
+        let fresh: Vec<Transaction> = fetched
+            .iter()
+            .filter(|t| !peer.ingested.contains(&t.id))
+            .cloned()
+            .collect();
+        let ordered = causal_order(fresh);
+
+        let mut candidates = Vec::new();
+        for txn in &ordered {
+            if let Some(c) = peer.ingest_and_translate(txn)? {
+                candidates.push(c);
+            }
+        }
+        let n_candidates = candidates.len();
+
+        // Split borrows: reconciler and policy are disjoint fields.
+        let outcome = {
+            let Peer {
+                reconciler, policy, ..
+            } = &mut *peer;
+            reconciler.reconcile(candidates, policy)?
+        };
+
+        let mut applied = 0usize;
+        for txn in &outcome.accepted {
+            for u in &txn.updates {
+                u.apply(&mut peer.instance).map_err(CoreError::from)?;
+                u.apply(&mut peer.published_snapshot)
+                    .map_err(CoreError::from)?;
+                applied += 1;
+            }
+        }
+        if let Some(max_epoch) = fetched.iter().map(|t| t.epoch).max() {
+            peer.last_epoch = peer.last_epoch.max(max_epoch);
+        }
+        Ok(ReconcileReport {
+            epoch,
+            fetched: fetched.len(),
+            candidates: n_candidates,
+            outcome,
+            applied_updates: applied,
+        })
+    }
+
+    /// Reconcile every peer once, in name order. Convenience for tests,
+    /// examples and benchmarks; returns the per-peer reports.
+    pub fn reconcile_all(&mut self) -> Result<Vec<(PeerId, ReconcileReport)>> {
+        let ids = self.peer_ids();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let report = self.reconcile(&id)?;
+            out.push((id, report));
+        }
+        Ok(out)
+    }
+
+    /// Manually resolve deferred conflicts at a peer in favor of `winner`
+    /// (§3: the winner's deferred dependents apply automatically; the
+    /// losers' dependents are rejected).
+    pub fn resolve(&mut self, peer_id: &PeerId, winner: &TxnId) -> Result<ResolveReport> {
+        let peer = self
+            .peers
+            .get_mut(peer_id)
+            .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
+        let outcome = peer.reconciler.resolve(winner)?;
+        let mut applied = 0usize;
+        for txn in &outcome.accepted {
+            for u in &txn.updates {
+                u.apply(&mut peer.instance).map_err(CoreError::from)?;
+                u.apply(&mut peer.published_snapshot)
+                    .map_err(CoreError::from)?;
+                applied += 1;
+            }
+        }
+        Ok(ResolveReport {
+            outcome,
+            applied_updates: applied,
+        })
+    }
+
+    /// Sanity helper for tests and examples: the set of relations a tuple
+    /// appears in across all peers' *local* instances, qualified.
+    pub fn locate(&self, tuple: &Tuple) -> Vec<String> {
+        let mut out = Vec::new();
+        for (id, peer) in &self.peers {
+            for rel in peer.instance.relations() {
+                if rel.iter().any(|t| t == tuple) {
+                    out.push(format!("{}.{}", id.name(), rel.schema().name()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Order transactions so that in-batch antecedents come before dependents;
+/// ties broken by (epoch, id). Transactions whose antecedents are outside
+/// the batch are unconstrained by them.
+fn causal_order(txns: Vec<Transaction>) -> Vec<Transaction> {
+    let ids: BTreeSet<TxnId> = txns.iter().map(|t| t.id.clone()).collect();
+    let mut by_id: BTreeMap<TxnId, Transaction> =
+        txns.into_iter().map(|t| (t.id.clone(), t)).collect();
+    let mut in_deg: BTreeMap<TxnId, usize> = BTreeMap::new();
+    let mut dependents: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
+    for (id, txn) in &by_id {
+        let deg = txn
+            .antecedents
+            .iter()
+            .filter(|a| ids.contains(a))
+            .count();
+        in_deg.insert(id.clone(), deg);
+        for a in &txn.antecedents {
+            if ids.contains(a) {
+                dependents.entry(a.clone()).or_default().push(id.clone());
+            }
+        }
+    }
+    // Kahn with a deterministic ready queue ordered by (epoch, id).
+    let mut ready: VecDeque<TxnId> = {
+        let mut v: Vec<TxnId> = in_deg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(id, _)| id.clone())
+            .collect();
+        v.sort_by_key(|id| (by_id[id].epoch, id.clone()));
+        v.into()
+    };
+    let mut out = Vec::with_capacity(by_id.len());
+    while let Some(id) = ready.pop_front() {
+        if let Some(deps) = dependents.get(&id) {
+            for d in deps.clone() {
+                let e = in_deg.get_mut(&d).expect("node");
+                *e -= 1;
+                if *e == 0 {
+                    ready.push_back(d);
+                }
+            }
+        }
+        if let Some(txn) = by_id.remove(&id) {
+            out.push(txn);
+        }
+    }
+    // A causality cycle cannot arise from well-formed publication, but an
+    // adversarial store could fabricate one; append leftovers in id order
+    // rather than dropping them.
+    out.extend(by_id.into_values());
+    out
+}
+
+impl std::fmt::Debug for Cdss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cdss")
+            .field("peers", &self.peers.keys().collect::<Vec<_>>())
+            .field("mappings", &self.mappings.len())
+            .field("epoch", &self.clock.current())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::{tuple, RelationSchema, ValueType};
+
+    fn txn(peer: &str, seq: u64, epoch: u64, ants: &[(&str, u64)]) -> Transaction {
+        Transaction::new(
+            TxnId::new(PeerId::new(peer), seq),
+            Epoch::new(epoch),
+            vec![],
+        )
+        .with_antecedents(
+            ants.iter()
+                .map(|(p, s)| TxnId::new(PeerId::new(*p), *s)),
+        )
+    }
+
+    #[test]
+    fn causal_order_puts_antecedents_first() {
+        // D#1 at epoch 1 depends on nothing; C#1 at epoch 1 depends on
+        // D#1 — id order alone would put C first.
+        let txns = vec![txn("C", 1, 1, &[("D", 1)]), txn("D", 1, 1, &[])];
+        let ordered = causal_order(txns);
+        assert_eq!(ordered[0].id, TxnId::new(PeerId::new("D"), 1));
+        assert_eq!(ordered[1].id, TxnId::new(PeerId::new("C"), 1));
+    }
+
+    #[test]
+    fn causal_order_ties_break_by_epoch_then_id() {
+        let txns = vec![
+            txn("B", 1, 2, &[]),
+            txn("A", 1, 3, &[]),
+            txn("C", 1, 1, &[]),
+        ];
+        let ordered = causal_order(txns);
+        let ids: Vec<String> = ordered.iter().map(|t| t.id.to_string()).collect();
+        assert_eq!(ids, vec!["C#1", "B#1", "A#1"]);
+    }
+
+    #[test]
+    fn causal_order_external_antecedents_do_not_block() {
+        // Antecedent outside the batch: the transaction is unconstrained.
+        let txns = vec![txn("A", 2, 2, &[("Ghost", 9)])];
+        let ordered = causal_order(txns);
+        assert_eq!(ordered.len(), 1);
+    }
+
+    #[test]
+    fn causal_order_survives_fabricated_cycles() {
+        // An adversarial archive could fabricate a cycle; nothing may be
+        // dropped.
+        let txns = vec![
+            txn("A", 1, 1, &[("B", 1)]),
+            txn("B", 1, 1, &[("A", 1)]),
+        ];
+        let ordered = causal_order(txns);
+        assert_eq!(ordered.len(), 2);
+    }
+
+    #[test]
+    fn diff_publish_pairs_modifies_and_orders_epochs() {
+        let schema = DatabaseSchema::new("kv")
+            .with_relation(
+                RelationSchema::from_parts_keyed(
+                    "R",
+                    &[("k", ValueType::Int), ("v", ValueType::Int)],
+                    &["k"],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut cdss = Cdss::builder()
+            .peer("A", schema, orchestra_reconcile::TrustPolicy::open(1))
+            .build()
+            .unwrap();
+        let a = PeerId::new("A");
+        // First epoch: insert two keys.
+        {
+            let inst = cdss.peer_mut(&a).unwrap().instance_mut();
+            inst.insert("R", tuple![1, 10]).unwrap();
+            inst.insert("R", tuple![2, 20]).unwrap();
+        }
+        let t1 = cdss.publish(&a).unwrap().unwrap();
+        // Second epoch: modify one, delete the other, add a third.
+        {
+            let inst = cdss.peer_mut(&a).unwrap().instance_mut();
+            inst.upsert("R", tuple![1, 11]).unwrap();
+            inst.delete("R", &tuple![2, 20]).unwrap();
+            inst.insert("R", tuple![3, 30]).unwrap();
+        }
+        let t2 = cdss.publish(&a).unwrap().unwrap();
+        let stored = cdss.store().fetch(&t2).unwrap().unwrap();
+        assert_eq!(stored.updates.len(), 3);
+        let mut kinds: Vec<&str> = stored
+            .updates
+            .iter()
+            .map(|u| match u {
+                Update::Insert { .. } => "ins",
+                Update::Delete { .. } => "del",
+                Update::Modify { .. } => "mod",
+            })
+            .collect();
+        kinds.sort();
+        assert_eq!(kinds, vec!["del", "ins", "mod"]);
+        assert!(stored.antecedents.contains(&t1));
+        assert!(stored.epoch > cdss.store().fetch(&t1).unwrap().unwrap().epoch);
+    }
+}

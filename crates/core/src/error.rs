@@ -1,0 +1,93 @@
+//! The CDSS error domain: wraps every layer's errors.
+
+use std::fmt;
+
+/// Errors raised by CDSS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A peer name was not found.
+    UnknownPeer(String),
+    /// A peer with this name already exists.
+    DuplicatePeer(String),
+    /// Relational layer failure.
+    Relational(String),
+    /// Mapping/engine failure.
+    Datalog(String),
+    /// Update/transaction failure.
+    Updates(String),
+    /// Update store failure.
+    Store(String),
+    /// Reconciliation failure.
+    Reconcile(String),
+    /// Invalid CDSS configuration.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownPeer(p) => write!(f, "unknown peer `{p}`"),
+            CoreError::DuplicatePeer(p) => write!(f, "duplicate peer `{p}`"),
+            CoreError::Relational(m) => write!(f, "relational: {m}"),
+            CoreError::Datalog(m) => write!(f, "mapping engine: {m}"),
+            CoreError::Updates(m) => write!(f, "updates: {m}"),
+            CoreError::Store(m) => write!(f, "store: {m}"),
+            CoreError::Reconcile(m) => write!(f, "reconcile: {m}"),
+            CoreError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<orchestra_relational::RelationalError> for CoreError {
+    fn from(e: orchestra_relational::RelationalError) -> Self {
+        CoreError::Relational(e.to_string())
+    }
+}
+
+impl From<orchestra_datalog::DatalogError> for CoreError {
+    fn from(e: orchestra_datalog::DatalogError) -> Self {
+        CoreError::Datalog(e.to_string())
+    }
+}
+
+impl From<orchestra_updates::UpdateError> for CoreError {
+    fn from(e: orchestra_updates::UpdateError) -> Self {
+        CoreError::Updates(e.to_string())
+    }
+}
+
+impl From<orchestra_store::StoreError> for CoreError {
+    fn from(e: orchestra_store::StoreError) -> Self {
+        CoreError::Store(e.to_string())
+    }
+}
+
+impl From<orchestra_reconcile::ReconcileError> for CoreError {
+    fn from(e: orchestra_reconcile::ReconcileError) -> Self {
+        CoreError::Reconcile(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(CoreError::UnknownPeer("X".into())
+            .to_string()
+            .contains("unknown peer"));
+        let e: CoreError = orchestra_relational::RelationalError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Relational(_)));
+        let e: CoreError = orchestra_datalog::DatalogError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Datalog(_)));
+        let e: CoreError = orchestra_updates::UpdateError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Updates(_)));
+        let e: CoreError = orchestra_store::StoreError::DuplicateTxn("t".into()).into();
+        assert!(matches!(e, CoreError::Store(_)));
+        let e: CoreError = orchestra_reconcile::ReconcileError::NotDeferred("t".into()).into();
+        assert!(matches!(e, CoreError::Reconcile(_)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-peer state: local instance, policy, reconciler, and the peer's own
+//! incremental view of the mapping program.
+
+use crate::Result;
+use orchestra_datalog::{Engine, NodeId, Query};
+use orchestra_relational::{DatabaseSchema, Instance, Tuple};
+use orchestra_reconcile::{Decision, Reconciler, TrustPolicy};
+use orchestra_updates::{Epoch, PeerId, TxnId};
+use std::collections::{BTreeSet, HashMap};
+
+/// One CDSS participant.
+///
+/// A peer owns four kinds of state, mirroring §2 of the paper:
+///
+/// * the **local instance** — fully autonomous and editable; queries run
+///   here ([`Peer::query`]);
+/// * the **published snapshot** — the last state made visible to others;
+///   `publish` diffs the live instance against it;
+/// * the **reconciler** — persistent decisions (accepted / rejected /
+///   deferred) over other peers' transactions, plus open conflicts;
+/// * the **translation engine** — the peer's materialized view of every
+///   published transaction pushed through the mapping program, with
+///   provenance. This is per-peer (not global) because peers are
+///   intermittently connected and each may have seen a different prefix
+///   of the published history.
+#[derive(Debug)]
+pub struct Peer {
+    pub(crate) id: PeerId,
+    pub(crate) schema: DatabaseSchema,
+    pub(crate) instance: Instance,
+    pub(crate) published_snapshot: Instance,
+    pub(crate) policy: TrustPolicy,
+    pub(crate) reconciler: Reconciler,
+    pub(crate) engine: Engine,
+    /// Base node → the transaction that published it (provenance →
+    /// transaction lineage).
+    pub(crate) node_txn: HashMap<NodeId, TxnId>,
+    /// Transactions already ingested into this peer's engine.
+    pub(crate) ingested: BTreeSet<TxnId>,
+    /// Next local transaction sequence number.
+    pub(crate) next_seq: u64,
+    /// Epoch up to which this peer has reconciled.
+    pub(crate) last_epoch: Epoch,
+}
+
+impl Peer {
+    pub(crate) fn new(
+        id: PeerId,
+        schema: DatabaseSchema,
+        policy: TrustPolicy,
+        engine: Engine,
+    ) -> Peer {
+        let instance = Instance::new(schema.clone());
+        Peer {
+            reconciler: Reconciler::new(schema.clone()),
+            published_snapshot: instance.clone(),
+            instance,
+            id,
+            schema,
+            policy,
+            engine,
+            node_txn: HashMap::new(),
+            ingested: BTreeSet::new(),
+            next_seq: 0,
+            last_epoch: Epoch::zero(),
+        }
+    }
+
+    /// The peer's id.
+    pub fn id(&self) -> &PeerId {
+        &self.id
+    }
+
+    /// The peer's local schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The live local instance (read-only view).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Mutable access to the local instance — local autonomy: users edit
+    /// freely between update exchanges.
+    pub fn instance_mut(&mut self) -> &mut Instance {
+        &mut self.instance
+    }
+
+    /// The last published snapshot.
+    pub fn published_snapshot(&self) -> &Instance {
+        &self.published_snapshot
+    }
+
+    /// The peer's trust policy.
+    pub fn policy(&self) -> &TrustPolicy {
+        &self.policy
+    }
+
+    /// Replace the trust policy (applies to future reconciliations).
+    pub fn set_policy(&mut self, policy: TrustPolicy) {
+        self.policy = policy;
+    }
+
+    /// The decision recorded for a transaction, if any.
+    pub fn decision(&self, id: &TxnId) -> Option<Decision> {
+        self.reconciler.decision(id)
+    }
+
+    /// Currently deferred transactions.
+    pub fn deferred(&self) -> Vec<TxnId> {
+        self.reconciler.deferred()
+    }
+
+    /// Open conflicts awaiting [`crate::Cdss::resolve`].
+    pub fn open_conflicts(&self) -> &[(TxnId, TxnId)] {
+        self.reconciler.open_conflicts()
+    }
+
+    /// Epoch up to which this peer has reconciled.
+    pub fn last_reconciled_epoch(&self) -> Epoch {
+        self.last_epoch
+    }
+
+    /// Run a conjunctive query over the local instance.
+    pub fn query(&self, query: &Query) -> Result<Vec<Tuple>> {
+        Ok(query.eval(&self.instance)?)
+    }
+
+    /// The provenance polynomial of a tuple in this peer's translated view
+    /// (over the engine's interned node ids), if the tuple is known.
+    pub fn provenance(
+        &self,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> Option<orchestra_provenance::Polynomial<NodeId>> {
+        let qualified = crate::mapping::qualify(&self.id, relation);
+        self.engine.provenance(&qualified, tuple)
+    }
+
+    /// Map a base provenance node to the transaction that published it.
+    pub fn node_transaction(&self, node: NodeId) -> Option<&TxnId> {
+        self.node_txn.get(&node)
+    }
+
+    /// The peer's translation-engine statistics.
+    pub fn engine_stats(&self) -> orchestra_datalog::EngineStats {
+        self.engine.stats()
+    }
+}

@@ -1,0 +1,1373 @@
+//! The semi-naive fixpoint engine with provenance and incremental
+//! maintenance.
+//!
+//! The engine owns the *materialized update-exchange state* of a CDSS
+//! epoch: all peers' base (published) tuples, every tuple derivable through
+//! the mapping program, and the provenance graph connecting them.
+//!
+//! Incremental behaviour — the point of the paper's provenance formulation:
+//!
+//! * **Insertions** enter a pending delta; [`Engine::propagate`] runs
+//!   semi-naive evaluation from the delta only, touching work proportional
+//!   to the new derivations rather than the whole database.
+//! * **Deletions** are propagated by either of two algorithms
+//!   ([`DeletionAlgorithm`]): the provenance-based test (restrict
+//!   derivability to the affected subgraph — Orchestra's approach) or
+//!   classic **DRed** (over-delete then re-derive by rule re-evaluation —
+//!   the baseline), selected per call so benches can compare them
+//!   (experiment E6).
+//!
+//! Every externally visible change to the materialized state is appended to
+//! a change log ([`Engine::drain_changes`]) — update translation packages
+//! those per-transaction (the `orchestra-core` crate).
+
+use crate::ast::{Filter, Rule, RuleId, Term};
+use crate::error::DatalogError;
+use crate::node::{NodeId, NodeTable};
+use crate::provgraph::{Derivation, ProvGraph};
+use crate::Result;
+use orchestra_provenance::Polynomial;
+use orchestra_relational::{DatabaseSchema, Tuple, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Which deletion-propagation algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeletionAlgorithm {
+    /// Orchestra's approach: test well-founded derivability over the
+    /// affected region of the stored provenance graph.
+    ProvenanceBased,
+    /// The classic delete-and-rederive baseline: over-delete everything
+    /// transitively derived through the deleted tuples by re-evaluating
+    /// rules, then re-derive survivors from the remaining database.
+    DRed,
+}
+
+/// Did a change add or remove a tuple?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChangeKind {
+    /// The tuple became present.
+    Added,
+    /// The tuple became absent.
+    Removed,
+}
+
+/// One externally visible change to the materialized state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Change {
+    /// Relation the tuple belongs to.
+    pub relation: Arc<str>,
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Added or removed.
+    pub kind: ChangeKind,
+    /// The tuple's interned node id.
+    pub node: NodeId,
+}
+
+/// Aggregate counters, for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Semi-naive rounds executed.
+    pub rounds: u64,
+    /// Rule firings that produced a (possibly duplicate) head.
+    pub firings: u64,
+    /// Distinct derivation records added.
+    pub derivations: u64,
+    /// Tuples added to the materialized state.
+    pub tuples_added: u64,
+    /// Tuples removed from the materialized state.
+    pub tuples_removed: u64,
+}
+
+/// One stored relation: alive tuples plus incrementally maintained hash
+/// indexes on demand.
+#[derive(Debug, Clone, Default)]
+struct RelData {
+    tuples: HashMap<Tuple, NodeId>,
+    /// column set → (key values → tuples). Maintained through inserts and
+    /// removals.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Tuple>>>,
+}
+
+impl RelData {
+    fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains_key(t)
+    }
+
+    fn insert(&mut self, t: Tuple, node: NodeId) {
+        for (cols, idx) in self.indexes.iter_mut() {
+            idx.entry(t.key_values(cols)).or_default().push(t.clone());
+        }
+        self.tuples.insert(t, node);
+    }
+
+    fn remove(&mut self, t: &Tuple) -> Option<NodeId> {
+        let node = self.tuples.remove(t)?;
+        for (cols, idx) in self.indexes.iter_mut() {
+            if let Some(list) = idx.get_mut(&t.key_values(cols)) {
+                if let Some(pos) = list.iter().position(|x| x == t) {
+                    list.swap_remove(pos);
+                }
+            }
+        }
+        Some(node)
+    }
+
+    fn ensure_index(&mut self, cols: &[usize]) {
+        if !self.indexes.contains_key(cols) {
+            let mut idx: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            for t in self.tuples.keys() {
+                idx.entry(t.key_values(cols)).or_default().push(t.clone());
+            }
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+    }
+
+    fn probe(&self, cols: &[usize], vals: &[Value]) -> &[Tuple] {
+        self.indexes
+            .get(cols)
+            .and_then(|idx| idx.get(vals))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// A term compiled against a rule's dense variable numbering.
+#[derive(Debug, Clone)]
+enum Slot {
+    Var(usize),
+    Const(Value),
+    Skolem { function: Arc<str>, args: Vec<Slot> },
+}
+
+#[derive(Debug, Clone)]
+struct CompiledAtom {
+    relation: Arc<str>,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledFilter {
+    filter: Filter,
+    /// Dense ids of the variables the filter references; it is applied as
+    /// soon as all of them are bound (join order is dynamic, so readiness
+    /// is checked per join, not precompiled).
+    vars: Vec<usize>,
+    left: Slot,
+    right: Slot,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    id: RuleId,
+    head: CompiledAtom,
+    body: Vec<CompiledAtom>,
+    filters: Vec<CompiledFilter>,
+    num_vars: usize,
+}
+
+/// The provenance-annotated, incrementally maintained datalog engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    schema: DatabaseSchema,
+    rules: Vec<CompiledRule>,
+    /// body relation name → (rule index, body atom position).
+    rules_by_body: HashMap<Arc<str>, Vec<(usize, usize)>>,
+    nodes: NodeTable,
+    graph: ProvGraph,
+    data: HashMap<Arc<str>, RelData>,
+    /// Tuples inserted but not yet propagated, per relation.
+    pending: Vec<(Arc<str>, Tuple)>,
+    changes: Vec<Change>,
+    stats: EngineStats,
+    /// When false, derivations are not recorded (ablation baseline for
+    /// experiment E5). Provenance-based deletion then falls back to DRed.
+    track_provenance: bool,
+}
+
+impl Engine {
+    /// Build an engine for a schema and a mapping program.
+    pub fn new(schema: DatabaseSchema, rules: Vec<Rule>) -> Result<Engine> {
+        Self::with_provenance(schema, rules, true)
+    }
+
+    /// Build an engine, optionally **without** provenance tracking — the
+    /// ablation baseline of experiment E5. Without provenance, trust
+    /// evaluation and provenance-based deletion are unavailable
+    /// ([`remove_base`](Engine::remove_base) silently uses DRed), but
+    /// insert propagation is cheaper.
+    pub fn with_provenance(
+        schema: DatabaseSchema,
+        rules: Vec<Rule>,
+        track_provenance: bool,
+    ) -> Result<Engine> {
+        let mut data = HashMap::new();
+        for r in schema.relations() {
+            data.insert(r.name_arc(), RelData::default());
+        }
+        let mut compiled = Vec::with_capacity(rules.len());
+        let mut rules_by_body: HashMap<Arc<str>, Vec<(usize, usize)>> = HashMap::new();
+        for (ri, rule) in rules.into_iter().enumerate() {
+            let c = Self::compile_rule(&schema, rule)?;
+            for (ai, atom) in c.body.iter().enumerate() {
+                rules_by_body
+                    .entry(Arc::clone(&atom.relation))
+                    .or_default()
+                    .push((ri, ai));
+            }
+            compiled.push(c);
+        }
+        Ok(Engine {
+            schema,
+            rules: compiled,
+            rules_by_body,
+            nodes: NodeTable::new(),
+            graph: ProvGraph::new(),
+            data,
+            pending: Vec::new(),
+            changes: Vec::new(),
+            stats: EngineStats::default(),
+            track_provenance,
+        })
+    }
+
+    fn compile_rule(schema: &DatabaseSchema, rule: Rule) -> Result<CompiledRule> {
+        // Check relations and arities.
+        let head_schema = schema
+            .relation(&rule.head.relation)
+            .map_err(|_| DatalogError::UnknownRelation(rule.head.relation.to_string()))?;
+        if head_schema.arity() != rule.head.arity() {
+            return Err(DatalogError::ArityMismatch {
+                relation: rule.head.relation.to_string(),
+                expected: head_schema.arity(),
+                actual: rule.head.arity(),
+            });
+        }
+        for atom in &rule.body {
+            let rs = schema
+                .relation(&atom.relation)
+                .map_err(|_| DatalogError::UnknownRelation(atom.relation.to_string()))?;
+            if rs.arity() != atom.arity() {
+                return Err(DatalogError::ArityMismatch {
+                    relation: atom.relation.to_string(),
+                    expected: rs.arity(),
+                    actual: atom.arity(),
+                });
+            }
+        }
+
+        // Dense variable numbering in first-occurrence order.
+        let mut var_ids: HashMap<Arc<str>, usize> = HashMap::new();
+        for atom in &rule.body {
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    let next = var_ids.len();
+                    var_ids.entry(Arc::clone(v)).or_insert(next);
+                }
+            }
+        }
+        let compile_term = |t: &Term| -> Slot {
+            match t {
+                Term::Var(v) => Slot::Var(var_ids[v]),
+                Term::Const(c) => Slot::Const(c.clone()),
+                Term::Skolem { function, args } => Slot::Skolem {
+                    function: Arc::clone(function),
+                    args: args.iter().map(|a| match a {
+                        Term::Var(v) => Slot::Var(var_ids[v]),
+                        Term::Const(c) => Slot::Const(c.clone()),
+                        Term::Skolem { .. } => unreachable!("nested skolems rejected by Tgd"),
+                    }).collect(),
+                },
+            }
+        };
+
+        let body: Vec<CompiledAtom> = rule
+            .body
+            .iter()
+            .map(|a| CompiledAtom {
+                relation: Arc::clone(&a.relation),
+                slots: a.terms.iter().map(compile_term).collect(),
+            })
+            .collect();
+        let head = CompiledAtom {
+            relation: Arc::clone(&rule.head.relation),
+            slots: rule.head.terms.iter().map(compile_term).collect(),
+        };
+        let filters: Vec<CompiledFilter> = rule
+            .filters
+            .iter()
+            .map(|f| {
+                let vars = f.variables().iter().map(|v| var_ids[v]).collect();
+                CompiledFilter {
+                    vars,
+                    left: compile_term(&f.left),
+                    right: compile_term(&f.right),
+                    filter: f.clone(),
+                }
+            })
+            .collect();
+        Ok(CompiledRule {
+            id: rule.id,
+            head,
+            body,
+            filters,
+            num_vars: var_ids.len(),
+        })
+    }
+
+    /// The engine's schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The provenance graph.
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &NodeTable {
+        &self.nodes
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// True iff the relation currently contains the tuple.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> bool {
+        self.data.get(relation).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Number of alive tuples in a relation.
+    pub fn relation_len(&self, relation: &str) -> usize {
+        self.data.get(relation).map_or(0, |r| r.tuples.len())
+    }
+
+    /// Alive tuples of a relation, sorted (deterministic).
+    pub fn relation_tuples(&self, relation: &str) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .data
+            .get(relation)
+            .map(|r| r.tuples.keys().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Total alive tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.data.values().map(|r| r.tuples.len()).sum()
+    }
+
+    /// Drain the change log.
+    pub fn drain_changes(&mut self) -> Vec<Change> {
+        std::mem::take(&mut self.changes)
+    }
+
+    /// Insert a base (published) tuple. Idempotent: re-inserting an already
+    /// base tuple is a no-op. If the tuple exists only as derived, it
+    /// additionally becomes base (gaining independent support).
+    pub fn insert_base(&mut self, relation: &str, tuple: Tuple) -> Result<NodeId> {
+        let rel_schema = self
+            .schema
+            .relation(relation)
+            .map_err(|_| DatalogError::UnknownRelation(relation.to_string()))?;
+        rel_schema.validate(&tuple)?;
+        let rel_name = rel_schema.name_arc();
+        let node = self.nodes.intern(&rel_name, &tuple);
+        if self.graph.is_base(node) {
+            return Ok(node);
+        }
+        self.graph.add_base(node);
+        let rd = self.data.get_mut(&rel_name).expect("relation exists");
+        if !rd.contains(&tuple) {
+            rd.insert(tuple.clone(), node);
+            self.stats.tuples_added += 1;
+            self.changes.push(Change {
+                relation: Arc::clone(&rel_name),
+                tuple: tuple.clone(),
+                kind: ChangeKind::Added,
+                node,
+            });
+            self.pending.push((rel_name, tuple));
+        }
+        Ok(node)
+    }
+
+    /// Run semi-naive propagation from the pending delta to fixpoint.
+    /// Returns the number of newly derived tuples.
+    pub fn propagate(&mut self) -> Result<usize> {
+        let mut delta = std::mem::take(&mut self.pending);
+        let mut new_tuples = 0usize;
+        while !delta.is_empty() {
+            self.stats.rounds += 1;
+            let mut next_delta: Vec<(Arc<str>, Tuple)> = Vec::new();
+            // Group delta by relation to amortize rule lookup.
+            let mut by_rel: HashMap<Arc<str>, Vec<Tuple>> = HashMap::new();
+            for (r, t) in delta {
+                by_rel.entry(r).or_default().push(t);
+            }
+            for (rel, tuples) in &by_rel {
+                let Some(uses) = self.rules_by_body.get(rel).cloned() else {
+                    continue;
+                };
+                for (ri, ai) in uses {
+                    let firings = self.join_rule(ri, Some((ai, tuples)));
+                    for (head_tuple, body_nodes) in firings {
+                        self.stats.firings += 1;
+                        let head_rel = Arc::clone(&self.rules[ri].head.relation);
+                        let head_node = self.nodes.intern(&head_rel, &head_tuple);
+                        if self.track_provenance {
+                            let fresh_deriv = self.graph.add_derivation(Derivation {
+                                rule: Arc::clone(&self.rules[ri].id),
+                                head: head_node,
+                                body: body_nodes,
+                            });
+                            if fresh_deriv {
+                                self.stats.derivations += 1;
+                            }
+                        }
+                        let rd = self.data.get_mut(&head_rel).expect("relation exists");
+                        if !rd.contains(&head_tuple) {
+                            rd.insert(head_tuple.clone(), head_node);
+                            self.stats.tuples_added += 1;
+                            new_tuples += 1;
+                            self.changes.push(Change {
+                                relation: Arc::clone(&head_rel),
+                                tuple: head_tuple.clone(),
+                                kind: ChangeKind::Added,
+                                node: head_node,
+                            });
+                            next_delta.push((head_rel, head_tuple));
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        Ok(new_tuples)
+    }
+
+    /// Join one rule's body with an optional delta restriction at one atom
+    /// position. Returns `(head tuple, body node ids)` per firing.
+    ///
+    /// Delta tuples need not be present in `data` (DRed's over-deletion
+    /// joins deltas that have already been removed). Atoms are joined in a
+    /// greedily planned order — delta atom first, then whichever remaining
+    /// atom has the most bound positions — so multi-way joins always probe
+    /// indexes instead of building cross products.
+    fn join_rule(
+        &mut self,
+        rule_idx: usize,
+        delta: Option<(usize, &Vec<Tuple>)>,
+    ) -> Vec<(Tuple, Vec<NodeId>)> {
+        let rule = self.rules[rule_idx].clone();
+        let order = Self::plan_order(&rule, delta.map(|(p, _)| p), None);
+        let mut results = Vec::new();
+        let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars];
+        let mut body_tuples: Vec<Option<Tuple>> = vec![None; rule.body.len()];
+        let mut filters_applied: Vec<bool> = vec![false; rule.filters.len()];
+        self.join_ordered(
+            &rule,
+            &order,
+            0,
+            delta,
+            &mut bindings,
+            &mut body_tuples,
+            &mut filters_applied,
+            &mut results,
+        );
+        results
+    }
+
+    /// Greedy join order: the delta atom (if any) first, then repeatedly
+    /// the atom with the most bound positions (constants + already-bound
+    /// variables). `pre_bound` marks variables seeded before the join
+    /// (head bindings during DRed re-derivation).
+    fn plan_order(
+        rule: &CompiledRule,
+        delta_pos: Option<usize>,
+        pre_bound: Option<&[bool]>,
+    ) -> Vec<usize> {
+        let n = rule.body.len();
+        let mut bound: Vec<bool> = match pre_bound {
+            Some(b) => b.to_vec(),
+            None => vec![false; rule.num_vars],
+        };
+        let mut used = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let bind = |ai: usize, bound: &mut Vec<bool>| {
+            for slot in &rule.body[ai].slots {
+                if let Slot::Var(v) = slot {
+                    bound[*v] = true;
+                }
+            }
+        };
+        if let Some(dp) = delta_pos {
+            order.push(dp);
+            used[dp] = true;
+            bind(dp, &mut bound);
+        }
+        while order.len() < n {
+            let mut best = usize::MAX;
+            let mut best_score = -1i64;
+            for ai in 0..n {
+                if used[ai] {
+                    continue;
+                }
+                let score = rule.body[ai]
+                    .slots
+                    .iter()
+                    .filter(|s| match s {
+                        Slot::Const(_) => true,
+                        Slot::Var(v) => bound[*v],
+                        Slot::Skolem { .. } => false,
+                    })
+                    .count() as i64;
+                if score > best_score {
+                    best_score = score;
+                    best = ai;
+                }
+            }
+            order.push(best);
+            used[best] = true;
+            bind(best, &mut bound);
+        }
+        order
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_ordered(
+        &mut self,
+        rule: &CompiledRule,
+        order: &[usize],
+        step: usize,
+        delta: Option<(usize, &Vec<Tuple>)>,
+        bindings: &mut Vec<Option<Value>>,
+        body_tuples: &mut Vec<Option<Tuple>>,
+        filters_applied: &mut Vec<bool>,
+        results: &mut Vec<(Tuple, Vec<NodeId>)>,
+    ) {
+        if step == order.len() {
+            // All atoms bound; instantiate head (body nodes in original
+            // rule-body order — derivation identity depends on it).
+            let head_tuple = Self::instantiate(&rule.head.slots, bindings);
+            let body_nodes: Vec<NodeId> = body_tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let t = t.as_ref().expect("bound");
+                    self.nodes.intern(&rule.body[i].relation, t)
+                })
+                .collect();
+            results.push((head_tuple, body_nodes));
+            return;
+        }
+        let ai = order[step];
+        let atom = &rule.body[ai];
+
+        // Candidate tuples for this atom.
+        let candidates: Vec<Tuple> = match delta {
+            Some((dpos, dtuples)) if dpos == ai => dtuples.clone(),
+            _ => self.candidates_from_data(atom, bindings),
+        };
+
+        'next_tuple: for t in candidates {
+            if t.arity() != atom.slots.len() {
+                continue;
+            }
+            // Match against slots, extending bindings.
+            let mut newly_bound: Vec<usize> = Vec::new();
+            let mut newly_applied: Vec<usize> = Vec::new();
+            macro_rules! backtrack {
+                () => {{
+                    for &v in &newly_bound {
+                        bindings[v] = None;
+                    }
+                    for &fi in &newly_applied {
+                        filters_applied[fi] = false;
+                    }
+                }};
+            }
+            for (i, slot) in atom.slots.iter().enumerate() {
+                match slot {
+                    Slot::Const(c) => {
+                        if &t[i] != c {
+                            backtrack!();
+                            continue 'next_tuple;
+                        }
+                    }
+                    Slot::Var(v) => match &bindings[*v] {
+                        Some(bound) => {
+                            if bound != &t[i] {
+                                backtrack!();
+                                continue 'next_tuple;
+                            }
+                        }
+                        None => {
+                            bindings[*v] = Some(t[i].clone());
+                            newly_bound.push(*v);
+                        }
+                    },
+                    Slot::Skolem { .. } => {
+                        // Skolem slots in bodies are not supported; rules
+                        // from Tgd::compile never produce them.
+                        backtrack!();
+                        continue 'next_tuple;
+                    }
+                }
+            }
+            // Apply any filter whose variables are now all bound.
+            for (fi, f) in rule.filters.iter().enumerate() {
+                if filters_applied[fi] {
+                    continue;
+                }
+                if f.vars.iter().all(|&v| bindings[v].is_some()) {
+                    let l = Self::slot_value(&f.left, bindings);
+                    let r = Self::slot_value(&f.right, bindings);
+                    if !f.filter.op.apply(&l, &r) {
+                        backtrack!();
+                        continue 'next_tuple;
+                    }
+                    filters_applied[fi] = true;
+                    newly_applied.push(fi);
+                }
+            }
+            body_tuples[ai] = Some(t.clone());
+            self.join_ordered(
+                rule,
+                order,
+                step + 1,
+                delta,
+                bindings,
+                body_tuples,
+                filters_applied,
+                results,
+            );
+            body_tuples[ai] = None;
+            backtrack!();
+        }
+    }
+
+    /// Tuples of `atom`'s relation consistent with current bindings, using
+    /// an index over the bound columns when any exist.
+    fn candidates_from_data(
+        &mut self,
+        atom: &CompiledAtom,
+        bindings: &[Option<Value>],
+    ) -> Vec<Tuple> {
+        let mut bound_cols: Vec<usize> = Vec::new();
+        let mut bound_vals: Vec<Value> = Vec::new();
+        for (i, slot) in atom.slots.iter().enumerate() {
+            match slot {
+                Slot::Const(c) => {
+                    bound_cols.push(i);
+                    bound_vals.push(c.clone());
+                }
+                Slot::Var(v) => {
+                    if let Some(val) = &bindings[*v] {
+                        bound_cols.push(i);
+                        bound_vals.push(val.clone());
+                    }
+                }
+                Slot::Skolem { .. } => {}
+            }
+        }
+        let Some(rd) = self.data.get_mut(&atom.relation) else {
+            return Vec::new();
+        };
+        if bound_cols.is_empty() {
+            rd.tuples.keys().cloned().collect()
+        } else {
+            rd.ensure_index(&bound_cols);
+            rd.probe(&bound_cols, &bound_vals).to_vec()
+        }
+    }
+
+    fn slot_value(slot: &Slot, bindings: &[Option<Value>]) -> Value {
+        match slot {
+            Slot::Const(c) => c.clone(),
+            Slot::Var(v) => bindings[*v].clone().expect("filter var bound"),
+            Slot::Skolem { function, args } => {
+                let vals: Vec<Value> =
+                    args.iter().map(|a| Self::slot_value(a, bindings)).collect();
+                Value::skolem(Arc::clone(function), vals)
+            }
+        }
+    }
+
+    fn instantiate(slots: &[Slot], bindings: &[Option<Value>]) -> Tuple {
+        slots
+            .iter()
+            .map(|s| Self::slot_value(s, bindings))
+            .collect()
+    }
+
+    /// Remove a base tuple and propagate the deletion with the chosen
+    /// algorithm. Returns `true` if the tuple was a base fact.
+    ///
+    /// The tuple may remain alive if it is still derivable through the
+    /// mapping program (or was independently published elsewhere).
+    pub fn remove_base(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+        algorithm: DeletionAlgorithm,
+    ) -> Result<bool> {
+        let Some(node) = self.nodes.get(relation, tuple) else {
+            return Ok(false);
+        };
+        if !self.graph.remove_base(node) {
+            return Ok(false);
+        }
+        // Without a provenance graph only rule re-evaluation can decide
+        // what else must go.
+        let algorithm = if self.track_provenance {
+            algorithm
+        } else {
+            DeletionAlgorithm::DRed
+        };
+        match algorithm {
+            DeletionAlgorithm::ProvenanceBased => self.delete_provenance_based(node),
+            DeletionAlgorithm::DRed => self.delete_dred(node),
+        }
+        Ok(true)
+    }
+
+    /// Provenance-based deletion: restrict attention to the subgraph
+    /// forward-reachable from the deleted node and recompute well-founded
+    /// derivability there, treating unaffected alive nodes as given.
+    fn delete_provenance_based(&mut self, deleted: NodeId) {
+        // Affected = forward closure through derivation uses.
+        let mut affected: HashSet<NodeId> = HashSet::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        affected.insert(deleted);
+        queue.push_back(deleted);
+        while let Some(nd) = queue.pop_front() {
+            let heads: Vec<NodeId> = self.graph.uses_of(nd).map(|d| d.head).collect();
+            for h in heads {
+                if affected.insert(h) {
+                    queue.push_back(h);
+                }
+            }
+        }
+        // Worklist: start from support outside the affected region and from
+        // base facts inside it.
+        let mut derivable: HashSet<NodeId> = HashSet::new();
+        let mut wl: VecDeque<NodeId> = VecDeque::new();
+        for &a in &affected {
+            if self.graph.is_base(a) && derivable.insert(a) {
+                wl.push_back(a);
+            }
+            for d in self.graph.derivations_of(a) {
+                let supported = d.body.iter().all(|b| {
+                    !affected.contains(b) && self.is_alive(*b)
+                });
+                if supported && derivable.insert(a) {
+                    wl.push_back(a);
+                }
+            }
+        }
+        while let Some(nd) = wl.pop_front() {
+            let heads: Vec<NodeId> = self
+                .graph
+                .uses_of(nd)
+                .filter(|d| affected.contains(&d.head) && !derivable.contains(&d.head))
+                .filter(|d| {
+                    d.body.iter().all(|b| {
+                        derivable.contains(b) || (!affected.contains(b) && self.is_alive(*b))
+                    })
+                })
+                .map(|d| d.head)
+                .collect();
+            for h in heads {
+                if derivable.insert(h) {
+                    wl.push_back(h);
+                }
+            }
+        }
+        // Kill affected-but-underivable nodes.
+        let dead: Vec<NodeId> = affected
+            .iter()
+            .copied()
+            .filter(|a| !derivable.contains(a) && self.is_alive(*a))
+            .collect();
+        self.remove_nodes(&dead);
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        let Some((rel, tuple)) = self.nodes.resolve(node) else {
+            return false;
+        };
+        self.data
+            .get(rel)
+            .is_some_and(|rd| rd.tuples.get(tuple) == Some(&node))
+    }
+
+    fn remove_nodes(&mut self, dead: &[NodeId]) {
+        for &nd in dead {
+            let Some((rel, tuple)) = self.nodes.resolve(nd) else {
+                continue;
+            };
+            let rel = Arc::clone(rel);
+            let tuple = tuple.clone();
+            if let Some(rd) = self.data.get_mut(&rel) {
+                if rd.remove(&tuple).is_some() {
+                    self.stats.tuples_removed += 1;
+                    self.changes.push(Change {
+                        relation: rel,
+                        tuple,
+                        kind: ChangeKind::Removed,
+                        node: nd,
+                    });
+                }
+            }
+        }
+    }
+
+    /// DRed: over-delete by re-evaluating rules against deltas of deleted
+    /// tuples, then re-derive survivors from the remaining database.
+    fn delete_dred(&mut self, deleted: NodeId) {
+        let Some((rel0, t0)) = self.nodes.resolve(deleted) else {
+            return;
+        };
+        let rel0 = Arc::clone(rel0);
+        let t0 = t0.clone();
+
+        // Phase 1: over-delete. Worklist of removed tuples; consequences
+        // computed by joining each rule with the removed tuple as delta.
+        let mut overdeleted: Vec<(Arc<str>, Tuple, NodeId)> = Vec::new();
+        let mut wl: VecDeque<(Arc<str>, Tuple)> = VecDeque::new();
+        if self.is_alive(deleted) {
+            self.data.get_mut(&rel0).expect("rel").remove(&t0);
+            overdeleted.push((Arc::clone(&rel0), t0.clone(), deleted));
+            wl.push_back((rel0, t0));
+        }
+        while let Some((rel, t)) = wl.pop_front() {
+            let Some(uses) = self.rules_by_body.get(&rel).cloned() else {
+                continue;
+            };
+            let delta_vec = vec![t.clone()];
+            for (ri, ai) in uses {
+                let firings = self.join_rule(ri, Some((ai, &delta_vec)));
+                for (head_tuple, _) in firings {
+                    let head_rel = Arc::clone(&self.rules[ri].head.relation);
+                    if let Some(node) = self
+                        .data
+                        .get_mut(&head_rel)
+                        .and_then(|rd| rd.remove(&head_tuple))
+                    {
+                        overdeleted.push((Arc::clone(&head_rel), head_tuple.clone(), node));
+                        wl.push_back((head_rel, head_tuple));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: re-derive. A removed tuple comes back if it is still
+        // base, or some rule derives it from the remaining database.
+        // Iterate to fixpoint (re-derived tuples can support others).
+        let mut revived: HashSet<NodeId> = HashSet::new();
+        loop {
+            let mut changed = false;
+            for (rel, t, node) in &overdeleted {
+                if revived.contains(node) {
+                    continue;
+                }
+                let back = self.graph.is_base(*node)
+                    || self.rederivable(rel, t);
+                if back {
+                    self.data
+                        .get_mut(rel)
+                        .expect("rel")
+                        .insert(t.clone(), *node);
+                    revived.insert(*node);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Log removals for tuples that stayed dead.
+        let dead: Vec<NodeId> = overdeleted
+            .iter()
+            .filter(|(_, _, n)| !revived.contains(n))
+            .map(|(_, _, n)| *n)
+            .collect();
+        for (rel, t, node) in &overdeleted {
+            if !revived.contains(node) {
+                self.stats.tuples_removed += 1;
+                self.changes.push(Change {
+                    relation: Arc::clone(rel),
+                    tuple: t.clone(),
+                    kind: ChangeKind::Removed,
+                    node: *node,
+                });
+            }
+        }
+        let _ = dead;
+    }
+
+    /// Can any rule derive `(relation, tuple)` from the current database?
+    fn rederivable(&mut self, relation: &str, tuple: &Tuple) -> bool {
+        for ri in 0..self.rules.len() {
+            if &*self.rules[ri].head.relation != relation {
+                continue;
+            }
+            // Evaluate the rule body and compare instantiated heads. Head
+            // bindings prune by seeding variables bound in the head slots.
+            let firings = self.join_rule_with_head_filter(ri, tuple);
+            if firings {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Evaluate rule `ri` and return whether some firing instantiates the
+    /// head to exactly `target`. Head variable slots pre-seed the bindings
+    /// so the join is index-driven.
+    fn join_rule_with_head_filter(&mut self, ri: usize, target: &Tuple) -> bool {
+        let rule = self.rules[ri].clone();
+        if target.arity() != rule.head.slots.len() {
+            return false;
+        }
+        let mut bindings: Vec<Option<Value>> = vec![None; rule.num_vars];
+        // Seed bindings from head slots where possible; constants must match.
+        for (i, slot) in rule.head.slots.iter().enumerate() {
+            match slot {
+                Slot::Const(c) => {
+                    if &target[i] != c {
+                        return false;
+                    }
+                }
+                Slot::Var(v) => match &bindings[*v] {
+                    Some(b) => {
+                        if b != &target[i] {
+                            return false;
+                        }
+                    }
+                    None => bindings[*v] = Some(target[i].clone()),
+                },
+                Slot::Skolem { .. } => {
+                    // Skolem head slot: target column must be a labeled
+                    // null of this function; we don't invert it here, so
+                    // fall back to not seeding (join will produce and the
+                    // final comparison decides).
+                }
+            }
+        }
+        let pre_bound: Vec<bool> = bindings.iter().map(Option::is_some).collect();
+        let order = Self::plan_order(&rule, None, Some(&pre_bound));
+        let mut body_tuples: Vec<Option<Tuple>> = vec![None; rule.body.len()];
+        let mut filters_applied: Vec<bool> = vec![false; rule.filters.len()];
+        let mut results = Vec::new();
+        self.join_ordered(
+            &rule,
+            &order,
+            0,
+            None,
+            &mut bindings,
+            &mut body_tuples,
+            &mut filters_applied,
+            &mut results,
+        );
+        results.iter().any(|(h, _)| h == target)
+    }
+
+    /// The provenance polynomial of an alive tuple (over simple proofs).
+    pub fn provenance(&self, relation: &str, tuple: &Tuple) -> Option<Polynomial<NodeId>> {
+        let node = self.nodes.get(relation, tuple)?;
+        Some(self.graph.polynomial(node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Rule};
+    use crate::tgd::Tgd;
+    use orchestra_provenance::Semiring;
+    use orchestra_relational::{tuple, RelationSchema, ValueType};
+
+    fn schema(rels: &[(&str, usize)]) -> DatabaseSchema {
+        let mut db = DatabaseSchema::new("test");
+        for (name, arity) in rels {
+            let cols: Vec<(String, ValueType)> = (0..*arity)
+                .map(|i| (format!("c{i}"), ValueType::Str))
+                .collect();
+            let col_refs: Vec<(&str, ValueType)> =
+                cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            db.add_relation(RelationSchema::from_parts(*name, &col_refs).unwrap())
+                .unwrap();
+        }
+        db
+    }
+
+    fn edge_path_engine() -> Engine {
+        // path(x,y) :- edge(x,y).  path(x,z) :- edge(x,y), path(y,z).
+        let db = schema(&[("edge", 2), ("path", 2)]);
+        let r1 = Rule::new(
+            "base",
+            Atom::vars("path", &["x", "y"]),
+            vec![Atom::vars("edge", &["x", "y"])],
+            vec![],
+        )
+        .unwrap();
+        let r2 = Rule::new(
+            "step",
+            Atom::vars("path", &["x", "z"]),
+            vec![Atom::vars("edge", &["x", "y"]), Atom::vars("path", &["y", "z"])],
+            vec![],
+        )
+        .unwrap();
+        Engine::new(db, vec![r1, r2]).unwrap()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = edge_path_engine();
+        e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        e.insert_base("edge", tuple!["b", "c"]).unwrap();
+        e.insert_base("edge", tuple!["c", "d"]).unwrap();
+        e.propagate().unwrap();
+        assert_eq!(e.relation_len("path"), 6);
+        assert!(e.contains("path", &tuple!["a", "d"]));
+        assert!(!e.contains("path", &tuple!["d", "a"]));
+    }
+
+    #[test]
+    fn incremental_insert_matches_full_recompute() {
+        // Build incrementally.
+        let mut inc = edge_path_engine();
+        inc.insert_base("edge", tuple!["a", "b"]).unwrap();
+        inc.propagate().unwrap();
+        inc.insert_base("edge", tuple!["b", "c"]).unwrap();
+        inc.propagate().unwrap();
+        inc.insert_base("edge", tuple!["c", "d"]).unwrap();
+        inc.propagate().unwrap();
+        // Build from scratch.
+        let mut full = edge_path_engine();
+        for t in [tuple!["a", "b"], tuple!["b", "c"], tuple!["c", "d"]] {
+            full.insert_base("edge", t).unwrap();
+        }
+        full.propagate().unwrap();
+        assert_eq!(inc.relation_tuples("path"), full.relation_tuples("path"));
+    }
+
+    #[test]
+    fn join_rule_filters_and_constants() {
+        // out(x) :- r(x, 'keep'), x <> 'bad'.
+        use orchestra_relational::CmpOp;
+        let db = schema(&[("r", 2), ("out", 1)]);
+        let rule = Rule::new(
+            "f",
+            Atom::vars("out", &["x"]),
+            vec![Atom::new("r", vec![Term::var("x"), Term::val("keep")])],
+            vec![crate::ast::Filter::new(
+                Term::var("x"),
+                CmpOp::Ne,
+                Term::val("bad"),
+            )],
+        )
+        .unwrap();
+        let mut e = Engine::new(db, vec![rule]).unwrap();
+        e.insert_base("r", tuple!["good", "keep"]).unwrap();
+        e.insert_base("r", tuple!["bad", "keep"]).unwrap();
+        e.insert_base("r", tuple!["good2", "drop"]).unwrap();
+        e.propagate().unwrap();
+        assert_eq!(e.relation_tuples("out"), vec![tuple!["good"]]);
+    }
+
+    #[test]
+    fn skolem_heads_invent_labeled_nulls() {
+        // The paper's split: O(org, #oid(org)) :- OPS(org, prot, seq).
+        let db = schema(&[("OPS", 3), ("O", 2)]);
+        let m = Tgd::new(
+            "MC->A",
+            vec![Atom::vars("OPS", &["org", "prot", "seq"])],
+            vec![Atom::new(
+                "O",
+                vec![
+                    Term::var("org"),
+                    Term::skolem("oid", vec![Term::var("org")]),
+                ],
+            )],
+        )
+        .unwrap();
+        let mut e = Engine::new(db, m.compile().unwrap()).unwrap();
+        e.insert_base("OPS", tuple!["HIV", "gp120", "MRV"]).unwrap();
+        e.insert_base("OPS", tuple!["HIV", "gp41", "AVG"]).unwrap();
+        e.propagate().unwrap();
+        // Same org twice → same labeled null → one O tuple.
+        assert_eq!(e.relation_len("O"), 1);
+        let o = &e.relation_tuples("O")[0];
+        assert!(o[1].is_labeled_null());
+    }
+
+    #[test]
+    fn provenance_polynomial_of_join() {
+        // t(x,z) :- r(x,y), s(y,z).
+        let db = schema(&[("r", 2), ("s", 2), ("t", 2)]);
+        let rule = Rule::new(
+            "j",
+            Atom::vars("t", &["x", "z"]),
+            vec![Atom::vars("r", &["x", "y"]), Atom::vars("s", &["y", "z"])],
+            vec![],
+        )
+        .unwrap();
+        let mut e = Engine::new(db, vec![rule]).unwrap();
+        let nr = e.insert_base("r", tuple!["a", "b"]).unwrap();
+        let ns = e.insert_base("s", tuple!["b", "c"]).unwrap();
+        e.propagate().unwrap();
+        let p = e.provenance("t", &tuple!["a", "c"]).unwrap();
+        assert_eq!(
+            p,
+            Polynomial::var(nr).times(&Polynomial::var(ns))
+        );
+    }
+
+    #[test]
+    fn alternative_derivations_sum() {
+        // t(x) :- r(x).  t(x) :- s(x).
+        let db = schema(&[("r", 1), ("s", 1), ("t", 1)]);
+        let r1 = Rule::new(
+            "m1",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("r", &["x"])],
+            vec![],
+        )
+        .unwrap();
+        let r2 = Rule::new(
+            "m2",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("s", &["x"])],
+            vec![],
+        )
+        .unwrap();
+        let mut e = Engine::new(db, vec![r1, r2]).unwrap();
+        let nr = e.insert_base("r", tuple!["a"]).unwrap();
+        let ns = e.insert_base("s", tuple!["a"]).unwrap();
+        e.propagate().unwrap();
+        let p = e.provenance("t", &tuple!["a"]).unwrap();
+        assert_eq!(p, Polynomial::var(nr).plus(&Polynomial::var(ns)));
+    }
+
+    #[test]
+    fn deletion_provenance_based_keeps_alternatives() {
+        let db = schema(&[("r", 1), ("s", 1), ("t", 1)]);
+        let r1 = Rule::new("m1", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
+        let r2 = Rule::new("m2", Atom::vars("t", &["x"]), vec![Atom::vars("s", &["x"])], vec![]).unwrap();
+        let mut e = Engine::new(db, vec![r1, r2]).unwrap();
+        e.insert_base("r", tuple!["a"]).unwrap();
+        e.insert_base("s", tuple!["a"]).unwrap();
+        e.propagate().unwrap();
+        e.remove_base("r", &tuple!["a"], DeletionAlgorithm::ProvenanceBased)
+            .unwrap();
+        assert!(!e.contains("r", &tuple!["a"]));
+        assert!(e.contains("t", &tuple!["a"]), "alternative via s survives");
+        e.remove_base("s", &tuple!["a"], DeletionAlgorithm::ProvenanceBased)
+            .unwrap();
+        assert!(!e.contains("t", &tuple!["a"]));
+    }
+
+    #[test]
+    fn deletion_dred_matches_provenance_based() {
+        for algo in [DeletionAlgorithm::ProvenanceBased, DeletionAlgorithm::DRed] {
+            let mut e = edge_path_engine();
+            e.insert_base("edge", tuple!["a", "b"]).unwrap();
+            e.insert_base("edge", tuple!["b", "c"]).unwrap();
+            e.insert_base("edge", tuple!["a", "c"]).unwrap();
+            e.propagate().unwrap();
+            // Deleting a→b kills path a→b but not a→c (direct edge remains).
+            e.remove_base("edge", &tuple!["a", "b"], algo).unwrap();
+            assert!(!e.contains("path", &tuple!["a", "b"]), "{algo:?}");
+            assert!(e.contains("path", &tuple!["a", "c"]), "{algo:?}");
+            assert!(e.contains("path", &tuple!["b", "c"]), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn deletion_in_cycle_is_well_founded() {
+        // Identity cycle between two relations.
+        let db = schema(&[("A", 1), ("B", 1)]);
+        let r1 = Rule::new("ab", Atom::vars("B", &["x"]), vec![Atom::vars("A", &["x"])], vec![]).unwrap();
+        let r2 = Rule::new("ba", Atom::vars("A", &["x"]), vec![Atom::vars("B", &["x"])], vec![]).unwrap();
+        for algo in [DeletionAlgorithm::ProvenanceBased, DeletionAlgorithm::DRed] {
+            let mut e = Engine::new(db.clone(), vec![r1.clone(), r2.clone()]).unwrap();
+            e.insert_base("A", tuple!["t"]).unwrap();
+            e.propagate().unwrap();
+            assert!(e.contains("B", &tuple!["t"]));
+            // Removing the only base support kills both, despite the cycle.
+            e.remove_base("A", &tuple!["t"], algo).unwrap();
+            assert!(!e.contains("A", &tuple!["t"]), "{algo:?}");
+            assert!(!e.contains("B", &tuple!["t"]), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn base_and_derived_tuple_survives_base_removal() {
+        // t(x) :- r(x); t('a') also inserted as base.
+        let db = schema(&[("r", 1), ("t", 1)]);
+        let rule = Rule::new("m", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
+        for algo in [DeletionAlgorithm::ProvenanceBased, DeletionAlgorithm::DRed] {
+            let mut e = Engine::new(db.clone(), vec![rule.clone()]).unwrap();
+            e.insert_base("r", tuple!["a"]).unwrap();
+            e.insert_base("t", tuple!["a"]).unwrap();
+            e.propagate().unwrap();
+            // Remove the derived support; the base t('a') remains.
+            e.remove_base("r", &tuple!["a"], algo).unwrap();
+            assert!(e.contains("t", &tuple!["a"]), "{algo:?}");
+            // Remove base support too: now it dies.
+            e.remove_base("t", &tuple!["a"], algo).unwrap();
+            assert!(!e.contains("t", &tuple!["a"]), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn change_log_records_adds_and_removes() {
+        let mut e = edge_path_engine();
+        e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        e.propagate().unwrap();
+        let ch = e.drain_changes();
+        assert_eq!(ch.len(), 2); // edge + path
+        assert!(ch.iter().all(|c| c.kind == ChangeKind::Added));
+        e.remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
+            .unwrap();
+        let ch = e.drain_changes();
+        assert_eq!(ch.len(), 2);
+        assert!(ch.iter().all(|c| c.kind == ChangeKind::Removed));
+    }
+
+    #[test]
+    fn idempotent_base_insert() {
+        let mut e = edge_path_engine();
+        let n1 = e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        let n2 = e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        assert_eq!(n1, n2);
+        e.propagate().unwrap();
+        assert_eq!(e.relation_len("edge"), 1);
+        assert_eq!(e.drain_changes().len(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let db = schema(&[("r", 1)]);
+        let bad_rel = Rule::new("m", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
+        assert!(matches!(
+            Engine::new(db.clone(), vec![bad_rel]),
+            Err(DatalogError::UnknownRelation(_))
+        ));
+        let bad_arity = Rule::new("m", Atom::vars("r", &["x"]), vec![Atom::vars("r", &["x", "y"])], vec![]).unwrap();
+        assert!(matches!(
+            Engine::new(db.clone(), vec![bad_arity]),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+        let mut ok = Engine::new(db, vec![]).unwrap();
+        assert!(ok.insert_base("nope", tuple!["x"]).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = edge_path_engine();
+        e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        e.insert_base("edge", tuple!["b", "c"]).unwrap();
+        e.propagate().unwrap();
+        let s = e.stats();
+        assert!(s.rounds >= 2);
+        assert!(s.firings >= 3);
+        assert!(s.derivations >= 3);
+        assert_eq!(s.tuples_added as usize, e.total_tuples());
+    }
+
+    #[test]
+    fn remove_nonexistent_base_is_noop() {
+        let mut e = edge_path_engine();
+        assert!(!e
+            .remove_base("edge", &tuple!["x", "y"], DeletionAlgorithm::DRed)
+            .unwrap());
+        // Derived tuples are not base: removing them is a no-op too.
+        e.insert_base("edge", tuple!["a", "b"]).unwrap();
+        e.propagate().unwrap();
+        assert!(!e
+            .remove_base("path", &tuple!["a", "b"], DeletionAlgorithm::DRed)
+            .unwrap());
+        assert!(e.contains("path", &tuple!["a", "b"]));
+    }
+
+    #[test]
+    fn no_provenance_mode_matches_data_but_skips_graph() {
+        let db = schema(&[("edge", 2), ("path", 2)]);
+        let rules = vec![
+            Rule::new(
+                "base",
+                Atom::vars("path", &["x", "y"]),
+                vec![Atom::vars("edge", &["x", "y"])],
+                vec![],
+            )
+            .unwrap(),
+            Rule::new(
+                "step",
+                Atom::vars("path", &["x", "z"]),
+                vec![Atom::vars("edge", &["x", "y"]), Atom::vars("path", &["y", "z"])],
+                vec![],
+            )
+            .unwrap(),
+        ];
+        let mut with = Engine::with_provenance(db.clone(), rules.clone(), true).unwrap();
+        let mut without = Engine::with_provenance(db, rules, false).unwrap();
+        for e in [tuple!["a", "b"], tuple!["b", "c"], tuple!["c", "d"]] {
+            with.insert_base("edge", e.clone()).unwrap();
+            without.insert_base("edge", e).unwrap();
+        }
+        with.propagate().unwrap();
+        without.propagate().unwrap();
+        assert_eq!(with.relation_tuples("path"), without.relation_tuples("path"));
+        assert!(with.stats().derivations > 0);
+        assert_eq!(without.stats().derivations, 0, "graph not recorded");
+        // Derived tuples have empty provenance without tracking.
+        let p = without.provenance("path", &tuple!["a", "b"]).unwrap();
+        assert!(p.is_zero());
+
+        // Deletion still works (falls back to DRed) and agrees with the
+        // provenance-tracking engine.
+        with.remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
+            .unwrap();
+        without
+            .remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
+            .unwrap();
+        assert_eq!(with.relation_tuples("path"), without.relation_tuples("path"));
+    }
+
+    #[test]
+    fn join_order_handles_delta_at_last_atom() {
+        // r3(x,z) :- r1(x,y), r2(y,z), with the delta arriving at r2: the
+        // planner must start from r2 and probe r1 by index rather than
+        // cross-producting r1 × r2.
+        let db = schema(&[("r1", 2), ("r2", 2), ("r3", 2)]);
+        let rule = Rule::new(
+            "j",
+            Atom::vars("r3", &["x", "z"]),
+            vec![Atom::vars("r1", &["x", "y"]), Atom::vars("r2", &["y", "z"])],
+            vec![],
+        )
+        .unwrap();
+        let mut e = Engine::new(db, vec![rule]).unwrap();
+        for i in 0..50 {
+            e.insert_base("r1", tuple![format!("x{i}"), format!("y{i}")])
+                .unwrap();
+        }
+        e.propagate().unwrap();
+        // Delta at r2.
+        e.insert_base("r2", tuple!["y7", "z7"]).unwrap();
+        e.propagate().unwrap();
+        assert_eq!(e.relation_tuples("r3"), vec![tuple!["x7", "z7"]]);
+        // The planner probes: firings stay near the delta size, far below
+        // the 50 × 1 cross product.
+        assert!(e.stats().firings <= 3, "firings = {}", e.stats().firings);
+    }
+}

@@ -1,0 +1,126 @@
+//! Interning `(relation, tuple)` pairs into dense node ids.
+//!
+//! Every tuple the engine ever sees — base (published by a peer) or derived
+//! (produced by a mapping) — gets one [`NodeId`]. Node ids are the
+//! variables of provenance polynomials and the vertices of the provenance
+//! graph, so keeping them dense `u32`s keeps those structures small.
+
+use orchestra_relational::Tuple;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an interned `(relation, tuple)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The interning table.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTable {
+    by_id: Vec<(Arc<str>, Tuple)>,
+    by_key: HashMap<(Arc<str>, Tuple), NodeId>,
+}
+
+impl NodeTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NodeTable::default()
+    }
+
+    /// Intern a pair, returning its id (existing or fresh).
+    pub fn intern(&mut self, relation: &Arc<str>, tuple: &Tuple) -> NodeId {
+        if let Some(&id) = self.by_key.get(&(Arc::clone(relation), tuple.clone())) {
+            return id;
+        }
+        let id = NodeId(self.by_id.len() as u32);
+        self.by_id.push((Arc::clone(relation), tuple.clone()));
+        self.by_key
+            .insert((Arc::clone(relation), tuple.clone()), id);
+        id
+    }
+
+    /// Look up an existing id without interning.
+    pub fn get(&self, relation: &str, tuple: &Tuple) -> Option<NodeId> {
+        // Arc<str> hashing is by contents, so a temporary Arc probe works.
+        self.by_key
+            .get(&(Arc::from(relation), tuple.clone()))
+            .copied()
+    }
+
+    /// The `(relation, tuple)` behind an id.
+    pub fn resolve(&self, id: NodeId) -> Option<(&Arc<str>, &Tuple)> {
+        self.by_id.get(id.0 as usize).map(|(r, t)| (r, t))
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NodeTable::new();
+        let r: Arc<str> = Arc::from("R");
+        let a = t.intern(&r, &tuple![1, 2]);
+        let b = t.intern(&r, &tuple![1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_ids() {
+        let mut t = NodeTable::new();
+        let r: Arc<str> = Arc::from("R");
+        let s: Arc<str> = Arc::from("S");
+        let a = t.intern(&r, &tuple![1]);
+        let b = t.intern(&s, &tuple![1]);
+        let c = t.intern(&r, &tuple![2]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut t = NodeTable::new();
+        let r: Arc<str> = Arc::from("R");
+        let id = t.intern(&r, &tuple![1, "x"]);
+        let (rel, tup) = t.resolve(id).unwrap();
+        assert_eq!(&**rel, "R");
+        assert_eq!(tup, &tuple![1, "x"]);
+        assert!(t.resolve(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut t = NodeTable::new();
+        let r: Arc<str> = Arc::from("R");
+        assert_eq!(t.get("R", &tuple![1]), None);
+        let id = t.intern(&r, &tuple![1]);
+        assert_eq!(t.get("R", &tuple![1]), Some(id));
+        assert_eq!(t.len(), 1, "get does not intern");
+    }
+
+    #[test]
+    fn display_and_empty() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert!(NodeTable::new().is_empty());
+    }
+}

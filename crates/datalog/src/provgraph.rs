@@ -1,0 +1,498 @@
+//! The provenance graph: derivation records, well-founded derivability,
+//! and polynomial extraction.
+//!
+//! One [`Derivation`] is recorded per distinct rule firing. The graph is
+//! finite even for recursive mapping programs (at most one record per
+//! `(rule, body-binding)`), which is why Orchestra stores provenance this
+//! way rather than as unfolded polynomials.
+
+use crate::ast::RuleId;
+use crate::node::NodeId;
+use orchestra_provenance::{Monomial, Polynomial, Semiring};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One rule firing: `head` was derived by `rule` from the `body` nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Derivation {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// The derived node.
+    pub head: NodeId,
+    /// The body nodes, in rule-body order.
+    pub body: Vec<NodeId>,
+}
+
+/// The provenance graph over interned nodes.
+#[derive(Debug, Clone, Default)]
+pub struct ProvGraph {
+    derivations: Vec<Derivation>,
+    /// Dedup set: indexes into `derivations`.
+    seen: HashSet<Derivation>,
+    /// head node → indexes of its derivations.
+    by_head: HashMap<NodeId, Vec<usize>>,
+    /// body node → indexes of derivations using it.
+    by_body: HashMap<NodeId, Vec<usize>>,
+    /// Nodes asserted as base facts (EDB / peer-published inserts).
+    base: BTreeSet<NodeId>,
+}
+
+impl ProvGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ProvGraph::default()
+    }
+
+    /// Mark a node as a base fact.
+    pub fn add_base(&mut self, node: NodeId) {
+        self.base.insert(node);
+    }
+
+    /// Remove a node's base mark (it may remain derivable via rules).
+    pub fn remove_base(&mut self, node: NodeId) -> bool {
+        self.base.remove(&node)
+    }
+
+    /// True iff the node is currently a base fact.
+    pub fn is_base(&self, node: NodeId) -> bool {
+        self.base.contains(&node)
+    }
+
+    /// The current base set.
+    pub fn base_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.base
+    }
+
+    /// Record a derivation (deduplicated). Returns `true` if new.
+    pub fn add_derivation(&mut self, d: Derivation) -> bool {
+        if self.seen.contains(&d) {
+            return false;
+        }
+        let idx = self.derivations.len();
+        self.by_head.entry(d.head).or_default().push(idx);
+        for b in &d.body {
+            self.by_body.entry(*b).or_default().push(idx);
+        }
+        self.seen.insert(d.clone());
+        self.derivations.push(d);
+        true
+    }
+
+    /// All derivations of a node.
+    pub fn derivations_of(&self, node: NodeId) -> impl Iterator<Item = &Derivation> {
+        self.by_head
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.derivations[i])
+    }
+
+    /// All derivations using a node in their body.
+    pub fn uses_of(&self, node: NodeId) -> impl Iterator<Item = &Derivation> {
+        self.by_body
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.derivations[i])
+    }
+
+    /// Total number of derivation records.
+    pub fn num_derivations(&self) -> usize {
+        self.derivations.len()
+    }
+
+    /// Well-founded derivability: the least set containing the (alive) base
+    /// facts and closed under derivations. `dead` removes base facts
+    /// *before* the fixpoint — this is exactly the provenance-based
+    /// deletion-propagation test: cyclic derivations with no base support
+    /// die, matching the least-fixpoint semantics of the mapping program.
+    pub fn derivable_set(&self, dead: &BTreeSet<NodeId>) -> BTreeSet<NodeId> {
+        // Worklist over derivations with a satisfied-body counter.
+        let mut remaining: Vec<usize> = self.derivations.iter().map(|d| d.body.len()).collect();
+        let mut derivable: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for &b in &self.base {
+            if !dead.contains(&b) && derivable.insert(b) {
+                queue.push_back(b);
+            }
+        }
+        // Derivations with empty bodies cannot exist (rules are safe with
+        // non-empty bodies), but guard anyway.
+        for (i, d) in self.derivations.iter().enumerate() {
+            if d.body.is_empty() && derivable.insert(d.head) {
+                let _ = i;
+                queue.push_back(d.head);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            if let Some(uses) = self.by_body.get(&n) {
+                for &i in uses {
+                    // A node occurring k times in one body decrements k times,
+                    // matching body.len() counting.
+                    remaining[i] = remaining[i].saturating_sub(
+                        self.derivations[i].body.iter().filter(|&&b| b == n).count(),
+                    );
+                    if remaining[i] == 0 {
+                        let head = self.derivations[i].head;
+                        if derivable.insert(head) {
+                            queue.push_back(head);
+                        }
+                    }
+                }
+            }
+        }
+        derivable
+    }
+
+    /// True iff `node` is well-foundedly derivable after deleting `dead`
+    /// base facts.
+    pub fn is_derivable(&self, node: NodeId, dead: &BTreeSet<NodeId>) -> bool {
+        self.derivable_set(dead).contains(&node)
+    }
+
+    /// The provenance polynomial of a node in N\[X\], X = base node ids,
+    /// summing over **simple proofs** (proof trees that do not repeat a
+    /// node along any root-to-leaf path — finite even for recursive
+    /// programs; for non-recursive programs this is exactly the standard
+    /// polynomial).
+    pub fn polynomial(&self, node: NodeId) -> Polynomial<NodeId> {
+        let mut path: HashSet<NodeId> = HashSet::new();
+        self.poly_rec(node, &mut path)
+    }
+
+    fn poly_rec(&self, node: NodeId, path: &mut HashSet<NodeId>) -> Polynomial<NodeId> {
+        let mut acc = if self.base.contains(&node) {
+            Polynomial::var(node)
+        } else {
+            Polynomial::zero()
+        };
+        if !path.insert(node) {
+            // Node already on the current path: no simple proof this way.
+            return Polynomial::zero();
+        }
+        for d in self.derivations_of(node) {
+            let mut term = Polynomial::one();
+            for &b in &d.body {
+                let sub = self.poly_rec(b, path);
+                if sub.is_zero() {
+                    term = Polynomial::zero();
+                    break;
+                }
+                term = term.times(&sub);
+            }
+            acc.plus_assign(&term);
+        }
+        path.remove(&node);
+        acc
+    }
+
+    /// Evaluate the node's provenance in any commutative semiring by
+    /// assigning values to base nodes (over simple proofs, like
+    /// [`polynomial`](Self::polynomial)).
+    pub fn eval<S: Semiring>(&self, node: NodeId, f: impl Fn(NodeId) -> S) -> S {
+        self.polynomial(node).eval(|v| f(*v))
+    }
+
+    /// The base nodes of the node's **canonical proof**: follow each
+    /// node's chronologically first derivation (or its own base fact).
+    ///
+    /// Because the first derivation of a node was recorded when the node
+    /// first appeared, its body nodes all predate it — the canonical proof
+    /// is well-founded by construction, so this runs in linear time with
+    /// no cycle handling. Update translation uses it to attribute origins
+    /// and derive antecedents: it names exactly the transactions whose
+    /// data actually produced the tuple, without the exponential cost of
+    /// enumerating every simple proof ([`polynomial`](Self::polynomial))
+    /// and without the over-approximation of raw reachability
+    /// ([`lineage`](Self::lineage)), which pseudo-cyclic derivations in
+    /// recursive mapping programs would pollute.
+    pub fn first_proof_lineage(&self, node: NodeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if !visited.insert(n) {
+                continue;
+            }
+            if self.base.contains(&n) {
+                out.insert(n);
+                continue;
+            }
+            if let Some(d) = self.derivations_of(n).next() {
+                stack.extend(d.body.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// The set of base nodes a node's provenance mentions (its lineage).
+    pub fn lineage(&self, node: NodeId) -> BTreeSet<NodeId> {
+        // Reachability to base nodes through derivations.
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut out: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        queue.push_back(node);
+        seen.insert(node);
+        while let Some(n) = queue.pop_front() {
+            if self.base.contains(&n) {
+                out.insert(n);
+            }
+            for d in self.derivations_of(n) {
+                for &b in &d.body {
+                    if seen.insert(b) {
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Monomial of one derivation's direct body (helper for displays).
+    pub fn derivation_monomial(d: &Derivation) -> Monomial<NodeId> {
+        Monomial::from_pairs(d.body.iter().map(|&b| (b, 1)))
+    }
+}
+
+impl fmt::Display for Derivation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ⇐ {}(", self.head, self.rule)?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_provenance::Boolean;
+    use std::sync::Arc;
+
+    fn rid(s: &str) -> RuleId {
+        Arc::from(s)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn deriv(rule: &str, head: u32, body: &[u32]) -> Derivation {
+        Derivation {
+            rule: rid(rule),
+            head: n(head),
+            body: body.iter().map(|&b| n(b)).collect(),
+        }
+    }
+
+    /// base 0, 1; 2 ⇐ m1(0,1); 3 ⇐ m2(2); 3 ⇐ m3(1).
+    fn diamond() -> ProvGraph {
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        g.add_base(n(1));
+        g.add_derivation(deriv("m1", 2, &[0, 1]));
+        g.add_derivation(deriv("m2", 3, &[2]));
+        g.add_derivation(deriv("m3", 3, &[1]));
+        g
+    }
+
+    #[test]
+    fn dedup_derivations() {
+        let mut g = ProvGraph::new();
+        assert!(g.add_derivation(deriv("m", 1, &[0])));
+        assert!(!g.add_derivation(deriv("m", 1, &[0])));
+        assert_eq!(g.num_derivations(), 1);
+    }
+
+    #[test]
+    fn base_flags() {
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        assert!(g.is_base(n(0)));
+        assert!(g.remove_base(n(0)));
+        assert!(!g.is_base(n(0)));
+        assert!(!g.remove_base(n(0)));
+    }
+
+    #[test]
+    fn derivable_set_full() {
+        let g = diamond();
+        let d = g.derivable_set(&BTreeSet::new());
+        assert_eq!(d, BTreeSet::from([n(0), n(1), n(2), n(3)]));
+    }
+
+    #[test]
+    fn derivable_set_after_deletion() {
+        let g = diamond();
+        // Kill node 0: 2 dies (needs both 0 and 1), 3 survives via m3(1).
+        let d = g.derivable_set(&BTreeSet::from([n(0)]));
+        assert_eq!(d, BTreeSet::from([n(1), n(3)]));
+        // Kill node 1: everything but 0 dies.
+        let d = g.derivable_set(&BTreeSet::from([n(1)]));
+        assert_eq!(d, BTreeSet::from([n(0)]));
+        assert!(g.is_derivable(n(3), &BTreeSet::from([n(0)])));
+        assert!(!g.is_derivable(n(2), &BTreeSet::from([n(0)])));
+    }
+
+    #[test]
+    fn cyclic_support_is_not_well_founded() {
+        // 1 ⇐ m(2), 2 ⇐ m'(1): a cycle with no base support must die.
+        let mut g = ProvGraph::new();
+        g.add_derivation(deriv("m", 1, &[2]));
+        g.add_derivation(deriv("m'", 2, &[1]));
+        let d = g.derivable_set(&BTreeSet::new());
+        assert!(d.is_empty());
+        // Give 1 base support: both become derivable.
+        g.add_base(n(1));
+        let d = g.derivable_set(&BTreeSet::new());
+        assert_eq!(d, BTreeSet::from([n(1), n(2)]));
+    }
+
+    #[test]
+    fn duplicate_body_node_requires_single_derivation() {
+        // 2 ⇐ m(0,0): node 0 appears twice in the body.
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        g.add_derivation(deriv("m", 2, &[0, 0]));
+        let d = g.derivable_set(&BTreeSet::new());
+        assert!(d.contains(&n(2)));
+    }
+
+    #[test]
+    fn polynomial_of_base_node() {
+        let g = diamond();
+        assert_eq!(g.polynomial(n(0)), Polynomial::var(n(0)));
+    }
+
+    #[test]
+    fn polynomial_of_derived_nodes() {
+        let g = diamond();
+        // node 2 = x0 · x1.
+        let p2 = g.polynomial(n(2));
+        assert_eq!(p2, Polynomial::var(n(0)).times(&Polynomial::var(n(1))));
+        // node 3 = x0·x1 + x1.
+        let p3 = g.polynomial(n(3));
+        assert_eq!(p3.num_terms(), 2);
+        assert!(p3.mentions(&n(0)));
+        assert!(p3.mentions(&n(1)));
+    }
+
+    #[test]
+    fn polynomial_handles_cycles_via_simple_proofs() {
+        // Identity loop: A(t) base; B(t) ⇐ id1(A(t)); A(t) ⇐ id2(B(t)).
+        let mut g = ProvGraph::new();
+        g.add_base(n(0)); // A(t)
+        g.add_derivation(deriv("id1", 1, &[0])); // B(t) from A(t)
+        g.add_derivation(deriv("id2", 0, &[1])); // A(t) from B(t)
+        let pa = g.polynomial(n(0));
+        // Simple proofs of A(t): base only (the round trip repeats A(t)).
+        assert_eq!(pa, Polynomial::var(n(0)));
+        let pb = g.polynomial(n(1));
+        assert_eq!(pb, Polynomial::var(n(0)));
+    }
+
+    #[test]
+    fn derived_and_base_node_sums_both() {
+        // Node 1 is base AND derivable from 0.
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        g.add_base(n(1));
+        g.add_derivation(deriv("m", 1, &[0]));
+        let p = g.polynomial(n(1));
+        // x1 + x0.
+        assert_eq!(p, Polynomial::var(n(1)).plus(&Polynomial::var(n(0))));
+    }
+
+    #[test]
+    fn eval_boolean_matches_derivability() {
+        let g = diamond();
+        for dead in [
+            BTreeSet::new(),
+            BTreeSet::from([n(0)]),
+            BTreeSet::from([n(1)]),
+            BTreeSet::from([n(0), n(1)]),
+        ] {
+            for node in [n(2), n(3)] {
+                let via_poly = g.eval(node, |b| Boolean(!dead.contains(&b)));
+                assert_eq!(
+                    via_poly.0,
+                    g.is_derivable(node, &dead),
+                    "node {node}, dead {dead:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_reaches_base() {
+        let g = diamond();
+        assert_eq!(g.lineage(n(3)), BTreeSet::from([n(0), n(1)]));
+        assert_eq!(g.lineage(n(0)), BTreeSet::from([n(0)]));
+    }
+
+    #[test]
+    fn uses_and_derivations_of() {
+        let g = diamond();
+        assert_eq!(g.derivations_of(n(3)).count(), 2);
+        assert_eq!(g.uses_of(n(1)).count(), 2); // m1 and m3
+        assert_eq!(g.uses_of(n(3)).count(), 0);
+    }
+
+    #[test]
+    fn display_derivation() {
+        let d = deriv("m1", 2, &[0, 1]);
+        assert_eq!(d.to_string(), "n2 ⇐ m1(n0,n1)");
+    }
+
+    #[test]
+    fn first_proof_lineage_follows_first_derivation() {
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        g.add_base(n(1));
+        // Node 2 first derived from 0, later also from 1.
+        g.add_derivation(deriv("m1", 2, &[0]));
+        g.add_derivation(deriv("m2", 2, &[1]));
+        assert_eq!(g.first_proof_lineage(n(2)), BTreeSet::from([n(0)]));
+        // Full lineage sees both.
+        assert_eq!(g.lineage(n(2)), BTreeSet::from([n(0), n(1)]));
+    }
+
+    #[test]
+    fn first_proof_lineage_of_base_is_itself() {
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        // Base nodes stop the walk even if they are also derived.
+        g.add_base(n(1));
+        g.add_derivation(deriv("m", 1, &[0]));
+        assert_eq!(g.first_proof_lineage(n(1)), BTreeSet::from([n(1)]));
+        assert_eq!(g.first_proof_lineage(n(0)), BTreeSet::from([n(0)]));
+    }
+
+    #[test]
+    fn first_proof_lineage_excludes_pseudo_cyclic_support() {
+        // The scenario-4 pattern: node 3's first proof uses bases 0,1;
+        // a later derivation routes through node 4, which derives from an
+        // unrelated base 2. Reachability would include 2; the canonical
+        // proof must not.
+        let mut g = ProvGraph::new();
+        g.add_base(n(0));
+        g.add_base(n(1));
+        g.add_base(n(2));
+        g.add_derivation(deriv("join", 3, &[0, 1])); // first proof
+        g.add_derivation(deriv("echo", 4, &[2]));
+        g.add_derivation(deriv("rejoin", 3, &[4])); // later alternative
+        assert_eq!(g.first_proof_lineage(n(3)), BTreeSet::from([n(0), n(1)]));
+        assert_eq!(g.lineage(n(3)), BTreeSet::from([n(0), n(1), n(2)]));
+    }
+
+    #[test]
+    fn first_proof_lineage_of_unsupported_node_is_empty() {
+        let mut g = ProvGraph::new();
+        g.add_derivation(deriv("m", 1, &[0])); // body 0 is not base
+        assert!(g.first_proof_lineage(n(1)).is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Conjunctive queries over peer-local instances.
+//!
+//! Peers "spend the majority of their time operating in a locally
+//! autonomous mode, with users posing queries … directly over a local
+//! database instance" (§2). This module gives that local query capability:
+//! conjunctive queries with comparison filters, evaluated against an
+//! [`Instance`] by backtracking join.
+
+use crate::ast::{Atom, Filter, Term};
+use crate::error::DatalogError;
+use crate::Result;
+use orchestra_relational::{Instance, Tuple, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A conjunctive query: `select x̄ where body, filters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Variables to project, in output order.
+    pub select: Vec<Arc<str>>,
+    /// Body atoms.
+    pub body: Vec<Atom>,
+    /// Comparison filters.
+    pub filters: Vec<Filter>,
+}
+
+impl Query {
+    /// Build a query, checking that selected and filter variables are bound
+    /// by the body.
+    pub fn new(select: &[&str], body: Vec<Atom>, filters: Vec<Filter>) -> Result<Query> {
+        if body.is_empty() {
+            return Err(DatalogError::InvalidTgd("query body is empty".into()));
+        }
+        let mut bound = std::collections::BTreeSet::new();
+        for a in &body {
+            bound.extend(a.variables());
+        }
+        for s in select {
+            if !bound.contains(*s) {
+                return Err(DatalogError::UnsafeRule {
+                    rule: "<query>".into(),
+                    variable: s.to_string(),
+                });
+            }
+        }
+        for f in &filters {
+            for v in f.variables() {
+                if !bound.contains(&v) {
+                    return Err(DatalogError::UnsafeRule {
+                        rule: "<query>".into(),
+                        variable: v.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Query {
+            select: select.iter().map(|s| Arc::from(*s)).collect(),
+            body,
+            filters,
+        })
+    }
+
+    /// Evaluate against an instance, returning projected rows (sorted,
+    /// deduplicated — set semantics). Labeled nulls join like ordinary
+    /// values (naive-table evaluation).
+    pub fn eval(&self, instance: &Instance) -> Result<Vec<Tuple>> {
+        let mut bindings: BTreeMap<Arc<str>, Value> = BTreeMap::new();
+        let mut out: Vec<Tuple> = Vec::new();
+        self.eval_rec(instance, 0, &mut bindings, &mut out)?;
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Evaluate returning **certain answers** over an instance containing
+    /// labeled nulls (a universal solution produced by update exchange).
+    ///
+    /// Standard data-exchange result: for unions of conjunctive queries,
+    /// naive evaluation followed by discarding rows that contain labeled
+    /// nulls yields exactly the certain answers. Rows whose projected
+    /// columns are all constants hold in *every* possible world; rows with
+    /// an invented id may not.
+    pub fn eval_certain(&self, instance: &Instance) -> Result<Vec<Tuple>> {
+        Ok(self
+            .eval(instance)?
+            .into_iter()
+            .filter(|t| !t.has_labeled_null())
+            .collect())
+    }
+
+    fn eval_rec(
+        &self,
+        instance: &Instance,
+        depth: usize,
+        bindings: &mut BTreeMap<Arc<str>, Value>,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        if depth == self.body.len() {
+            // Check filters (all variables bound by now — enforced in new).
+            for f in &self.filters {
+                let l = Self::term_value(&f.left, bindings)?;
+                let r = Self::term_value(&f.right, bindings)?;
+                if !f.op.apply(&l, &r) {
+                    return Ok(());
+                }
+            }
+            let row: Vec<Value> = self
+                .select
+                .iter()
+                .map(|v| bindings[v].clone())
+                .collect();
+            out.push(Tuple::new(row));
+            return Ok(());
+        }
+        let atom = &self.body[depth];
+        let rel = instance
+            .relation(&atom.relation)
+            .map_err(|_| DatalogError::UnknownRelation(atom.relation.to_string()))?;
+        if rel.schema().arity() != atom.arity() {
+            return Err(DatalogError::ArityMismatch {
+                relation: atom.relation.to_string(),
+                expected: rel.schema().arity(),
+                actual: atom.arity(),
+            });
+        }
+        'tuples: for t in rel.iter() {
+            let mut newly: Vec<Arc<str>> = Vec::new();
+            for (i, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if &t[i] != c {
+                            for v in &newly {
+                                bindings.remove(v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if let Some(bound) = bindings.get(v) {
+                            if bound != &t[i] {
+                                for v in &newly {
+                                    bindings.remove(v);
+                                }
+                                continue 'tuples;
+                            }
+                        } else {
+                            bindings.insert(Arc::clone(v), t[i].clone());
+                            newly.push(Arc::clone(v));
+                        }
+                    }
+                    Term::Skolem { .. } => {
+                        return Err(DatalogError::InvalidTgd(
+                            "Skolem terms are not allowed in query bodies".into(),
+                        ));
+                    }
+                }
+            }
+            self.eval_rec(instance, depth + 1, bindings, out)?;
+            for v in &newly {
+                bindings.remove(v);
+            }
+        }
+        Ok(())
+    }
+
+    fn term_value(term: &Term, bindings: &BTreeMap<Arc<str>, Value>) -> Result<Value> {
+        match term {
+            Term::Const(c) => Ok(c.clone()),
+            Term::Var(v) => Ok(bindings[v].clone()),
+            Term::Skolem { .. } => Err(DatalogError::InvalidTgd(
+                "Skolem terms are not allowed in query filters".into(),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, v) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, " where ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        for filt in &self.filters {
+            write!(f, ", {filt}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::{tuple, CmpOp, DatabaseSchema, RelationSchema, ValueType};
+
+    fn instance() -> Instance {
+        let db = DatabaseSchema::new("bio")
+            .with_relation(
+                RelationSchema::from_parts(
+                    "O",
+                    &[("org", ValueType::Str), ("oid", ValueType::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+            .with_relation(
+                RelationSchema::from_parts(
+                    "S",
+                    &[
+                        ("oid", ValueType::Int),
+                        ("pid", ValueType::Int),
+                        ("seq", ValueType::Str),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut inst = Instance::new(db);
+        inst.insert("O", tuple!["HIV", 1]).unwrap();
+        inst.insert("O", tuple!["Plasmodium", 2]).unwrap();
+        inst.insert("S", tuple![1, 10, "MRV"]).unwrap();
+        inst.insert("S", tuple![1, 11, "AVG"]).unwrap();
+        inst.insert("S", tuple![2, 10, "KKL"]).unwrap();
+        inst
+    }
+
+    #[test]
+    fn single_atom_scan() {
+        let q = Query::new(&["org"], vec![Atom::vars("O", &["org", "oid"])], vec![]).unwrap();
+        let rows = q.eval(&instance()).unwrap();
+        assert_eq!(rows, vec![tuple!["HIV"], tuple!["Plasmodium"]]);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        // Sequences of HIV: select seq where O('HIV'? no — org var) ...
+        let q = Query::new(
+            &["org", "seq"],
+            vec![
+                Atom::vars("O", &["org", "oid"]),
+                Atom::vars("S", &["oid", "pid", "seq"]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let rows = q.eval(&instance()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.contains(&tuple!["HIV", "MRV"]));
+        assert!(rows.contains(&tuple!["Plasmodium", "KKL"]));
+    }
+
+    #[test]
+    fn constants_filter_in_atom() {
+        let q = Query::new(
+            &["seq"],
+            vec![
+                Atom::new("O", vec![Term::val("HIV"), Term::var("oid")]),
+                Atom::vars("S", &["oid", "pid", "seq"]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let rows = q.eval(&instance()).unwrap();
+        assert_eq!(rows, vec![tuple!["AVG"], tuple!["MRV"]]);
+    }
+
+    #[test]
+    fn comparison_filters() {
+        let q = Query::new(
+            &["pid"],
+            vec![Atom::vars("S", &["oid", "pid", "seq"])],
+            vec![Filter::new(Term::var("pid"), CmpOp::Gt, Term::val(10))],
+        )
+        .unwrap();
+        let rows = q.eval(&instance()).unwrap();
+        assert_eq!(rows, vec![tuple![11]]);
+    }
+
+    #[test]
+    fn set_semantics_dedupes() {
+        let q = Query::new(
+            &["pid"],
+            vec![Atom::vars("S", &["oid", "pid", "seq"])],
+            vec![],
+        )
+        .unwrap();
+        let rows = q.eval(&instance()).unwrap();
+        assert_eq!(rows, vec![tuple![10], tuple![11]]);
+    }
+
+    #[test]
+    fn unsafe_select_rejected() {
+        let q = Query::new(&["zzz"], vec![Atom::vars("O", &["org", "oid"])], vec![]);
+        assert!(q.is_err());
+    }
+
+    #[test]
+    fn unknown_relation_errors_at_eval() {
+        let q = Query::new(&["x"], vec![Atom::vars("Nope", &["x"])], vec![]).unwrap();
+        assert!(q.eval(&instance()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_errors_at_eval() {
+        let q = Query::new(&["x"], vec![Atom::vars("O", &["x"])], vec![]).unwrap();
+        assert!(matches!(
+            q.eval(&instance()),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let q = Query::new(
+            &["org"],
+            vec![Atom::vars("O", &["org", "oid"])],
+            vec![Filter::new(Term::var("oid"), CmpOp::Gt, Term::val(0))],
+        )
+        .unwrap();
+        assert_eq!(q.to_string(), "select org where O(org, oid), oid > 0");
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert!(Query::new(&[], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn certain_answers_drop_labeled_nulls() {
+        use orchestra_relational::Value;
+        let db = DatabaseSchema::new("u")
+            .with_relation(
+                RelationSchema::from_parts(
+                    "O",
+                    &[("org", ValueType::Str), ("oid", ValueType::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut inst = Instance::new(db);
+        inst.insert("O", tuple!["HIV", 1]).unwrap();
+        inst.insert(
+            "O",
+            Tuple::new(vec![
+                Value::str("Rat"),
+                Value::skolem("oid", vec![Value::str("Rat")]),
+            ]),
+        )
+        .unwrap();
+        // Asking for (org, oid): the invented id is not a certain answer.
+        let q = Query::new(&["org", "oid"], vec![Atom::vars("O", &["org", "oid"])], vec![])
+            .unwrap();
+        assert_eq!(q.eval(&inst).unwrap().len(), 2);
+        assert_eq!(q.eval_certain(&inst).unwrap(), vec![tuple!["HIV", 1]]);
+        // Projecting only org: both rows are certain.
+        let q = Query::new(&["org"], vec![Atom::vars("O", &["org", "oid"])], vec![]).unwrap();
+        assert_eq!(q.eval_certain(&inst).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn certain_answers_join_on_nulls_internally() {
+        use orchestra_relational::Value;
+        // S joins O on an invented id; the join goes through, and the
+        // output is certain because only constants are projected.
+        let db = DatabaseSchema::new("u")
+            .with_relation(
+                RelationSchema::from_parts(
+                    "O",
+                    &[("org", ValueType::Str), ("oid", ValueType::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+            .with_relation(
+                RelationSchema::from_parts(
+                    "S",
+                    &[("oid", ValueType::Int), ("seq", ValueType::Str)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut inst = Instance::new(db);
+        let null_id = Value::skolem("oid", vec![Value::str("Rat")]);
+        inst.insert("O", Tuple::new(vec![Value::str("Rat"), null_id.clone()]))
+            .unwrap();
+        inst.insert("S", Tuple::new(vec![null_id, Value::str("MEEP")]))
+            .unwrap();
+        let q = Query::new(
+            &["org", "seq"],
+            vec![
+                Atom::vars("O", &["org", "oid"]),
+                Atom::vars("S", &["oid", "seq"]),
+            ],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(q.eval_certain(&inst).unwrap(), vec![tuple!["Rat", "MEEP"]]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Provenance polynomials: the free commutative semiring N\[X\].
+
+use crate::monomial::Monomial;
+use crate::semiring::Semiring;
+use crate::why::Why;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A polynomial in N\[X\] with variables (provenance tokens) `V`, kept in
+/// canonical form: a map from monomial to positive coefficient.
+///
+/// This is the most informative provenance annotation of the PODS'07
+/// hierarchy; every coarser form is a projection:
+///
+/// * [`drop_coefficients`](Polynomial::drop_coefficients) → `B\[X\]`
+/// * [`drop_exponents`](Polynomial::drop_exponents) → `Trio(X)`
+/// * [`why`](Polynomial::why) → `Why(X)` witness sets
+/// * [`lineage`](Polynomial::lineage) → flat lineage
+///
+/// and every commutative-semiring evaluation factors through
+/// [`eval`](Polynomial::eval) (the universal property).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Polynomial<V: Ord + Clone> {
+    terms: BTreeMap<Monomial<V>, u64>,
+}
+
+impl<V: Ord + Clone + fmt::Debug> Polynomial<V> {
+    /// The single-variable polynomial `v` — the annotation of a base tuple.
+    pub fn var(v: V) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::var(v), 1);
+        Polynomial { terms }
+    }
+
+    /// The polynomial for a single monomial with coefficient.
+    pub fn term(m: Monomial<V>, coefficient: u64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coefficient > 0 {
+            terms.insert(m, coefficient);
+        }
+        Polynomial { terms }
+    }
+
+    /// A constant polynomial `n · 1`.
+    pub fn constant(n: u64) -> Self {
+        Self::term(Monomial::unit(), n)
+    }
+
+    /// Number of monomials.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Maximum total degree over monomials (0 for constants and zero).
+    pub fn degree(&self) -> u64 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Iterate `(monomial, coefficient)` in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial<V>, u64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// The coefficient of a monomial (0 if absent).
+    pub fn coefficient(&self, m: &Monomial<V>) -> u64 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// All distinct variables appearing in the polynomial.
+    pub fn variables(&self) -> BTreeSet<V> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.variables().cloned())
+            .collect()
+    }
+
+    /// True iff variable `v` occurs anywhere.
+    pub fn mentions(&self, v: &V) -> bool {
+        self.terms.keys().any(|m| m.contains(v))
+    }
+
+    /// In-place addition, avoiding an intermediate clone on the hot path of
+    /// semi-naive evaluation.
+    pub fn plus_assign(&mut self, other: &Self) {
+        for (m, &c) in &other.terms {
+            *self.terms.entry(m.clone()).or_insert(0) += c;
+        }
+    }
+
+    /// Evaluate under any commutative semiring by mapping each variable
+    /// through `f` (the universal property of N\[X\]).
+    ///
+    /// Coefficients become `n`-fold sums and exponents `e`-fold products, so
+    /// idempotent semirings collapse them as the theory prescribes.
+    pub fn eval<S: Semiring>(&self, mut f: impl FnMut(&V) -> S) -> S {
+        let mut acc = S::zero();
+        for (m, &coeff) in &self.terms {
+            let mut term = S::one();
+            for (v, e) in m.iter() {
+                let val = f(v);
+                if val.is_zero() {
+                    term = S::zero();
+                    break;
+                }
+                for _ in 0..e {
+                    term = term.times(&val);
+                }
+            }
+            if term.is_zero() {
+                continue;
+            }
+            // coeff-fold sum of `term`.
+            for _ in 0..coeff {
+                acc = acc.plus(&term);
+            }
+        }
+        acc
+    }
+
+    /// `B\[X\]`: the same monomials with all coefficients forced to 1.
+    pub fn drop_coefficients(&self) -> Polynomial<V> {
+        Polynomial {
+            terms: self.terms.keys().map(|m| (m.clone(), 1)).collect(),
+        }
+    }
+
+    /// `Trio(X)`: keep coefficients, force exponents to 1 (combining
+    /// monomials that collapse together).
+    pub fn drop_exponents(&self) -> Polynomial<V> {
+        let mut terms: BTreeMap<Monomial<V>, u64> = BTreeMap::new();
+        for (m, &c) in &self.terms {
+            *terms.entry(m.support()).or_insert(0) += c;
+        }
+        Polynomial { terms }
+    }
+
+    /// `Why(X)`: the witness basis — each monomial's variable set, as a set.
+    pub fn why(&self) -> Why<V> {
+        Why::from_witnesses(
+            self.terms
+                .keys()
+                .map(|m| m.variables().cloned().collect::<BTreeSet<V>>()),
+        )
+    }
+
+    /// Flat lineage: the union of all variables.
+    pub fn lineage(&self) -> BTreeSet<V> {
+        self.variables()
+    }
+
+    /// Substitute polynomials for variables (e.g. unfolding one derivation
+    /// level, or restricting to a sub-database by substituting 0/1).
+    pub fn substitute(&self, mut f: impl FnMut(&V) -> Polynomial<V>) -> Polynomial<V> {
+        let mut acc = Polynomial::zero();
+        for (m, &coeff) in &self.terms {
+            let mut term = Polynomial::constant(coeff);
+            for (v, e) in m.iter() {
+                let sub = f(v);
+                for _ in 0..e {
+                    term = term.times(&sub);
+                    if term.is_zero() {
+                        break;
+                    }
+                }
+                if term.is_zero() {
+                    break;
+                }
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+
+    /// Decide derivability if the tokens in `dead` are deleted: evaluate in
+    /// the Boolean semiring with dead tokens ↦ false. This is the
+    /// provenance-based deletion test of the update-exchange paper.
+    pub fn derivable_without(&self, dead: &BTreeSet<V>) -> bool {
+        self.terms
+            .keys()
+            .any(|m| m.variables().all(|v| !dead.contains(v)))
+    }
+
+    /// Remove every monomial mentioning a dead token, yielding the
+    /// polynomial over the surviving database.
+    pub fn restrict_without(&self, dead: &BTreeSet<V>) -> Polynomial<V> {
+        Polynomial {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(m, _)| m.variables().all(|v| !dead.contains(v)))
+                .map(|(m, &c)| (m.clone(), c))
+                .collect(),
+        }
+    }
+}
+
+impl<V: Ord + Clone> Semiring for Polynomial<V>
+where
+    V: fmt::Debug,
+{
+    fn zero() -> Self {
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    fn one() -> Self {
+        Polynomial::constant(1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.plus_assign(other);
+        out
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        if self.terms.is_empty() || other.terms.is_empty() {
+            return Self::zero();
+        }
+        let mut terms: BTreeMap<Monomial<V>, u64> = BTreeMap::new();
+        for (m1, &c1) in &self.terms {
+            for (m2, &c2) in &other.terms {
+                let m = m1.times(m2);
+                *terms.entry(m).or_insert(0) += c1 * c2;
+            }
+        }
+        Polynomial { terms }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl<V: Ord + Clone + fmt::Display> fmt::Display for Polynomial<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c == 1 {
+                write!(f, "{m}")?;
+            } else if m.is_unit() {
+                write!(f, "{c}")?;
+            } else {
+                write!(f, "{c}·{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{check_semiring_laws, Boolean, Counting, Tropical};
+    use proptest::prelude::*;
+
+    type P = Polynomial<u32>;
+
+    fn x() -> P {
+        P::var(1)
+    }
+    fn y() -> P {
+        P::var(2)
+    }
+    fn z() -> P {
+        P::var(3)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(P::zero().is_zero());
+        assert!(P::one().is_one());
+        assert_eq!(P::zero().num_terms(), 0);
+        assert_eq!(P::one().to_string(), "1");
+    }
+
+    #[test]
+    fn paper_example_square() {
+        // (x + y)^2 = x^2 + 2xy + y^2 — the PODS'07 running example shape.
+        let p = x().plus(&y());
+        let sq = p.times(&p);
+        assert_eq!(sq.num_terms(), 3);
+        assert_eq!(sq.coefficient(&Monomial::from_pairs([(1, 2)])), 1);
+        assert_eq!(sq.coefficient(&Monomial::from_pairs([(1, 1), (2, 1)])), 2);
+        assert_eq!(sq.coefficient(&Monomial::from_pairs([(2, 2)])), 1);
+        assert_eq!(sq.degree(), 2);
+    }
+
+    #[test]
+    fn display_canonical() {
+        let p = x().plus(&y()).plus(&x());
+        assert_eq!(p.to_string(), "2·1 + 2");
+    }
+
+    #[test]
+    fn eval_counting_counts_derivations() {
+        // 2xy + x^2 with x=2, y=3 → 2*2*3 + 4 = 16.
+        let p = P::term(Monomial::from_pairs([(1, 1), (2, 1)]), 2)
+            .plus(&P::term(Monomial::from_pairs([(1, 2)]), 1));
+        let n = p.eval(|v| Counting(if *v == 1 { 2 } else { 3 }));
+        assert_eq!(n, Counting(16));
+    }
+
+    #[test]
+    fn eval_boolean_is_derivability() {
+        let p = x().times(&y()).plus(&z());
+        // z present alone suffices.
+        let b = p.eval(|v| Boolean(*v == 3));
+        assert_eq!(b, Boolean(true));
+        // x alone does not (x·y needs y).
+        let b = p.eval(|v| Boolean(*v == 1));
+        assert_eq!(b, Boolean(false));
+    }
+
+    #[test]
+    fn eval_tropical_takes_cheapest_derivation() {
+        // x·y + z with costs x=1, y=2, z=5 → min(1+2, 5) = 3.
+        let p = x().times(&y()).plus(&z());
+        let t = p.eval(|v| Tropical::cost(match v {
+            1 => 1,
+            2 => 2,
+            _ => 5,
+        }));
+        assert_eq!(t, Tropical::cost(3));
+    }
+
+    #[test]
+    fn eval_zero_short_circuits() {
+        let p = x().times(&y());
+        assert_eq!(p.eval(|_| Counting(0)), Counting(0));
+        assert_eq!(P::zero().eval(|_: &u32| Counting(7)), Counting(0));
+    }
+
+    #[test]
+    fn hierarchy_projections() {
+        // p = x^2·y + 3·x·y + y
+        let p = P::term(Monomial::from_pairs([(1, 2), (2, 1)]), 1)
+            .plus(&P::term(Monomial::from_pairs([(1, 1), (2, 1)]), 3))
+            .plus(&y());
+
+        let b = p.drop_coefficients();
+        assert!(b.iter().all(|(_, c)| c == 1));
+        assert_eq!(b.num_terms(), 3);
+
+        // Dropping exponents merges x^2·y into x·y: 1 + 3 = 4 copies.
+        let trio = p.drop_exponents();
+        assert_eq!(trio.coefficient(&Monomial::from_pairs([(1, 1), (2, 1)])), 4);
+        assert_eq!(trio.coefficient(&Monomial::from_pairs([(2, 1)])), 1);
+        assert_eq!(trio.num_terms(), 2);
+
+        let why = p.why();
+        assert_eq!(why.witnesses().count(), 2); // {x,y} (from x²y and xy) and {y}
+        assert_eq!(why.minimize().num_witnesses(), 1); // absorption leaves {y}
+
+        let lin = p.lineage();
+        assert_eq!(lin, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn substitution_unfolds() {
+        // p = x·y; substitute x ↦ (a + b), y ↦ y.
+        let p = x().times(&y());
+        let out = p.substitute(|v| {
+            if *v == 1 {
+                P::var(10).plus(&P::var(11))
+            } else {
+                P::var(*v)
+            }
+        });
+        // = a·y + b·y
+        assert_eq!(out.num_terms(), 2);
+        assert!(out.mentions(&10));
+        assert!(out.mentions(&11));
+        assert!(out.mentions(&2));
+        assert!(!out.mentions(&1));
+    }
+
+    #[test]
+    fn derivability_without_dead_tokens() {
+        let p = x().times(&y()).plus(&z());
+        let dead_z = BTreeSet::from([3u32]);
+        assert!(p.derivable_without(&dead_z), "x·y survives");
+        let dead_xz = BTreeSet::from([1u32, 3]);
+        assert!(!p.derivable_without(&dead_xz), "both derivations dead");
+        assert!(P::one().derivable_without(&dead_xz), "constants always derivable");
+        assert!(!P::zero().derivable_without(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn restrict_without_removes_dead_monomials() {
+        let p = x().times(&y()).plus(&z());
+        let restricted = p.restrict_without(&BTreeSet::from([3u32]));
+        assert_eq!(restricted, x().times(&y()));
+        // Restriction and Boolean evaluation agree.
+        assert_eq!(
+            !restricted.is_zero(),
+            p.derivable_without(&BTreeSet::from([3u32]))
+        );
+    }
+
+    #[test]
+    fn variables_and_mentions() {
+        let p = x().times(&y()).plus(&P::constant(4));
+        assert_eq!(p.variables(), BTreeSet::from([1, 2]));
+        assert!(p.mentions(&1));
+        assert!(!p.mentions(&9));
+    }
+
+    fn poly_strategy() -> impl Strategy<Value = P> {
+        // Up to 4 terms, vars in 0..5, exponents 1..3, coefficients 1..4.
+        proptest::collection::vec(
+            (
+                proptest::collection::vec((0u32..5, 1u32..3), 0..3),
+                1u64..4,
+            ),
+            0..4,
+        )
+        .prop_map(|terms| {
+            let mut p = P::zero();
+            for (pairs, coeff) in terms {
+                p.plus_assign(&P::term(Monomial::from_pairs(pairs), coeff));
+            }
+            p
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn polynomial_semiring_laws(a in poly_strategy(), b in poly_strategy(), c in poly_strategy()) {
+            check_semiring_laws(&a, &b, &c);
+        }
+
+        /// The universal property: evaluation is a homomorphism.
+        #[test]
+        fn eval_commutes_with_plus_and_times(a in poly_strategy(), b in poly_strategy()) {
+            let f = |v: &u32| Counting((*v as u64 % 3) + 1);
+            prop_assert_eq!(a.plus(&b).eval(f), a.eval(f).plus(&b.eval(f)));
+            prop_assert_eq!(a.times(&b).eval(f), a.eval(f).times(&b.eval(f)));
+        }
+
+        /// Boolean evaluation agrees with the restriction-based test.
+        #[test]
+        fn boolean_eval_matches_restriction(a in poly_strategy(), dead in proptest::collection::btree_set(0u32..5, 0..4)) {
+            let alive = a.eval(|v| Boolean(!dead.contains(v)));
+            prop_assert_eq!(alive.0, a.derivable_without(&dead));
+            prop_assert_eq!(alive.0, !a.restrict_without(&dead).is_zero());
+        }
+
+        /// plus_assign agrees with plus.
+        #[test]
+        fn plus_assign_matches_plus(a in poly_strategy(), b in poly_strategy()) {
+            let mut c = a.clone();
+            c.plus_assign(&b);
+            prop_assert_eq!(c, a.plus(&b));
+        }
+
+        /// Substituting each variable by itself is the identity.
+        #[test]
+        fn identity_substitution(a in poly_strategy()) {
+            prop_assert_eq!(a.substitute(|v| P::var(*v)), a);
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Why-provenance and positive Boolean provenance.
+//!
+//! Two adjacent levels of the PODS'07 provenance hierarchy:
+//!
+//! * [`Why`] — *witness sets* (Buneman, Khanna & Tan, ICDT 2001 — the
+//!   Orchestra paper's reference \[1\] — recast as the semiring
+//!   `(P(P(X)), ∪, ⋓, ∅, {∅})` where `⋓` is pairwise union). No
+//!   absorption: `x + x·y` keeps both witnesses `{x}` and `{x,y}`.
+//! * [`PosBool`] — positive Boolean expressions over X modulo logical
+//!   equivalence, represented as the *minimal witness basis* (an antichain
+//!   of witnesses). Here absorption holds: `x + x·y = x`. This is the
+//!   coarsest form that still answers "which tuple sets suffice?".
+
+use crate::semiring::Semiring;
+use std::collections::BTreeSet;
+use std::fmt;
+
+fn fmt_witnesses<V: Ord + Clone + fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    sets: &BTreeSet<BTreeSet<V>>,
+) -> fmt::Result {
+    write!(f, "{{")?;
+    for (i, w) in sets.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{{")?;
+        for (j, v) in w.iter().enumerate() {
+            if j > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")?;
+    }
+    write!(f, "}}")
+}
+
+/// Why-provenance: the set of witnesses, *without* minimization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Why<V: Ord + Clone> {
+    witnesses: BTreeSet<BTreeSet<V>>,
+}
+
+impl<V: Ord + Clone + fmt::Debug> Why<V> {
+    /// The annotation of a base tuple: one singleton witness.
+    pub fn var(v: V) -> Self {
+        Why {
+            witnesses: BTreeSet::from([BTreeSet::from([v])]),
+        }
+    }
+
+    /// Build from an iterator of witnesses (set semantics, duplicates merge).
+    pub fn from_witnesses<I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = BTreeSet<V>>,
+    {
+        Why {
+            witnesses: iter.into_iter().collect(),
+        }
+    }
+
+    /// Iterate over witnesses in set order.
+    pub fn witnesses(&self) -> impl Iterator<Item = &BTreeSet<V>> {
+        self.witnesses.iter()
+    }
+
+    /// Number of witnesses.
+    pub fn num_witnesses(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Flat lineage: union of all witnesses.
+    pub fn lineage(&self) -> BTreeSet<V> {
+        self.witnesses.iter().flatten().cloned().collect()
+    }
+
+    /// True iff some witness survives deleting `dead` tokens.
+    pub fn derivable_without(&self, dead: &BTreeSet<V>) -> bool {
+        self.witnesses.iter().any(|w| w.is_disjoint(dead))
+    }
+
+    /// Project to the minimal witness basis.
+    pub fn minimize(&self) -> PosBool<V> {
+        PosBool::from_witnesses(self.witnesses.iter().cloned())
+    }
+}
+
+impl<V: Ord + Clone + fmt::Debug> Semiring for Why<V> {
+    fn zero() -> Self {
+        Why {
+            witnesses: BTreeSet::new(),
+        }
+    }
+
+    fn one() -> Self {
+        Why {
+            witnesses: BTreeSet::from([BTreeSet::new()]),
+        }
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Why {
+            witnesses: self.witnesses.union(&other.witnesses).cloned().collect(),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut witnesses = BTreeSet::new();
+        for a in &self.witnesses {
+            for b in &other.witnesses {
+                witnesses.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why { witnesses }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+impl<V: Ord + Clone + fmt::Display> fmt::Display for Why<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_witnesses(f, &self.witnesses)
+    }
+}
+
+/// Positive Boolean provenance: minimal witness antichains (absorption law
+/// holds). Isomorphic to positive Boolean expressions over X up to logical
+/// equivalence — the free *distributive lattice*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PosBool<V: Ord + Clone> {
+    witnesses: BTreeSet<BTreeSet<V>>,
+}
+
+impl<V: Ord + Clone + fmt::Debug> PosBool<V> {
+    /// The annotation of a base tuple.
+    pub fn var(v: V) -> Self {
+        PosBool {
+            witnesses: BTreeSet::from([BTreeSet::from([v])]),
+        }
+    }
+
+    /// Build from witnesses, minimizing to an antichain.
+    pub fn from_witnesses<I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = BTreeSet<V>>,
+    {
+        let mut out = PosBool {
+            witnesses: BTreeSet::new(),
+        };
+        for w in iter {
+            out.insert_minimal(w);
+        }
+        out
+    }
+
+    /// Insert a witness, keeping the antichain property: drop it if some
+    /// existing witness is a subset; remove existing supersets of it.
+    fn insert_minimal(&mut self, w: BTreeSet<V>) {
+        if self.witnesses.iter().any(|x| x.is_subset(&w)) {
+            return;
+        }
+        self.witnesses.retain(|x| !w.is_subset(x));
+        self.witnesses.insert(w);
+    }
+
+    /// Iterate over minimal witnesses in set order.
+    pub fn witnesses(&self) -> impl Iterator<Item = &BTreeSet<V>> {
+        self.witnesses.iter()
+    }
+
+    /// Number of minimal witnesses.
+    pub fn num_witnesses(&self) -> usize {
+        self.witnesses.len()
+    }
+
+    /// Flat lineage: union of all witnesses.
+    pub fn lineage(&self) -> BTreeSet<V> {
+        self.witnesses.iter().flatten().cloned().collect()
+    }
+
+    /// True iff some witness survives deleting `dead` tokens.
+    pub fn derivable_without(&self, dead: &BTreeSet<V>) -> bool {
+        self.witnesses.iter().any(|w| w.is_disjoint(dead))
+    }
+}
+
+impl<V: Ord + Clone + fmt::Debug> Semiring for PosBool<V> {
+    fn zero() -> Self {
+        PosBool {
+            witnesses: BTreeSet::new(),
+        }
+    }
+
+    fn one() -> Self {
+        PosBool {
+            witnesses: BTreeSet::from([BTreeSet::new()]),
+        }
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for w in &other.witnesses {
+            out.insert_minimal(w.clone());
+        }
+        out
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut out = PosBool {
+            witnesses: BTreeSet::new(),
+        };
+        for a in &self.witnesses {
+            for b in &other.witnesses {
+                out.insert_minimal(a.union(b).cloned().collect());
+            }
+        }
+        out
+    }
+
+    fn is_zero(&self) -> bool {
+        self.witnesses.is_empty()
+    }
+}
+
+impl<V: Ord + Clone + fmt::Display> fmt::Display for PosBool<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_witnesses(f, &self.witnesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_semiring_laws;
+    use proptest::prelude::*;
+
+    type W = Why<u32>;
+    type B = PosBool<u32>;
+
+    #[test]
+    fn zero_one() {
+        assert!(W::zero().is_zero());
+        assert_eq!(W::one().num_witnesses(), 1);
+        assert!(W::one().witnesses().next().unwrap().is_empty());
+        assert!(B::zero().is_zero());
+        assert_eq!(B::one().num_witnesses(), 1);
+    }
+
+    #[test]
+    fn plus_unions_witnesses() {
+        let p = W::var(1).plus(&W::var(2));
+        assert_eq!(p.num_witnesses(), 2);
+    }
+
+    #[test]
+    fn times_joins_witnesses() {
+        let p = W::var(1).times(&W::var(2));
+        assert_eq!(p.num_witnesses(), 1);
+        assert_eq!(p.witnesses().next().unwrap(), &BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn why_has_no_absorption() {
+        // x + x·y keeps both witnesses in Why(X).
+        let p = W::var(1).plus(&W::var(1).times(&W::var(2)));
+        assert_eq!(p.num_witnesses(), 2);
+    }
+
+    #[test]
+    fn posbool_absorbs() {
+        // x + x·y = x in PosBool(X), regardless of insertion order.
+        let p = B::var(1).plus(&B::var(1).times(&B::var(2)));
+        assert_eq!(p, B::var(1));
+        let q = B::var(1).times(&B::var(2)).plus(&B::var(1));
+        assert_eq!(q, B::var(1));
+    }
+
+    #[test]
+    fn minimize_projects_why_to_posbool() {
+        let p = W::var(1).plus(&W::var(1).times(&W::var(2)));
+        assert_eq!(p.minimize(), B::var(1));
+    }
+
+    #[test]
+    fn idempotent_plus() {
+        let x = W::var(1);
+        assert_eq!(x.plus(&x), x);
+        let y = B::var(1);
+        assert_eq!(y.plus(&y), y);
+    }
+
+    #[test]
+    fn lineage_and_derivability() {
+        let p = W::var(1).times(&W::var(2)).plus(&W::var(3));
+        assert_eq!(p.lineage(), BTreeSet::from([1, 2, 3]));
+        assert!(p.derivable_without(&BTreeSet::from([3])));
+        assert!(!p.derivable_without(&BTreeSet::from([1, 3])));
+        let b = p.minimize();
+        assert!(b.derivable_without(&BTreeSet::from([3])));
+        assert!(!b.derivable_without(&BTreeSet::from([1, 3])));
+    }
+
+    #[test]
+    fn display() {
+        let p = W::var(2).plus(&W::var(1));
+        assert_eq!(p.to_string(), "{{1}, {2}}");
+        assert_eq!(W::zero().to_string(), "{}");
+        assert_eq!(W::one().to_string(), "{{}}");
+    }
+
+    fn witness_sets() -> impl Strategy<Value = BTreeSet<BTreeSet<u32>>> {
+        proptest::collection::btree_set(
+            proptest::collection::btree_set(0u32..5, 0..3),
+            0..4,
+        )
+    }
+
+    fn why_strategy() -> impl Strategy<Value = W> {
+        witness_sets().prop_map(W::from_witnesses)
+    }
+
+    fn posbool_strategy() -> impl Strategy<Value = B> {
+        witness_sets().prop_map(B::from_witnesses)
+    }
+
+    proptest! {
+        #[test]
+        fn why_semiring_laws(a in why_strategy(), b in why_strategy(), c in why_strategy()) {
+            check_semiring_laws(&a, &b, &c);
+        }
+
+        #[test]
+        fn posbool_semiring_laws(a in posbool_strategy(), b in posbool_strategy(), c in posbool_strategy()) {
+            check_semiring_laws(&a, &b, &c);
+        }
+
+        /// PosBool is absorptive: a + a·b = a.
+        #[test]
+        fn posbool_absorption(a in posbool_strategy(), b in posbool_strategy()) {
+            prop_assert_eq!(a.plus(&a.times(&b)), a);
+        }
+
+        /// Minimization is a semiring homomorphism Why → PosBool.
+        #[test]
+        fn minimize_is_homomorphic(a in why_strategy(), b in why_strategy()) {
+            prop_assert_eq!(a.plus(&b).minimize(), a.minimize().plus(&b.minimize()));
+            prop_assert_eq!(a.times(&b).minimize(), a.minimize().times(&b.minimize()));
+        }
+
+        /// Projection from N[X] commutes with operations.
+        #[test]
+        fn poly_why_projection_is_homomorphic(
+            xs in proptest::collection::vec(0u32..4, 1..3),
+            ys in proptest::collection::vec(0u32..4, 1..3),
+        ) {
+            use crate::polynomial::Polynomial;
+            let p: Polynomial<u32> = xs.iter().fold(Polynomial::zero(), |acc, v| acc.plus(&Polynomial::var(*v)));
+            let q: Polynomial<u32> = ys.iter().fold(Polynomial::zero(), |acc, v| acc.plus(&Polynomial::var(*v)));
+            prop_assert_eq!(p.times(&q).why(), p.why().times(&q.why()));
+            prop_assert_eq!(p.plus(&q).why(), p.why().plus(&q.why()));
+        }
+    }
+}

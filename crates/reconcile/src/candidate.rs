@@ -1,0 +1,152 @@
+//! Candidate transactions: what update translation hands to reconciliation.
+
+use orchestra_updates::{PeerId, Transaction, TxnId, Update};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One translated update together with its origin provenance: the set of
+/// peers whose published data the update derives from (the lineage of the
+/// translated tuple, projected to peers).
+///
+/// Trust conditions test both the update's *contents* and these *origins* —
+/// "in many cases, a site will assign a value judgment to a modification
+/// based on where it originated or how it was assembled" (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateUpdate {
+    /// The translated tuple-level update, in the reconciling peer's schema.
+    pub update: Update,
+    /// Peers whose base data this update derives from (always contains at
+    /// least the publishing peer).
+    pub origins: BTreeSet<PeerId>,
+}
+
+impl CandidateUpdate {
+    /// Build a candidate update with origins.
+    pub fn new<I: IntoIterator<Item = PeerId>>(update: Update, origins: I) -> Self {
+        CandidateUpdate {
+            update,
+            origins: origins.into_iter().collect(),
+        }
+    }
+}
+
+/// A candidate transaction: the translated form of one published
+/// transaction, in the reconciling peer's schema, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The translated transaction (id and antecedents preserved from the
+    /// published original).
+    pub txn: Transaction,
+    /// Per-update origins, aligned with `txn.updates`.
+    pub origins: Vec<BTreeSet<PeerId>>,
+}
+
+impl Candidate {
+    /// Build a candidate from per-update pairs.
+    pub fn from_updates(
+        id: TxnId,
+        epoch: orchestra_updates::Epoch,
+        updates: Vec<CandidateUpdate>,
+        antecedents: BTreeSet<TxnId>,
+    ) -> Self {
+        let (raw, origins): (Vec<Update>, Vec<BTreeSet<PeerId>>) = updates
+            .into_iter()
+            .map(|cu| (cu.update, cu.origins))
+            .unzip();
+        Candidate {
+            txn: Transaction::new(id, epoch, raw).with_antecedents(antecedents),
+            origins,
+        }
+    }
+
+    /// Build a candidate whose every update originates solely from the
+    /// publishing peer (the common case for identity mappings).
+    pub fn from_txn(txn: Transaction) -> Self {
+        let origin = txn.id.peer.clone();
+        let origins = txn
+            .updates
+            .iter()
+            .map(|_| BTreeSet::from([origin.clone()]))
+            .collect();
+        Candidate { txn, origins }
+    }
+
+    /// The candidate's id.
+    pub fn id(&self) -> &TxnId {
+        &self.txn.id
+    }
+
+    /// Iterate `(update, origins)` pairs.
+    pub fn updates(&self) -> impl Iterator<Item = (&Update, &BTreeSet<PeerId>)> {
+        self.txn.updates.iter().zip(self.origins.iter())
+    }
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "candidate {}", self.txn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+    use orchestra_updates::Epoch;
+
+    #[test]
+    fn from_txn_defaults_origins_to_publisher() {
+        let t = Transaction::new(
+            TxnId::new(PeerId::new("Alaska"), 1),
+            Epoch::new(1),
+            vec![
+                Update::insert("OPS", tuple!["HIV", "gp120", "MRV"]),
+                Update::insert("OPS", tuple!["HIV", "gp41", "AVG"]),
+            ],
+        );
+        let c = Candidate::from_txn(t);
+        assert_eq!(c.origins.len(), 2);
+        assert!(c
+            .origins
+            .iter()
+            .all(|o| o == &BTreeSet::from([PeerId::new("Alaska")])));
+        assert_eq!(c.id(), &TxnId::new(PeerId::new("Alaska"), 1));
+    }
+
+    #[test]
+    fn from_updates_carries_mixed_origins() {
+        let cu1 = CandidateUpdate::new(
+            Update::insert("OPS", tuple!["HIV", "gp120", "MRV"]),
+            [PeerId::new("Alaska"), PeerId::new("Beijing")],
+        );
+        let cu2 = CandidateUpdate::new(
+            Update::insert("OPS", tuple!["HIV", "gp41", "AVG"]),
+            [PeerId::new("Beijing")],
+        );
+        let c = Candidate::from_updates(
+            TxnId::new(PeerId::new("Beijing"), 3),
+            Epoch::new(2),
+            vec![cu1, cu2],
+            BTreeSet::from([TxnId::new(PeerId::new("Alaska"), 1)]),
+        );
+        assert_eq!(c.txn.updates.len(), 2);
+        assert_eq!(c.origins[0].len(), 2);
+        assert_eq!(c.origins[1].len(), 1);
+        assert!(c
+            .txn
+            .antecedents
+            .contains(&TxnId::new(PeerId::new("Alaska"), 1)));
+        let pairs: Vec<_> = c.updates().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn display_includes_txn() {
+        let c = Candidate::from_txn(Transaction::new(
+            TxnId::new(PeerId::new("A"), 1),
+            Epoch::new(1),
+            vec![],
+        ));
+        assert!(c.to_string().contains("candidate txn A#1"));
+    }
+}

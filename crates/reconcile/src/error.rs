@@ -1,0 +1,58 @@
+//! Errors for the reconciliation layer.
+
+use std::fmt;
+
+/// Errors raised during reconciliation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconcileError {
+    /// The same transaction was offered as a candidate twice.
+    DuplicateCandidate(String),
+    /// `resolve` was called on a transaction that is not deferred.
+    NotDeferred(String),
+    /// A schema/update error bubbled up.
+    Updates(String),
+}
+
+impl fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconcileError::DuplicateCandidate(id) => {
+                write!(f, "transaction `{id}` already offered for reconciliation")
+            }
+            ReconcileError::NotDeferred(id) => {
+                write!(f, "transaction `{id}` is not deferred; cannot resolve")
+            }
+            ReconcileError::Updates(msg) => write!(f, "update error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+impl From<orchestra_updates::UpdateError> for ReconcileError {
+    fn from(e: orchestra_updates::UpdateError) -> Self {
+        ReconcileError::Updates(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(ReconcileError::DuplicateCandidate("A#1".into())
+            .to_string()
+            .contains("already offered"));
+        assert!(ReconcileError::NotDeferred("A#1".into())
+            .to_string()
+            .contains("not deferred"));
+    }
+
+    #[test]
+    fn from_update_error() {
+        let e: ReconcileError =
+            orchestra_updates::UpdateError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, ReconcileError::Updates(_)));
+    }
+}

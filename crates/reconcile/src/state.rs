@@ -1,0 +1,42 @@
+//! Persistent per-peer reconciliation state.
+
+use std::fmt;
+
+/// The decision a peer has recorded for a transaction.
+///
+/// Distrusted transactions get **no** decision: they are not applied, but
+/// remain eligible to be pulled in later as antecedents of trusted
+/// transactions (demonstration scenario 3) — which is why `Decision` has
+/// no `Distrusted` variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Applied to the local instance.
+    Accepted,
+    /// Permanently rejected (conflict lost, or antecedent rejected).
+    Rejected,
+    /// Awaiting manual conflict resolution by the administrator.
+    Deferred,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Decision::Accepted => "accepted",
+            Decision::Rejected => "rejected",
+            Decision::Deferred => "deferred",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Decision::Accepted.to_string(), "accepted");
+        assert_eq!(Decision::Rejected.to_string(), "rejected");
+        assert_eq!(Decision::Deferred.to_string(), "deferred");
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational layer.
+///
+/// The CDSS layers above convert these into their own error domains; keeping
+/// the set small and structural (rather than stringly-typed) lets callers
+/// match on the failure mode, e.g. reconciliation treats [`KeyConflict`]
+/// specially when applying accepted transactions.
+///
+/// [`KeyConflict`]: RelationalError::KeyConflict
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A relation name was not found in a schema or instance.
+    UnknownRelation(String),
+    /// A column name was not found in a relation schema.
+    UnknownColumn { relation: String, column: String },
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A value's type does not match the declared column type.
+    TypeMismatch {
+        relation: String,
+        column: String,
+        expected: String,
+        actual: String,
+    },
+    /// An insert would violate the relation's key: a different tuple with the
+    /// same key projection already exists.
+    KeyConflict {
+        relation: String,
+        key: String,
+    },
+    /// A tuple targeted by a delete/modify does not exist.
+    NoSuchTuple { relation: String, key: String },
+    /// A schema was declared inconsistently (duplicate columns, key columns
+    /// out of range, duplicate relation names, ...).
+    InvalidSchema(String),
+    /// An expression referenced a column index outside the tuple arity, or
+    /// was evaluated against incompatible operand types.
+    ExprError(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation(name) => {
+                write!(f, "unknown relation `{name}`")
+            }
+            RelationalError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for `{relation}`: schema has {expected} columns, tuple has {actual}"
+            ),
+            RelationalError::TypeMismatch {
+                relation,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for `{relation}.{column}`: expected {expected}, got {actual}"
+            ),
+            RelationalError::KeyConflict { relation, key } => {
+                write!(f, "key conflict in `{relation}` on key {key}")
+            }
+            RelationalError::NoSuchTuple { relation, key } => {
+                write!(f, "no tuple in `{relation}` with key {key}")
+            }
+            RelationalError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            RelationalError::ExprError(msg) => write!(f, "expression error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_relation() {
+        let e = RelationalError::UnknownRelation("R".into());
+        assert_eq!(e.to_string(), "unknown relation `R`");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = RelationalError::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("schema has 3 columns"));
+        assert!(e.to_string().contains("tuple has 2"));
+    }
+
+    #[test]
+    fn display_key_conflict_and_type_mismatch() {
+        let e = RelationalError::KeyConflict {
+            relation: "R".into(),
+            key: "(1)".into(),
+        };
+        assert!(e.to_string().contains("key conflict"));
+        let e = RelationalError::TypeMismatch {
+            relation: "R".into(),
+            column: "a".into(),
+            expected: "Int".into(),
+            actual: "Str".into(),
+        };
+        assert!(e.to_string().contains("expected Int, got Str"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(RelationalError::ExprError("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+}

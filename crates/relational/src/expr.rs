@@ -1,0 +1,203 @@
+//! Scalar expressions over tuples.
+//!
+//! Trust conditions in the reconciliation layer ("trust updates to `OPS`
+//! where `org = 'HIV'` with priority 2") and filters in mapping bodies are
+//! built from these expressions.
+
+use crate::error::RelationalError;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+
+/// A scalar expression evaluated against a single tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// The value in column `i` of the input tuple.
+    Column(usize),
+    /// A literal value.
+    Const(Value),
+    /// Integer/float addition; string concatenation when both sides are strings.
+    Add(Box<Expr>, Box<Expr>),
+    /// Integer/float subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Integer/float multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Length of a string column, as `Int`.
+    StrLen(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Column(i) => tuple.get(*i).cloned().ok_or_else(|| {
+                RelationalError::ExprError(format!(
+                    "column {i} out of range for tuple of arity {}",
+                    tuple.arity()
+                ))
+            }),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Add(l, r) => binop(l.eval(tuple)?, r.eval(tuple)?, "+"),
+            Expr::Sub(l, r) => binop(l.eval(tuple)?, r.eval(tuple)?, "-"),
+            Expr::Mul(l, r) => binop(l.eval(tuple)?, r.eval(tuple)?, "*"),
+            Expr::StrLen(e) => match e.eval(tuple)? {
+                Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+                other => Err(RelationalError::ExprError(format!(
+                    "strlen expects Str, got {}",
+                    other.type_name()
+                ))),
+            },
+        }
+    }
+
+    /// The largest column index referenced, if any (used to validate an
+    /// expression against a schema arity ahead of evaluation).
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Column(i) => Some(*i),
+            Expr::Const(_) => None,
+            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
+                match (l.max_column(), r.max_column()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+            Expr::StrLen(e) => e.max_column(),
+        }
+    }
+}
+
+fn binop(l: Value, r: Value, op: &str) -> Result<Value> {
+    match (op, &l, &r) {
+        ("+", Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+        ("-", Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+        ("*", Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+        ("+", Value::Double(a), Value::Double(b)) => Ok(Value::Double(a + b)),
+        ("-", Value::Double(a), Value::Double(b)) => Ok(Value::Double(a - b)),
+        ("*", Value::Double(a), Value::Double(b)) => Ok(Value::Double(a * b)),
+        ("+", Value::Str(a), Value::Str(b)) => {
+            let mut s = String::with_capacity(a.len() + b.len());
+            s.push_str(a);
+            s.push_str(b);
+            Ok(Value::from(s))
+        }
+        _ => Err(RelationalError::ExprError(format!(
+            "cannot apply `{op}` to {} and {}",
+            l.type_name(),
+            r.type_name()
+        ))),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "${i}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Add(l, r) => write!(f, "({l} + {r})"),
+            Expr::Sub(l, r) => write!(f, "({l} - {r})"),
+            Expr::Mul(l, r) => write!(f, "({l} * {r})"),
+            Expr::StrLen(e) => write!(f, "strlen({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn column_and_const() {
+        let t = tuple![10, "x"];
+        assert_eq!(Expr::col(0).eval(&t).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(5).eval(&t).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn column_out_of_range_errors() {
+        let t = tuple![1];
+        assert!(Expr::col(3).eval(&t).is_err());
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        let t = tuple![10, 3];
+        let add = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        let sub = Expr::Sub(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        let mul = Expr::Mul(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t).unwrap(), Value::Int(13));
+        assert_eq!(sub.eval(&t).unwrap(), Value::Int(7));
+        assert_eq!(mul.eval(&t).unwrap(), Value::Int(30));
+    }
+
+    #[test]
+    fn double_arithmetic() {
+        let t = tuple![1.5, 2.0];
+        let add = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t).unwrap(), Value::Double(3.5));
+    }
+
+    #[test]
+    fn string_concat() {
+        let t = tuple!["ab", "cd"];
+        let cat = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(cat.eval(&t).unwrap(), Value::str("abcd"));
+    }
+
+    #[test]
+    fn mixed_types_error() {
+        let t = tuple![1, "x"];
+        let add = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert!(matches!(
+            add.eval(&t),
+            Err(RelationalError::ExprError(_))
+        ));
+    }
+
+    #[test]
+    fn strlen() {
+        let t = tuple!["hello"];
+        assert_eq!(
+            Expr::StrLen(Box::new(Expr::col(0))).eval(&t).unwrap(),
+            Value::Int(5)
+        );
+        let t2 = tuple![7];
+        assert!(Expr::StrLen(Box::new(Expr::col(0))).eval(&t2).is_err());
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let t = tuple![i64::MAX, 1];
+        let add = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t).unwrap(), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn max_column() {
+        let e = Expr::Add(
+            Box::new(Expr::col(2)),
+            Box::new(Expr::Mul(Box::new(Expr::col(5)), Box::new(Expr::lit(1)))),
+        );
+        assert_eq!(e.max_column(), Some(5));
+        assert_eq!(Expr::lit(1).max_column(), None);
+        assert_eq!(Expr::StrLen(Box::new(Expr::col(1))).max_column(), Some(1));
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::lit(3)));
+        assert_eq!(e.to_string(), "($0 + 3)");
+    }
+}

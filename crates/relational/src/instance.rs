@@ -1,0 +1,280 @@
+//! Database instances and snapshot diffing.
+//!
+//! Each CDSS peer owns an [`Instance`] over its local schema. Publication
+//! works by diffing the live instance against the last published snapshot
+//! ([`Instance::diff`]), yielding the tuple-level insertions and deletions
+//! that become the peer's published transactions.
+
+use crate::error::RelationalError;
+use crate::relation::Relation;
+use crate::schema::DatabaseSchema;
+use crate::tuple::Tuple;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple-level difference between two instances of the same schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDelta {
+    /// Tuples present in `new` but not `old`, per relation (name order).
+    pub insertions: BTreeMap<Arc<str>, Vec<Tuple>>,
+    /// Tuples present in `old` but not `new`, per relation (name order).
+    pub deletions: BTreeMap<Arc<str>, Vec<Tuple>>,
+}
+
+impl InstanceDelta {
+    /// True iff the delta contains no changes.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.values().all(Vec::is_empty)
+            && self.deletions.values().all(Vec::is_empty)
+    }
+
+    /// Total number of changed tuples.
+    pub fn len(&self) -> usize {
+        self.insertions.values().map(Vec::len).sum::<usize>()
+            + self.deletions.values().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// A database instance: one [`Relation`] per relation in a [`DatabaseSchema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    schema: DatabaseSchema,
+    relations: BTreeMap<Arc<str>, Relation>,
+}
+
+impl Instance {
+    /// Create an empty instance of a schema.
+    pub fn new(schema: DatabaseSchema) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name_arc(), Relation::new(r.clone())))
+            .collect();
+        Instance { schema, relations }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Borrow a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutably borrow a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Insert a tuple into a relation (strict key semantics).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.insert(tuple)
+    }
+
+    /// Insert-or-replace by key.
+    pub fn upsert(&mut self, relation: &str, tuple: Tuple) -> Result<Option<Tuple>> {
+        self.relation_mut(relation)?.upsert(tuple)
+    }
+
+    /// Delete an exact tuple; `Ok(true)` if it was present.
+    pub fn delete(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        Ok(self.relation_mut(relation)?.delete(tuple))
+    }
+
+    /// Total number of tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterate relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Remove all tuples from all relations (schema retained).
+    pub fn clear(&mut self) {
+        for r in self.relations.values_mut() {
+            r.clear();
+        }
+    }
+
+    /// Compute the tuple-level delta taking `self` (old) to `new`.
+    ///
+    /// Both instances must share a schema; modified tuples (same key,
+    /// different non-key values) appear as a deletion plus an insertion —
+    /// the update layer re-pairs them into `modify` operations by key.
+    pub fn diff(&self, new: &Instance) -> Result<InstanceDelta> {
+        if self.schema != new.schema {
+            return Err(RelationalError::InvalidSchema(format!(
+                "diff requires identical schemas (`{}` vs `{}`)",
+                self.schema.name(),
+                new.schema.name()
+            )));
+        }
+        let mut insertions: BTreeMap<Arc<str>, Vec<Tuple>> = BTreeMap::new();
+        let mut deletions: BTreeMap<Arc<str>, Vec<Tuple>> = BTreeMap::new();
+        for (name, old_rel) in &self.relations {
+            let new_rel = &new.relations[name];
+            let ins: Vec<Tuple> = new_rel
+                .iter()
+                .filter(|t| !old_rel.contains(t))
+                .cloned()
+                .collect();
+            let del: Vec<Tuple> = old_rel
+                .iter()
+                .filter(|t| !new_rel.contains(t))
+                .cloned()
+                .collect();
+            if !ins.is_empty() {
+                insertions.insert(Arc::clone(name), ins);
+            }
+            if !del.is_empty() {
+                deletions.insert(Arc::clone(name), del);
+            }
+        }
+        Ok(InstanceDelta {
+            insertions,
+            deletions,
+        })
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instance of {} {{", self.schema.name())?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "  {name} ({} tuples):", rel.len())?;
+            for t in rel.iter() {
+                writeln!(f, "    {t}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new("T")
+            .with_relation(
+                RelationSchema::from_parts("R", &[("a", ValueType::Int), ("b", ValueType::Int)])
+                    .unwrap(),
+            )
+            .unwrap()
+            .with_relation(
+                RelationSchema::from_parts_keyed(
+                    "S",
+                    &[("k", ValueType::Int), ("v", ValueType::Str)],
+                    &["k"],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_instance_has_all_relations() {
+        let inst = Instance::new(schema());
+        assert!(inst.relation("R").unwrap().is_empty());
+        assert!(inst.relation("S").unwrap().is_empty());
+        assert!(inst.relation("X").is_err());
+        assert_eq!(inst.total_tuples(), 0);
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let mut inst = Instance::new(schema());
+        assert!(inst.insert("R", tuple![1, 2]).unwrap());
+        assert_eq!(inst.total_tuples(), 1);
+        assert!(inst.delete("R", &tuple![1, 2]).unwrap());
+        assert_eq!(inst.total_tuples(), 0);
+    }
+
+    #[test]
+    fn upsert_by_key() {
+        let mut inst = Instance::new(schema());
+        inst.insert("S", tuple![1, "a"]).unwrap();
+        let old = inst.upsert("S", tuple![1, "b"]).unwrap();
+        assert_eq!(old, Some(tuple![1, "a"]));
+        assert_eq!(
+            inst.relation("S").unwrap().get_by_key(&tuple![1]),
+            Some(&tuple![1, "b"])
+        );
+    }
+
+    #[test]
+    fn diff_detects_insertions_and_deletions() {
+        let mut old = Instance::new(schema());
+        old.insert("R", tuple![1, 1]).unwrap();
+        old.insert("R", tuple![2, 2]).unwrap();
+        let mut new = old.clone();
+        new.delete("R", &tuple![1, 1]).unwrap();
+        new.insert("R", tuple![3, 3]).unwrap();
+        new.insert("S", tuple![1, "x"]).unwrap();
+
+        let delta = old.diff(&new).unwrap();
+        assert_eq!(delta.insertions["R"], vec![tuple![3, 3]]);
+        assert_eq!(delta.insertions["S"], vec![tuple![1, "x"]]);
+        assert_eq!(delta.deletions["R"], vec![tuple![1, 1]]);
+        assert!(!delta.deletions.contains_key("S"));
+        assert_eq!(delta.len(), 3);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn diff_of_identical_instances_is_empty() {
+        let mut a = Instance::new(schema());
+        a.insert("R", tuple![1, 1]).unwrap();
+        let delta = a.diff(&a.clone()).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.len(), 0);
+    }
+
+    #[test]
+    fn diff_sees_modify_as_delete_plus_insert() {
+        let mut old = Instance::new(schema());
+        old.insert("S", tuple![1, "a"]).unwrap();
+        let mut new = Instance::new(schema());
+        new.insert("S", tuple![1, "b"]).unwrap();
+        let delta = old.diff(&new).unwrap();
+        assert_eq!(delta.deletions["S"], vec![tuple![1, "a"]]);
+        assert_eq!(delta.insertions["S"], vec![tuple![1, "b"]]);
+    }
+
+    #[test]
+    fn diff_requires_same_schema() {
+        let a = Instance::new(schema());
+        let b = Instance::new(DatabaseSchema::new("Other"));
+        assert!(a.diff(&b).is_err());
+    }
+
+    #[test]
+    fn clear_retains_schema() {
+        let mut inst = Instance::new(schema());
+        inst.insert("R", tuple![1, 1]).unwrap();
+        inst.clear();
+        assert_eq!(inst.total_tuples(), 0);
+        assert!(inst.relation("R").is_ok());
+    }
+
+    #[test]
+    fn display_renders_tuples() {
+        let mut inst = Instance::new(schema());
+        inst.insert("R", tuple![1, 2]).unwrap();
+        let s = inst.to_string();
+        assert!(s.contains("instance of T"));
+        assert!(s.contains("(1, 2)"));
+    }
+}

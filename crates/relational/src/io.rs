@@ -1,0 +1,374 @@
+//! Plain-text (tab-separated) import/export for instances.
+//!
+//! Peers in a CDSS are long-lived: their local instances outlive any one
+//! process. This module gives the substrate a dependency-free durable
+//! format — one relation header line, then one line per tuple — with a
+//! lossless value encoding that round-trips every [`Value`], including
+//! nested labeled nulls.
+//!
+//! ```text
+//! #relation O
+//! s:HIV\ti:1
+//! s:Rat\tk:oid(s:Rat)
+//! ```
+
+use crate::error::RelationalError;
+use crate::instance::Instance;
+use crate::tuple::Tuple;
+use crate::value::{SkolemValue, Value};
+use crate::Result;
+use std::fmt::Write as _;
+
+/// Encode one value. Strings escape `\`, tab, newline, and `(`/`)`/`,`
+/// (the Skolem delimiters), so nested encodings stay unambiguous.
+pub fn encode_value(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("NULL"),
+        Value::Bool(b) => {
+            let _ = write!(out, "b:{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "i:{i}");
+        }
+        Value::Double(d) => {
+            // Bit-exact round trip.
+            let _ = write!(out, "d:{:016x}", d.to_bits());
+        }
+        Value::Str(s) => {
+            out.push_str("s:");
+            escape_into(out, s);
+        }
+        Value::Skolem(sk) => {
+            out.push_str("k:");
+            escape_into(out, &sk.function);
+            out.push('(');
+            for (i, a) in sk.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '(' => out.push_str("\\("),
+            ')' => out.push_str("\\)"),
+            ',' => out.push_str("\\,"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Decode one value (the inverse of [`encode_value`]).
+pub fn decode_value(s: &str) -> Result<Value> {
+    let (v, rest) = parse_value(s)?;
+    if !rest.is_empty() {
+        return Err(RelationalError::ExprError(format!(
+            "trailing input after value: `{rest}`"
+        )));
+    }
+    Ok(v)
+}
+
+fn parse_value(s: &str) -> Result<(Value, &str)> {
+    if let Some(rest) = s.strip_prefix("NULL") {
+        return Ok((Value::Null, rest));
+    }
+    if let Some(rest) = s.strip_prefix("b:") {
+        if let Some(r) = rest.strip_prefix("true") {
+            return Ok((Value::Bool(true), r));
+        }
+        if let Some(r) = rest.strip_prefix("false") {
+            return Ok((Value::Bool(false), r));
+        }
+        return Err(RelationalError::ExprError("bad bool".into()));
+    }
+    if let Some(rest) = s.strip_prefix("i:") {
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '-'))
+            .unwrap_or(rest.len());
+        let n: i64 = rest[..end]
+            .parse()
+            .map_err(|e| RelationalError::ExprError(format!("bad int: {e}")))?;
+        return Ok((Value::Int(n), &rest[end..]));
+    }
+    if let Some(rest) = s.strip_prefix("d:") {
+        if rest.len() < 16 {
+            return Err(RelationalError::ExprError("bad double".into()));
+        }
+        let bits = u64::from_str_radix(&rest[..16], 16)
+            .map_err(|e| RelationalError::ExprError(format!("bad double: {e}")))?;
+        return Ok((Value::Double(f64::from_bits(bits)), &rest[16..]));
+    }
+    if let Some(rest) = s.strip_prefix("s:") {
+        let (text, r) = unescape_until(rest, &[',', ')'])?;
+        return Ok((Value::from(text), r));
+    }
+    if let Some(rest) = s.strip_prefix("k:") {
+        let (function, r) = unescape_until(rest, &['('])?;
+        let mut r = r
+            .strip_prefix('(')
+            .ok_or_else(|| RelationalError::ExprError("skolem missing `(`".into()))?;
+        let mut args = Vec::new();
+        if let Some(after) = r.strip_prefix(')') {
+            return Ok((
+                Value::Skolem(std::sync::Arc::new(SkolemValue::new(function, args))),
+                after,
+            ));
+        }
+        loop {
+            let (arg, rest2) = parse_value(r)?;
+            args.push(arg);
+            if let Some(after) = rest2.strip_prefix(',') {
+                r = after;
+            } else if let Some(after) = rest2.strip_prefix(')') {
+                return Ok((
+                    Value::Skolem(std::sync::Arc::new(SkolemValue::new(function, args))),
+                    after,
+                ));
+            } else {
+                return Err(RelationalError::ExprError(
+                    "skolem args not terminated".into(),
+                ));
+            }
+        }
+    }
+    Err(RelationalError::ExprError(format!(
+        "unrecognized value encoding: `{s}`"
+    )))
+}
+
+/// Unescape until an unescaped stop character (or end of input). Returns
+/// (text, remaining-including-stop).
+fn unescape_until<'a>(s: &'a str, stops: &[char]) -> Result<(String, &'a str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, other)) => out.push(other),
+                None => {
+                    return Err(RelationalError::ExprError("dangling escape".into()))
+                }
+            }
+        } else if stops.contains(&c) {
+            return Ok((out, &s[i..]));
+        } else {
+            out.push(c);
+        }
+    }
+    Ok((out, ""))
+}
+
+/// Encode a tuple as tab-separated encoded values.
+pub fn encode_tuple(t: &Tuple) -> String {
+    t.iter()
+        .map(encode_value)
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+/// Decode a tuple line.
+pub fn decode_tuple(line: &str) -> Result<Tuple> {
+    if line.is_empty() {
+        return Ok(Tuple::new(vec![]));
+    }
+    line.split('\t').map(decode_value).collect::<Result<_>>()
+}
+
+/// Export a whole instance: `#relation <name>` headers followed by tuple
+/// lines, relations and tuples in deterministic order.
+pub fn export_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    for rel in instance.relations() {
+        let _ = writeln!(out, "#relation {}", rel.schema().name());
+        for t in rel.iter() {
+            let _ = writeln!(out, "{}", encode_tuple(t));
+        }
+    }
+    out
+}
+
+/// Import tuples into an existing (typically empty) instance of the right
+/// schema. Unknown relations and malformed tuples are errors.
+pub fn import_instance(instance: &mut Instance, text: &str) -> Result<usize> {
+    let mut current: Option<String> = None;
+    let mut count = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("#relation ") {
+            current = Some(name.to_string());
+            continue;
+        }
+        let rel = current.as_ref().ok_or_else(|| {
+            RelationalError::ExprError(format!(
+                "line {}: tuple before any #relation header",
+                lineno + 1
+            ))
+        })?;
+        let tuple = decode_tuple(line)?;
+        instance.insert(rel, tuple)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DatabaseSchema, RelationSchema};
+    use crate::tuple;
+    use crate::value::ValueType;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Double(3.25),
+            Value::Double(f64::NAN),
+            Value::str(""),
+            Value::str("hello world"),
+            Value::str("tabs\tand\nnewlines\\and(parens),commas"),
+        ] {
+            let enc = encode_value(&v);
+            assert_eq!(decode_value(&enc).unwrap(), v, "{enc}");
+        }
+    }
+
+    #[test]
+    fn skolem_roundtrips() {
+        let nested = Value::skolem(
+            "f(odd)name",
+            vec![
+                Value::str("Rat,x"),
+                Value::skolem("g", vec![Value::Int(1)]),
+                Value::Null,
+            ],
+        );
+        let enc = encode_value(&nested);
+        assert_eq!(decode_value(&enc).unwrap(), nested);
+        let empty = Value::skolem("h", vec![]);
+        assert_eq!(decode_value(&encode_value(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple!["HIV", 1, 2.5, true];
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+        let empty = Tuple::new(vec![]);
+        assert_eq!(decode_tuple(&encode_tuple(&empty)).unwrap(), empty);
+    }
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new("T")
+            .with_relation(
+                RelationSchema::from_parts(
+                    "O",
+                    &[("org", ValueType::Str), ("oid", ValueType::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+            .with_relation(
+                RelationSchema::from_parts("N", &[("v", ValueType::Str)]).unwrap(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn instance_roundtrip() {
+        let mut inst = Instance::new(schema());
+        inst.insert("O", tuple!["HIV", 1]).unwrap();
+        inst.insert(
+            "O",
+            Tuple::new(vec![
+                Value::str("Rat"),
+                Value::skolem("oid", vec![Value::str("Rat")]),
+            ]),
+        )
+        .unwrap();
+        inst.insert("N", tuple!["weird\tvalue"]).unwrap();
+
+        let text = export_instance(&inst);
+        let mut restored = Instance::new(schema());
+        let n = import_instance(&mut restored, &text).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(restored, inst);
+    }
+
+    #[test]
+    fn import_errors() {
+        let mut inst = Instance::new(schema());
+        assert!(import_instance(&mut inst, "s:x").is_err(), "no header");
+        assert!(
+            import_instance(&mut inst, "#relation Zed\ns:x").is_err(),
+            "unknown relation"
+        );
+        assert!(
+            import_instance(&mut inst, "#relation N\nq:zzz").is_err(),
+            "bad encoding"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        assert!(decode_value("i:1x").is_err());
+        assert!(decode_value("NULLx").is_err());
+        assert!(decode_value("k:f(").is_err());
+        assert!(decode_value("zzz").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn value_roundtrip_prop(v in value_strategy()) {
+            let enc = encode_value(&v);
+            prop_assert_eq!(decode_value(&enc).unwrap(), v);
+        }
+
+        #[test]
+        fn tuple_roundtrip_prop(vals in proptest::collection::vec(value_strategy(), 0..5)) {
+            let t = Tuple::new(vals);
+            prop_assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+        }
+    }
+
+    fn value_strategy() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_map(Value::Double),
+            "[a-zA-Z0-9 ,()\\\\\t]{0,12}".prop_map(Value::from),
+        ];
+        leaf.prop_recursive(2, 8, 3, |inner| {
+            (
+                "[a-z]{1,6}",
+                proptest::collection::vec(inner, 0..3),
+            )
+                .prop_map(|(f, args)| Value::skolem(f, args))
+        })
+    }
+}

@@ -1,0 +1,46 @@
+//! # orchestra-relational
+//!
+//! The in-memory relational storage substrate underneath the Orchestra CDSS.
+//!
+//! The original Orchestra prototype (SIGMOD 2007 demonstration) ran its update
+//! exchange programs over a commercial RDBMS. This crate replaces that backend
+//! with a self-contained, deterministic, laptop-scale engine providing exactly
+//! the pieces the CDSS layers need:
+//!
+//! * [`Value`] — a typed value domain including **labeled nulls** (Skolem
+//!   values), which the mapping layer invents for existentially quantified
+//!   variables in tuple-generating dependencies (e.g. `MC→A` in the paper's
+//!   Figure 2 must invent `oid`/`pid` identifiers when splitting `OPS` back
+//!   into `O`, `P`, `S`).
+//! * [`Tuple`] — an immutable, cheaply clonable row.
+//! * [`RelationSchema`] / [`DatabaseSchema`] — named, typed relation
+//!   signatures with declared keys (keys drive update semantics and conflict
+//!   detection in reconciliation).
+//! * [`Relation`] — a keyed tuple store with secondary hash indexes.
+//! * [`Instance`] — a database instance (one per peer), with snapshot
+//!   diffing used by `publish`.
+//! * [`Predicate`] / [`Expr`] — scalar expressions and predicates evaluated
+//!   over tuples; trust conditions in the reconciliation layer are built from
+//!   these.
+
+pub mod error;
+pub mod expr;
+pub mod instance;
+pub mod io;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::RelationalError;
+pub use expr::Expr;
+pub use instance::Instance;
+pub use predicate::{CmpOp, Predicate};
+pub use relation::Relation;
+pub use schema::{ColumnDef, DatabaseSchema, RelationSchema};
+pub use tuple::Tuple;
+pub use value::{SkolemValue, Value, ValueType};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -1,0 +1,344 @@
+//! Keyed relation storage.
+
+use crate::error::RelationalError;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, HashMap};
+
+/// One stored relation: a set of tuples keyed by the schema's key columns.
+///
+/// * Tuples are stored in a `BTreeMap` keyed by the key projection, giving
+///   deterministic iteration order everywhere (tests, examples, and
+///   experiment output never depend on hash seeds).
+/// * Secondary hash indexes on arbitrary column subsets can be built for
+///   joins; they are invalidated on mutation and rebuilt lazily.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: BTreeMap<Tuple, Tuple>,
+    /// Lazily built secondary indexes: column set → (key values → matching tuples).
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<Tuple>>>,
+}
+
+impl Relation {
+    /// Create an empty relation for the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeMap::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over tuples in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.values()
+    }
+
+    /// True iff the exact tuple is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples
+            .get(&self.schema.key_of(tuple))
+            .is_some_and(|t| t == tuple)
+    }
+
+    /// True iff some tuple with the given key projection is present.
+    pub fn contains_key(&self, key: &Tuple) -> bool {
+        self.tuples.contains_key(key)
+    }
+
+    /// The tuple with the given key projection, if any.
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.tuples.get(key)
+    }
+
+    /// Insert a tuple.
+    ///
+    /// * Errors with [`RelationalError::KeyConflict`] if a **different**
+    ///   tuple with the same key exists.
+    /// * Returns `Ok(false)` if the identical tuple was already present
+    ///   (idempotent re-insert), `Ok(true)` if newly inserted.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        self.schema.validate(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        match self.tuples.get(&key) {
+            Some(existing) if *existing == tuple => Ok(false),
+            Some(_) => Err(RelationalError::KeyConflict {
+                relation: self.schema.name().to_string(),
+                key: key.to_string(),
+            }),
+            None => {
+                self.tuples.insert(key, tuple);
+                self.indexes.clear();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Insert, replacing any existing tuple with the same key. Returns the
+    /// replaced tuple, if any.
+    pub fn upsert(&mut self, tuple: Tuple) -> Result<Option<Tuple>> {
+        self.schema.validate(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        let old = self.tuples.insert(key, tuple);
+        self.indexes.clear();
+        Ok(old)
+    }
+
+    /// Delete the exact tuple. Returns `true` if it was present. A tuple
+    /// with the same key but different non-key values is **not** deleted
+    /// (the caller is operating on a stale version — surfacing that matters
+    /// for update-translation correctness).
+    pub fn delete(&mut self, tuple: &Tuple) -> bool {
+        let key = self.schema.key_of(tuple);
+        if self.tuples.get(&key).is_some_and(|t| t == tuple) {
+            self.tuples.remove(&key);
+            self.indexes.clear();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delete whatever tuple has the given key projection. Returns it.
+    pub fn delete_by_key(&mut self, key: &Tuple) -> Option<Tuple> {
+        let old = self.tuples.remove(key);
+        if old.is_some() {
+            self.indexes.clear();
+        }
+        old
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.indexes.clear();
+    }
+
+    /// Look up tuples matching `values` on the given columns, building (and
+    /// caching) a secondary hash index on first use.
+    pub fn lookup(&mut self, cols: &[usize], values: &[Value]) -> &[Tuple] {
+        let cols_key: Vec<usize> = cols.to_vec();
+        let index = self.indexes.entry(cols_key).or_insert_with(|| {
+            let mut idx: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            for t in self.tuples.values() {
+                idx.entry(t.key_values(cols)).or_default().push(t.clone());
+            }
+            idx
+        });
+        index
+            .get(values)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Scan with a filter on one column (no index; linear).
+    pub fn scan_eq<'a>(
+        &'a self,
+        col: usize,
+        value: &'a Value,
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        self.tuples
+            .values()
+            .filter(move |t| t.get(col) == Some(value))
+    }
+
+    /// All tuples, cloned, in key order.
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.tuples.values().cloned().collect()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn keyed() -> Relation {
+        Relation::new(
+            RelationSchema::from_parts_keyed(
+                "S",
+                &[
+                    ("oid", ValueType::Int),
+                    ("pid", ValueType::Int),
+                    ("seq", ValueType::Str),
+                ],
+                &["oid", "pid"],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn setsem() -> Relation {
+        Relation::new(
+            RelationSchema::from_parts("R", &[("a", ValueType::Int), ("b", ValueType::Int)])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = keyed();
+        assert!(r.insert(tuple![1, 2, "AAG"]).unwrap());
+        assert!(r.contains(&tuple![1, 2, "AAG"]));
+        assert!(!r.contains(&tuple![1, 2, "CCG"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_identical_is_idempotent() {
+        let mut r = keyed();
+        assert!(r.insert(tuple![1, 2, "AAG"]).unwrap());
+        assert!(!r.insert(tuple![1, 2, "AAG"]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn key_conflict_on_different_nonkey() {
+        let mut r = keyed();
+        r.insert(tuple![1, 2, "AAG"]).unwrap();
+        assert!(matches!(
+            r.insert(tuple![1, 2, "CCG"]),
+            Err(RelationalError::KeyConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut r = keyed();
+        r.insert(tuple![1, 2, "AAG"]).unwrap();
+        let old = r.upsert(tuple![1, 2, "CCG"]).unwrap();
+        assert_eq!(old, Some(tuple![1, 2, "AAG"]));
+        assert!(r.contains(&tuple![1, 2, "CCG"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_exact_only() {
+        let mut r = keyed();
+        r.insert(tuple![1, 2, "AAG"]).unwrap();
+        assert!(!r.delete(&tuple![1, 2, "CCG"]), "stale version not deleted");
+        assert!(r.delete(&tuple![1, 2, "AAG"]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn delete_by_key() {
+        let mut r = keyed();
+        r.insert(tuple![1, 2, "AAG"]).unwrap();
+        assert_eq!(r.delete_by_key(&tuple![1, 2]), Some(tuple![1, 2, "AAG"]));
+        assert_eq!(r.delete_by_key(&tuple![1, 2]), None);
+    }
+
+    #[test]
+    fn get_by_key() {
+        let mut r = keyed();
+        r.insert(tuple![7, 8, "GGC"]).unwrap();
+        assert_eq!(r.get_by_key(&tuple![7, 8]), Some(&tuple![7, 8, "GGC"]));
+        assert_eq!(r.get_by_key(&tuple![7, 9]), None);
+        assert!(r.contains_key(&tuple![7, 8]));
+    }
+
+    #[test]
+    fn set_semantics_whole_tuple_key() {
+        let mut r = setsem();
+        r.insert(tuple![1, 2]).unwrap();
+        // Same key columns but whole tuple differs => different key => both live.
+        r.insert(tuple![1, 3]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut r = setsem();
+        r.insert(tuple![3, 0]).unwrap();
+        r.insert(tuple![1, 0]).unwrap();
+        r.insert(tuple![2, 0]).unwrap();
+        let firsts: Vec<i64> = r.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lookup_uses_index_and_sees_mutations() {
+        let mut r = setsem();
+        r.insert(tuple![1, 10]).unwrap();
+        r.insert(tuple![1, 20]).unwrap();
+        r.insert(tuple![2, 30]).unwrap();
+        let hits = r.lookup(&[0], &[Value::Int(1)]).to_vec();
+        assert_eq!(hits.len(), 2);
+        // Mutation invalidates the index.
+        r.insert(tuple![1, 40]).unwrap();
+        let hits = r.lookup(&[0], &[Value::Int(1)]);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn lookup_missing_key_is_empty() {
+        let mut r = setsem();
+        r.insert(tuple![1, 10]).unwrap();
+        assert!(r.lookup(&[0], &[Value::Int(9)]).is_empty());
+    }
+
+    #[test]
+    fn scan_eq_filters() {
+        let mut r = setsem();
+        r.insert(tuple![1, 10]).unwrap();
+        r.insert(tuple![2, 10]).unwrap();
+        r.insert(tuple![2, 20]).unwrap();
+        assert_eq!(r.scan_eq(0, &Value::Int(2)).count(), 2);
+        assert_eq!(r.scan_eq(1, &Value::Int(10)).count(), 2);
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = keyed();
+        assert!(r.insert(tuple![1, 2]).is_err(), "arity");
+        assert!(r.insert(tuple!["x", 2, "s"]).is_err(), "type");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut r = setsem();
+        r.insert(tuple![1, 1]).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn relation_equality_ignores_index_state() {
+        let mut a = setsem();
+        let mut b = setsem();
+        a.insert(tuple![1, 2]).unwrap();
+        b.insert(tuple![1, 2]).unwrap();
+        // Build an index on `a` only.
+        a.lookup(&[0], &[Value::Int(1)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,427 @@
+//! Relation and database schemas.
+//!
+//! Every peer in a CDSS owns a [`DatabaseSchema`]; schema mappings relate
+//! relations across peers' schemas. Declared keys matter beyond integrity:
+//! the reconciliation algorithm detects conflicts between transactions as
+//! *key-equal, value-different* writes, and `modify` updates are identified
+//! by key.
+
+use crate::error::RelationalError;
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnDef {
+    /// Column name, unique within its relation.
+    pub name: String,
+    /// Column type. Labeled nulls and `NULL` inhabit every type.
+    pub ty: ValueType,
+}
+
+impl ColumnDef {
+    /// Build a column definition.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// The signature of one relation: name, typed columns, and key columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: Arc<str>,
+    columns: Vec<ColumnDef>,
+    /// Indexes of the key columns, strictly increasing. When a relation has
+    /// no natural key the key is all columns (set semantics).
+    key: Vec<usize>,
+}
+
+impl RelationSchema {
+    /// Build a schema whose key is **all** columns (set semantics).
+    pub fn new(name: impl AsRef<str>, columns: Vec<ColumnDef>) -> Result<Self> {
+        let key = (0..columns.len()).collect();
+        Self::with_key(name, columns, key)
+    }
+
+    /// Build a schema with an explicit key (column indexes).
+    pub fn with_key(
+        name: impl AsRef<str>,
+        columns: Vec<ColumnDef>,
+        mut key: Vec<usize>,
+    ) -> Result<Self> {
+        let name: Arc<str> = Arc::from(name.as_ref());
+        if columns.is_empty() {
+            return Err(RelationalError::InvalidSchema(format!(
+                "relation `{name}` must have at least one column"
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.as_str()) {
+                return Err(RelationalError::InvalidSchema(format!(
+                    "duplicate column `{}` in relation `{name}`",
+                    c.name
+                )));
+            }
+        }
+        key.sort_unstable();
+        key.dedup();
+        if key.is_empty() {
+            return Err(RelationalError::InvalidSchema(format!(
+                "relation `{name}` key must not be empty"
+            )));
+        }
+        if let Some(&bad) = key.iter().find(|&&k| k >= columns.len()) {
+            return Err(RelationalError::InvalidSchema(format!(
+                "key column index {bad} out of range for relation `{name}` with {} columns",
+                columns.len()
+            )));
+        }
+        Ok(RelationSchema { name, columns, key })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs, key = all columns.
+    pub fn from_parts(name: impl AsRef<str>, cols: &[(&str, ValueType)]) -> Result<Self> {
+        Self::new(
+            name,
+            cols.iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor with explicit key column *names*.
+    pub fn from_parts_keyed(
+        name: impl AsRef<str>,
+        cols: &[(&str, ValueType)],
+        key_cols: &[&str],
+    ) -> Result<Self> {
+        let columns: Vec<ColumnDef> = cols
+            .iter()
+            .map(|(n, t)| ColumnDef::new(*n, *t))
+            .collect();
+        let mut key = Vec::with_capacity(key_cols.len());
+        for kc in key_cols {
+            let idx = columns.iter().position(|c| c.name == *kc).ok_or_else(|| {
+                RelationalError::UnknownColumn {
+                    relation: name.as_ref().to_string(),
+                    column: kc.to_string(),
+                }
+            })?;
+            key.push(idx);
+        }
+        Self::with_key(name, columns, key)
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shared handle to the relation name.
+    pub fn name_arc(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
+    /// Column definitions in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Key column indexes (sorted, deduplicated).
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// True iff the key covers every column (set semantics: whole tuples are
+    /// their own identity; modify = delete + insert).
+    pub fn key_is_whole_tuple(&self) -> bool {
+        self.key.len() == self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a tuple against this schema: arity and column types.
+    pub fn validate(&self, tuple: &Tuple) -> Result<()> {
+        if tuple.arity() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: self.name.to_string(),
+                expected: self.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            if !tuple[i].conforms_to(col.ty) {
+                return Err(RelationalError::TypeMismatch {
+                    relation: self.name.to_string(),
+                    column: col.name.clone(),
+                    expected: col.ty.to_string(),
+                    actual: tuple[i].type_name().into_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Project a tuple onto this schema's key columns.
+    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
+        tuple.project(&self.key)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let key_marker = if self.key.contains(&i) && !self.key_is_whole_tuple() {
+                "*"
+            } else {
+                ""
+            };
+            write!(f, "{}{}: {}", key_marker, c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A named collection of relation schemas — one per peer in the CDSS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseSchema {
+    name: Arc<str>,
+    relations: BTreeMap<Arc<str>, RelationSchema>,
+}
+
+impl DatabaseSchema {
+    /// Create an empty schema with the given name (e.g. `"Σ1"`).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        DatabaseSchema {
+            name: Arc::from(name.as_ref()),
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a relation; errors on duplicate names.
+    pub fn add_relation(&mut self, schema: RelationSchema) -> Result<()> {
+        let key = schema.name_arc();
+        if self.relations.contains_key(&key) {
+            return Err(RelationalError::InvalidSchema(format!(
+                "duplicate relation `{key}` in schema `{}`",
+                self.name
+            )));
+        }
+        self.relations.insert(key, schema);
+        Ok(())
+    }
+
+    /// Builder-style [`add_relation`](Self::add_relation).
+    pub fn with_relation(mut self, schema: RelationSchema) -> Result<Self> {
+        self.add_relation(schema)?;
+        Ok(self)
+    }
+
+    /// Look up a relation schema by name.
+    pub fn relation(&self, name: &str) -> Result<&RelationSchema> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.to_string()))
+    }
+
+    /// True iff the schema contains the relation.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over relation schemas in name order (deterministic).
+    pub fn relations(&self) -> impl Iterator<Item = &RelationSchema> {
+        self.relations.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for DatabaseSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} {{", self.name)?;
+        for r in self.relations.values() {
+            writeln!(f, "  {r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn ops_schema() -> RelationSchema {
+        RelationSchema::from_parts_keyed(
+            "OPS",
+            &[
+                ("org", ValueType::Str),
+                ("prot", ValueType::Str),
+                ("seq", ValueType::Str),
+            ],
+            &["org", "prot"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_construction_defaults_key_to_all_columns() {
+        let s = RelationSchema::from_parts("R", &[("a", ValueType::Int), ("b", ValueType::Int)])
+            .unwrap();
+        assert_eq!(s.key(), &[0, 1]);
+        assert!(s.key_is_whole_tuple());
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn keyed_schema() {
+        let s = ops_schema();
+        assert_eq!(s.key(), &[0, 1]);
+        assert!(!s.key_is_whole_tuple());
+        assert_eq!(s.column_index("seq"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+    }
+
+    #[test]
+    fn rejects_empty_columns() {
+        assert!(matches!(
+            RelationSchema::from_parts("R", &[]),
+            Err(RelationalError::InvalidSchema(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = RelationSchema::from_parts("R", &[("a", ValueType::Int), ("a", ValueType::Str)]);
+        assert!(matches!(err, Err(RelationalError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_key() {
+        let cols = vec![ColumnDef::new("a", ValueType::Int)];
+        assert!(RelationSchema::with_key("R", cols, vec![3]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_key_column_name() {
+        let err = RelationSchema::from_parts_keyed("R", &[("a", ValueType::Int)], &["z"]);
+        assert!(matches!(err, Err(RelationalError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn key_is_deduplicated_and_sorted() {
+        let cols = vec![
+            ColumnDef::new("a", ValueType::Int),
+            ColumnDef::new("b", ValueType::Int),
+        ];
+        let s = RelationSchema::with_key("R", cols, vec![1, 0, 1]).unwrap();
+        assert_eq!(s.key(), &[0, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_conforming_tuple() {
+        let s = ops_schema();
+        assert!(s.validate(&tuple!["HIV", "gp120", "MRV..."]).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_labeled_nulls_in_any_column() {
+        let s = RelationSchema::from_parts("R", &[("a", ValueType::Int)]).unwrap();
+        let t = Tuple::new(vec![Value::skolem("f", vec![Value::str("x")])]);
+        assert!(s.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let s = ops_schema();
+        assert!(matches!(
+            s.validate(&tuple!["HIV", "gp120"]),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let s = ops_schema();
+        assert!(matches!(
+            s.validate(&tuple!["HIV", 5, "MRV"]),
+            Err(RelationalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn key_projection() {
+        let s = ops_schema();
+        let t = tuple!["HIV", "gp120", "MRV"];
+        assert_eq!(s.key_of(&t), tuple!["HIV", "gp120"]);
+    }
+
+    #[test]
+    fn database_schema_dedup_and_lookup() {
+        let mut db = DatabaseSchema::new("Σ2");
+        db.add_relation(ops_schema()).unwrap();
+        assert!(db.add_relation(ops_schema()).is_err());
+        assert!(db.contains("OPS"));
+        assert!(db.relation("OPS").is_ok());
+        assert!(matches!(
+            db.relation("X"),
+            Err(RelationalError::UnknownRelation(_))
+        ));
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn database_schema_display_lists_relations() {
+        let db = DatabaseSchema::new("S")
+            .with_relation(ops_schema())
+            .unwrap();
+        let shown = db.to_string();
+        assert!(shown.contains("schema S"));
+        assert!(shown.contains("OPS("));
+        assert!(shown.contains("*org"));
+    }
+
+    #[test]
+    fn relation_schema_display_marks_keys() {
+        assert_eq!(
+            ops_schema().to_string(),
+            "OPS(*org: Str, *prot: Str, seq: Str)"
+        );
+    }
+}

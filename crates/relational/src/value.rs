@@ -1,0 +1,412 @@
+//! The value domain: constants plus labeled nulls (Skolem values).
+//!
+//! Update exchange over tuple-generating dependencies (tgds) must *invent*
+//! values for existentially quantified head variables. Orchestra's update
+//! exchange formulation (Green et al., "Update exchange with mappings and
+//! provenance") uses Skolem functions of the exported body variables, so the
+//! invented value is deterministic in its inputs: translating the same source
+//! tuple twice yields the same labeled null, which is what makes incremental
+//! maintenance and deletion propagation well-defined. [`SkolemValue`] encodes
+//! these labeled nulls as a function symbol applied to argument values.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type of a column in a relation schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum ValueType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float with a total order (`f64::total_cmp`).
+    Double,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Bool => write!(f, "Bool"),
+            ValueType::Int => write!(f, "Int"),
+            ValueType::Double => write!(f, "Double"),
+            ValueType::Str => write!(f, "Str"),
+        }
+    }
+}
+
+/// A labeled null: a Skolem function symbol applied to argument values.
+///
+/// Two labeled nulls are equal iff they use the same function symbol and the
+/// same arguments — the defining property that makes tgd chase steps
+/// idempotent and update translation deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SkolemValue {
+    /// The Skolem function symbol. By convention the mapping compiler uses
+    /// `"f_<mapping>_<var>"` so provenance displays read naturally.
+    pub function: Arc<str>,
+    /// Argument values (the exported body variables of the tgd).
+    pub args: Vec<Value>,
+}
+
+impl SkolemValue {
+    /// Create a labeled null `function(args...)`.
+    pub fn new(function: impl Into<Arc<str>>, args: Vec<Value>) -> Self {
+        SkolemValue {
+            function: function.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for SkolemValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.function)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A single value: a typed constant, SQL-style `NULL`, or a labeled null.
+///
+/// `Value` implements a *total* order (floats compare with `total_cmp`,
+/// variants compare by discriminant) so it can key `BTreeMap`s, giving the
+/// whole system deterministic iteration — important for reproducible
+/// experiment output.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style missing value. Equal to itself (unlike SQL) so tuple
+    /// identity stays a plain equivalence.
+    Null,
+    /// Boolean constant.
+    Bool(bool),
+    /// Integer constant.
+    Int(i64),
+    /// Float constant (total order via `total_cmp`; `NaN`s with the same bit
+    /// pattern are equal).
+    Double(f64),
+    /// String constant. `Arc<str>` keeps tuple clones cheap.
+    Str(Arc<str>),
+    /// A labeled null invented by a tgd chase step.
+    Skolem(Arc<SkolemValue>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Build a labeled null `function(args...)`.
+    pub fn skolem(function: impl Into<Arc<str>>, args: Vec<Value>) -> Self {
+        Value::Skolem(Arc::new(SkolemValue::new(function, args)))
+    }
+
+    /// The runtime type of this value, or `None` for `Null` / labeled nulls
+    /// (which are polymorphic: a labeled null inhabits any column type).
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null | Value::Skolem(_) => None,
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Double(_) => Some(ValueType::Double),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> Cow<'static, str> {
+        match self {
+            Value::Null => Cow::Borrowed("Null"),
+            Value::Bool(_) => Cow::Borrowed("Bool"),
+            Value::Int(_) => Cow::Borrowed("Int"),
+            Value::Double(_) => Cow::Borrowed("Double"),
+            Value::Str(_) => Cow::Borrowed("Str"),
+            Value::Skolem(_) => Cow::Borrowed("Skolem"),
+        }
+    }
+
+    /// True iff this is a labeled null (Skolem value).
+    pub fn is_labeled_null(&self) -> bool {
+        matches!(self, Value::Skolem(_))
+    }
+
+    /// True iff the value is compatible with the given column type. `Null`
+    /// and labeled nulls are compatible with every type.
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        match self.value_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Extract an `i64` if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a `&str` if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a `bool` if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64` if this is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Discriminant rank used by the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 3,
+            Value::Str(_) => 4,
+            Value::Skolem(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Skolem(a), Value::Skolem(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Double(d) => d.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Skolem(sk) => sk.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Skolem(a), Value::Skolem(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Skolem(sk) => write!(f, "{sk}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_and_hash_agree() {
+        let a = Value::str("x");
+        let b = Value::str("x");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn null_equals_itself() {
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn nan_is_self_equal_bitwise() {
+        let a = Value::Double(f64::NAN);
+        let b = Value::Double(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn total_order_across_variants_is_consistent() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Double(1.5),
+            Value::skolem("f", vec![Value::Int(1)]),
+            Value::Int(1),
+            Value::str("a"),
+        ];
+        vals.sort();
+        // Null < Bool < Int < Double < Str < Skolem; within Int and Str sorted.
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::Int(1));
+        assert_eq!(vals[3], Value::Int(2));
+        assert_eq!(vals[4], Value::Double(1.5));
+        assert_eq!(vals[5], Value::str("a"));
+        assert_eq!(vals[6], Value::str("b"));
+        assert!(vals[7].is_labeled_null());
+    }
+
+    #[test]
+    fn skolem_equality_is_structural() {
+        let a = Value::skolem("f_m1_oid", vec![Value::str("HIV"), Value::Int(3)]);
+        let b = Value::skolem("f_m1_oid", vec![Value::str("HIV"), Value::Int(3)]);
+        let c = Value::skolem("f_m1_oid", vec![Value::str("HIV"), Value::Int(4)]);
+        let d = Value::skolem("f_m2_oid", vec![Value::str("HIV"), Value::Int(3)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn nested_skolem_display() {
+        let inner = Value::skolem("g", vec![Value::Int(7)]);
+        let v = Value::skolem("f", vec![inner, Value::str("x")]);
+        assert_eq!(v.to_string(), "f(g(7),'x')");
+    }
+
+    #[test]
+    fn conforms_to_rules() {
+        assert!(Value::Int(1).conforms_to(ValueType::Int));
+        assert!(!Value::Int(1).conforms_to(ValueType::Str));
+        assert!(Value::Null.conforms_to(ValueType::Str));
+        assert!(Value::skolem("f", vec![]).conforms_to(ValueType::Int));
+        assert!(Value::skolem("f", vec![]).conforms_to(ValueType::Str));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::str("s").as_str(), Some("s"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Double(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("y")), Value::str("y"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(2.0), Value::Double(2.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("ab").to_string(), "'ab'");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn value_type_of_labeled_null_is_none() {
+        assert_eq!(Value::skolem("f", vec![]).value_type(), None);
+        assert_eq!(Value::Null.value_type(), None);
+        assert_eq!(Value::Int(0).value_type(), Some(ValueType::Int));
+    }
+}

@@ -1,0 +1,104 @@
+//! The update-store contract.
+
+use orchestra_updates::{Epoch, Transaction, TxnId};
+use std::fmt;
+
+/// Errors raised by update stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A transaction with this id was already archived (ids are immutable
+    /// once published).
+    DuplicateTxn(String),
+    /// A transaction's payload could not be retrieved from any replica
+    /// (all holders are offline).
+    Unavailable {
+        /// The unreachable transaction.
+        txn: String,
+    },
+    /// The store was configured inconsistently (e.g. zero nodes).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateTxn(id) => write!(f, "transaction `{id}` already archived"),
+            StoreError::Unavailable { txn } => {
+                write!(f, "transaction `{txn}` unavailable: all replicas offline")
+            }
+            StoreError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Counters exposed by store implementations for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Transactions archived.
+    pub published: u64,
+    /// Transactions returned by fetches.
+    pub fetched: u64,
+    /// Storage-node probes performed (replicated store only).
+    pub probes: u64,
+    /// Fetches that found no alive replica.
+    pub misses: u64,
+}
+
+/// The archive of published transactions shared by all CDSS peers.
+///
+/// Implementations are internally synchronized (`&self` methods): many
+/// peers publish and reconcile against one shared store.
+pub trait UpdateStore: Send + Sync {
+    /// Archive a batch of transactions published in the given epoch.
+    fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()>;
+
+    /// Every archived transaction with epoch **greater than** `since`, in
+    /// deterministic (epoch, txn id) order. Transactions whose payload is
+    /// unreachable are reported in the error.
+    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>>;
+
+    /// Fetch one transaction by id, if archived and reachable.
+    fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>>;
+
+    /// Number of archived transactions (metadata view; counts unreachable
+    /// payloads too).
+    fn len(&self) -> usize;
+
+    /// True iff nothing is archived.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The latest epoch with archived transactions, if any.
+    fn latest_epoch(&self) -> Option<Epoch>;
+
+    /// Counters snapshot.
+    fn stats(&self) -> StoreStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(StoreError::DuplicateTxn("A#1".into())
+            .to_string()
+            .contains("already archived"));
+        assert!(StoreError::Unavailable { txn: "A#1".into() }
+            .to_string()
+            .contains("unavailable"));
+        assert!(StoreError::InvalidConfig("zero nodes".into())
+            .to_string()
+            .contains("zero nodes"));
+    }
+
+    #[test]
+    fn stats_default() {
+        let s = StoreStats::default();
+        assert_eq!(s.published, 0);
+        assert_eq!(s.misses, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # orchestra-store
+//!
+//! The distributed archive of published transactions.
+//!
+//! In the paper (Figure 1) "the published transactions are stored in a
+//! peer-to-peer distributed database, though one can also use other methods
+//! to store the published updates". The store's contract is what matters to
+//! the CDSS:
+//!
+//! 1. **Archival**: published transactions are retained so that peers that
+//!    reconcile later — possibly after the publisher went offline — can
+//!    still retrieve them (demonstration scenario 5: "Beijing publishes a
+//!    number of updates and then goes offline. Alaska can reconcile and
+//!    still retrieve Beijing's updates from the CDSS").
+//! 2. **Epoch indexing**: a reconciling peer asks for "everything published
+//!    since my last reconciliation epoch".
+//!
+//! Two implementations of the [`UpdateStore`] trait:
+//!
+//! * [`InMemoryStore`] — a centralized archive (the "other methods" case);
+//!   also the reference implementation for tests.
+//! * [`ReplicatedStore`] — a **simulated DHT**: `N` virtual storage nodes
+//!   on a consistent-hash ring, each transaction replicated on the first
+//!   `R` alive nodes clockwise from its hash point; nodes can be taken
+//!   down/up to model churn. No real networking is involved — the paper's
+//!   deployment detail we substitute per DESIGN.md — but the observable
+//!   behaviour (availability under churn as a function of replication
+//!   factor, probe counts) is preserved for experiment E8.
+
+pub mod api;
+pub mod memory;
+pub mod replicated;
+
+pub use api::{StoreError, StoreStats, UpdateStore};
+pub use memory::InMemoryStore;
+pub use replicated::ReplicatedStore;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,170 @@
+//! The centralized in-memory archive.
+
+use crate::api::{StoreError, StoreStats, UpdateStore};
+use orchestra_updates::{Epoch, Transaction, TxnId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_epoch: BTreeMap<Epoch, Vec<TxnId>>,
+    by_id: HashMap<TxnId, Transaction>,
+    stats: StoreStats,
+}
+
+/// A centralized, always-available archive — the reference implementation
+/// and the store used by most tests and examples.
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    inner: RwLock<Inner>,
+}
+
+impl InMemoryStore {
+    /// An empty archive.
+    pub fn new() -> Self {
+        InMemoryStore::default()
+    }
+}
+
+impl UpdateStore for InMemoryStore {
+    fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()> {
+        let mut inner = self.inner.write();
+        for t in &txns {
+            if inner.by_id.contains_key(&t.id) {
+                return Err(StoreError::DuplicateTxn(t.id.to_string()));
+            }
+        }
+        for mut t in txns {
+            t.epoch = epoch;
+            inner.by_epoch.entry(epoch).or_default().push(t.id.clone());
+            inner.by_id.insert(t.id.clone(), t);
+            inner.stats.published += 1;
+        }
+        Ok(())
+    }
+
+    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
+        let mut inner = self.inner.write();
+        let mut ids: Vec<(Epoch, TxnId)> = Vec::new();
+        for (&ep, txids) in inner.by_epoch.range(since.next()..) {
+            for id in txids {
+                ids.push((ep, id.clone()));
+            }
+        }
+        ids.sort();
+        let out: Vec<Transaction> = ids
+            .iter()
+            .map(|(_, id)| inner.by_id[id].clone())
+            .collect();
+        inner.stats.fetched += out.len() as u64;
+        Ok(out)
+    }
+
+    fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
+        let mut inner = self.inner.write();
+        let got = inner.by_id.get(id).cloned();
+        if got.is_some() {
+            inner.stats.fetched += 1;
+        }
+        Ok(got)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    fn latest_epoch(&self) -> Option<Epoch> {
+        self.inner.read().by_epoch.keys().next_back().copied()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+    use orchestra_updates::{PeerId, Update};
+
+    fn txn(peer: &str, seq: u64) -> Transaction {
+        Transaction::new(
+            TxnId::new(PeerId::new(peer), seq),
+            Epoch::zero(),
+            vec![Update::insert("R", tuple![seq as i64])],
+        )
+    }
+
+    #[test]
+    fn publish_and_fetch_since() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("B", 1)])
+            .unwrap();
+        s.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 3);
+        // Epochs stamp onto transactions.
+        assert!(all.iter().all(|t| t.epoch >= Epoch::new(1)));
+        let recent = s.fetch_since(Epoch::new(1)).unwrap();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].id, TxnId::new(PeerId::new("A"), 2));
+    }
+
+    #[test]
+    fn fetch_order_is_deterministic() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("B", 1), txn("A", 1)])
+            .unwrap();
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all[0].id.peer.name(), "A");
+        assert_eq!(all[1].id.peer.name(), "B");
+    }
+
+    #[test]
+    fn duplicate_rejected_atomically() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        let err = s.publish(Epoch::new(2), vec![txn("C", 1), txn("A", 1)]);
+        assert!(matches!(err, Err(StoreError::DuplicateTxn(_))));
+        // The batch failed atomically: C#1 was not archived.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fetch_by_id() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        let got = s.fetch(&TxnId::new(PeerId::new("A"), 1)).unwrap();
+        assert!(got.is_some());
+        assert!(s.fetch(&TxnId::new(PeerId::new("Z"), 9)).unwrap().is_none());
+    }
+
+    #[test]
+    fn latest_epoch_and_len() {
+        let s = InMemoryStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.latest_epoch(), None);
+        s.publish(Epoch::new(3), vec![txn("A", 1)]).unwrap();
+        s.publish(Epoch::new(5), vec![txn("A", 2)]).unwrap();
+        assert_eq!(s.latest_epoch(), Some(Epoch::new(5)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stats_count() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)])
+            .unwrap();
+        s.fetch_since(Epoch::zero()).unwrap();
+        let st = s.stats();
+        assert_eq!(st.published, 2);
+        assert_eq!(st.fetched, 2);
+    }
+
+    #[test]
+    fn empty_fetch() {
+        let s = InMemoryStore::new();
+        assert!(s.fetch_since(Epoch::zero()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,379 @@
+//! The simulated peer-to-peer replicated store.
+//!
+//! `N` virtual storage nodes sit on a consistent-hash ring. A transaction's
+//! payload is written to the first `R` **alive** nodes clockwise from its
+//! hash point at publish time. Nodes can later be taken offline; a fetch
+//! probes the holders recorded at publish time and succeeds if any is
+//! alive. The epoch→ids metadata index is modeled as always available (in
+//! a real DHT it would itself be replicated; the experiments measure
+//! *payload* availability, which is where replication factor and churn
+//! interact).
+
+use crate::api::{StoreError, StoreStats, UpdateStore};
+use orchestra_updates::{Epoch, Transaction, TxnId};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+
+/// FNV-1a over the id string — deterministic ring placement, no RNG.
+fn ring_hash(id: &TxnId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct StoredTxn {
+    txn: Transaction,
+    /// Indexes of the storage nodes holding the payload.
+    holders: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes_alive: Vec<bool>,
+    by_epoch: BTreeMap<Epoch, Vec<TxnId>>,
+    by_id: HashMap<TxnId, StoredTxn>,
+    stats: StoreStats,
+}
+
+/// The simulated DHT store.
+#[derive(Debug)]
+pub struct ReplicatedStore {
+    num_nodes: usize,
+    replication: usize,
+    inner: RwLock<Inner>,
+}
+
+impl ReplicatedStore {
+    /// Create a store over `num_nodes` virtual nodes with replication
+    /// factor `replication` (clamped to `num_nodes`).
+    pub fn new(num_nodes: usize, replication: usize) -> crate::Result<Self> {
+        if num_nodes == 0 {
+            return Err(StoreError::InvalidConfig(
+                "store needs at least one node".into(),
+            ));
+        }
+        if replication == 0 {
+            return Err(StoreError::InvalidConfig(
+                "replication factor must be at least 1".into(),
+            ));
+        }
+        Ok(ReplicatedStore {
+            num_nodes,
+            replication: replication.min(num_nodes),
+            inner: RwLock::new(Inner {
+                nodes_alive: vec![true; num_nodes],
+                by_epoch: BTreeMap::new(),
+                by_id: HashMap::new(),
+                stats: StoreStats::default(),
+            }),
+        })
+    }
+
+    /// Number of virtual storage nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Take a storage node offline (subsequent fetches cannot probe it).
+    pub fn take_node_down(&self, node: usize) {
+        if let Some(slot) = self.inner.write().nodes_alive.get_mut(node) {
+            *slot = false;
+        }
+    }
+
+    /// Bring a storage node back online.
+    pub fn bring_node_up(&self, node: usize) {
+        if let Some(slot) = self.inner.write().nodes_alive.get_mut(node) {
+            *slot = true;
+        }
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_nodes(&self) -> usize {
+        self.inner.read().nodes_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Fraction of archived transactions whose payload is currently
+    /// reachable (≥1 alive holder).
+    pub fn availability(&self) -> f64 {
+        let inner = self.inner.read();
+        if inner.by_id.is_empty() {
+            return 1.0;
+        }
+        let reachable = inner
+            .by_id
+            .values()
+            .filter(|st| st.holders.iter().any(|&h| inner.nodes_alive[h]))
+            .count();
+        reachable as f64 / inner.by_id.len() as f64
+    }
+
+    /// The holders chosen for a given id: first `replication` alive nodes
+    /// clockwise from the hash point (at publish time).
+    fn choose_holders(&self, alive: &[bool], id: &TxnId) -> Vec<usize> {
+        let start = (ring_hash(id) % self.num_nodes as u64) as usize;
+        let mut holders = Vec::with_capacity(self.replication);
+        for off in 0..self.num_nodes {
+            let node = (start + off) % self.num_nodes;
+            if alive[node] {
+                holders.push(node);
+                if holders.len() == self.replication {
+                    break;
+                }
+            }
+        }
+        holders
+    }
+}
+
+impl UpdateStore for ReplicatedStore {
+    fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()> {
+        let mut inner = self.inner.write();
+        for t in &txns {
+            if inner.by_id.contains_key(&t.id) {
+                return Err(StoreError::DuplicateTxn(t.id.to_string()));
+            }
+        }
+        for mut t in txns {
+            t.epoch = epoch;
+            let holders = self.choose_holders(&inner.nodes_alive, &t.id);
+            inner.stats.probes += holders.len() as u64;
+            inner.by_epoch.entry(epoch).or_default().push(t.id.clone());
+            inner
+                .by_id
+                .insert(t.id.clone(), StoredTxn { txn: t, holders });
+            inner.stats.published += 1;
+        }
+        Ok(())
+    }
+
+    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
+        let mut inner = self.inner.write();
+        let mut ids: Vec<(Epoch, TxnId)> = Vec::new();
+        for (&ep, txids) in inner.by_epoch.range(since.next()..) {
+            for id in txids {
+                ids.push((ep, id.clone()));
+            }
+        }
+        ids.sort();
+        let mut out = Vec::with_capacity(ids.len());
+        for (_, id) in &ids {
+            let st = &inner.by_id[id];
+            // Probe holders in order until one is alive.
+            let mut found = false;
+            let mut probes = 0u64;
+            for &h in &st.holders {
+                probes += 1;
+                if inner.nodes_alive[h] {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                out.push(st.txn.clone());
+            }
+            inner.stats.probes += probes;
+            if !found {
+                inner.stats.misses += 1;
+                return Err(StoreError::Unavailable {
+                    txn: id.to_string(),
+                });
+            }
+        }
+        inner.stats.fetched += out.len() as u64;
+        Ok(out)
+    }
+
+    fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
+        let mut inner = self.inner.write();
+        let Some(st) = inner.by_id.get(id) else {
+            return Ok(None);
+        };
+        let holders = st.holders.clone();
+        let txn = st.txn.clone();
+        let mut probes = 0u64;
+        let mut found = false;
+        for &h in &holders {
+            probes += 1;
+            if inner.nodes_alive[h] {
+                found = true;
+                break;
+            }
+        }
+        inner.stats.probes += probes;
+        if found {
+            inner.stats.fetched += 1;
+            Ok(Some(txn))
+        } else {
+            inner.stats.misses += 1;
+            Err(StoreError::Unavailable {
+                txn: id.to_string(),
+            })
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    fn latest_epoch(&self) -> Option<Epoch> {
+        self.inner.read().by_epoch.keys().next_back().copied()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+    use orchestra_updates::{PeerId, Update};
+
+    fn txn(peer: &str, seq: u64) -> Transaction {
+        Transaction::new(
+            TxnId::new(PeerId::new(peer), seq),
+            Epoch::zero(),
+            vec![Update::insert("R", tuple![seq as i64])],
+        )
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ReplicatedStore::new(0, 1).is_err());
+        assert!(ReplicatedStore::new(4, 0).is_err());
+        let s = ReplicatedStore::new(4, 10).unwrap();
+        assert_eq!(s.replication(), 4, "replication clamped to node count");
+    }
+
+    #[test]
+    fn publish_fetch_roundtrip() {
+        let s = ReplicatedStore::new(8, 3).unwrap();
+        s.publish(Epoch::new(1), (0..10).map(|i| txn("A", i)).collect())
+            .unwrap();
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn survives_churn_within_replication_factor() {
+        let s = ReplicatedStore::new(10, 3).unwrap();
+        s.publish(Epoch::new(1), (0..50).map(|i| txn("B", i)).collect())
+            .unwrap();
+        // Take down 2 nodes (< replication factor): everything reachable.
+        s.take_node_down(0);
+        s.take_node_down(5);
+        assert_eq!(s.alive_nodes(), 8);
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 50);
+        assert_eq!(s.availability(), 1.0);
+    }
+
+    #[test]
+    fn unreplicated_store_loses_data_on_churn() {
+        let s = ReplicatedStore::new(4, 1).unwrap();
+        s.publish(Epoch::new(1), (0..40).map(|i| txn("C", i)).collect())
+            .unwrap();
+        for n in 0..2 {
+            s.take_node_down(n);
+        }
+        // With R=1 and half the nodes down, some payloads are gone.
+        assert!(s.availability() < 1.0);
+        assert!(matches!(
+            s.fetch_since(Epoch::zero()),
+            Err(StoreError::Unavailable { .. })
+        ));
+        assert!(s.stats().misses > 0);
+    }
+
+    #[test]
+    fn node_recovery_restores_availability() {
+        let s = ReplicatedStore::new(4, 1).unwrap();
+        s.publish(Epoch::new(1), (0..40).map(|i| txn("D", i)).collect())
+            .unwrap();
+        for n in 0..4 {
+            s.take_node_down(n);
+        }
+        assert_eq!(s.availability(), 0.0);
+        for n in 0..4 {
+            s.bring_node_up(n);
+        }
+        assert_eq!(s.availability(), 1.0);
+        assert_eq!(s.fetch_since(Epoch::zero()).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn origin_peer_offline_is_irrelevant() {
+        // Scenario 5's property: the *publisher* going away does not matter;
+        // only storage nodes do. Publishing then never touching the
+        // publisher again still lets others fetch.
+        let s = ReplicatedStore::new(8, 2).unwrap();
+        s.publish(Epoch::new(1), vec![txn("Beijing", 1), txn("Beijing", 2)])
+            .unwrap();
+        // (No "Beijing" node exists to take down — peers ≠ storage nodes.)
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn fetch_single_and_duplicate_rejection() {
+        let s = ReplicatedStore::new(4, 2).unwrap();
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        assert!(s.fetch(&TxnId::new(PeerId::new("A"), 1)).unwrap().is_some());
+        assert!(s.fetch(&TxnId::new(PeerId::new("A"), 9)).unwrap().is_none());
+        assert!(matches!(
+            s.publish(Epoch::new(2), vec![txn("A", 1)]),
+            Err(StoreError::DuplicateTxn(_))
+        ));
+    }
+
+    #[test]
+    fn publish_routes_around_dead_nodes() {
+        let s = ReplicatedStore::new(4, 2).unwrap();
+        // Kill two nodes *before* publishing: replicas land on the alive two.
+        s.take_node_down(0);
+        s.take_node_down(1);
+        s.publish(Epoch::new(1), (0..20).map(|i| txn("E", i)).collect())
+            .unwrap();
+        assert_eq!(s.availability(), 1.0);
+        // Killing the remaining nodes loses everything.
+        s.take_node_down(2);
+        s.take_node_down(3);
+        assert_eq!(s.availability(), 0.0);
+        // Bringing back an originally-dead node does not help: it holds no
+        // payloads.
+        s.bring_node_up(0);
+        assert_eq!(s.availability(), 0.0);
+    }
+
+    #[test]
+    fn latest_epoch_and_probe_stats() {
+        let s = ReplicatedStore::new(4, 2).unwrap();
+        s.publish(Epoch::new(2), vec![txn("A", 1)]).unwrap();
+        assert_eq!(s.latest_epoch(), Some(Epoch::new(2)));
+        s.fetch_since(Epoch::zero()).unwrap();
+        let st = s.stats();
+        assert!(st.probes >= 3, "publish probes + fetch probes");
+        assert_eq!(st.fetched, 1);
+    }
+
+    #[test]
+    fn ring_hash_is_deterministic() {
+        let a = ring_hash(&TxnId::new(PeerId::new("A"), 1));
+        let b = ring_hash(&TxnId::new(PeerId::new("A"), 1));
+        let c = ring_hash(&TxnId::new(PeerId::new("A"), 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,89 @@
+//! Logical time.
+//!
+//! "Each update exchange operation advances a logical clock: the overall
+//! state of data in the system has changed, and any future updates should
+//! be causally related to the previously accepted ones." (§2)
+
+use std::fmt;
+
+/// A logical epoch. Epoch 0 is "before any update exchange".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// Build an epoch from its counter value.
+    pub fn new(value: u64) -> Self {
+        Epoch(value)
+    }
+
+    /// The initial epoch (no exchanges yet).
+    pub fn zero() -> Self {
+        Epoch(0)
+    }
+
+    /// The raw counter.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch.
+    pub fn next(&self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The system-wide logical clock, advanced once per update exchange.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock {
+    current: Epoch,
+}
+
+impl LogicalClock {
+    /// A clock at epoch 0.
+    pub fn new() -> Self {
+        LogicalClock {
+            current: Epoch::zero(),
+        }
+    }
+
+    /// The current epoch.
+    pub fn current(&self) -> Epoch {
+        self.current
+    }
+
+    /// Advance and return the new epoch.
+    pub fn advance(&mut self) -> Epoch {
+        self.current = self.current.next();
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_order() {
+        assert!(Epoch::zero() < Epoch::new(1));
+        assert_eq!(Epoch::new(3).next(), Epoch::new(4));
+        assert_eq!(Epoch::new(2).value(), 2);
+        assert_eq!(Epoch::new(5).to_string(), "e5");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = LogicalClock::new();
+        assert_eq!(c.current(), Epoch::zero());
+        let e1 = c.advance();
+        let e2 = c.advance();
+        assert!(e1 < e2);
+        assert_eq!(c.current(), e2);
+        assert_eq!(e2.value(), 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! The transaction dependency graph.
+//!
+//! "Data dependencies between operations in different transactions …
+//! induce a dependency graph on the transactions themselves that must be
+//! respected when considering which transactions to accept or reject." (§2)
+//!
+//! Reconciliation uses three closures over this graph:
+//!
+//! * **antecedent closure** — everything a candidate needs accepted first
+//!   (builds *applicable transaction groups*),
+//! * **dependent closure** — everything that must be rejected when a
+//!   transaction is rejected, or deferred when it is deferred,
+//! * **topological order** — antecedents before dependents when applying.
+
+use crate::error::UpdateError;
+use crate::txn::TxnId;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A DAG over transaction ids. Edges point from a transaction to its
+/// antecedents (the transactions it depends on).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    /// txn → its antecedents.
+    antecedents: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// txn → transactions that directly depend on it.
+    dependents: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Nodes created implicitly as forward references; a later real insert
+    /// upgrades them instead of erroring as a duplicate.
+    placeholders: BTreeSet<TxnId>,
+}
+
+impl DepGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Insert a transaction with its antecedent set. Antecedents that have
+    /// not (yet) been inserted are recorded as placeholder nodes — the
+    /// archive may deliver transactions out of order — and upgraded when
+    /// the real transaction arrives.
+    pub fn insert(&mut self, id: TxnId, antecedents: BTreeSet<TxnId>) -> Result<()> {
+        if self.antecedents.contains_key(&id) && !self.placeholders.remove(&id) {
+            return Err(UpdateError::DuplicateTxn(id.to_string()));
+        }
+        for a in &antecedents {
+            if !self.antecedents.contains_key(a) {
+                self.antecedents.insert(a.clone(), BTreeSet::new());
+                self.placeholders.insert(a.clone());
+            }
+            self.dependents
+                .entry(a.clone())
+                .or_default()
+                .insert(id.clone());
+        }
+        self.dependents.entry(id.clone()).or_default();
+        self.antecedents.insert(id, antecedents);
+        Ok(())
+    }
+
+    /// True iff the transaction is only known as a forward reference.
+    pub fn is_placeholder(&self, id: &TxnId) -> bool {
+        self.placeholders.contains(id)
+    }
+
+    /// True iff the transaction is known.
+    pub fn contains(&self, id: &TxnId) -> bool {
+        self.antecedents.contains_key(id)
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.antecedents.len()
+    }
+
+    /// True iff the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.antecedents.is_empty()
+    }
+
+    /// Direct antecedents of a transaction.
+    pub fn antecedents_of(&self, id: &TxnId) -> Result<&BTreeSet<TxnId>> {
+        self.antecedents
+            .get(id)
+            .ok_or_else(|| UpdateError::UnknownTxn(id.to_string()))
+    }
+
+    /// Direct dependents of a transaction.
+    pub fn dependents_of(&self, id: &TxnId) -> Result<&BTreeSet<TxnId>> {
+        self.dependents
+            .get(id)
+            .ok_or_else(|| UpdateError::UnknownTxn(id.to_string()))
+    }
+
+    /// All transactions the given one transitively depends on, **excluding**
+    /// itself, in breadth-first order from the target.
+    pub fn antecedent_closure(&self, id: &TxnId) -> Result<BTreeSet<TxnId>> {
+        self.closure(id, &self.antecedents)
+    }
+
+    /// All transactions that transitively depend on the given one,
+    /// **excluding** itself.
+    pub fn dependent_closure(&self, id: &TxnId) -> Result<BTreeSet<TxnId>> {
+        self.closure(id, &self.dependents)
+    }
+
+    fn closure(
+        &self,
+        id: &TxnId,
+        edges: &BTreeMap<TxnId, BTreeSet<TxnId>>,
+    ) -> Result<BTreeSet<TxnId>> {
+        if !self.antecedents.contains_key(id) {
+            return Err(UpdateError::UnknownTxn(id.to_string()));
+        }
+        let mut seen: BTreeSet<TxnId> = BTreeSet::new();
+        let mut queue: VecDeque<&TxnId> = VecDeque::new();
+        queue.push_back(id);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(next) = edges.get(cur) {
+                for n in next {
+                    if seen.insert(n.clone()) {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        seen.remove(id);
+        Ok(seen)
+    }
+
+    /// A topological order with antecedents before dependents. Errors if a
+    /// cycle exists (cannot arise from causally well-formed publication, but
+    /// the archive is untrusted input).
+    pub fn topo_order(&self) -> Result<Vec<TxnId>> {
+        let mut in_deg: BTreeMap<&TxnId, usize> = self
+            .antecedents
+            .iter()
+            .map(|(id, ants)| (id, ants.len()))
+            .collect();
+        let mut ready: VecDeque<&TxnId> = in_deg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::with_capacity(in_deg.len());
+        while let Some(id) = ready.pop_front() {
+            out.push(id.clone());
+            if let Some(deps) = self.dependents.get(id) {
+                for d in deps {
+                    let deg = in_deg.get_mut(d).expect("dependent is a node");
+                    *deg -= 1;
+                    if *deg == 0 {
+                        ready.push_back(d);
+                    }
+                }
+            }
+        }
+        if out.len() != self.antecedents.len() {
+            return Err(UpdateError::Storage(
+                "dependency cycle among transactions".to_string(),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Restrict a topological order to a set of transactions (helper for
+    /// applying an accepted group in dependency order).
+    pub fn topo_order_of(&self, subset: &BTreeSet<TxnId>) -> Result<Vec<TxnId>> {
+        Ok(self
+            .topo_order()?
+            .into_iter()
+            .filter(|id| subset.contains(id))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::PeerId;
+
+    fn id(peer: &str, seq: u64) -> TxnId {
+        TxnId::new(PeerId::new(peer), seq)
+    }
+
+    /// A1 ← A2 ← A3, and B1 ← A3 (A3 depends on both A2 and B1).
+    fn chain() -> DepGraph {
+        let mut g = DepGraph::new();
+        g.insert(id("A", 1), BTreeSet::new()).unwrap();
+        g.insert(id("A", 2), BTreeSet::from([id("A", 1)])).unwrap();
+        g.insert(id("B", 1), BTreeSet::new()).unwrap();
+        g.insert(id("A", 3), BTreeSet::from([id("A", 2), id("B", 1)]))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let g = chain();
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(&id("A", 2)));
+        assert!(!g.contains(&id("C", 1)));
+        assert_eq!(
+            g.antecedents_of(&id("A", 3)).unwrap(),
+            &BTreeSet::from([id("A", 2), id("B", 1)])
+        );
+        assert_eq!(
+            g.dependents_of(&id("A", 1)).unwrap(),
+            &BTreeSet::from([id("A", 2)])
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut g = chain();
+        assert!(matches!(
+            g.insert(id("A", 1), BTreeSet::new()),
+            Err(UpdateError::DuplicateTxn(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_txn_errors() {
+        let g = chain();
+        assert!(g.antecedents_of(&id("Z", 9)).is_err());
+        assert!(g.antecedent_closure(&id("Z", 9)).is_err());
+    }
+
+    #[test]
+    fn antecedent_closure_is_transitive() {
+        let g = chain();
+        assert_eq!(
+            g.antecedent_closure(&id("A", 3)).unwrap(),
+            BTreeSet::from([id("A", 1), id("A", 2), id("B", 1)])
+        );
+        assert!(g.antecedent_closure(&id("A", 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dependent_closure_is_transitive() {
+        let g = chain();
+        assert_eq!(
+            g.dependent_closure(&id("A", 1)).unwrap(),
+            BTreeSet::from([id("A", 2), id("A", 3)])
+        );
+        assert_eq!(
+            g.dependent_closure(&id("B", 1)).unwrap(),
+            BTreeSet::from([id("A", 3)])
+        );
+        assert!(g.dependent_closure(&id("A", 3)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_reference_creates_placeholder() {
+        let mut g = DepGraph::new();
+        // A2 arrives before its antecedent A1.
+        g.insert(id("A", 2), BTreeSet::from([id("A", 1)])).unwrap();
+        assert!(g.contains(&id("A", 1)), "placeholder node exists");
+        assert!(g.is_placeholder(&id("A", 1)));
+        assert!(g.antecedents_of(&id("A", 1)).unwrap().is_empty());
+        assert_eq!(
+            g.dependent_closure(&id("A", 1)).unwrap(),
+            BTreeSet::from([id("A", 2)])
+        );
+        // The real A1 later arrives and upgrades the placeholder.
+        g.insert(id("A", 1), BTreeSet::new()).unwrap();
+        assert!(!g.is_placeholder(&id("A", 1)));
+        // But inserting it twice for real is still an error.
+        assert!(matches!(
+            g.insert(id("A", 1), BTreeSet::new()),
+            Err(UpdateError::DuplicateTxn(_))
+        ));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let g = chain();
+        let order = g.topo_order().unwrap();
+        let pos = |t: &TxnId| order.iter().position(|x| x == t).unwrap();
+        assert!(pos(&id("A", 1)) < pos(&id("A", 2)));
+        assert!(pos(&id("A", 2)) < pos(&id("A", 3)));
+        assert!(pos(&id("B", 1)) < pos(&id("A", 3)));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn topo_order_of_subset() {
+        let g = chain();
+        let subset = BTreeSet::from([id("A", 3), id("A", 1)]);
+        let order = g.topo_order_of(&subset).unwrap();
+        assert_eq!(order, vec![id("A", 1), id("A", 3)]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = DepGraph::new();
+        g.insert(id("A", 1), BTreeSet::from([id("A", 2)])).unwrap();
+        g.insert(id("A", 2), BTreeSet::from([id("A", 1)])).unwrap();
+        assert!(g.topo_order().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DepGraph::new();
+        assert!(g.is_empty());
+        assert!(g.topo_order().unwrap().is_empty());
+    }
+}

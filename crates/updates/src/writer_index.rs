@@ -1,0 +1,262 @@
+//! Deriving antecedents: who last wrote each key?
+//!
+//! When a peer publishes a transaction that modifies or deletes a tuple,
+//! that transaction *depends on* the transaction that produced the tuple's
+//! current version. The [`WriterIndex`] tracks, per (relation, key), the
+//! last writing transaction, so publication can stamp antecedent sets
+//! without scanning history.
+
+use crate::txn::{Transaction, TxnId};
+use crate::update::Update;
+use crate::Result;
+use orchestra_relational::{DatabaseSchema, Tuple};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Tracks the last writer of every (relation, key) pair.
+#[derive(Debug, Clone, Default)]
+pub struct WriterIndex {
+    last_writer: HashMap<(Arc<str>, Tuple), TxnId>,
+}
+
+impl WriterIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        WriterIndex::default()
+    }
+
+    /// The last transaction that wrote this key, if any.
+    pub fn last_writer(&self, relation: &str, key: &Tuple) -> Option<&TxnId> {
+        // Avoid allocating an Arc for the probe by scanning on miss-prone
+        // path only if needed; HashMap requires the exact key type, so we
+        // build the probe key once.
+        self.last_writer.get(&(Arc::from(relation), key.clone()))
+    }
+
+    /// Compute the antecedent set for a list of updates: the distinct last
+    /// writers of every key the updates *read* (delete/modify). Inserts of
+    /// fresh keys contribute nothing.
+    pub fn antecedents_for(
+        &self,
+        schema: &DatabaseSchema,
+        updates: &[Update],
+    ) -> Result<BTreeSet<TxnId>> {
+        let mut out = BTreeSet::new();
+        for u in updates {
+            if u.read_version().is_none() {
+                continue;
+            }
+            let rel = schema
+                .relation(u.relation())
+                .map_err(crate::error::UpdateError::from)?;
+            let key = u.key(rel);
+            if let Some(w) = self.last_writer.get(&(Arc::clone(u.relation()), key)) {
+                out.insert(w.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Record a transaction's writes as the new last-writers.
+    pub fn record(&mut self, schema: &DatabaseSchema, txn: &Transaction) -> Result<()> {
+        for u in &txn.updates {
+            let rel = schema
+                .relation(u.relation())
+                .map_err(crate::error::UpdateError::from)?;
+            let key = u.key(rel);
+            self.last_writer
+                .insert((Arc::clone(u.relation()), key), txn.id.clone());
+        }
+        Ok(())
+    }
+
+    /// Convenience: compute antecedents for `updates`, then record the
+    /// resulting transaction. Returns the transaction with its antecedent
+    /// set stamped.
+    pub fn stamp_and_record(
+        &mut self,
+        schema: &DatabaseSchema,
+        mut txn: Transaction,
+    ) -> Result<Transaction> {
+        let ants = self.antecedents_for(schema, &txn.updates)?;
+        // A transaction never depends on itself (a modify following an
+        // insert of the same key inside one transaction).
+        txn.antecedents
+            .extend(ants.into_iter().filter(|a| *a != txn.id));
+        self.record(schema, &txn)?;
+        Ok(txn)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.last_writer.len()
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.last_writer.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Epoch;
+    use crate::txn::PeerId;
+    use orchestra_relational::{tuple, RelationSchema, ValueType};
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new("T")
+            .with_relation(
+                RelationSchema::from_parts_keyed(
+                    "S",
+                    &[("k", ValueType::Int), ("v", ValueType::Str)],
+                    &["k"],
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    fn txn(peer: &str, seq: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::new(TxnId::new(PeerId::new(peer), seq), Epoch::new(1), updates)
+    }
+
+    #[test]
+    fn insert_then_modify_creates_dependency() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        let t1 = idx
+            .stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        assert!(t1.antecedents.is_empty(), "fresh insert has no deps");
+
+        let t2 = idx
+            .stamp_and_record(
+                &s,
+                txn(
+                    "B",
+                    1,
+                    vec![Update::modify("S", tuple![1, "a"], tuple![1, "b"])],
+                ),
+            )
+            .unwrap();
+        assert_eq!(t2.antecedents, BTreeSet::from([t1.id.clone()]));
+    }
+
+    #[test]
+    fn delete_depends_on_last_writer() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        let t1 = idx
+            .stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        let t2 = idx
+            .stamp_and_record(&s, txn("B", 1, vec![Update::delete("S", tuple![1, "a"])]))
+            .unwrap();
+        assert_eq!(t2.antecedents, BTreeSet::from([t1.id]));
+    }
+
+    #[test]
+    fn chain_of_modifies_tracks_latest_writer_only() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        let t1 = idx
+            .stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        let t2 = idx
+            .stamp_and_record(
+                &s,
+                txn(
+                    "B",
+                    1,
+                    vec![Update::modify("S", tuple![1, "a"], tuple![1, "b"])],
+                ),
+            )
+            .unwrap();
+        let t3 = idx
+            .stamp_and_record(
+                &s,
+                txn(
+                    "C",
+                    1,
+                    vec![Update::modify("S", tuple![1, "b"], tuple![1, "c"])],
+                ),
+            )
+            .unwrap();
+        assert_eq!(t2.antecedents, BTreeSet::from([t1.id]));
+        assert_eq!(t3.antecedents, BTreeSet::from([t2.id]), "latest writer only");
+    }
+
+    #[test]
+    fn intra_txn_self_dependency_suppressed() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        // Insert and modify the same key within one transaction.
+        let t = idx
+            .stamp_and_record(
+                &s,
+                txn(
+                    "A",
+                    1,
+                    vec![
+                        Update::insert("S", tuple![1, "a"]),
+                        Update::modify("S", tuple![1, "a"], tuple![1, "b"]),
+                    ],
+                ),
+            )
+            .unwrap();
+        assert!(t.antecedents.is_empty());
+    }
+
+    #[test]
+    fn independent_keys_no_dependency() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        idx.stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        let t2 = idx
+            .stamp_and_record(&s, txn("B", 1, vec![Update::insert("S", tuple![2, "b"])]))
+            .unwrap();
+        assert!(t2.antecedents.is_empty());
+    }
+
+    #[test]
+    fn multi_key_reads_union_antecedents() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        let t1 = idx
+            .stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        let t2 = idx
+            .stamp_and_record(&s, txn("B", 1, vec![Update::insert("S", tuple![2, "b"])]))
+            .unwrap();
+        let t3 = idx
+            .stamp_and_record(
+                &s,
+                txn(
+                    "C",
+                    1,
+                    vec![
+                        Update::delete("S", tuple![1, "a"]),
+                        Update::delete("S", tuple![2, "b"]),
+                    ],
+                ),
+            )
+            .unwrap();
+        assert_eq!(t3.antecedents, BTreeSet::from([t1.id, t2.id]));
+    }
+
+    #[test]
+    fn last_writer_lookup_and_len() {
+        let s = schema();
+        let mut idx = WriterIndex::new();
+        assert!(idx.is_empty());
+        let t1 = idx
+            .stamp_and_record(&s, txn("A", 1, vec![Update::insert("S", tuple![1, "a"])]))
+            .unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.last_writer("S", &tuple![1]), Some(&t1.id));
+        assert_eq!(idx.last_writer("S", &tuple![9]), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the transaction dependency graph.
+
+use orchestra_updates::{DepGraph, PeerId, TxnId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn id(n: usize) -> TxnId {
+    TxnId::new(PeerId::new("P"), n as u64)
+}
+
+/// A random DAG: node i may depend only on nodes < i (guarantees acyclicity).
+fn dag_strategy() -> impl Strategy<Value = Vec<BTreeSet<usize>>> {
+    proptest::collection::vec(proptest::collection::btree_set(0usize..12, 0..4), 1..12)
+        .prop_map(|nodes| {
+            nodes
+                .into_iter()
+                .enumerate()
+                .map(|(i, deps)| deps.into_iter().filter(|&d| d < i).collect())
+                .collect()
+        })
+}
+
+fn build(dag: &[BTreeSet<usize>]) -> DepGraph {
+    let mut g = DepGraph::new();
+    for (i, deps) in dag.iter().enumerate() {
+        g.insert(id(i), deps.iter().map(|&d| id(d)).collect())
+            .unwrap();
+    }
+    g
+}
+
+proptest! {
+    /// Topological order puts every antecedent before its dependent.
+    #[test]
+    fn topo_order_respects_edges(dag in dag_strategy()) {
+        let g = build(&dag);
+        let order = g.topo_order().unwrap();
+        let pos = |t: &TxnId| order.iter().position(|x| x == t).unwrap();
+        for (i, deps) in dag.iter().enumerate() {
+            for &d in deps {
+                prop_assert!(pos(&id(d)) < pos(&id(i)), "{d} before {i}");
+            }
+        }
+        prop_assert_eq!(order.len(), dag.len());
+    }
+
+    /// The antecedent closure contains the direct antecedents and is
+    /// transitively closed.
+    #[test]
+    fn antecedent_closure_is_closed(dag in dag_strategy()) {
+        let g = build(&dag);
+        for (i, deps) in dag.iter().enumerate() {
+            let closure = g.antecedent_closure(&id(i)).unwrap();
+            for &d in deps {
+                prop_assert!(closure.contains(&id(d)));
+            }
+            // Transitivity: antecedents of members are members.
+            for m in &closure {
+                for a in g.antecedents_of(m).unwrap() {
+                    prop_assert!(closure.contains(a));
+                }
+            }
+            prop_assert!(!closure.contains(&id(i)), "closure excludes self");
+        }
+    }
+
+    /// Dependent closure is the inverse relation of antecedent closure.
+    #[test]
+    fn closures_are_inverse(dag in dag_strategy()) {
+        let g = build(&dag);
+        for i in 0..dag.len() {
+            for j in 0..dag.len() {
+                let i_in_deps_of_j = g.dependent_closure(&id(j)).unwrap().contains(&id(i));
+                let j_in_ants_of_i = g.antecedent_closure(&id(i)).unwrap().contains(&id(j));
+                prop_assert_eq!(i_in_deps_of_j, j_in_ants_of_i);
+            }
+        }
+    }
+
+    /// `topo_order_of` preserves relative order and exactly covers the subset.
+    #[test]
+    fn subset_order_is_consistent(dag in dag_strategy(), picks in proptest::collection::btree_set(0usize..12, 0..8)) {
+        let g = build(&dag);
+        let subset: BTreeSet<TxnId> = picks
+            .into_iter()
+            .filter(|&p| p < dag.len())
+            .map(id)
+            .collect();
+        let sub_order = g.topo_order_of(&subset).unwrap();
+        prop_assert_eq!(sub_order.len(), subset.len());
+        let full = g.topo_order().unwrap();
+        let pos_full = |t: &TxnId| full.iter().position(|x| x == t).unwrap();
+        for w in sub_order.windows(2) {
+            prop_assert!(pos_full(&w[0]) < pos_full(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Conflict deferral and manual resolution — the paper's demonstration
+//! scenario 4, narrated: two equally-trusted peers publish conflicting
+//! sequence claims; Dresden defers both; a dependent update arrives and is
+//! deferred transitively; the administrator resolves the conflict and the
+//! winner's chain applies automatically.
+//!
+//! Run with `cargo run --example conflict_resolution`.
+
+use orchestra_core::demo;
+use orchestra_relational::tuple;
+use orchestra_updates::{PeerId, Update};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cdss = demo::figure2()?;
+    let alaska = PeerId::new("Alaska");
+    let beijing = PeerId::new("Beijing");
+    let crete = PeerId::new("Crete");
+    let dresden = PeerId::new("Dresden");
+
+    // Shared context: Alaska names the organism and protein; Beijing
+    // learns the ids before the two diverge.
+    cdss.publish_transaction(
+        &alaska,
+        vec![
+            Update::insert("O", tuple!["HIV-1", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+        ],
+    )?;
+    cdss.reconcile(&beijing)?;
+
+    println!("═══ Beijing and Alaska publish conflicting sequence claims ═══");
+    let alaska_txn = cdss.publish_transaction(
+        &alaska,
+        vec![Update::insert("S", tuple![1, 2, "SEQ-ALASKA-VARIANT"])],
+    )?;
+    let beijing_txn = cdss.publish_transaction(
+        &beijing,
+        vec![Update::insert("S", tuple![1, 2, "SEQ-BEIJING-VARIANT"])],
+    )?;
+    println!("  {alaska_txn}: S(1,2) = SEQ-ALASKA-VARIANT");
+    println!("  {beijing_txn}: S(1,2) = SEQ-BEIJING-VARIANT");
+
+    println!("\n═══ Dresden reconciles: same priority ⇒ defer both ═══");
+    let report = cdss.reconcile(&dresden)?;
+    println!(
+        "  deferred: {:?}",
+        report.outcome.deferred.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    for (a, b) in cdss.peer(&dresden)?.open_conflicts() {
+        println!("  open conflict: {a} vs {b} (awaiting the administrator)");
+    }
+    assert!(cdss.peer(&dresden)?.instance().relation("OPS")?.is_empty());
+
+    println!("\n═══ Crete reconciles (prefers Beijing) and modifies its update ═══");
+    cdss.reconcile(&crete)?;
+    let crete_txn = cdss.publish_transaction(
+        &crete,
+        vec![Update::modify(
+            "OPS",
+            tuple!["HIV-1", "gp120", "SEQ-BEIJING-VARIANT"],
+            tuple!["HIV-1", "gp120", "SEQ-CRETE-CURATED"],
+        )],
+    )?;
+    let stored = cdss.store().fetch(&crete_txn)?.unwrap();
+    println!("  {stored}");
+
+    println!("\n═══ Dresden reconciles again: transitive deferral ═══");
+    let report = cdss.reconcile(&dresden)?;
+    println!(
+        "  deferred (depends on deferred Beijing txn): {:?}",
+        report.outcome.deferred.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    println!("\n═══ The administrator resolves in favor of {beijing_txn} ═══");
+    let res = cdss.resolve(&dresden, &beijing_txn)?;
+    println!(
+        "  accepted automatically: {:?}",
+        res.outcome.accepted.iter().map(|t| t.id.to_string()).collect::<Vec<_>>()
+    );
+    println!(
+        "  rejected (loser + dependents): {:?}",
+        res.outcome.rejected.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    println!("\nDresden's final instance (Crete's curated value won through):");
+    println!("{}", cdss.peer(&dresden)?.instance());
+    assert!(cdss
+        .peer(&dresden)?
+        .instance()
+        .relation("OPS")?
+        .contains(&tuple!["HIV-1", "gp120", "SEQ-CRETE-CURATED"]));
+    Ok(())
+}

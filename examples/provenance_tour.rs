@@ -1,0 +1,100 @@
+//! A tour of the provenance semiring framework (PODS'07) on real
+//! update-exchange provenance: one translated tuple, many readings.
+//!
+//! Run with `cargo run --example provenance_tour`.
+
+use orchestra_core::demo;
+use orchestra_provenance::{Boolean, Counting, Polynomial, Semiring, Tropical};
+use orchestra_relational::tuple;
+use orchestra_updates::{PeerId, Update};
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cdss = demo::figure2()?;
+    let alaska = PeerId::new("Alaska");
+    let beijing = PeerId::new("Beijing");
+    let dresden = PeerId::new("Dresden");
+
+    // Two independent supports for the same OPS row at Dresden: Alaska's
+    // triple and Beijing's triple (different ids, same org/prot/seq).
+    cdss.publish_transaction(
+        &alaska,
+        vec![
+            Update::insert("O", tuple!["HIV-1", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+            Update::insert("S", tuple![1, 2, "MRVKEKYQ"]),
+        ],
+    )?;
+    cdss.publish_transaction(
+        &beijing,
+        vec![
+            Update::insert("O", tuple!["HIV-1", 7]),
+            Update::insert("P", tuple!["gp120", 8]),
+            Update::insert("S", tuple![7, 8, "MRVKEKYQ"]),
+        ],
+    )?;
+    cdss.reconcile(&dresden)?;
+
+    let peer = cdss.peer(&dresden)?;
+    let target = tuple!["HIV-1", "gp120", "MRVKEKYQ"];
+    let poly: Polynomial<_> = peer
+        .provenance("OPS", &target)
+        .expect("translated tuple has provenance");
+
+    println!("═══ Provenance of Dresden's OPS{target} ═══\n");
+    println!("N[X] polynomial over base-tuple tokens:\n  {poly}\n");
+    println!("Each token is a published base tuple:");
+    for v in poly.variables() {
+        let (publisher, tup) = peer
+            .node_transaction(v)
+            .map(|txn| (txn.peer.name().to_string(), v))
+            .unwrap();
+        println!("  {tup} ← published by {publisher}");
+    }
+
+    // ── The provenance hierarchy ──────────────────────────────────────
+    println!("\n═══ Coarser views (the PODS'07 hierarchy) ═══");
+    println!("B[X]  (drop coefficients): {}", poly.drop_coefficients());
+    println!("Trio  (drop exponents):    {}", poly.drop_exponents());
+    println!("Why   (witness sets):      {}", poly.why());
+    println!("PosB  (minimal witnesses): {}", poly.why().minimize());
+    println!(
+        "Lin   (flat lineage):      {:?}",
+        poly.lineage().iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+
+    // ── Semiring evaluations ──────────────────────────────────────────
+    println!("\n═══ Semiring evaluations (the universal property of N[X]) ═══");
+
+    // Counting: how many derivations?
+    let count = poly.eval(|_| Counting(1));
+    println!("derivation count (ℕ, +, ×):        {count}");
+
+    // Boolean with Alaska's tokens dead: still derivable via Beijing.
+    let alaska_tokens: BTreeSet<_> = poly
+        .variables()
+        .into_iter()
+        .filter(|v| peer.node_transaction(*v).is_some_and(|t| t.peer == alaska))
+        .collect();
+    let without_alaska = poly.eval(|v| Boolean(!alaska_tokens.contains(v)));
+    println!("derivable without Alaska (B, ∨, ∧): {without_alaska}");
+    let nothing_dead = poly.eval(|_| Boolean(true));
+    println!("derivable with everything (B):      {nothing_dead}");
+
+    // Tropical: cheapest derivation if Alaska's data costs 5/token and
+    // Beijing's costs 1/token (e.g. inverse trust weights).
+    let cheapest = poly.eval(|v| {
+        let owner = peer.node_transaction(*v).unwrap();
+        Tropical::cost(if owner.peer == alaska { 5 } else { 1 })
+    });
+    println!("cheapest derivation (min, +):       {cheapest}");
+
+    // Restriction: the polynomial over the sub-database without Alaska.
+    let restricted = poly.restrict_without(&alaska_tokens);
+    println!("\npolynomial restricted to Beijing-only support:\n  {restricted}");
+
+    // And the well-founded check agrees with the Boolean evaluation.
+    assert_eq!(!restricted.is_zero(), without_alaska.0);
+    println!("\n(restriction non-zero ⇔ Boolean evaluation: verified)");
+    Ok(())
+}

@@ -1,0 +1,224 @@
+//! Failure injection: what happens to update exchange when the archive
+//! degrades, when peers submit malformed input, and at API misuse points.
+
+use orchestra_core::{demo, Cdss, CoreError};
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
+use orchestra_reconcile::TrustPolicy;
+use orchestra_store::{ReplicatedStore, StoreError, UpdateStore};
+use orchestra_updates::{Epoch, PeerId, Update};
+use std::sync::Arc;
+
+/// Forwarding wrapper (keeps a handle for churn control).
+struct Shared(Arc<ReplicatedStore>);
+
+impl UpdateStore for Shared {
+    fn publish(
+        &self,
+        epoch: Epoch,
+        txns: Vec<orchestra_updates::Transaction>,
+    ) -> orchestra_store::Result<()> {
+        self.0.publish(epoch, txns)
+    }
+    fn fetch_since(
+        &self,
+        since: Epoch,
+    ) -> orchestra_store::Result<Vec<orchestra_updates::Transaction>> {
+        self.0.fetch_since(since)
+    }
+    fn fetch(
+        &self,
+        id: &orchestra_updates::TxnId,
+    ) -> orchestra_store::Result<Option<orchestra_updates::Transaction>> {
+        self.0.fetch(id)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn latest_epoch(&self) -> Option<Epoch> {
+        self.0.latest_epoch()
+    }
+    fn stats(&self) -> orchestra_store::StoreStats {
+        self.0.stats()
+    }
+}
+
+/// When the archive loses all replicas of a payload, reconciliation
+/// surfaces a store error and the peer's state is untouched; after the
+/// nodes recover, the same reconcile succeeds.
+#[test]
+fn reconcile_survives_store_outage_and_recovers() {
+    let dht = Arc::new(ReplicatedStore::new(4, 1).unwrap());
+    let mut cdss = demo::figure2_with_store(Box::new(Shared(Arc::clone(&dht)))).unwrap();
+    let alaska = PeerId::new("Alaska");
+    let dresden = PeerId::new("Dresden");
+
+    cdss.publish_transaction(
+        &alaska,
+        vec![
+            Update::insert("O", tuple!["HIV", 1]),
+            Update::insert("P", tuple!["gp120", 2]),
+            Update::insert("S", tuple![1, 2, "AAA"]),
+        ],
+    )
+    .unwrap();
+
+    // Kill every storage node: the payload is unreachable.
+    for n in 0..4 {
+        dht.take_node_down(n);
+    }
+    let err = cdss.reconcile(&dresden);
+    assert!(matches!(err, Err(CoreError::Store(_))));
+    assert_eq!(
+        cdss.peer(&dresden).unwrap().instance().total_tuples(),
+        0,
+        "failed reconcile left no partial state"
+    );
+
+    // Nodes come back: the very same reconcile succeeds.
+    for n in 0..4 {
+        dht.bring_node_up(n);
+    }
+    let report = cdss.reconcile(&dresden).unwrap();
+    assert_eq!(report.outcome.accepted.len(), 1);
+    assert!(cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap()
+        .contains(&tuple!["HIV", "gp120", "AAA"]));
+}
+
+/// Publishing malformed updates fails loudly, before anything is archived.
+#[test]
+fn malformed_updates_rejected_at_publish() {
+    let mut cdss = demo::figure2().unwrap();
+    let alaska = PeerId::new("Alaska");
+
+    // Wrong arity.
+    let err = cdss.publish_transaction(&alaska, vec![Update::insert("O", tuple!["HIV"])]);
+    assert!(err.is_err());
+    // Unknown relation.
+    let err = cdss.publish_transaction(&alaska, vec![Update::insert("Zed", tuple![1])]);
+    assert!(err.is_err());
+    // Modify that changes the key.
+    let err = cdss.publish_transaction(
+        &alaska,
+        vec![Update::modify("O", tuple!["HIV", 1], tuple!["HIV", 2])],
+    );
+    assert!(err.is_err());
+    assert_eq!(cdss.store().len(), 0, "nothing was archived");
+}
+
+/// Unknown peers are rejected across the public API surface.
+#[test]
+fn unknown_peer_errors() {
+    let mut cdss = demo::figure2().unwrap();
+    let ghost = PeerId::new("Ghost");
+    assert!(matches!(
+        cdss.publish(&ghost),
+        Err(CoreError::UnknownPeer(_))
+    ));
+    assert!(matches!(
+        cdss.reconcile(&ghost),
+        Err(CoreError::UnknownPeer(_))
+    ));
+    assert!(cdss.peer(&ghost).is_err());
+    assert!(matches!(
+        cdss.resolve(&ghost, &orchestra_updates::TxnId::new(PeerId::new("A"), 1)),
+        Err(CoreError::UnknownPeer(_))
+    ));
+}
+
+/// Builder misconfiguration is caught at build time.
+#[test]
+fn builder_validation() {
+    // No peers.
+    assert!(matches!(
+        Cdss::builder().build(),
+        Err(CoreError::Config(_))
+    ));
+    // Identity mappings between peers with different schemas.
+    let s1 = DatabaseSchema::new("a")
+        .with_relation(RelationSchema::from_parts("R", &[("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let s2 = DatabaseSchema::new("b")
+        .with_relation(RelationSchema::from_parts("Q", &[("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let err = Cdss::builder()
+        .peer("A", s1.clone(), TrustPolicy::open(1))
+        .peer("B", s2, TrustPolicy::open(1))
+        .identity("A", "B");
+    assert!(matches!(err, Err(CoreError::Config(_))));
+    // Identity with an unknown peer.
+    let err = Cdss::builder()
+        .peer("A", s1.clone(), TrustPolicy::open(1))
+        .identity("A", "Nope");
+    assert!(matches!(err, Err(CoreError::UnknownPeer(_))));
+    // Duplicate peer names.
+    let err = Cdss::builder()
+        .peer("A", s1.clone(), TrustPolicy::open(1))
+        .peer("A", s1, TrustPolicy::open(1))
+        .build();
+    assert!(err.is_err());
+}
+
+/// Resolving a non-deferred transaction is an error and changes nothing.
+#[test]
+fn resolve_requires_deferred_state() {
+    let mut cdss = demo::figure2().unwrap();
+    let alaska = PeerId::new("Alaska");
+    let dresden = PeerId::new("Dresden");
+    let txn = cdss
+        .publish_transaction(&alaska, vec![Update::insert("O", tuple!["HIV", 1])])
+        .unwrap();
+    cdss.reconcile(&dresden).unwrap();
+    // Accepted, not deferred.
+    let err = cdss.resolve(&dresden, &txn);
+    assert!(matches!(err, Err(CoreError::Reconcile(_))));
+}
+
+/// The store rejects duplicate transaction ids even across publishers —
+/// archived history is immutable.
+#[test]
+fn store_rejects_duplicate_ids() {
+    let store = ReplicatedStore::new(4, 2).unwrap();
+    let txn = orchestra_updates::Transaction::new(
+        orchestra_updates::TxnId::new(PeerId::new("X"), 1),
+        Epoch::new(1),
+        vec![Update::insert("R", tuple![1])],
+    );
+    store.publish(Epoch::new(1), vec![txn.clone()]).unwrap();
+    assert!(matches!(
+        store.publish(Epoch::new(2), vec![txn]),
+        Err(StoreError::DuplicateTxn(_))
+    ));
+}
+
+/// A peer's instance snapshot exports and re-imports losslessly —
+/// including labeled nulls invented by the split mapping.
+#[test]
+fn peer_instance_io_roundtrip() {
+    use orchestra_relational::io::{export_instance, import_instance};
+    let mut cdss = demo::figure2().unwrap();
+    let alaska = PeerId::new("Alaska");
+    let dresden = PeerId::new("Dresden");
+    cdss.publish_transaction(
+        &dresden,
+        vec![Update::insert("OPS", tuple!["Rat", "p53", "MEEP"])],
+    )
+    .unwrap();
+    cdss.reconcile(&alaska).unwrap();
+
+    let original = cdss.peer(&alaska).unwrap().instance().clone();
+    assert!(original
+        .relation("O")
+        .unwrap()
+        .iter()
+        .any(|t| t.has_labeled_null()));
+    let text = export_instance(&original);
+    let mut restored =
+        orchestra_relational::Instance::new(original.schema().clone());
+    import_instance(&mut restored, &text).unwrap();
+    assert_eq!(restored, original);
+}
