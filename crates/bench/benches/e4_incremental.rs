@@ -38,9 +38,7 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         let all = bio_base_facts(base + delta);
         g.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, _| {
             b.iter(|| {
-                black_box(
-                    warm_engine(schema.clone(), rules.clone(), &all, true).total_tuples(),
-                )
+                black_box(warm_engine(schema.clone(), rules.clone(), &all, true).total_tuples())
             });
         });
     }

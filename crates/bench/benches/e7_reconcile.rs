@@ -16,7 +16,12 @@ fn bench_greedy(c: &mut Criterion) {
                 b.iter_batched(
                     || (Reconciler::new(kv_schema()), cands.clone()),
                     |(mut r, cands)| {
-                        black_box(r.reconcile(cands, &TrustPolicy::open(1)).unwrap().accepted.len())
+                        black_box(
+                            r.reconcile(cands, &TrustPolicy::open(1))
+                                .unwrap()
+                                .accepted
+                                .len(),
+                        )
                     },
                     criterion::BatchSize::LargeInput,
                 );

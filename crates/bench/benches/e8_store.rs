@@ -1,10 +1,27 @@
-//! E8 — the simulated P2P store: publish/fetch cost vs replication factor.
+//! E8 — the update archive backends: publish/fetch cost vs replication
+//! factor (simulated DHT) and vs durability policy (WAL-backed store),
+//! plus crash-recovery (reopen) cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orchestra_relational::tuple;
-use orchestra_store::{ReplicatedStore, UpdateStore};
+use orchestra_store::{
+    CacheMode, DurableOptions, DurableStore, ReplicatedStore, SyncPolicy, UpdateStore,
+};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "orchestra-e8-bench-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn txns(n: u64) -> Vec<Transaction> {
     (0..n)
@@ -49,5 +66,115 @@ fn bench_fetch_under_churn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_publish, bench_fetch_under_churn);
+fn bench_durable_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_durable_publish_1000");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("fsync-always", SyncPolicy::Always),
+        ("fsync-every-64", SyncPolicy::EveryN(64)),
+        ("fsync-never", SyncPolicy::Never),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let dir = fresh_dir();
+                let store = DurableStore::open_with(
+                    &dir,
+                    DurableOptions {
+                        sync_policy: policy,
+                        ..DurableOptions::default()
+                    },
+                )
+                .unwrap();
+                // Many small publishes (one WAL append each), so the sync
+                // policies actually differ in fsync count.
+                for (i, batch) in txns(1000).chunks(10).enumerate() {
+                    store
+                        .publish(Epoch::new(i as u64 + 1), batch.to_vec())
+                        .unwrap();
+                }
+                store.sync().unwrap();
+                let n = store.len();
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_durable_fetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_durable_fetch_1000");
+    g.sample_size(10);
+    for (label, cache) in [
+        ("cached", CacheMode::Cached),
+        ("disk-only", CacheMode::DiskOnly),
+    ] {
+        let dir = fresh_dir();
+        let store = DurableStore::open_with(
+            &dir,
+            DurableOptions {
+                cache,
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        store.publish(Epoch::new(1), txns(1000)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| black_box(store.fetch_since(Epoch::zero()).unwrap().len()));
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+fn bench_durable_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_durable_recovery_1000");
+    g.sample_size(10);
+    // Recovery cost with a raw WAL vs a compacted archive.
+    for (label, compacted) in [("wal-replay", false), ("compacted", true)] {
+        let dir = fresh_dir();
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            for e in 0..10u64 {
+                store
+                    .publish(Epoch::new(e + 1), txns_offset(100, e * 100))
+                    .unwrap();
+            }
+            if compacted {
+                store.compact().unwrap();
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let store = DurableStore::open(&dir).unwrap();
+                black_box(store.len())
+            });
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+fn txns_offset(n: u64, base: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::new(
+                TxnId::new(PeerId::new("pub"), base + i),
+                Epoch::new(1),
+                vec![Update::insert("R", tuple![(base + i) as i64, 0])],
+            )
+        })
+        .collect()
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_fetch_under_churn,
+    bench_durable_publish,
+    bench_durable_fetch,
+    bench_durable_recovery
+);
 criterion_main!(benches);

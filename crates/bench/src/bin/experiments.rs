@@ -11,9 +11,11 @@ use orchestra_bench::*;
 use orchestra_core::demo;
 use orchestra_datalog::DeletionAlgorithm;
 use orchestra_provenance::{Boolean, Counting, Semiring, Tropical};
-use orchestra_relational::tuple;
 use orchestra_reconcile::{Reconciler, TrustPolicy};
-use orchestra_store::{ReplicatedStore, UpdateStore};
+use orchestra_relational::tuple;
+use orchestra_store::{
+    CacheMode, DurableOptions, DurableStore, ReplicatedStore, SyncPolicy, UpdateStore,
+};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 
 fn main() {
@@ -152,7 +154,8 @@ fn e2_bionetwork() {
 /// tests/demo_scenarios.rs; this reruns the library-level checks).
 fn e3_scenarios() {
     println!("── E3: demonstration scenarios (§4) ──");
-    let checks: Vec<(&str, fn() -> bool)> = vec![
+    type Check = (&'static str, fn() -> bool);
+    let checks: [Check; 5] = [
         ("1: Alaska↔Dresden translation", scenario1_ok),
         ("2: priority rejection + cascade", scenario2_ok),
         ("3: distrusted antecedent pulled in", scenario3_ok),
@@ -160,7 +163,10 @@ fn e3_scenarios() {
         ("5: offline publisher, archived updates", scenario5_ok),
     ];
     for (name, f) in checks {
-        println!("  scenario {name:<42} {}", if f() { "PASS" } else { "FAIL" });
+        println!(
+            "  scenario {name:<42} {}",
+            if f() { "PASS" } else { "FAIL" }
+        );
     }
     println!();
 }
@@ -268,9 +274,7 @@ fn scenario4_ok() -> bool {
     let r = cdss.reconcile(&PeerId::new("Dresden")).unwrap();
     let deferred = r.outcome.deferred.contains(&a) && r.outcome.deferred.contains(&b);
     let res = cdss.resolve(&PeerId::new("Dresden"), &b).unwrap();
-    deferred
-        && res.outcome.accepted.iter().any(|t| t.id == b)
-        && res.outcome.rejected.contains(&a)
+    deferred && res.outcome.accepted.iter().any(|t| t.id == b) && res.outcome.rejected.contains(&a)
 }
 
 fn scenario5_ok() -> bool {
@@ -411,9 +415,8 @@ fn e7_reconcile() {
             let schema = kv_schema();
             let (_, t_naive) = timed(|| naive_reconcile(&cands, &schema));
             let mut r = Reconciler::new(schema);
-            let (_, t_greedy) = timed(|| {
-                r.reconcile(cands.clone(), &TrustPolicy::open(1)).unwrap()
-            });
+            let (_, t_greedy) =
+                timed(|| r.reconcile(cands.clone(), &TrustPolicy::open(1)).unwrap());
             let accepted = cands
                 .iter()
                 .filter(|c| r.decision(c.id()) == Some(orchestra_reconcile::Decision::Accepted))
@@ -477,6 +480,101 @@ fn e8_store() {
                 store.stats().probes
             );
         }
+    }
+    println!();
+    e8_durable(n_txns);
+}
+
+/// E8b — the durable archive: publish cost per sync policy, fetch cost per
+/// cache tier, and crash-recovery (reopen) cost raw vs compacted.
+fn e8_durable(n_txns: u64) {
+    println!("── E8b: durable archive (WAL + snapshots) ──");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12} {:>12}",
+        "sync policy", "publish ms", "fetch ms", "reopen ms", "txns"
+    );
+    let make_txns = || -> Vec<Transaction> {
+        (0..n_txns)
+            .map(|i| {
+                Transaction::new(
+                    TxnId::new(PeerId::new("pub"), i),
+                    Epoch::new(1),
+                    vec![Update::insert("R", tuple![i as i64, 0])],
+                )
+            })
+            .collect()
+    };
+    for (label, policy) in [
+        ("fsync-always", SyncPolicy::Always),
+        ("fsync-every-64", SyncPolicy::EveryN(64)),
+        ("fsync-never", SyncPolicy::Never),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "orchestra-e8-durable-{label}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions {
+            sync_policy: policy,
+            ..DurableOptions::default()
+        };
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        let batches: Vec<Vec<Transaction>> = make_txns().chunks(100).map(|c| c.to_vec()).collect();
+        let (_, t_pub) = timed(|| {
+            for (i, batch) in batches.into_iter().enumerate() {
+                store.publish(Epoch::new(i as u64 + 1), batch).unwrap();
+            }
+            store.sync().unwrap();
+        });
+        let (fetched, t_fetch) = timed(|| store.fetch_since(Epoch::zero()).unwrap().len());
+        assert_eq!(fetched as u64, n_txns);
+        drop(store);
+        let (reopened, t_reopen) = timed(|| DurableStore::open_with(&dir, opts).unwrap());
+        assert_eq!(reopened.len() as u64, n_txns);
+        println!(
+            "{:>16} {:>12} {:>12} {:>12} {:>12}",
+            label,
+            ms(t_pub),
+            ms(t_fetch),
+            ms(t_reopen),
+            reopened.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!(
+        "\n{:>16} {:>14} {:>14}",
+        "read tier", "cold fetch ms", "reopen ms"
+    );
+    for (label, cache, compact) in [
+        ("cached+wal", CacheMode::Cached, false),
+        ("disk-only+wal", CacheMode::DiskOnly, false),
+        ("disk-only+snap", CacheMode::DiskOnly, true),
+    ] {
+        let dir =
+            std::env::temp_dir().join(format!("orchestra-e8-tier-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions {
+            cache,
+            segment_max_bytes: 64 * 1024,
+            ..DurableOptions::default()
+        };
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        for (i, batch) in make_txns().chunks(100).enumerate() {
+            store
+                .publish(Epoch::new(i as u64 + 1), batch.to_vec())
+                .unwrap();
+        }
+        if compact {
+            store.compact().unwrap();
+        }
+        let (n, t_fetch) = timed(|| store.fetch_since(Epoch::zero()).unwrap().len());
+        assert_eq!(n as u64, n_txns);
+        drop(store);
+        let (reopened, t_reopen) = timed(|| DurableStore::open_with(&dir, opts).unwrap());
+        assert_eq!(reopened.len() as u64, n_txns);
+        println!("{:>16} {:>14} {:>14}", label, ms(t_fetch), ms(t_reopen));
+        let _ = std::fs::remove_dir_all(&dir);
     }
     println!();
 }

@@ -2,10 +2,8 @@
 
 use orchestra_core::{demo, Cdss};
 use orchestra_datalog::{Engine, Rule, Tgd};
-use orchestra_relational::{
-    tuple, DatabaseSchema, RelationSchema, Tuple, Value, ValueType,
-};
 use orchestra_reconcile::{Candidate, TrustPolicy};
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -55,9 +53,7 @@ pub fn star_cdss(n_peers: usize) -> Cdss {
         b = b.peer(format!("P{i}"), kv_schema(), TrustPolicy::open(1));
     }
     for i in 1..n_peers {
-        b = b
-            .identity("Hub", format!("P{i}"))
-            .expect("shared schema");
+        b = b.identity("Hub", format!("P{i}")).expect("shared schema");
     }
     b.build().unwrap()
 }
@@ -124,28 +120,18 @@ pub fn bio_engine_parts() -> (DatabaseSchema, Vec<Rule>) {
         ("Crete", &s2),
         ("Dresden", &s2),
     ] {
-        for rel in
-            orchestra_core::qualified_schema(&PeerId::new(peer), schema).unwrap()
-        {
+        for rel in orchestra_core::qualified_schema(&PeerId::new(peer), schema).unwrap() {
             combined.add_relation(rel).unwrap();
         }
     }
     let mut rules = Vec::new();
-    for m in orchestra_core::identity_mappings(
-        &PeerId::new("Alaska"),
-        &PeerId::new("Beijing"),
-        &s1,
-    )
-    .unwrap()
+    for m in orchestra_core::identity_mappings(&PeerId::new("Alaska"), &PeerId::new("Beijing"), &s1)
+        .unwrap()
     {
         rules.extend(m.compile().unwrap());
     }
-    for m in orchestra_core::identity_mappings(
-        &PeerId::new("Crete"),
-        &PeerId::new("Dresden"),
-        &s2,
-    )
-    .unwrap()
+    for m in orchestra_core::identity_mappings(&PeerId::new("Crete"), &PeerId::new("Dresden"), &s2)
+        .unwrap()
     {
         rules.extend(m.compile().unwrap());
     }
@@ -207,11 +193,7 @@ pub fn reconcile_candidates(
         let conflicting = rng.random_range(0..100u32) < conflict_pct;
         let (update, antecedents) = if let Some((prev_id, prev_key)) = chain_prev.clone() {
             // Continue a dependency chain: modify the previous write.
-            let u = Update::modify(
-                "R",
-                tuple![prev_key, 0],
-                tuple![prev_key, i as i64],
-            );
+            let u = Update::modify("R", tuple![prev_key, 0], tuple![prev_key, i as i64]);
             (u, std::collections::BTreeSet::from([prev_id]))
         } else if conflicting {
             // Write a hot key with a per-txn value: guaranteed conflicts.
@@ -242,8 +224,7 @@ pub fn reconcile_candidates(
             }
         }
         out.push(Candidate::from_txn(
-            Transaction::new(id, Epoch::new(1), vec![update])
-                .with_antecedents(antecedents),
+            Transaction::new(id, Epoch::new(1), vec![update]).with_antecedents(antecedents),
         ));
     }
     out
@@ -252,10 +233,7 @@ pub fn reconcile_candidates(
 /// E7 baseline: a naive reconciler that pairwise-compares **all**
 /// transactions (no priority levels, no groups) and accepts greedily —
 /// the O(n²)-oblivious strawman the paper's engineered algorithm replaces.
-pub fn naive_reconcile(
-    candidates: &[Candidate],
-    schema: &DatabaseSchema,
-) -> (usize, usize) {
+pub fn naive_reconcile(candidates: &[Candidate], schema: &DatabaseSchema) -> (usize, usize) {
     let mut accepted: Vec<&Candidate> = Vec::new();
     let mut rejected = 0usize;
     'outer: for c in candidates {

@@ -5,12 +5,11 @@ use crate::mapping::qualified_schema;
 use crate::peer::Peer;
 use crate::Result;
 use orchestra_datalog::{Engine, Rule, Tgd};
-use orchestra_relational::{DatabaseSchema, Tuple};
 use orchestra_reconcile::{ReconcileOutcome, ResolveOutcome, TrustPolicy};
+use orchestra_relational::{DatabaseSchema, Tuple};
 use orchestra_store::{InMemoryStore, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, LogicalClock, PeerId, Transaction, TxnId, Update};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
 
 /// What one [`Cdss::reconcile`] call did.
 #[derive(Debug, Clone)]
@@ -244,11 +243,7 @@ impl Cdss {
     /// Apply updates to the peer's local instance and publish them as one
     /// transaction (explicit transaction boundary — the unit the CDSS
     /// propagates, translates, and reconciles atomically).
-    pub fn publish_transaction(
-        &mut self,
-        peer_id: &PeerId,
-        updates: Vec<Update>,
-    ) -> Result<TxnId> {
+    pub fn publish_transaction(&mut self, peer_id: &PeerId, updates: Vec<Update>) -> Result<TxnId> {
         let ids = self.publish_transactions(peer_id, vec![updates])?;
         Ok(ids.into_iter().next().expect("one txn"))
     }
@@ -430,11 +425,7 @@ fn causal_order(txns: Vec<Transaction>) -> Vec<Transaction> {
     let mut in_deg: BTreeMap<TxnId, usize> = BTreeMap::new();
     let mut dependents: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
     for (id, txn) in &by_id {
-        let deg = txn
-            .antecedents
-            .iter()
-            .filter(|a| ids.contains(a))
-            .count();
+        let deg = txn.antecedents.iter().filter(|a| ids.contains(a)).count();
         in_deg.insert(id.clone(), deg);
         for a in &txn.antecedents {
             if ids.contains(a) {
@@ -495,10 +486,7 @@ mod tests {
             Epoch::new(epoch),
             vec![],
         )
-        .with_antecedents(
-            ants.iter()
-                .map(|(p, s)| TxnId::new(PeerId::new(*p), *s)),
-        )
+        .with_antecedents(ants.iter().map(|(p, s)| TxnId::new(PeerId::new(*p), *s)))
     }
 
     #[test]
@@ -535,10 +523,7 @@ mod tests {
     fn causal_order_survives_fabricated_cycles() {
         // An adversarial archive could fabricate a cycle; nothing may be
         // dropped.
-        let txns = vec![
-            txn("A", 1, 1, &[("B", 1)]),
-            txn("B", 1, 1, &[("A", 1)]),
-        ];
+        let txns = vec![txn("A", 1, 1, &[("B", 1)]), txn("B", 1, 1, &[("A", 1)])];
         let ordered = causal_order(txns);
         assert_eq!(ordered.len(), 2);
     }

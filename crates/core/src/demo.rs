@@ -16,8 +16,8 @@
 use crate::cdss::Cdss;
 use crate::Result;
 use orchestra_datalog::{Atom, Term, Tgd};
-use orchestra_relational::{DatabaseSchema, RelationSchema, ValueType};
 use orchestra_reconcile::{TrustCondition, TrustPolicy};
+use orchestra_relational::{DatabaseSchema, RelationSchema, ValueType};
 use orchestra_updates::PeerId;
 
 /// Σ1 = {O(org, oid), P(prot, pid), S(oid, pid, seq)} — organisms and
@@ -47,15 +47,17 @@ pub fn sigma1() -> Result<DatabaseSchema> {
 
 /// Σ2 = {OPS(org, prot, seq)} — no IDs; keyed by (org, prot).
 pub fn sigma2() -> Result<DatabaseSchema> {
-    Ok(DatabaseSchema::new("Σ2").with_relation(RelationSchema::from_parts_keyed(
-        "OPS",
-        &[
-            ("org", ValueType::Str),
-            ("prot", ValueType::Str),
-            ("seq", ValueType::Str),
-        ],
-        &["org", "prot"],
-    )?)?)
+    Ok(
+        DatabaseSchema::new("Σ2").with_relation(RelationSchema::from_parts_keyed(
+            "OPS",
+            &[
+                ("org", ValueType::Str),
+                ("prot", ValueType::Str),
+                ("seq", ValueType::Str),
+            ],
+            &["org", "prot"],
+        )?)?,
+    )
 }
 
 /// `MA→C`: join Σ1's three tables into Σ2's `OPS`.
@@ -104,9 +106,7 @@ pub fn figure2() -> Result<Cdss> {
 
 /// Build the Figure 2 CDSS over a caller-provided store (e.g. the
 /// simulated DHT for experiment E8).
-pub fn figure2_with_store(
-    store: Box<dyn orchestra_store::UpdateStore>,
-) -> Result<Cdss> {
+pub fn figure2_with_store(store: Box<dyn orchestra_store::UpdateStore>) -> Result<Cdss> {
     let s1 = sigma1()?;
     let s2 = sigma2()?;
     Cdss::builder()

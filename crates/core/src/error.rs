@@ -79,7 +79,8 @@ mod tests {
         assert!(CoreError::UnknownPeer("X".into())
             .to_string()
             .contains("unknown peer"));
-        let e: CoreError = orchestra_relational::RelationalError::UnknownRelation("R".into()).into();
+        let e: CoreError =
+            orchestra_relational::RelationalError::UnknownRelation("R".into()).into();
         assert!(matches!(e, CoreError::Relational(_)));
         let e: CoreError = orchestra_datalog::DatalogError::UnknownRelation("R".into()).into();
         assert!(matches!(e, CoreError::Datalog(_)));

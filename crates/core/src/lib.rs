@@ -65,7 +65,7 @@ pub mod translate;
 
 pub use cdss::{Cdss, CdssBuilder, CdssStats, ReconcileReport, ResolveReport};
 pub use error::CoreError;
-pub use mapping::{identity_mappings, qualify, qualified_schema};
+pub use mapping::{identity_mappings, qualified_schema, qualify};
 pub use peer::Peer;
 
 /// Crate-wide result alias.

@@ -23,11 +23,8 @@ pub fn qualified_schema(peer: &PeerId, local: &DatabaseSchema) -> Result<Vec<Rel
     let mut out = Vec::with_capacity(local.len());
     for rel in local.relations() {
         let cols: Vec<ColumnDef> = rel.columns().to_vec();
-        let qualified = RelationSchema::with_key(
-            qualify(peer, rel.name()),
-            cols,
-            rel.key().to_vec(),
-        )?;
+        let qualified =
+            RelationSchema::with_key(qualify(peer, rel.name()), cols, rel.key().to_vec())?;
         out.push(qualified);
     }
     Ok(out)
@@ -36,11 +33,7 @@ pub fn qualified_schema(peer: &PeerId, local: &DatabaseSchema) -> Result<Vec<Rel
 /// Identity mappings in **both** directions between two peers sharing a
 /// schema — the paper's `MA↔B` and `MC↔D`. One tgd per relation per
 /// direction, named `"M<A>-><B>/<Rel>"`.
-pub fn identity_mappings(
-    a: &PeerId,
-    b: &PeerId,
-    shared: &DatabaseSchema,
-) -> Result<Vec<Tgd>> {
+pub fn identity_mappings(a: &PeerId, b: &PeerId, shared: &DatabaseSchema) -> Result<Vec<Tgd>> {
     let mut out = Vec::with_capacity(shared.len() * 2);
     for rel in shared.relations() {
         let arity = rel.arity();

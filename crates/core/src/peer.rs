@@ -3,8 +3,8 @@
 
 use crate::Result;
 use orchestra_datalog::{Engine, NodeId, Query};
-use orchestra_relational::{DatabaseSchema, Instance, Tuple};
 use orchestra_reconcile::{Decision, Reconciler, TrustPolicy};
+use orchestra_relational::{DatabaseSchema, Instance, Tuple};
 use orchestra_updates::{Epoch, PeerId, TxnId};
 use std::collections::{BTreeSet, HashMap};
 

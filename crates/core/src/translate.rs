@@ -21,8 +21,8 @@ use crate::mapping::qualify;
 use crate::peer::Peer;
 use crate::Result;
 use orchestra_datalog::{ChangeKind, DeletionAlgorithm, NodeId};
-use orchestra_relational::Tuple;
 use orchestra_reconcile::{Candidate, CandidateUpdate};
+use orchestra_relational::Tuple;
 use orchestra_updates::{PeerId, Transaction, Update};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -32,10 +32,7 @@ impl Peer {
     /// engine and return the candidate it translates to — `None` when the
     /// transaction was published by this peer itself (its effects are
     /// already local).
-    pub(crate) fn ingest_and_translate(
-        &mut self,
-        txn: &Transaction,
-    ) -> Result<Option<Candidate>> {
+    pub(crate) fn ingest_and_translate(&mut self, txn: &Transaction) -> Result<Option<Candidate>> {
         self.ingested.insert(txn.id.clone());
         // Apply the transaction's updates as base-fact operations in the
         // origin peer's namespace.
@@ -112,10 +109,7 @@ impl Peer {
                 Some((old, old_node)) => {
                     let mut all = origins;
                     all.extend(self.origins_of(old_node));
-                    out.push(CandidateUpdate::new(
-                        Update::modify(rel, old, tuple),
-                        all,
-                    ));
+                    out.push(CandidateUpdate::new(Update::modify(rel, old, tuple), all));
                 }
                 None => {
                     out.push(CandidateUpdate::new(Update::insert(rel, tuple), origins));
@@ -155,7 +149,10 @@ impl Peer {
     /// provenance of the tuple versions being read: the transactions whose
     /// base facts appear in their canonical proofs (see
     /// [`origins_of`](Peer::origins_of) for why not reachability).
-    pub(crate) fn derive_antecedents(&self, updates: &[Update]) -> Result<BTreeSet<orchestra_updates::TxnId>> {
+    pub(crate) fn derive_antecedents(
+        &self,
+        updates: &[Update],
+    ) -> Result<BTreeSet<orchestra_updates::TxnId>> {
         let mut out = BTreeSet::new();
         for u in updates {
             let Some(read) = u.read_version() else {

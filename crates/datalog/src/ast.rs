@@ -127,9 +127,7 @@ impl Atom {
 
     /// True iff the atom contains a Skolem term.
     pub fn has_skolem(&self) -> bool {
-        self.terms
-            .iter()
-            .any(|t| matches!(t, Term::Skolem { .. }))
+        self.terms.iter().any(|t| matches!(t, Term::Skolem { .. }))
     }
 }
 

@@ -273,11 +273,14 @@ impl Engine {
                 Term::Const(c) => Slot::Const(c.clone()),
                 Term::Skolem { function, args } => Slot::Skolem {
                     function: Arc::clone(function),
-                    args: args.iter().map(|a| match a {
-                        Term::Var(v) => Slot::Var(var_ids[v]),
-                        Term::Const(c) => Slot::Const(c.clone()),
-                        Term::Skolem { .. } => unreachable!("nested skolems rejected by Tgd"),
-                    }).collect(),
+                    args: args
+                        .iter()
+                        .map(|a| match a {
+                            Term::Var(v) => Slot::Var(var_ids[v]),
+                            Term::Const(c) => Slot::Const(c.clone()),
+                            Term::Skolem { .. } => unreachable!("nested skolems rejected by Tgd"),
+                        })
+                        .collect(),
                 },
             }
         };
@@ -514,8 +517,8 @@ impl Engine {
         while order.len() < n {
             let mut best = usize::MAX;
             let mut best_score = -1i64;
-            for ai in 0..n {
-                if used[ai] {
+            for (ai, &ai_used) in used.iter().enumerate().take(n) {
+                if ai_used {
                     continue;
                 }
                 let score = rule.body[ai]
@@ -692,8 +695,7 @@ impl Engine {
             Slot::Const(c) => c.clone(),
             Slot::Var(v) => bindings[*v].clone().expect("filter var bound"),
             Slot::Skolem { function, args } => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| Self::slot_value(a, bindings)).collect();
+                let vals: Vec<Value> = args.iter().map(|a| Self::slot_value(a, bindings)).collect();
                 Value::skolem(Arc::clone(function), vals)
             }
         }
@@ -763,9 +765,10 @@ impl Engine {
                 wl.push_back(a);
             }
             for d in self.graph.derivations_of(a) {
-                let supported = d.body.iter().all(|b| {
-                    !affected.contains(b) && self.is_alive(*b)
-                });
+                let supported = d
+                    .body
+                    .iter()
+                    .all(|b| !affected.contains(b) && self.is_alive(*b));
                 if supported && derivable.insert(a) {
                     wl.push_back(a);
                 }
@@ -877,8 +880,7 @@ impl Engine {
                 if revived.contains(node) {
                     continue;
                 }
-                let back = self.graph.is_base(*node)
-                    || self.rederivable(rel, t);
+                let back = self.graph.is_base(*node) || self.rederivable(rel, t);
                 if back {
                     self.data
                         .get_mut(rel)
@@ -1021,7 +1023,10 @@ mod tests {
         let r2 = Rule::new(
             "step",
             Atom::vars("path", &["x", "z"]),
-            vec![Atom::vars("edge", &["x", "y"]), Atom::vars("path", &["y", "z"])],
+            vec![
+                Atom::vars("edge", &["x", "y"]),
+                Atom::vars("path", &["y", "z"]),
+            ],
             vec![],
         )
         .unwrap();
@@ -1125,10 +1130,7 @@ mod tests {
         let ns = e.insert_base("s", tuple!["b", "c"]).unwrap();
         e.propagate().unwrap();
         let p = e.provenance("t", &tuple!["a", "c"]).unwrap();
-        assert_eq!(
-            p,
-            Polynomial::var(nr).times(&Polynomial::var(ns))
-        );
+        assert_eq!(p, Polynomial::var(nr).times(&Polynomial::var(ns)));
     }
 
     #[test]
@@ -1160,8 +1162,20 @@ mod tests {
     #[test]
     fn deletion_provenance_based_keeps_alternatives() {
         let db = schema(&[("r", 1), ("s", 1), ("t", 1)]);
-        let r1 = Rule::new("m1", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
-        let r2 = Rule::new("m2", Atom::vars("t", &["x"]), vec![Atom::vars("s", &["x"])], vec![]).unwrap();
+        let r1 = Rule::new(
+            "m1",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("r", &["x"])],
+            vec![],
+        )
+        .unwrap();
+        let r2 = Rule::new(
+            "m2",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("s", &["x"])],
+            vec![],
+        )
+        .unwrap();
         let mut e = Engine::new(db, vec![r1, r2]).unwrap();
         e.insert_base("r", tuple!["a"]).unwrap();
         e.insert_base("s", tuple!["a"]).unwrap();
@@ -1195,8 +1209,20 @@ mod tests {
     fn deletion_in_cycle_is_well_founded() {
         // Identity cycle between two relations.
         let db = schema(&[("A", 1), ("B", 1)]);
-        let r1 = Rule::new("ab", Atom::vars("B", &["x"]), vec![Atom::vars("A", &["x"])], vec![]).unwrap();
-        let r2 = Rule::new("ba", Atom::vars("A", &["x"]), vec![Atom::vars("B", &["x"])], vec![]).unwrap();
+        let r1 = Rule::new(
+            "ab",
+            Atom::vars("B", &["x"]),
+            vec![Atom::vars("A", &["x"])],
+            vec![],
+        )
+        .unwrap();
+        let r2 = Rule::new(
+            "ba",
+            Atom::vars("A", &["x"]),
+            vec![Atom::vars("B", &["x"])],
+            vec![],
+        )
+        .unwrap();
         for algo in [DeletionAlgorithm::ProvenanceBased, DeletionAlgorithm::DRed] {
             let mut e = Engine::new(db.clone(), vec![r1.clone(), r2.clone()]).unwrap();
             e.insert_base("A", tuple!["t"]).unwrap();
@@ -1213,7 +1239,13 @@ mod tests {
     fn base_and_derived_tuple_survives_base_removal() {
         // t(x) :- r(x); t('a') also inserted as base.
         let db = schema(&[("r", 1), ("t", 1)]);
-        let rule = Rule::new("m", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
+        let rule = Rule::new(
+            "m",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("r", &["x"])],
+            vec![],
+        )
+        .unwrap();
         for algo in [DeletionAlgorithm::ProvenanceBased, DeletionAlgorithm::DRed] {
             let mut e = Engine::new(db.clone(), vec![rule.clone()]).unwrap();
             e.insert_base("r", tuple!["a"]).unwrap();
@@ -1236,8 +1268,12 @@ mod tests {
         let ch = e.drain_changes();
         assert_eq!(ch.len(), 2); // edge + path
         assert!(ch.iter().all(|c| c.kind == ChangeKind::Added));
-        e.remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
-            .unwrap();
+        e.remove_base(
+            "edge",
+            &tuple!["a", "b"],
+            DeletionAlgorithm::ProvenanceBased,
+        )
+        .unwrap();
         let ch = e.drain_changes();
         assert_eq!(ch.len(), 2);
         assert!(ch.iter().all(|c| c.kind == ChangeKind::Removed));
@@ -1257,12 +1293,24 @@ mod tests {
     #[test]
     fn unknown_relation_and_arity_errors() {
         let db = schema(&[("r", 1)]);
-        let bad_rel = Rule::new("m", Atom::vars("t", &["x"]), vec![Atom::vars("r", &["x"])], vec![]).unwrap();
+        let bad_rel = Rule::new(
+            "m",
+            Atom::vars("t", &["x"]),
+            vec![Atom::vars("r", &["x"])],
+            vec![],
+        )
+        .unwrap();
         assert!(matches!(
             Engine::new(db.clone(), vec![bad_rel]),
             Err(DatalogError::UnknownRelation(_))
         ));
-        let bad_arity = Rule::new("m", Atom::vars("r", &["x"]), vec![Atom::vars("r", &["x", "y"])], vec![]).unwrap();
+        let bad_arity = Rule::new(
+            "m",
+            Atom::vars("r", &["x"]),
+            vec![Atom::vars("r", &["x", "y"])],
+            vec![],
+        )
+        .unwrap();
         assert!(matches!(
             Engine::new(db.clone(), vec![bad_arity]),
             Err(DatalogError::ArityMismatch { .. })
@@ -1313,7 +1361,10 @@ mod tests {
             Rule::new(
                 "step",
                 Atom::vars("path", &["x", "z"]),
-                vec![Atom::vars("edge", &["x", "y"]), Atom::vars("path", &["y", "z"])],
+                vec![
+                    Atom::vars("edge", &["x", "y"]),
+                    Atom::vars("path", &["y", "z"]),
+                ],
                 vec![],
             )
             .unwrap(),
@@ -1326,7 +1377,10 @@ mod tests {
         }
         with.propagate().unwrap();
         without.propagate().unwrap();
-        assert_eq!(with.relation_tuples("path"), without.relation_tuples("path"));
+        assert_eq!(
+            with.relation_tuples("path"),
+            without.relation_tuples("path")
+        );
         assert!(with.stats().derivations > 0);
         assert_eq!(without.stats().derivations, 0, "graph not recorded");
         // Derived tuples have empty provenance without tracking.
@@ -1335,12 +1389,23 @@ mod tests {
 
         // Deletion still works (falls back to DRed) and agrees with the
         // provenance-tracking engine.
-        with.remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
-            .unwrap();
+        with.remove_base(
+            "edge",
+            &tuple!["a", "b"],
+            DeletionAlgorithm::ProvenanceBased,
+        )
+        .unwrap();
         without
-            .remove_base("edge", &tuple!["a", "b"], DeletionAlgorithm::ProvenanceBased)
+            .remove_base(
+                "edge",
+                &tuple!["a", "b"],
+                DeletionAlgorithm::ProvenanceBased,
+            )
             .unwrap();
-        assert_eq!(with.relation_tuples("path"), without.relation_tuples("path"));
+        assert_eq!(
+            with.relation_tuples("path"),
+            without.relation_tuples("path")
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl fmt::Display for DatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatalogError::UnsafeRule { rule, variable } => {
-                write!(f, "unsafe rule `{rule}`: variable `{variable}` not bound by body")
+                write!(
+                    f,
+                    "unsafe rule `{rule}`: variable `{variable}` not bound by body"
+                )
             }
             DatalogError::ArityMismatch {
                 relation,

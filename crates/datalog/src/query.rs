@@ -105,11 +105,7 @@ impl Query {
                     return Ok(());
                 }
             }
-            let row: Vec<Value> = self
-                .select
-                .iter()
-                .map(|v| bindings[v].clone())
-                .collect();
+            let row: Vec<Value> = self.select.iter().map(|v| bindings[v].clone()).collect();
             out.push(Tuple::new(row));
             return Ok(());
         }
@@ -358,8 +354,12 @@ mod tests {
         )
         .unwrap();
         // Asking for (org, oid): the invented id is not a certain answer.
-        let q = Query::new(&["org", "oid"], vec![Atom::vars("O", &["org", "oid"])], vec![])
-            .unwrap();
+        let q = Query::new(
+            &["org", "oid"],
+            vec![Atom::vars("O", &["org", "oid"])],
+            vec![],
+        )
+        .unwrap();
         assert_eq!(q.eval(&inst).unwrap().len(), 2);
         assert_eq!(q.eval_certain(&inst).unwrap(), vec![tuple!["HIV", 1]]);
         // Projecting only org: both rows are certain.

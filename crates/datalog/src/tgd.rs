@@ -42,11 +42,7 @@ pub struct Tgd {
 
 impl Tgd {
     /// Build a tgd.
-    pub fn new(
-        name: impl AsRef<str>,
-        body: Vec<Atom>,
-        head: Vec<Atom>,
-    ) -> Result<Tgd> {
+    pub fn new(name: impl AsRef<str>, body: Vec<Atom>, head: Vec<Atom>) -> Result<Tgd> {
         Tgd::with_filters(name, body, head, vec![])
     }
 
@@ -71,10 +67,7 @@ impl Tgd {
         for atom in &head {
             for term in &atom.terms {
                 if let Term::Skolem { args, .. } = term {
-                    if args
-                        .iter()
-                        .any(|a| matches!(a, Term::Skolem { .. }))
-                    {
+                    if args.iter().any(|a| matches!(a, Term::Skolem { .. })) {
                         return Err(DatalogError::InvalidTgd(format!(
                             "mapping `{name}`: nested Skolem terms are not supported"
                         )));

@@ -322,11 +322,13 @@ mod tests {
     fn eval_tropical_takes_cheapest_derivation() {
         // x·y + z with costs x=1, y=2, z=5 → min(1+2, 5) = 3.
         let p = x().times(&y()).plus(&z());
-        let t = p.eval(|v| Tropical::cost(match v {
-            1 => 1,
-            2 => 2,
-            _ => 5,
-        }));
+        let t = p.eval(|v| {
+            Tropical::cost(match v {
+                1 => 1,
+                2 => 2,
+                _ => 5,
+            })
+        });
         assert_eq!(t, Tropical::cost(3));
     }
 
@@ -388,7 +390,10 @@ mod tests {
         assert!(p.derivable_without(&dead_z), "x·y survives");
         let dead_xz = BTreeSet::from([1u32, 3]);
         assert!(!p.derivable_without(&dead_xz), "both derivations dead");
-        assert!(P::one().derivable_without(&dead_xz), "constants always derivable");
+        assert!(
+            P::one().derivable_without(&dead_xz),
+            "constants always derivable"
+        );
         assert!(!P::zero().derivable_without(&BTreeSet::new()));
     }
 
@@ -415,10 +420,7 @@ mod tests {
     fn poly_strategy() -> impl Strategy<Value = P> {
         // Up to 4 terms, vars in 0..5, exponents 1..3, coefficients 1..4.
         proptest::collection::vec(
-            (
-                proptest::collection::vec((0u32..5, 1u32..3), 0..3),
-                1u64..4,
-            ),
+            (proptest::collection::vec((0u32..5, 1u32..3), 0..3), 1u64..4),
             0..4,
         )
         .prop_map(|terms| {

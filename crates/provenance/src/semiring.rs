@@ -32,8 +32,7 @@ pub trait Semiring: Clone + PartialEq + fmt::Debug {
 
     /// Sum of an iterator (0 for empty).
     fn sum<I: IntoIterator<Item = Self>>(iter: I) -> Self {
-        iter.into_iter()
-            .fold(Self::zero(), |acc, x| acc.plus(&x))
+        iter.into_iter().fold(Self::zero(), |acc, x| acc.plus(&x))
     }
 
     /// Product of an iterator (1 for empty).
@@ -46,11 +45,7 @@ pub trait Semiring: Clone + PartialEq + fmt::Debug {
 /// a named law on violation; intended for property tests.
 pub fn check_semiring_laws<S: Semiring>(a: &S, b: &S, c: &S) {
     // Additive monoid.
-    assert_eq!(
-        a.plus(&b.plus(c)),
-        a.plus(b).plus(c),
-        "plus associativity"
-    );
+    assert_eq!(a.plus(&b.plus(c)), a.plus(b).plus(c), "plus associativity");
     assert_eq!(a.plus(b), b.plus(a), "plus commutativity");
     assert_eq!(a.plus(&S::zero()), *a, "plus identity");
     // Multiplicative monoid.
@@ -166,9 +161,7 @@ impl Semiring for Tropical {
     fn times(&self, other: &Self) -> Self {
         match (self, other) {
             (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
-            (Tropical::Finite(a), Tropical::Finite(b)) => {
-                Tropical::Finite(a.saturating_add(*b))
-            }
+            (Tropical::Finite(a), Tropical::Finite(b)) => Tropical::Finite(a.saturating_add(*b)),
         }
     }
 }

@@ -312,10 +312,7 @@ mod tests {
     }
 
     fn witness_sets() -> impl Strategy<Value = BTreeSet<BTreeSet<u32>>> {
-        proptest::collection::btree_set(
-            proptest::collection::btree_set(0u32..5, 0..3),
-            0..4,
-        )
+        proptest::collection::btree_set(proptest::collection::btree_set(0u32..5, 0..3), 0..4)
     }
 
     fn why_strategy() -> impl Strategy<Value = W> {

@@ -167,11 +167,15 @@ impl Reconciler {
         let mut deferred_now: BTreeSet<TxnId> = BTreeSet::new();
         {
             // key → [(eligible index, writer, outcome)].
-            let mut by_key: BTreeMap<&(Arc<str>, Tuple), Vec<(usize, &TxnId, &WriteOutcome)>> =
-                BTreeMap::new();
+            type WritersByKey<'a> =
+                BTreeMap<&'a (Arc<str>, Tuple), Vec<(usize, &'a TxnId, &'a WriteOutcome)>>;
+            let mut by_key: WritersByKey<'_> = BTreeMap::new();
             for (idx, (_, _, writes)) in eligible.iter().enumerate() {
                 for (key, (writer, w_outcome)) in writes {
-                    by_key.entry(key).or_default().push((idx, writer, w_outcome));
+                    by_key
+                        .entry(key)
+                        .or_default()
+                        .push((idx, writer, w_outcome));
                 }
             }
             let mut conflicting_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
@@ -308,9 +312,7 @@ impl Reconciler {
     fn writes_conflict_with_history(&self, writes: &GroupWrites) -> Result<bool> {
         for (key, (writer, outcome)) in writes {
             if let Some((accepted_writer, accepted_outcome)) = self.accepted_writes.get(key) {
-                if outcome != accepted_outcome
-                    && !self.causally_related(writer, accepted_writer)?
-                {
+                if outcome != accepted_outcome && !self.causally_related(writer, accepted_writer)? {
                     return Ok(true);
                 }
             }
@@ -379,20 +381,21 @@ impl Reconciler {
                 .map_err(ReconcileError::from)?;
             for d in deps {
                 match self.decisions.get(&d) {
-                    Some(Decision::Deferred) | None => {
-                        if self.pool.contains_key(&d) || self.decisions.contains_key(&d) {
-                            self.record(d.clone(), Decision::Rejected);
-                            out.rejected.push(d);
-                        }
+                    Some(Decision::Deferred) | None
+                        if (self.pool.contains_key(&d) || self.decisions.contains_key(&d)) =>
+                    {
+                        self.record(d.clone(), Decision::Rejected);
+                        out.rejected.push(d);
                     }
                     _ => {}
                 }
             }
         }
         // Drop resolved conflict pairs.
-        self.conflicts
-            .retain(|(a, b)| self.decisions.get(a) == Some(&Decision::Deferred)
-                && self.decisions.get(b) == Some(&Decision::Deferred));
+        self.conflicts.retain(|(a, b)| {
+            self.decisions.get(a) == Some(&Decision::Deferred)
+                && self.decisions.get(b) == Some(&Decision::Deferred)
+        });
 
         // Accept the winner (group semantics: pull undecided antecedents).
         self.decisions.remove(winner); // Allow classify/accept to re-run.
@@ -778,14 +781,22 @@ mod tests {
     fn later_epoch_conflict_with_accepted_history_rejects() {
         let mut r = Reconciler::new(schema());
         r.reconcile(
-            vec![Candidate::from_txn(txn("A", 1, vec![ins("HIV", "gp120", "V1")]))],
+            vec![Candidate::from_txn(txn(
+                "A",
+                1,
+                vec![ins("HIV", "gp120", "V1")],
+            ))],
             &open_policy(),
         )
         .unwrap();
         // Later, B writes the same key differently with no dependency.
         let out = r
             .reconcile(
-                vec![Candidate::from_txn(txn("B", 1, vec![ins("HIV", "gp120", "V2")]))],
+                vec![Candidate::from_txn(txn(
+                    "B",
+                    1,
+                    vec![ins("HIV", "gp120", "V2")],
+                ))],
                 &open_policy(),
             )
             .unwrap();
@@ -796,7 +807,11 @@ mod tests {
     fn dependent_update_on_accepted_antecedent_is_applied() {
         let mut r = Reconciler::new(schema());
         r.reconcile(
-            vec![Candidate::from_txn(txn("A", 1, vec![ins("HIV", "gp120", "V1")]))],
+            vec![Candidate::from_txn(txn(
+                "A",
+                1,
+                vec![ins("HIV", "gp120", "V1")],
+            ))],
             &open_policy(),
         )
         .unwrap();
@@ -821,8 +836,7 @@ mod tests {
     fn missing_antecedent_defers() {
         let mut r = Reconciler::new(schema());
         let orphan = Candidate::from_txn(
-            txn("B", 2, vec![ins("HIV", "gp120", "V2")])
-                .with_antecedents([id("Ghost", 1)]),
+            txn("B", 2, vec![ins("HIV", "gp120", "V2")]).with_antecedents([id("Ghost", 1)]),
         );
         let out = r.reconcile(vec![orphan], &open_policy()).unwrap();
         assert_eq!(out.deferred, vec![id("B", 2)]);
@@ -844,8 +858,7 @@ mod tests {
         .unwrap();
         // E depends on both deferred A1 and deferred C1.
         let e = Candidate::from_txn(
-            txn("E", 1, vec![ins("k3", "p", "ve")])
-                .with_antecedents([id("A", 1), id("C", 1)]),
+            txn("E", 1, vec![ins("k3", "p", "ve")]).with_antecedents([id("A", 1), id("C", 1)]),
         );
         r.reconcile(vec![e], &open_policy()).unwrap();
         assert_eq!(r.decision(&id("E", 1)), Some(Decision::Deferred));

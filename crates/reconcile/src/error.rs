@@ -51,8 +51,7 @@ mod tests {
 
     #[test]
     fn from_update_error() {
-        let e: ReconcileError =
-            orchestra_updates::UpdateError::UnknownRelation("R".into()).into();
+        let e: ReconcileError = orchestra_updates::UpdateError::UnknownRelation("R".into()).into();
         assert!(matches!(e, ReconcileError::Updates(_)));
     }
 }

@@ -91,11 +91,7 @@ impl TrustCondition {
     }
 
     /// Trust updates matching a content predicate at a priority.
-    pub fn content(
-        relation: impl AsRef<str>,
-        predicate: Predicate,
-        priority: Priority,
-    ) -> Self {
+    pub fn content(relation: impl AsRef<str>, predicate: Predicate, priority: Priority) -> Self {
         TrustCondition {
             relation: Some(Arc::from(relation.as_ref())),
             published_by: None,
@@ -274,8 +270,14 @@ mod tests {
         let p = TrustPolicy::closed()
             .with(TrustCondition::peer(PeerId::new("Beijing"), 2))
             .with(TrustCondition::peer(PeerId::new("Dresden"), 1));
-        let from_beijing = cand("Beijing", vec![Update::insert("OPS", tuple!["a", "b", "c"])]);
-        let from_dresden = cand("Dresden", vec![Update::insert("OPS", tuple!["a", "b", "c"])]);
+        let from_beijing = cand(
+            "Beijing",
+            vec![Update::insert("OPS", tuple!["a", "b", "c"])],
+        );
+        let from_dresden = cand(
+            "Dresden",
+            vec![Update::insert("OPS", tuple!["a", "b", "c"])],
+        );
         let from_alaska = cand("Alaska", vec![Update::insert("OPS", tuple!["a", "b", "c"])]);
         assert_eq!(p.txn_priority(&from_beijing), 2);
         assert_eq!(p.txn_priority(&from_dresden), 1);
@@ -301,7 +303,10 @@ mod tests {
         let p = TrustPolicy::closed()
             .with(TrustCondition::relation("OPS", 1))
             .with(TrustCondition::peer(PeerId::new("Beijing"), 2));
-        let c = cand("Beijing", vec![Update::insert("OPS", tuple!["a", "b", "c"])]);
+        let c = cand(
+            "Beijing",
+            vec![Update::insert("OPS", tuple!["a", "b", "c"])],
+        );
         // Matches both; takes the max (2).
         assert_eq!(p.txn_priority(&c), 2);
     }
@@ -317,8 +322,8 @@ mod tests {
         let c = cand(
             "X",
             vec![
-                Update::insert("OPS", tuple!["HIV", "p", "s"]),  // priority 2
-                Update::insert("OPS", tuple!["Rat", "p", "s"]),  // priority 0
+                Update::insert("OPS", tuple!["HIV", "p", "s"]), // priority 2
+                Update::insert("OPS", tuple!["Rat", "p", "s"]), // priority 0
             ],
         );
         assert_eq!(p.txn_priority(&c), crate::DISTRUSTED);
@@ -395,8 +400,7 @@ mod tests {
     #[test]
     fn derived_from_matches_deep_origins() {
         // A condition on deep lineage matches regardless of publisher.
-        let p = TrustPolicy::closed()
-            .with(TrustCondition::derived_from(PeerId::new("Beijing"), 1));
+        let p = TrustPolicy::closed().with(TrustCondition::derived_from(PeerId::new("Beijing"), 1));
         let via_beijing = Candidate::from_updates(
             TxnId::new(PeerId::new("Alaska"), 1),
             Epoch::new(1),

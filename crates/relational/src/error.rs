@@ -31,10 +31,7 @@ pub enum RelationalError {
     },
     /// An insert would violate the relation's key: a different tuple with the
     /// same key projection already exists.
-    KeyConflict {
-        relation: String,
-        key: String,
-    },
+    KeyConflict { relation: String, key: String },
     /// A tuple targeted by a delete/modify does not exist.
     NoSuchTuple { relation: String, key: String },
     /// A schema was declared inconsistently (duplicate columns, key columns

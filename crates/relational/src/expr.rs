@@ -160,10 +160,7 @@ mod tests {
     fn mixed_types_error() {
         let t = tuple![1, "x"];
         let add = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
-        assert!(matches!(
-            add.eval(&t),
-            Err(RelationalError::ExprError(_))
-        ));
+        assert!(matches!(add.eval(&t), Err(RelationalError::ExprError(_))));
     }
 
     #[test]

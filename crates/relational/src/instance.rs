@@ -26,8 +26,7 @@ pub struct InstanceDelta {
 impl InstanceDelta {
     /// True iff the delta contains no changes.
     pub fn is_empty(&self) -> bool {
-        self.insertions.values().all(Vec::is_empty)
-            && self.deletions.values().all(Vec::is_empty)
+        self.insertions.values().all(Vec::is_empty) && self.deletions.values().all(Vec::is_empty)
     }
 
     /// Total number of changed tuples.

@@ -163,9 +163,7 @@ fn unescape_until<'a>(s: &'a str, stops: &[char]) -> Result<(String, &'a str)> {
                 Some((_, 't')) => out.push('\t'),
                 Some((_, 'n')) => out.push('\n'),
                 Some((_, other)) => out.push(other),
-                None => {
-                    return Err(RelationalError::ExprError("dangling escape".into()))
-                }
+                None => return Err(RelationalError::ExprError("dangling escape".into())),
             }
         } else if stops.contains(&c) {
             return Ok((out, &s[i..]));
@@ -178,10 +176,7 @@ fn unescape_until<'a>(s: &'a str, stops: &[char]) -> Result<(String, &'a str)> {
 
 /// Encode a tuple as tab-separated encoded values.
 pub fn encode_tuple(t: &Tuple) -> String {
-    t.iter()
-        .map(encode_value)
-        .collect::<Vec<_>>()
-        .join("\t")
+    t.iter().map(encode_value).collect::<Vec<_>>().join("\t")
 }
 
 /// Decode a tuple line.
@@ -292,9 +287,7 @@ mod tests {
                 .unwrap(),
             )
             .unwrap()
-            .with_relation(
-                RelationSchema::from_parts("N", &[("v", ValueType::Str)]).unwrap(),
-            )
+            .with_relation(RelationSchema::from_parts("N", &[("v", ValueType::Str)]).unwrap())
             .unwrap()
     }
 
@@ -364,10 +357,7 @@ mod tests {
             "[a-zA-Z0-9 ,()\\\\\t]{0,12}".prop_map(Value::from),
         ];
         leaf.prop_recursive(2, 8, 3, |inner| {
-            (
-                "[a-z]{1,6}",
-                proptest::collection::vec(inner, 0..3),
-            )
+            ("[a-z]{1,6}", proptest::collection::vec(inner, 0..3))
                 .prop_map(|(f, args)| Value::skolem(f, args))
         })
     }

@@ -221,10 +221,7 @@ mod tests {
             Predicate::col_eq(1, "x"),
         ]);
         assert!(p.eval(&t).unwrap());
-        let q = Predicate::Or(vec![
-            Predicate::col_eq(1, "y"),
-            Predicate::col_eq(0, 5),
-        ]);
+        let q = Predicate::Or(vec![Predicate::col_eq(1, "y"), Predicate::col_eq(0, 5)]);
         assert!(q.eval(&t).unwrap());
         assert!(!Predicate::Not(Box::new(q)).eval(&t).unwrap());
     }

@@ -143,10 +143,7 @@ impl Relation {
             }
             idx
         });
-        index
-            .get(values)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        index.get(values).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Scan with a filter on one column (no index; linear).

@@ -91,9 +91,7 @@ impl RelationSchema {
     pub fn from_parts(name: impl AsRef<str>, cols: &[(&str, ValueType)]) -> Result<Self> {
         Self::new(
             name,
-            cols.iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         )
     }
 
@@ -103,10 +101,7 @@ impl RelationSchema {
         cols: &[(&str, ValueType)],
         key_cols: &[&str],
     ) -> Result<Self> {
-        let columns: Vec<ColumnDef> = cols
-            .iter()
-            .map(|(n, t)| ColumnDef::new(*n, *t))
-            .collect();
+        let columns: Vec<ColumnDef> = cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect();
         let mut key = Vec::with_capacity(key_cols.len());
         for kc in key_cols {
             let idx = columns.iter().position(|c| c.name == *kc).ok_or_else(|| {

@@ -145,10 +145,7 @@ mod tests {
         let t = tuple!["org", 1, "seq"];
         assert_eq!(t.project(&[2, 0]), tuple!["seq", "org"]);
         assert_eq!(t.project(&[]), Tuple::new(vec![]));
-        assert_eq!(
-            t.key_values(&[1]),
-            vec![Value::Int(1)]
-        );
+        assert_eq!(t.key_values(&[1]), vec![Value::Int(1)]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// The type of a column in a relation schema.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ValueType {
     /// Boolean.
     Bool,
@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn total_order_across_variants_is_consistent() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::Int(2),
             Value::Null,

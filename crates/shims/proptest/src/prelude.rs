@@ -1,0 +1,10 @@
+//! The glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Alias so `prop::sample::Index`, `prop::collection::vec`, … resolve
+/// after a prelude glob import (as in real proptest).
+pub use crate as prop;

@@ -1,0 +1,35 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An index into a collection whose length is only known at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolve against a collection of `len` elements (`len` must be
+    /// nonzero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_into_bounds() {
+        let i = Index(17);
+        assert_eq!(i.index(5), 2);
+        assert_eq!(i.index(1), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Regex-pattern string strategies: `"[a-z0-9]{1,8}"` as a `Strategy`.
+//!
+//! Supports the subset of regex syntax the workspace's tests use: literal
+//! characters, character classes with ranges and `\t`/`\n`/`\\` escapes,
+//! and `{n}` / `{m,n}` repetition suffixes. Anything unparsable falls back
+//! to generating the pattern verbatim (matching real proptest's behavior
+//! of treating the string as a regex is out of scope for a shim).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = match parse(pattern) {
+        Some(a) => a,
+        None => return pattern.to_string(),
+    };
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            out.push(atom.chars[rng.below(atom.chars.len())]);
+        }
+    }
+    out
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Option<Vec<Atom>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            let close = find_class_end(&chars, i + 1)?;
+            let alphabet = parse_class(&chars[i + 1..close])?;
+            i = close + 1;
+            alphabet
+        } else if chars[i] == '\\' {
+            let c = unescape(*chars.get(i + 1)?);
+            i += 2;
+            vec![c]
+        } else if "(){}|*+?^$.".contains(chars[i]) {
+            // Unsupported metacharacter outside a class.
+            return None;
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}')? + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if max < min || alphabet.is_empty() {
+            return None;
+        }
+        atoms.push(Atom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    Some(atoms)
+}
+
+fn find_class_end(chars: &[char], mut i: usize) -> Option<usize> {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            ']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_class(body: &[char]) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let c = if body[i] == '\\' {
+            let c = unescape(*body.get(i + 1)?);
+            i += 2;
+            c
+        } else {
+            let c = body[i];
+            i += 1;
+            c
+        };
+        // A range like `a-z` (a trailing `-` is a literal).
+        if i + 1 < body.len() && body[i] == '-' && body[i + 1] != ']' {
+            let hi = if body[i + 1] == '\\' {
+                let h = unescape(*body.get(i + 2)?);
+                i += 3;
+                h
+            } else {
+                let h = body[i + 1];
+                i += 2;
+                h
+            };
+            if (hi as u32) < (c as u32) {
+                return None;
+            }
+            for u in c as u32..=hi as u32 {
+                out.push(char::from_u32(u)?);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_ranges_and_repetition() {
+        let mut rng = TestRng::from_seed(21);
+        let pat = "[a-z]{1,6}";
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_zero_min() {
+        let mut rng = TestRng::from_seed(22);
+        let pat = "[a-zA-Z0-9 ,()\\\\\t]{0,12}";
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = pat.generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            saw_empty |= s.is_empty();
+            for c in s.chars() {
+                assert!(c.is_ascii_alphanumeric() || " ,()\\\t".contains(c), "{c:?}");
+            }
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = TestRng::from_seed(23);
+        assert_eq!("[x]{3}".generate(&mut rng), "xxx");
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+
+    #[test]
+    fn unsupported_patterns_fall_back_verbatim() {
+        let mut rng = TestRng::from_seed(24);
+        assert_eq!("(a|b)+".generate(&mut rng), "(a|b)+");
+    }
+}

@@ -1,0 +1,129 @@
+//! The deterministic generator and per-test configuration.
+
+use std::fmt;
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (carried as a `Result` so `prop_assert!` can abort
+/// one case without panicking through arbitrary user frames).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// splitmix64, seeded from the test's name: deterministic across runs and
+/// machines, distinct between tests.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Seed directly (used by the shim's own tests).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_seeding_is_stable_and_distinct() {
+        let a1: Vec<u64> = {
+            let mut r = TestRng::for_test("alpha");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = TestRng::for_test("alpha");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_test("beta");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::from_seed(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TestCaseError::fail("boom").to_string(), "boom");
+    }
+}

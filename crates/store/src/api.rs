@@ -17,6 +17,26 @@ pub enum StoreError {
     },
     /// The store was configured inconsistently (e.g. zero nodes).
     InvalidConfig(String),
+    /// A filesystem operation failed (durable store only). The `io::Error`
+    /// is flattened to strings so `StoreError` stays `Clone + Eq`.
+    Io {
+        /// The operation attempted (`"open segment"`, `"fsync"`, …).
+        op: String,
+        /// The file or directory involved.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// On-disk data failed validation (durable store only): a checksum
+    /// mismatch, an undecodable record, or a sealed file ending mid-frame.
+    Corrupt {
+        /// The corrupt file.
+        path: String,
+        /// Byte offset of the bad frame/record.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -27,6 +47,16 @@ impl fmt::Display for StoreError {
                 write!(f, "transaction `{txn}` unavailable: all replicas offline")
             }
             StoreError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
+            StoreError::Io { op, path, message } => {
+                write!(f, "io error during {op} on `{path}`: {message}")
+            }
+            StoreError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt store file `{path}` at byte {offset}: {reason}")
+            }
         }
     }
 }

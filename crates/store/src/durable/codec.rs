@@ -1,0 +1,730 @@
+//! The durable archive's binary codec: varint/zigzag primitives, a
+//! hand-rolled CRC32 (IEEE 802.3, reflected), and length-prefixed,
+//! checksummed frames around [`Transaction`] batch records.
+//!
+//! Wire formats are deliberately dependency-free and stable:
+//!
+//! ```text
+//! frame   := len:u32le crc:u32le payload[len]     (crc over payload)
+//! payload := RECORD_BATCH epoch:uvarint count:uvarint txn*
+//! txn     := peer:str seq:uvarint epoch:uvarint
+//!            n_updates:uvarint update* n_ants:uvarint txn_id*
+//! update  := 0 rel:str tuple            (insert)
+//!          | 1 rel:str tuple            (delete)
+//!          | 2 rel:str tuple tuple      (modify: old, new)
+//! tuple   := arity:uvarint value*
+//! value   := 0 | 1 b:u8 | 2 i:ivarint | 3 bits:u64le
+//!          | 4 s:str | 5 f:str argc:uvarint value*
+//! str     := len:uvarint utf8-bytes
+//! ```
+
+use orchestra_relational::{Tuple, Value};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Frame header size: u32 length + u32 checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one frame's payload. A corrupt length prefix must not
+/// drive a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// Record tag for a published transaction batch.
+pub const RECORD_BATCH: u8 = 0x01;
+
+/// A decoding failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Offset into the buffer being decoded.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------- crc32
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = (c >> 8) ^ CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize];
+    }
+    !c
+}
+
+// ------------------------------------------------------------ primitives
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    // zigzag: sign goes to bit 0 so small magnitudes stay short.
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked read cursor.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True iff every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn fail<T>(&self, reason: impl Into<String>) -> Result<T> {
+        Err(CodecError {
+            offset: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return self.fail(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn uvarint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return self.fail("uvarint overflows u64");
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return self.fail("uvarint longer than 10 bytes");
+            }
+        }
+    }
+
+    fn ivarint(&mut self) -> Result<i64> {
+        let z = self.uvarint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self) -> Result<&'a str> {
+        let len = self.uvarint()?;
+        if len > self.buf.len() as u64 {
+            return self.fail(format!("string length {len} exceeds buffer"));
+        }
+        let bytes = self.take(len as usize)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s),
+            Err(e) => self.fail(format!("invalid utf8 in string: {e}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- values
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_ivarint(out, *i);
+        }
+        Value::Double(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Skolem(sk) => {
+            out.push(5);
+            put_str(out, &sk.function);
+            put_uvarint(out, sk.args.len() as u64);
+            for a in &sk.args {
+                put_value(out, a);
+            }
+        }
+    }
+}
+
+/// Skolem nesting deeper than this decodes as corruption rather than
+/// recursing toward a stack overflow: a CRC-valid but pathological frame
+/// must surface as an error, not abort the process. Real labeled nulls
+/// nest a handful of levels (one per chained tgd).
+const MAX_VALUE_DEPTH: u32 = 64;
+
+fn get_value(c: &mut Cursor<'_>) -> Result<Value> {
+    get_value_at(c, 0)
+}
+
+fn get_value_at(c: &mut Cursor<'_>, depth: u32) -> Result<Value> {
+    if depth > MAX_VALUE_DEPTH {
+        return c.fail(format!("value nesting exceeds {MAX_VALUE_DEPTH} levels"));
+    }
+    match c.u8()? {
+        0 => Ok(Value::Null),
+        1 => match c.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            other => c.fail(format!("invalid bool byte {other}")),
+        },
+        2 => Ok(Value::Int(c.ivarint()?)),
+        3 => {
+            let bits = u64::from_le_bytes(c.take(8)?.try_into().expect("8 bytes"));
+            Ok(Value::Double(f64::from_bits(bits)))
+        }
+        4 => Ok(Value::str(c.str()?)),
+        5 => {
+            let function = c.str()?.to_owned();
+            let argc = c.uvarint()? as usize;
+            let mut args = Vec::with_capacity(argc.min(1024));
+            for _ in 0..argc {
+                args.push(get_value_at(c, depth + 1)?);
+            }
+            Ok(Value::skolem(function, args))
+        }
+        other => c.fail(format!("unknown value tag {other}")),
+    }
+}
+
+fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_uvarint(out, t.arity() as u64);
+    for v in t.iter() {
+        put_value(out, v);
+    }
+}
+
+fn get_tuple(c: &mut Cursor<'_>) -> Result<Tuple> {
+    let arity = c.uvarint()? as usize;
+    let mut vals = Vec::with_capacity(arity.min(1024));
+    for _ in 0..arity {
+        vals.push(get_value(c)?);
+    }
+    Ok(Tuple::new(vals))
+}
+
+// --------------------------------------------------------------- updates
+
+fn put_update(out: &mut Vec<u8>, u: &Update) {
+    match u {
+        Update::Insert { relation, tuple } => {
+            out.push(0);
+            put_str(out, relation);
+            put_tuple(out, tuple);
+        }
+        Update::Delete { relation, tuple } => {
+            out.push(1);
+            put_str(out, relation);
+            put_tuple(out, tuple);
+        }
+        Update::Modify { relation, old, new } => {
+            out.push(2);
+            put_str(out, relation);
+            put_tuple(out, old);
+            put_tuple(out, new);
+        }
+    }
+}
+
+fn get_update(c: &mut Cursor<'_>) -> Result<Update> {
+    match c.u8()? {
+        0 => {
+            let rel = c.str()?.to_owned();
+            Ok(Update::insert(rel, get_tuple(c)?))
+        }
+        1 => {
+            let rel = c.str()?.to_owned();
+            Ok(Update::delete(rel, get_tuple(c)?))
+        }
+        2 => {
+            let rel = c.str()?.to_owned();
+            let old = get_tuple(c)?;
+            let new = get_tuple(c)?;
+            Ok(Update::modify(rel, old, new))
+        }
+        other => c.fail(format!("unknown update tag {other}")),
+    }
+}
+
+// ---------------------------------------------------------- transactions
+
+fn put_txn_id(out: &mut Vec<u8>, id: &TxnId) {
+    put_str(out, id.peer.name());
+    put_uvarint(out, id.seq);
+}
+
+fn get_txn_id(c: &mut Cursor<'_>) -> Result<TxnId> {
+    let peer = c.str()?.to_owned();
+    let seq = c.uvarint()?;
+    Ok(TxnId::new(PeerId::new(peer), seq))
+}
+
+/// Encode one transaction (appended to `out`).
+pub fn put_transaction(out: &mut Vec<u8>, t: &Transaction) {
+    put_txn_id(out, &t.id);
+    put_uvarint(out, t.epoch.value());
+    put_uvarint(out, t.updates.len() as u64);
+    for u in &t.updates {
+        put_update(out, u);
+    }
+    put_uvarint(out, t.antecedents.len() as u64);
+    for a in &t.antecedents {
+        put_txn_id(out, a);
+    }
+}
+
+/// Decode one transaction.
+pub fn get_transaction(c: &mut Cursor<'_>) -> Result<Transaction> {
+    let id = get_txn_id(c)?;
+    let epoch = Epoch::new(c.uvarint()?);
+    let n_updates = c.uvarint()? as usize;
+    let mut updates = Vec::with_capacity(n_updates.min(4096));
+    for _ in 0..n_updates {
+        updates.push(get_update(c)?);
+    }
+    let n_ants = c.uvarint()? as usize;
+    let mut antecedents = BTreeSet::new();
+    for _ in 0..n_ants {
+        antecedents.insert(get_txn_id(c)?);
+    }
+    Ok(Transaction::new(id, epoch, updates).with_antecedents(antecedents))
+}
+
+// ----------------------------------------------------------- batch record
+
+/// Encode a publish batch record (the only WAL record type today).
+pub fn encode_batch(epoch: Epoch, txns: &[Transaction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * txns.len() + 16);
+    out.push(RECORD_BATCH);
+    put_uvarint(&mut out, epoch.value());
+    put_uvarint(&mut out, txns.len() as u64);
+    for t in txns {
+        put_transaction(&mut out, t);
+    }
+    out
+}
+
+/// Decode a publish batch record; the payload must be consumed exactly.
+pub fn decode_batch(payload: &[u8]) -> Result<(Epoch, Vec<Transaction>)> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    if tag != RECORD_BATCH {
+        return c.fail(format!("unknown record tag {tag}"));
+    }
+    let epoch = Epoch::new(c.uvarint()?);
+    let count = c.uvarint()? as usize;
+    let mut txns = Vec::with_capacity(count.min(65_536));
+    for _ in 0..count {
+        txns.push(get_transaction(&mut c)?);
+    }
+    if !c.is_empty() {
+        return c.fail("trailing bytes after batch record");
+    }
+    Ok((epoch, txns))
+}
+
+// ----------------------------------------------------------------- frame
+
+/// Wrap a payload in a `[len][crc][payload]` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() as u64 <= u64::from(MAX_FRAME_LEN),
+        "oversized frame"
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The outcome of reading one frame from a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete, checksum-valid frame payload of the given total
+    /// on-disk size (header + payload).
+    Ok {
+        /// The verified payload bytes.
+        payload: Vec<u8>,
+        /// Total bytes consumed from the stream.
+        size: usize,
+    },
+    /// The stream ends exactly here — a clean end.
+    Eof,
+    /// The stream ends mid-frame (short header or short payload): the
+    /// torn-tail signature of a crash during append.
+    Torn,
+    /// A complete frame whose checksum (or length prefix) is invalid.
+    Corrupt {
+        /// Why the frame was rejected.
+        reason: String,
+    },
+}
+
+/// Read the frame starting at `buf[offset..]` — a thin adapter over
+/// [`FrameReader`] so there is exactly one frame parser (the streaming
+/// one every production path uses).
+pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
+    let rest = &buf[offset.min(buf.len())..];
+    match FrameReader::new(rest, 0).next_frame() {
+        Ok((_, outcome)) => outcome,
+        Err(e) => FrameRead::Corrupt {
+            reason: format!("read error from in-memory buffer: {e}"),
+        },
+    }
+}
+
+/// Streaming frame iteration over any [`Read`](std::io::Read) source,
+/// holding one frame in memory at a time. This is what keeps recovery and
+/// compaction memory bounded by the largest *frame*, not the file.
+pub struct FrameReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: std::io::Read> FrameReader<R> {
+    /// Wrap a reader positioned at a frame boundary (`base_offset` is that
+    /// position's byte offset within the file, for error reporting).
+    pub fn new(inner: R, base_offset: u64) -> Self {
+        FrameReader {
+            inner,
+            offset: base_offset,
+        }
+    }
+
+    /// Byte offset of the next frame header.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read the next frame. Returns the frame's starting offset alongside
+    /// the outcome; I/O errors other than clean EOF surface as `Err`.
+    pub fn next_frame(&mut self) -> std::io::Result<(u64, FrameRead)> {
+        let start = self.offset;
+        let mut header = [0u8; FRAME_HEADER];
+        match read_exact_or_eof(&mut self.inner, &mut header)? {
+            0 => return Ok((start, FrameRead::Eof)),
+            n if n < FRAME_HEADER => return Ok((start, FrameRead::Torn)),
+            _ => {}
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Ok((
+                start,
+                FrameRead::Corrupt {
+                    reason: format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+                },
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        let got = read_exact_or_eof(&mut self.inner, &mut payload)?;
+        if got < payload.len() {
+            return Ok((start, FrameRead::Torn));
+        }
+        let actual = crc32(&payload);
+        if actual != crc {
+            return Ok((
+                start,
+                FrameRead::Corrupt {
+                    reason: format!(
+                        "checksum mismatch: stored {crc:#010x}, computed {actual:#010x}"
+                    ),
+                },
+            ));
+        }
+        self.offset = start + (FRAME_HEADER + payload.len()) as u64;
+        Ok((
+            start,
+            FrameRead::Ok {
+                size: FRAME_HEADER + payload.len(),
+                payload,
+            },
+        ))
+    }
+}
+
+/// Fill `buf` as far as the stream allows; returns bytes read (< len only
+/// at end of stream).
+fn read_exact_or_eof<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+
+    fn sample_txn() -> Transaction {
+        Transaction::new(
+            TxnId::new(PeerId::new("Alaska"), 7),
+            Epoch::new(3),
+            vec![
+                Update::insert("R", tuple![1, "a"]),
+                Update::modify("R", tuple![1, "a"], tuple![1, "b"]),
+                Update::delete("S", tuple![2.5, false]),
+            ],
+        )
+        .with_antecedents([
+            TxnId::new(PeerId::new("Beijing"), 1),
+            TxnId::new(PeerId::new("Crete"), 9),
+        ])
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn varints_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(Cursor::new(&buf).uvarint().unwrap(), v);
+        }
+        for v in [0i64, -1, 1, 63, -64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            assert_eq!(Cursor::new(&buf).ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn transaction_roundtrip() {
+        let t = sample_txn();
+        let mut buf = Vec::new();
+        put_transaction(&mut buf, &t);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(get_transaction(&mut c).unwrap(), t);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn skolem_and_specials_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Double(f64::NAN),
+            Value::Double(-0.0),
+            Value::Double(f64::INFINITY),
+            Value::skolem("f", vec![Value::skolem("g", vec![Value::Int(-5)])]),
+            Value::str(""),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for v in &vals {
+            assert_eq!(&get_value(&mut c).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let txns = vec![sample_txn()];
+        let payload = encode_batch(Epoch::new(3), &txns);
+        let (ep, decoded) = decode_batch(&payload).unwrap();
+        assert_eq!(ep, Epoch::new(3));
+        assert_eq!(decoded, txns);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_detection() {
+        let payload = encode_batch(Epoch::new(1), &[sample_txn()]);
+        let framed = frame(&payload);
+        match read_frame(&framed, 0) {
+            FrameRead::Ok { payload: p, size } => {
+                assert_eq!(p, payload);
+                assert_eq!(size, framed.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(read_frame(&framed, framed.len()), FrameRead::Eof);
+        // Every strict prefix is torn, never corrupt or ok.
+        for cut in 1..framed.len() {
+            assert_eq!(
+                read_frame(&framed[..cut], 0),
+                FrameRead::Torn,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_flips_are_corrupt() {
+        let framed = frame(&encode_batch(Epoch::new(1), &[sample_txn()]));
+        // Flip each payload byte: checksum must catch it.
+        for i in FRAME_HEADER..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }),
+                "flipped byte {i}"
+            );
+        }
+        // A corrupted stored-crc is also caught.
+        let mut bad = framed.clone();
+        bad[5] ^= 0x01;
+        assert!(matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }));
+        // An absurd length prefix is rejected before allocating.
+        let mut bad = framed;
+        bad[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }));
+    }
+
+    #[test]
+    fn frame_reader_streams_and_classifies() {
+        let a = frame(b"first");
+        let b = frame(b"second");
+        let mut bytes = a.clone();
+        bytes.extend_from_slice(&b);
+        let mut r = FrameReader::new(&bytes[..], 0);
+        match r.next_frame().unwrap() {
+            (0, FrameRead::Ok { payload, .. }) => assert_eq!(payload, b"first"),
+            other => panic!("{other:?}"),
+        }
+        match r.next_frame().unwrap() {
+            (off, FrameRead::Ok { payload, .. }) => {
+                assert_eq!(off, a.len() as u64);
+                assert_eq!(payload, b"second");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(r.next_frame().unwrap(), (_, FrameRead::Eof)));
+        // Torn: stream cut mid-payload.
+        let cut = &bytes[..a.len() + 9];
+        let mut r = FrameReader::new(cut, 0);
+        assert!(matches!(r.next_frame().unwrap(), (0, FrameRead::Ok { .. })));
+        assert!(matches!(r.next_frame().unwrap(), (_, FrameRead::Torn)));
+        // Corrupt: flipped byte.
+        let mut bad = frame(b"x");
+        bad[8] ^= 1;
+        let mut r = FrameReader::new(&bad[..], 0);
+        assert!(matches!(
+            r.next_frame().unwrap(),
+            (0, FrameRead::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_batch(&[]).is_err());
+        assert!(decode_batch(&[0xff]).is_err(), "unknown tag");
+        let mut payload = encode_batch(Epoch::new(1), &[sample_txn()]);
+        payload.push(0);
+        assert!(decode_batch(&payload).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn pathological_skolem_nesting_is_an_error_not_a_crash() {
+        // A CRC-valid frame can still hold adversarial bytes: a run of
+        // nested Skolem headers must decode to an error, not recurse to
+        // a stack overflow.
+        let mut payload = Vec::new();
+        for _ in 0..100_000u32 {
+            payload.push(5); // Skolem tag
+            payload.push(1); // function name length 1
+            payload.push(b'f');
+            payload.push(1); // one argument
+        }
+        let mut c = Cursor::new(&payload);
+        let err = get_value(&mut c).unwrap_err();
+        assert!(err.reason.contains("nesting"), "{err}");
+        // Legitimate nesting well inside the cap still decodes.
+        let mut deep = Value::Int(1);
+        for _ in 0..(MAX_VALUE_DEPTH / 2) {
+            deep = Value::skolem("f", vec![deep]);
+        }
+        let mut buf = Vec::new();
+        put_value(&mut buf, &deep);
+        assert_eq!(get_value(&mut Cursor::new(&buf)).unwrap(), deep);
+    }
+}

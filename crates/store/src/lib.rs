@@ -15,7 +15,7 @@
 //! 2. **Epoch indexing**: a reconciling peer asks for "everything published
 //!    since my last reconciliation epoch".
 //!
-//! Two implementations of the [`UpdateStore`] trait:
+//! Three implementations of the [`UpdateStore`] trait:
 //!
 //! * [`InMemoryStore`] — a centralized archive (the "other methods" case);
 //!   also the reference implementation for tests.
@@ -26,12 +26,18 @@
 //!   deployment detail we substitute per DESIGN.md — but the observable
 //!   behaviour (availability under churn as a function of replication
 //!   factor, probe counts) is preserved for experiment E8.
+//! * [`DurableStore`] — a **crash-recoverable archive on local disk**:
+//!   checksummed frames on a write-ahead log with segment rotation,
+//!   torn-tail recovery, and snapshot-based compaction. The backend that
+//!   lets peers restart without losing the archive (see [`durable`]).
 
 pub mod api;
+pub mod durable;
 pub mod memory;
 pub mod replicated;
 
 pub use api::{StoreError, StoreStats, UpdateStore};
+pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, SyncPolicy};
 pub use memory::InMemoryStore;
 pub use replicated::ReplicatedStore;
 

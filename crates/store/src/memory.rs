@@ -52,10 +52,7 @@ impl UpdateStore for InMemoryStore {
             }
         }
         ids.sort();
-        let out: Vec<Transaction> = ids
-            .iter()
-            .map(|(_, id)| inner.by_id[id].clone())
-            .collect();
+        let out: Vec<Transaction> = ids.iter().map(|(_, id)| inner.by_id[id].clone()).collect();
         inner.stats.fetched += out.len() as u64;
         Ok(out)
     }

@@ -1,0 +1,208 @@
+//! The `UpdateStore` contract, run identically against every backend.
+//!
+//! Whatever holds for the reference [`InMemoryStore`] must hold for the
+//! simulated DHT (with every node up) and for the durable archive in both
+//! cache modes — publishing, epoch-filtered fetches, deterministic order,
+//! atomic duplicate rejection, and counters.
+
+use orchestra_relational::tuple;
+use orchestra_store::{
+    CacheMode, DurableOptions, DurableStore, InMemoryStore, ReplicatedStore, StoreError,
+    UpdateStore,
+};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn txn(peer: &str, seq: u64) -> Transaction {
+    Transaction::new(
+        TxnId::new(PeerId::new(peer), seq),
+        Epoch::zero(),
+        vec![Update::insert("R", tuple![seq as i64])],
+    )
+}
+
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "orchestra-behavior-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Backend {
+    name: &'static str,
+    store: Box<dyn UpdateStore>,
+    dir: Option<PathBuf>,
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// One fresh store per backend flavor.
+fn backends() -> Vec<Backend> {
+    let durable_dir = fresh_dir();
+    let disk_only_dir = fresh_dir();
+    vec![
+        Backend {
+            name: "memory",
+            store: Box::new(InMemoryStore::new()),
+            dir: None,
+        },
+        Backend {
+            name: "replicated",
+            store: Box::new(ReplicatedStore::new(16, 3).unwrap()),
+            dir: None,
+        },
+        Backend {
+            name: "durable-cached",
+            store: Box::new(DurableStore::open(&durable_dir).unwrap()),
+            dir: Some(durable_dir),
+        },
+        Backend {
+            name: "durable-disk-only",
+            store: Box::new(
+                DurableStore::open_with(
+                    &disk_only_dir,
+                    DurableOptions {
+                        cache: CacheMode::DiskOnly,
+                        ..DurableOptions::default()
+                    },
+                )
+                .unwrap(),
+            ),
+            dir: Some(disk_only_dir),
+        },
+    ]
+}
+
+#[test]
+fn publish_and_fetch_since() {
+    for b in backends() {
+        let s = &b.store;
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("B", 1)])
+            .unwrap();
+        s.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 3, "{}", b.name);
+        assert!(
+            all.iter().all(|t| t.epoch >= Epoch::new(1)),
+            "{}: epochs stamp onto transactions",
+            b.name
+        );
+        let recent = s.fetch_since(Epoch::new(1)).unwrap();
+        assert_eq!(recent.len(), 1, "{}", b.name);
+        assert_eq!(recent[0].id, TxnId::new(PeerId::new("A"), 2), "{}", b.name);
+    }
+}
+
+#[test]
+fn fetch_order_is_deterministic() {
+    for b in backends() {
+        let s = &b.store;
+        s.publish(Epoch::new(1), vec![txn("B", 1), txn("A", 1)])
+            .unwrap();
+        s.publish(Epoch::new(2), vec![txn("C", 1)]).unwrap();
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        let names: Vec<&str> = all.iter().map(|t| t.id.peer.name()).collect();
+        assert_eq!(names, ["A", "B", "C"], "{}: (epoch, id) order", b.name);
+    }
+}
+
+#[test]
+fn duplicate_rejected_atomically() {
+    for b in backends() {
+        let s = &b.store;
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        let err = s.publish(Epoch::new(2), vec![txn("C", 1), txn("A", 1)]);
+        assert!(
+            matches!(err, Err(StoreError::DuplicateTxn(_))),
+            "{}",
+            b.name
+        );
+        assert_eq!(s.len(), 1, "{}: batch failed atomically", b.name);
+    }
+}
+
+#[test]
+fn fetch_by_id() {
+    for b in backends() {
+        let s = &b.store;
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        let got = s.fetch(&TxnId::new(PeerId::new("A"), 1)).unwrap();
+        assert!(got.is_some(), "{}", b.name);
+        assert!(
+            s.fetch(&TxnId::new(PeerId::new("Z"), 9)).unwrap().is_none(),
+            "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn latest_epoch_and_len() {
+    for b in backends() {
+        let s = &b.store;
+        assert!(s.is_empty(), "{}", b.name);
+        assert_eq!(s.latest_epoch(), None, "{}", b.name);
+        s.publish(Epoch::new(3), vec![txn("A", 1)]).unwrap();
+        s.publish(Epoch::new(5), vec![txn("A", 2)]).unwrap();
+        assert_eq!(s.latest_epoch(), Some(Epoch::new(5)), "{}", b.name);
+        assert_eq!(s.len(), 2, "{}", b.name);
+    }
+}
+
+#[test]
+fn stats_count() {
+    for b in backends() {
+        let s = &b.store;
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)])
+            .unwrap();
+        s.fetch_since(Epoch::zero()).unwrap();
+        let st = s.stats();
+        assert_eq!(st.published, 2, "{}", b.name);
+        assert_eq!(st.fetched, 2, "{}", b.name);
+    }
+}
+
+#[test]
+fn empty_fetch() {
+    for b in backends() {
+        assert!(
+            b.store.fetch_since(Epoch::zero()).unwrap().is_empty(),
+            "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn updates_and_antecedents_survive_the_store() {
+    // Full payload fidelity: modify/delete updates and antecedent sets
+    // come back exactly as published, from every backend.
+    for b in backends() {
+        let s = &b.store;
+        let rich = Transaction::new(
+            TxnId::new(PeerId::new("A"), 1),
+            Epoch::zero(),
+            vec![
+                Update::insert("R", tuple![1, "a"]),
+                Update::modify("R", tuple![1, "a"], tuple![1, "b"]),
+                Update::delete("S", tuple![2.5, false]),
+            ],
+        )
+        .with_antecedents([TxnId::new(PeerId::new("B"), 3)]);
+        s.publish(Epoch::new(1), vec![rich.clone()]).unwrap();
+        let got = s.fetch(&rich.id).unwrap().unwrap();
+        assert_eq!(got.updates, rich.updates, "{}", b.name);
+        assert_eq!(got.antecedents, rich.antecedents, "{}", b.name);
+    }
+}

@@ -1,0 +1,346 @@
+//! Crash-recovery guarantees of the durable archive:
+//!
+//! * kill-and-reopen: every published epoch is refetchable after restart,
+//!   with no checksum failures, across segment rotations and compactions;
+//! * torn-tail repair: truncating the WAL mid-frame loses exactly the torn
+//!   batch and nothing else;
+//! * sealed-file corruption is detected, never silently dropped.
+
+use orchestra_relational::tuple;
+use orchestra_store::durable::segment::{list_segments, segment_file_name};
+use orchestra_store::{
+    CacheMode, DurableOptions, DurableStore, StoreError, SyncPolicy, UpdateStore,
+};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "orchestra-recovery-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn txn(peer: &str, seq: u64) -> Transaction {
+    Transaction::new(
+        TxnId::new(PeerId::new(peer), seq),
+        Epoch::zero(),
+        vec![
+            Update::insert("R", tuple![seq as i64, format!("v{seq}")]),
+            Update::modify(
+                "R",
+                tuple![seq as i64, format!("v{seq}")],
+                tuple![seq as i64, format!("w{seq}")],
+            ),
+        ],
+    )
+}
+
+fn tiny_segments() -> DurableOptions {
+    DurableOptions {
+        segment_max_bytes: 64, // force a rotation on nearly every publish
+        sync_policy: SyncPolicy::Always,
+        cache: CacheMode::Cached,
+        compact_every_batches: None,
+    }
+}
+
+/// The core acceptance test: publish across several "process lifetimes"
+/// (open → publish → drop), and after every reopen, every epoch ever
+/// published is refetchable with correct contents.
+#[test]
+fn kill_and_reopen_preserves_every_epoch() {
+    for cache in [CacheMode::Cached, CacheMode::DiskOnly] {
+        let dir = fresh_dir("kill-reopen");
+        let opts = DurableOptions {
+            cache,
+            ..tiny_segments()
+        };
+        let mut published: Vec<(u64, u64)> = Vec::new(); // (epoch, seq)
+        for generation in 0..5u64 {
+            let store = DurableStore::open_with(&dir, opts).unwrap();
+            // Everything from prior generations is already there.
+            let recovered = store.fetch_since(Epoch::zero()).unwrap();
+            assert_eq!(
+                recovered.len(),
+                published.len(),
+                "{cache:?} gen {generation}"
+            );
+            for ((epoch, seq), t) in published.iter().zip(&recovered) {
+                assert_eq!(t.epoch, Epoch::new(*epoch));
+                assert_eq!(t.id.seq, *seq);
+                assert_eq!(t.updates.len(), 2, "payloads intact");
+            }
+            // Publish a few more epochs, crossing segment boundaries.
+            for e in 0..3u64 {
+                let epoch = generation * 3 + e + 1;
+                let seq = epoch; // unique per publish
+                store
+                    .publish(Epoch::new(epoch), vec![txn("P", seq)])
+                    .unwrap();
+                published.push((epoch, seq));
+            }
+            // Mid-run compaction on generation 2 must not lose anything.
+            if generation == 2 {
+                store.compact().unwrap().expect("something to compact");
+            }
+            assert_eq!(store.latest_epoch(), Some(Epoch::new(generation * 3 + 3)));
+            drop(store); // "kill"
+        }
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        assert_eq!(store.len(), published.len());
+        let all = store.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), published.len());
+        // Epoch-filtered fetch still honors the boundary after recovery.
+        let late = store.fetch_since(Epoch::new(10)).unwrap();
+        assert_eq!(
+            late.len(),
+            published.iter().filter(|(e, _)| *e > 10).count()
+        );
+        assert!(store.durable_stats().recovered_txns == published.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Chop the active segment mid-frame (a crash during append): reopening
+/// yields exactly the durable prefix, and the store keeps working.
+#[test]
+fn torn_wal_tail_recovers_durable_prefix() {
+    let dir = fresh_dir("torn");
+    let opts = DurableOptions {
+        segment_max_bytes: 1 << 20, // single segment
+        ..tiny_segments()
+    };
+    {
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        for seq in 1..=4u64 {
+            store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+        }
+    }
+    let seg = dir.join(segment_file_name(1));
+    let bytes = fs::read(&seg).unwrap();
+    // Cut into the last frame but leave its header intact: a torn tail.
+    fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    let stats = store.durable_stats();
+    assert!(stats.torn_bytes_truncated > 0, "tail was repaired");
+    let all = store.fetch_since(Epoch::zero()).unwrap();
+    assert_eq!(all.len(), 3, "exactly the durable prefix survives");
+    assert_eq!(store.latest_epoch(), Some(Epoch::new(3)));
+
+    // The repaired log accepts appends and round-trips once more.
+    store.publish(Epoch::new(9), vec![txn("P", 9)]).unwrap();
+    drop(store);
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    assert_eq!(store.fetch_since(Epoch::zero()).unwrap().len(), 4);
+    assert_eq!(store.latest_epoch(), Some(Epoch::new(9)));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Truncating to a bare frame header (no payload at all) is also torn.
+#[test]
+fn torn_tail_at_header_boundary() {
+    let dir = fresh_dir("torn-header");
+    let opts = tiny_segments();
+    {
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        store.publish(Epoch::new(1), vec![txn("P", 1)]).unwrap();
+    }
+    let segs = list_segments(&dir).unwrap();
+    let seg = dir.join(segment_file_name(*segs.last().unwrap()));
+    let mut bytes = fs::read(&seg).unwrap();
+    let valid = bytes.len();
+    // Append 5 garbage bytes: a header fragment of a frame never written.
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    fs::write(&seg, &bytes).unwrap();
+
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    assert_eq!(store.fetch_since(Epoch::zero()).unwrap().len(), 1);
+    assert_eq!(fs::metadata(&seg).unwrap().len(), valid as u64, "tail gone");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Bit-rot inside a *sealed* complete frame is corruption, not a torn
+/// tail: the open must fail loudly rather than drop acknowledged data.
+#[test]
+fn corrupt_sealed_frame_fails_open() {
+    let dir = fresh_dir("corrupt");
+    let opts = tiny_segments();
+    {
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        for seq in 1..=6u64 {
+            store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+        }
+        assert!(store.durable_stats().segments > 1, "rotation happened");
+    }
+    let first = dir.join(segment_file_name(
+        *list_segments(&dir).unwrap().first().unwrap(),
+    ));
+    let mut bytes = fs::read(&first).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    fs::write(&first, &bytes).unwrap();
+
+    match DurableStore::open_with(&dir, opts) {
+        Err(StoreError::Corrupt { path, .. }) => {
+            assert!(path.contains("wal-"), "blames the segment: {path}")
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Compaction folds sealed segments into a snapshot, deletes them, and
+/// recovery afterwards sees identical contents (and a bounded replay).
+#[test]
+fn compaction_bounds_recovery_without_losing_data() {
+    let dir = fresh_dir("compact");
+    let opts = tiny_segments();
+    {
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        for seq in 1..=10u64 {
+            store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+        }
+        let before = store.durable_stats();
+        assert!(before.segments > 2);
+
+        let watermark = store.compact().unwrap().expect("compacted");
+        let after = store.durable_stats();
+        assert_eq!(after.snapshot_watermark, Some(watermark));
+        assert_eq!(after.segments, 1, "only the fresh active segment remains");
+        assert!(list_segments(&dir).unwrap().iter().all(|&s| s > watermark));
+
+        // Contents identical through the compaction.
+        let all = store.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(all.len(), 10);
+
+        // A second compact with nothing new is a no-op.
+        assert_eq!(store.compact().unwrap(), None);
+
+        // Publishing continues after compaction.
+        for seq in 11..=13u64 {
+            store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+        }
+    }
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    let all = store.fetch_since(Epoch::zero()).unwrap();
+    assert_eq!(all.len(), 13);
+    for (i, t) in all.iter().enumerate() {
+        assert_eq!(t.epoch, Epoch::new(i as u64 + 1));
+    }
+    // Fetch-by-id reaches both tiers: snapshot and live WAL.
+    assert!(store
+        .fetch(&TxnId::new(PeerId::new("P"), 2))
+        .unwrap()
+        .is_some());
+    assert!(store
+        .fetch(&TxnId::new(PeerId::new("P"), 13))
+        .unwrap()
+        .is_some());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Auto-compaction via `compact_every_batches` keeps working transparently.
+#[test]
+fn auto_compaction_is_transparent() {
+    let dir = fresh_dir("auto-compact");
+    let opts = DurableOptions {
+        compact_every_batches: Some(4),
+        ..tiny_segments()
+    };
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    for seq in 1..=20u64 {
+        store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+    }
+    let stats = store.durable_stats();
+    assert!(stats.compactions >= 4, "{stats:?}");
+    assert_eq!(store.fetch_since(Epoch::zero()).unwrap().len(), 20);
+    drop(store);
+    let store = DurableStore::open_with(&dir, opts).unwrap();
+    assert_eq!(store.fetch_since(Epoch::zero()).unwrap().len(), 20);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Duplicate detection must consult recovered state, not just the current
+/// process's publishes.
+#[test]
+fn duplicates_rejected_across_restarts() {
+    let dir = fresh_dir("dup");
+    {
+        let store = DurableStore::open(&dir).unwrap();
+        store.publish(Epoch::new(1), vec![txn("P", 1)]).unwrap();
+    }
+    let store = DurableStore::open(&dir).unwrap();
+    let err = store.publish(Epoch::new(2), vec![txn("P", 1)]);
+    assert!(matches!(err, Err(StoreError::DuplicateTxn(_))));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Relaxed sync policies trade the crash guarantee for throughput but
+/// still recover cleanly from an orderly shutdown.
+#[test]
+fn relaxed_sync_policies_roundtrip() {
+    for policy in [SyncPolicy::EveryN(3), SyncPolicy::Never] {
+        let dir = fresh_dir("sync-policy");
+        let opts = DurableOptions {
+            sync_policy: policy,
+            ..DurableOptions::default()
+        };
+        {
+            let store = DurableStore::open_with(&dir, opts).unwrap();
+            for seq in 1..=7u64 {
+                store.publish(Epoch::new(seq), vec![txn("P", seq)]).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let store = DurableStore::open_with(&dir, opts).unwrap();
+        assert_eq!(
+            store.fetch_since(Epoch::zero()).unwrap().len(),
+            7,
+            "{policy:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Two concurrent stores on one directory would corrupt each other's
+/// WAL offsets: the second open must be refused while the first lives,
+/// and succeed once it's dropped.
+#[cfg(unix)]
+#[test]
+fn concurrent_open_refused_by_lock() {
+    let dir = fresh_dir("lock");
+    let first = DurableStore::open(&dir).unwrap();
+    match DurableStore::open(&dir) {
+        Err(StoreError::Io { op, message, .. }) => {
+            assert_eq!(op, "lock");
+            assert!(message.contains("already open"), "{message}");
+        }
+        other => panic!("expected lock refusal, got {other:?}"),
+    }
+    drop(first);
+    DurableStore::open(&dir).unwrap();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An empty directory opens as an empty archive; opening is idempotent.
+#[test]
+fn empty_and_reopen_idempotent() {
+    let dir = fresh_dir("empty");
+    {
+        let store = DurableStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.latest_epoch(), None);
+    }
+    let store = DurableStore::open(&dir).unwrap();
+    assert!(store.is_empty());
+    assert_eq!(store.durable_stats().recovered_txns, 0);
+    fs::remove_dir_all(&dir).unwrap();
+}

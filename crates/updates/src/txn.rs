@@ -132,7 +132,11 @@ impl Transaction {
         let a = self.write_set(schema)?;
         let b = other.write_set(schema)?;
         // Iterate the smaller write set.
-        let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+        let (small, large) = if a.len() <= b.len() {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
         for (k, outcome) in small {
             if let Some(other_outcome) = large.get(k) {
                 if outcome != other_outcome {
@@ -279,8 +283,7 @@ mod tests {
 
     #[test]
     fn antecedents_builder() {
-        let t = txn("A", 2, vec![])
-            .with_antecedents([TxnId::new(PeerId::new("B"), 1)]);
+        let t = txn("A", 2, vec![]).with_antecedents([TxnId::new(PeerId::new("B"), 1)]);
         assert!(t.antecedents.contains(&TxnId::new(PeerId::new("B"), 1)));
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);

@@ -275,13 +275,17 @@ mod tests {
     #[test]
     fn apply_insert_delete_modify() {
         let mut inst = Instance::new(db());
-        Update::insert("S", tuple![1, "a"]).apply(&mut inst).unwrap();
+        Update::insert("S", tuple![1, "a"])
+            .apply(&mut inst)
+            .unwrap();
         assert!(inst.relation("S").unwrap().contains(&tuple![1, "a"]));
         Update::modify("S", tuple![1, "a"], tuple![1, "b"])
             .apply(&mut inst)
             .unwrap();
         assert!(inst.relation("S").unwrap().contains(&tuple![1, "b"]));
-        Update::delete("S", tuple![1, "b"]).apply(&mut inst).unwrap();
+        Update::delete("S", tuple![1, "b"])
+            .apply(&mut inst)
+            .unwrap();
         assert!(inst.relation("S").unwrap().is_empty());
     }
 
@@ -289,14 +293,18 @@ mod tests {
     fn apply_is_lenient_about_missing_targets() {
         let mut inst = Instance::new(db());
         // Delete of absent tuple: no-op.
-        Update::delete("S", tuple![1, "a"]).apply(&mut inst).unwrap();
+        Update::delete("S", tuple![1, "a"])
+            .apply(&mut inst)
+            .unwrap();
         // Modify of absent key: materializes new version.
         Update::modify("S", tuple![2, "a"], tuple![2, "b"])
             .apply(&mut inst)
             .unwrap();
         assert!(inst.relation("S").unwrap().contains(&tuple![2, "b"]));
         // Insert over a different version: upsert wins.
-        Update::insert("S", tuple![2, "c"]).apply(&mut inst).unwrap();
+        Update::insert("S", tuple![2, "c"])
+            .apply(&mut inst)
+            .unwrap();
         assert!(inst.relation("S").unwrap().contains(&tuple![2, "c"]));
     }
 

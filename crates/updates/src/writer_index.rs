@@ -185,7 +185,11 @@ mod tests {
             )
             .unwrap();
         assert_eq!(t2.antecedents, BTreeSet::from([t1.id]));
-        assert_eq!(t3.antecedents, BTreeSet::from([t2.id]), "latest writer only");
+        assert_eq!(
+            t3.antecedents,
+            BTreeSet::from([t2.id]),
+            "latest writer only"
+        );
     }
 
     #[test]

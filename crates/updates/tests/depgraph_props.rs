@@ -10,14 +10,15 @@ fn id(n: usize) -> TxnId {
 
 /// A random DAG: node i may depend only on nodes < i (guarantees acyclicity).
 fn dag_strategy() -> impl Strategy<Value = Vec<BTreeSet<usize>>> {
-    proptest::collection::vec(proptest::collection::btree_set(0usize..12, 0..4), 1..12)
-        .prop_map(|nodes| {
+    proptest::collection::vec(proptest::collection::btree_set(0usize..12, 0..4), 1..12).prop_map(
+        |nodes| {
             nodes
                 .into_iter()
                 .enumerate()
                 .map(|(i, deps)| deps.into_iter().filter(|&d| d < i).collect())
                 .collect()
-        })
+        },
+    )
 }
 
 fn build(dag: &[BTreeSet<usize>]) -> DepGraph {

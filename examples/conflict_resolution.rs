@@ -44,7 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = cdss.reconcile(&dresden)?;
     println!(
         "  deferred: {:?}",
-        report.outcome.deferred.iter().map(ToString::to_string).collect::<Vec<_>>()
+        report
+            .outcome
+            .deferred
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
     for (a, b) in cdss.peer(&dresden)?.open_conflicts() {
         println!("  open conflict: {a} vs {b} (awaiting the administrator)");
@@ -68,18 +73,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = cdss.reconcile(&dresden)?;
     println!(
         "  deferred (depends on deferred Beijing txn): {:?}",
-        report.outcome.deferred.iter().map(ToString::to_string).collect::<Vec<_>>()
+        report
+            .outcome
+            .deferred
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     println!("\n═══ The administrator resolves in favor of {beijing_txn} ═══");
     let res = cdss.resolve(&dresden, &beijing_txn)?;
     println!(
         "  accepted automatically: {:?}",
-        res.outcome.accepted.iter().map(|t| t.id.to_string()).collect::<Vec<_>>()
+        res.outcome
+            .accepted
+            .iter()
+            .map(|t| t.id.to_string())
+            .collect::<Vec<_>>()
     );
     println!(
         "  rejected (loser + dependents): {:?}",
-        res.outcome.rejected.iter().map(ToString::to_string).collect::<Vec<_>>()
+        res.outcome
+            .rejected
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     println!("\nDresden's final instance (Crete's curated value won through):");

@@ -1,13 +1,14 @@
 //! Intermittent connectivity — the paper's demonstration scenario 5 over
 //! the simulated peer-to-peer store: Beijing publishes and "goes offline";
 //! storage nodes churn; Alaska still retrieves everything because the
-//! archive is replicated.
+//! archive is replicated. The final act swaps in the durable WAL-backed
+//! store and shows the archive surviving a full process "restart".
 //!
 //! Run with `cargo run --example offline_sync`.
 
 use orchestra_core::demo;
 use orchestra_relational::tuple;
-use orchestra_store::{ReplicatedStore, UpdateStore};
+use orchestra_store::{DurableStore, ReplicatedStore, UpdateStore};
 use orchestra_updates::{PeerId, Update};
 use std::sync::Arc;
 
@@ -117,7 +118,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  after 4/12 node failures with R=1: availability {:.0}% (fetch fails: {})",
         fragile.availability() * 100.0,
-        fragile.fetch_since(orchestra_updates::Epoch::zero()).is_err()
+        fragile
+            .fetch_since(orchestra_updates::Epoch::zero())
+            .is_err()
     );
+
+    println!("\n═══ Durable archive: the store itself survives a restart ═══");
+    let dir = std::env::temp_dir().join(format!("orchestra-offline-sync-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        // First "process lifetime": Beijing publishes to the WAL-backed
+        // archive, then everything is dropped — the crash/restart.
+        let store = DurableStore::open(&dir)?;
+        let mut cdss = demo::figure2_with_store(Box::new(store))?;
+        cdss.publish_transaction(
+            &beijing,
+            vec![
+                Update::insert("O", tuple!["Rat", 30]),
+                Update::insert("P", tuple!["Ins1", 40]),
+                Update::insert("S", tuple![30, 40, "MALWMRLLPL"]),
+            ],
+        )?;
+    }
+    // Second lifetime: reopen recovers the archive from disk.
+    let store = DurableStore::open(&dir)?;
+    println!(
+        "  reopened from {}: {} txns recovered, latest epoch {:?}",
+        dir.display(),
+        store.durable_stats().recovered_txns,
+        store.latest_epoch()
+    );
+    let mut cdss = demo::figure2_with_store(Box::new(store))?;
+    let report = cdss.reconcile(&alaska)?;
+    println!(
+        "  Alaska reconciles against the recovered archive: fetched {}, applied {} updates",
+        report.fetched, report.applied_updates
+    );
+    std::fs::remove_dir_all(&dir)?;
     Ok(())
 }

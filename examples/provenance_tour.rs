@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PosB  (minimal witnesses): {}", poly.why().minimize());
     println!(
         "Lin   (flat lineage):      {:?}",
-        poly.lineage().iter().map(ToString::to_string).collect::<Vec<_>>()
+        poly.lineage()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     // ── Semiring evaluations ──────────────────────────────────────────

@@ -4,19 +4,17 @@
 //! Run with `cargo run --example quickstart`.
 
 use orchestra_core::Cdss;
-use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
 use orchestra_reconcile::TrustPolicy;
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
 use orchestra_updates::{PeerId, Update};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A schema shared by both peers: gene(symbol*, description).
-    let schema = DatabaseSchema::new("genes").with_relation(
-        RelationSchema::from_parts_keyed(
-            "gene",
-            &[("symbol", ValueType::Str), ("descr", ValueType::Str)],
-            &["symbol"],
-        )?,
-    )?;
+    let schema = DatabaseSchema::new("genes").with_relation(RelationSchema::from_parts_keyed(
+        "gene",
+        &[("symbol", ValueType::Str), ("descr", ValueType::Str)],
+        &["symbol"],
+    )?)?;
 
     // 2. Two peers that trust each other, joined by identity mappings.
     let mut cdss = Cdss::builder()
@@ -55,7 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let txn = cdss.publish(&lab_b)?.expect("pending local edits");
     println!("LabB published {txn} (diff-based, with provenance-derived dependency)");
     let stored = cdss.store().fetch(&txn)?.unwrap();
-    println!("  antecedents: {:?}", stored.antecedents.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "  antecedents: {:?}",
+        stored
+            .antecedents
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
 
     cdss.reconcile(&lab_a)?;
     println!("\nLabA's instance after the round trip:");

@@ -2,8 +2,8 @@
 //! integration tests over the full Figure 2 CDSS (experiment E3).
 
 use orchestra_core::demo;
-use orchestra_relational::{tuple, Value};
 use orchestra_reconcile::Decision;
+use orchestra_relational::{tuple, Value};
 use orchestra_store::ReplicatedStore;
 use orchestra_updates::{PeerId, TxnId, Update};
 
@@ -51,7 +51,7 @@ fn scenario1_alaska_dresden_roundtrip() {
     )
     .unwrap();
     let report = cdss.reconcile(&alaska).unwrap();
-    assert!(report.outcome.accepted.len() >= 1);
+    assert!(!report.outcome.accepted.is_empty());
     let peer = cdss.peer(&alaska).unwrap();
     let o = peer.instance().relation("O").unwrap();
     let rat_row = o
@@ -95,11 +95,13 @@ fn scenario2_priority_rejection_and_cascade() {
 
     // Crete prefers Beijing (priority 2) over Dresden (priority 1).
     let report = cdss.reconcile(&crete).unwrap();
-    assert!(report
-        .outcome
-        .rejected
-        .contains(&dresden_txn));
-    let ops = cdss.peer(&crete).unwrap().instance().relation("OPS").unwrap();
+    assert!(report.outcome.rejected.contains(&dresden_txn));
+    let ops = cdss
+        .peer(&crete)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "SEQ-BEIJING"]));
     assert!(!ops.contains(&tuple!["HIV", "gp120", "SEQ-DRESDEN"]));
 
@@ -172,7 +174,12 @@ fn scenario3_trusted_txn_pulls_distrusted_antecedent() {
     // Crete reconciles: Alaska alone would be distrusted, but Beijing's
     // trusted modification pulls the antecedent in.
     let report = cdss.reconcile(&crete).unwrap();
-    let accepted: Vec<TxnId> = report.outcome.accepted.iter().map(|t| t.id.clone()).collect();
+    let accepted: Vec<TxnId> = report
+        .outcome
+        .accepted
+        .iter()
+        .map(|t| t.id.clone())
+        .collect();
     assert!(accepted.contains(&alaska_txn), "antecedent accepted");
     assert!(accepted.contains(&beijing_txn), "trusted txn accepted");
     // Dependency order: Alaska before Beijing.
@@ -180,7 +187,12 @@ fn scenario3_trusted_txn_pulls_distrusted_antecedent() {
     let pos_b = accepted.iter().position(|t| *t == beijing_txn).unwrap();
     assert!(pos_a < pos_b);
 
-    let ops = cdss.peer(&crete).unwrap().instance().relation("OPS").unwrap();
+    let ops = cdss
+        .peer(&crete)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "SEQ-V1-FIXED"]));
     assert!(ops.contains(&tuple!["HIV", "gp41", "SEQ-V2"]));
     assert!(!ops.contains(&tuple!["HIV", "gp120", "SEQ-V1"]));
@@ -211,10 +223,16 @@ fn scenario4_deferral_and_manual_resolution() {
 
     // Conflicting, causally independent sequence claims.
     let alaska_txn = cdss
-        .publish_transaction(&alaska, vec![Update::insert("S", tuple![1, 2, "SEQ-ALASKA"])])
+        .publish_transaction(
+            &alaska,
+            vec![Update::insert("S", tuple![1, 2, "SEQ-ALASKA"])],
+        )
         .unwrap();
     let beijing_txn = cdss
-        .publish_transaction(&beijing, vec![Update::insert("S", tuple![1, 2, "SEQ-BEIJING"])])
+        .publish_transaction(
+            &beijing,
+            vec![Update::insert("S", tuple![1, 2, "SEQ-BEIJING"])],
+        )
         .unwrap();
 
     // Dresden trusts both equally: both deferred.
@@ -265,7 +283,12 @@ fn scenario4_deferral_and_manual_resolution() {
     assert!(accepted.contains(&crete_txn), "accepted automatically");
     assert!(res.outcome.rejected.contains(&alaska_txn));
 
-    let ops = cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap();
+    let ops = cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "SEQ-CRETE"]));
     assert!(!ops.contains(&tuple!["HIV", "gp120", "SEQ-ALASKA"]));
     assert!(cdss.peer(&dresden).unwrap().open_conflicts().is_empty());
@@ -305,7 +328,11 @@ fn scenario5_offline_publisher_archived_updates() {
     assert_eq!(report.fetched, 2);
     assert_eq!(report.outcome.accepted.len(), 2);
     let peer = cdss.peer(&alaska).unwrap();
-    assert!(peer.instance().relation("O").unwrap().contains(&tuple!["Mouse", 10]));
+    assert!(peer
+        .instance()
+        .relation("O")
+        .unwrap()
+        .contains(&tuple!["Mouse", 10]));
     assert!(peer
         .instance()
         .relation("S")
@@ -355,14 +382,19 @@ fn diff_based_publish() {
     let txn2 = cdss.publish(&alaska).unwrap().expect("pending edits");
     let stored = cdss.store().fetch(&txn2).unwrap().unwrap();
     assert_eq!(stored.updates.len(), 1);
-    assert!(matches!(
-        stored.updates[0],
-        Update::Modify { .. }
-    ));
-    assert!(stored.antecedents.contains(&txn1), "modify depends on insert");
+    assert!(matches!(stored.updates[0], Update::Modify { .. }));
+    assert!(
+        stored.antecedents.contains(&txn1),
+        "modify depends on insert"
+    );
 
     cdss.reconcile(&dresden).unwrap();
-    let ops = cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap();
+    let ops = cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "V2"]));
     assert!(!ops.contains(&tuple!["HIV", "gp120", "V1"]));
 }

@@ -2,8 +2,8 @@
 //! degrades, when peers submit malformed input, and at API misuse points.
 
 use orchestra_core::{demo, Cdss, CoreError};
-use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
 use orchestra_reconcile::TrustPolicy;
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
 use orchestra_store::{ReplicatedStore, StoreError, UpdateStore};
 use orchestra_updates::{Epoch, PeerId, Update};
 use std::sync::Arc;
@@ -134,10 +134,7 @@ fn unknown_peer_errors() {
 #[test]
 fn builder_validation() {
     // No peers.
-    assert!(matches!(
-        Cdss::builder().build(),
-        Err(CoreError::Config(_))
-    ));
+    assert!(matches!(Cdss::builder().build(), Err(CoreError::Config(_))));
     // Identity mappings between peers with different schemas.
     let s1 = DatabaseSchema::new("a")
         .with_relation(RelationSchema::from_parts("R", &[("x", ValueType::Int)]).unwrap())
@@ -217,8 +214,7 @@ fn peer_instance_io_roundtrip() {
         .iter()
         .any(|t| t.has_labeled_null()));
     let text = export_instance(&original);
-    let mut restored =
-        orchestra_relational::Instance::new(original.schema().clone());
+    let mut restored = orchestra_relational::Instance::new(original.schema().clone());
     import_instance(&mut restored, &text).unwrap();
     assert_eq!(restored, original);
 }

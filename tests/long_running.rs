@@ -34,7 +34,12 @@ fn ten_epochs_of_collaboration() {
     }
     cdss.reconcile_all().unwrap();
     assert_eq!(
-        cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap().len(),
+        cdss.peer(&dresden)
+            .unwrap()
+            .instance()
+            .relation("OPS")
+            .unwrap()
+            .len(),
         4
     );
 
@@ -51,44 +56,70 @@ fn ten_epochs_of_collaboration() {
     .unwrap();
     cdss.publish_transaction(
         &dresden,
-        vec![Update::insert("OPS", tuple!["deepsea", "luciferase", "LUX"])],
+        vec![Update::insert(
+            "OPS",
+            tuple!["deepsea", "luciferase", "LUX"],
+        )],
     )
     .unwrap();
     cdss.reconcile_all().unwrap();
 
-    let dresden_ops = cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap();
+    let dresden_ops = cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(dresden_ops.contains(&tuple!["org2", "prot2", "SEQ-2-FIXED"]));
     assert!(!dresden_ops.contains(&tuple!["org2", "prot2", "SEQ-2"]));
     // Alaska received the invented-id split of Dresden's row.
-    let alaska_o = cdss.peer(&alaska).unwrap().instance().relation("O").unwrap();
+    let alaska_o = cdss
+        .peer(&alaska)
+        .unwrap()
+        .instance()
+        .relation("O")
+        .unwrap();
     assert!(alaska_o
         .iter()
         .any(|t| t[0] == Value::str("deepsea") && t[1].is_labeled_null()));
 
     // Epoch 6: Alaska retracts organism 3's sequence entirely.
-    cdss.publish_transaction(
-        &alaska,
-        vec![Update::delete("S", tuple![3, 103, "SEQ-3"])],
-    )
-    .unwrap();
+    cdss.publish_transaction(&alaska, vec![Update::delete("S", tuple![3, 103, "SEQ-3"])])
+        .unwrap();
     cdss.reconcile_all().unwrap();
-    let dresden_ops = cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap();
+    let dresden_ops = cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(!dresden_ops.contains(&tuple!["org3", "prot3", "SEQ-3"]));
 
     // Epoch 7: a genuine conflict (Alaska vs Beijing on a fresh key),
     // deferred at Dresden, resolved in Alaska's favor this time.
     let a_claim = cdss
-        .publish_transaction(&alaska, vec![Update::insert("S", tuple![1, 102, "CROSS-A"])])
+        .publish_transaction(
+            &alaska,
+            vec![Update::insert("S", tuple![1, 102, "CROSS-A"])],
+        )
         .unwrap();
     let b_claim = cdss
-        .publish_transaction(&beijing, vec![Update::insert("S", tuple![1, 102, "CROSS-B"])])
+        .publish_transaction(
+            &beijing,
+            vec![Update::insert("S", tuple![1, 102, "CROSS-B"])],
+        )
         .unwrap();
     let report = cdss.reconcile(&dresden).unwrap();
     assert_eq!(report.outcome.deferred.len(), 2);
     let res = cdss.resolve(&dresden, &a_claim).unwrap();
     assert!(res.outcome.accepted.iter().any(|t| t.id == a_claim));
     assert!(res.outcome.rejected.contains(&b_claim));
-    let dresden_ops = cdss.peer(&dresden).unwrap().instance().relation("OPS").unwrap();
+    let dresden_ops = cdss
+        .peer(&dresden)
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(dresden_ops.contains(&tuple!["org1", "prot2", "CROSS-A"]));
 
     // Drain: the other peers still need to see the conflict epoch.

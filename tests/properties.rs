@@ -7,8 +7,8 @@
 //! * two-peer CDSS convergence under random workloads.
 
 use orchestra_datalog::{Atom, DeletionAlgorithm, Engine, Rule};
-use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, Tuple, ValueType};
 use orchestra_reconcile::{Candidate, Decision, Reconciler, TrustPolicy};
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, Tuple, ValueType};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use proptest::prelude::*;
 
@@ -38,7 +38,10 @@ fn tc_rules() -> Vec<Rule> {
         Rule::new(
             "step",
             Atom::vars("path", &["x", "z"]),
-            vec![Atom::vars("edge", &["x", "y"]), Atom::vars("path", &["y", "z"])],
+            vec![
+                Atom::vars("edge", &["x", "y"]),
+                Atom::vars("path", &["y", "z"]),
+            ],
             vec![],
         )
         .unwrap(),
@@ -266,8 +269,20 @@ fn two_peer_convergence_randomized() {
         }
         cdss.reconcile(&a).unwrap();
         cdss.reconcile(&b).unwrap();
-        let ra = cdss.peer(&a).unwrap().instance().relation("R").unwrap().to_vec();
-        let rb = cdss.peer(&b).unwrap().instance().relation("R").unwrap().to_vec();
+        let ra = cdss
+            .peer(&a)
+            .unwrap()
+            .instance()
+            .relation("R")
+            .unwrap()
+            .to_vec();
+        let rb = cdss
+            .peer(&b)
+            .unwrap()
+            .instance()
+            .relation("R")
+            .unwrap()
+            .to_vec();
         assert_eq!(ra, rb, "seed {seed}");
     }
 }

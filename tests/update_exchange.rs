@@ -5,9 +5,9 @@
 use orchestra_core::demo;
 use orchestra_core::Cdss;
 use orchestra_datalog::{Atom, Tgd};
-use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, Value, ValueType};
-use orchestra_reconcile::{TrustCondition, TrustPolicy};
 use orchestra_provenance::Semiring as _;
+use orchestra_reconcile::{TrustCondition, TrustPolicy};
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, Value, ValueType};
 use orchestra_updates::{PeerId, Update};
 
 fn p(name: &str) -> PeerId {
@@ -87,7 +87,12 @@ fn sigma2_peers_converge() {
     .unwrap();
     // Crete trusts Dresden (priority 1).
     cdss.reconcile(&p("Crete")).unwrap();
-    let crete_ops = cdss.peer(&p("Crete")).unwrap().instance().relation("OPS").unwrap();
+    let crete_ops = cdss
+        .peer(&p("Crete"))
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(crete_ops.contains(&tuple!["Rat", "p53", "CCC"]));
 }
 
@@ -108,9 +113,11 @@ fn deletion_propagates_through_join() {
         .unwrap();
     cdss.reconcile(&p("Dresden")).unwrap();
     assert!(cdss
-        .peer(&p("Dresden")).unwrap()
+        .peer(&p("Dresden"))
+        .unwrap()
         .instance()
-        .relation("OPS").unwrap()
+        .relation("OPS")
+        .unwrap()
         .contains(&tuple!["HIV", "gp120", "AAA"]));
 
     // Alaska deletes the sequence row: the join no longer produces OPS.
@@ -118,14 +125,19 @@ fn deletion_propagates_through_join() {
         .publish_transaction(&p("Alaska"), vec![Update::delete("S", tuple![1, 2, "AAA"])])
         .unwrap();
     let stored = cdss.store().fetch(&del).unwrap().unwrap();
-    assert!(stored.antecedents.contains(&txn), "delete depends on insert");
+    assert!(
+        stored.antecedents.contains(&txn),
+        "delete depends on insert"
+    );
 
     let report = cdss.reconcile(&p("Dresden")).unwrap();
     assert_eq!(report.outcome.accepted.len(), 1);
     assert!(!cdss
-        .peer(&p("Dresden")).unwrap()
+        .peer(&p("Dresden"))
+        .unwrap()
         .instance()
-        .relation("OPS").unwrap()
+        .relation("OPS")
+        .unwrap()
         .contains(&tuple!["HIV", "gp120", "AAA"]));
 }
 
@@ -156,14 +168,19 @@ fn alternative_derivations_survive_partial_deletion() {
     .unwrap();
     cdss.reconcile(&p("Dresden")).unwrap();
     assert!(cdss
-        .peer(&p("Dresden")).unwrap()
+        .peer(&p("Dresden"))
+        .unwrap()
         .instance()
-        .relation("OPS").unwrap()
+        .relation("OPS")
+        .unwrap()
         .contains(&tuple!["HIV", "gp120", "SAME"]));
 
     // Alaska retracts its copy; Beijing's derivation still supports OPS.
-    cdss.publish_transaction(&p("Alaska"), vec![Update::delete("S", tuple![1, 2, "SAME"])])
-        .unwrap();
+    cdss.publish_transaction(
+        &p("Alaska"),
+        vec![Update::delete("S", tuple![1, 2, "SAME"])],
+    )
+    .unwrap();
     let report = cdss.reconcile(&p("Dresden")).unwrap();
     // The delete transaction translates to no visible change at Dresden.
     let delete_candidate = report
@@ -172,13 +189,15 @@ fn alternative_derivations_survive_partial_deletion() {
         .iter()
         .find(|t| t.id.peer == p("Alaska") && t.id.seq == 2);
     assert!(
-        delete_candidate.map_or(true, |t| t.updates.is_empty()),
+        delete_candidate.is_none_or(|t| t.updates.is_empty()),
         "no deletion reaches Dresden while Beijing's copy lives"
     );
     assert!(cdss
-        .peer(&p("Dresden")).unwrap()
+        .peer(&p("Dresden"))
+        .unwrap()
         .instance()
-        .relation("OPS").unwrap()
+        .relation("OPS")
+        .unwrap()
         .contains(&tuple!["HIV", "gp120", "SAME"]));
     let _ = a_txn;
 }
@@ -208,9 +227,17 @@ fn content_based_trust_filters_updates() {
     )
     .unwrap();
     cdss.reconcile(&p("Dresden")).unwrap();
-    let ops = cdss.peer(&p("Dresden")).unwrap().instance().relation("OPS").unwrap();
+    let ops = cdss
+        .peer(&p("Dresden"))
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "AAA"]));
-    assert!(!ops.contains(&tuple!["Rat", "p53", "BBB"]), "distrusted content");
+    assert!(
+        !ops.contains(&tuple!["Rat", "p53", "BBB"]),
+        "distrusted content"
+    );
 }
 
 /// Deep-origin trust: a peer can distrust data *derived from* another
@@ -241,7 +268,12 @@ fn derived_from_trust_condition() {
     )
     .unwrap();
     cdss.reconcile(&p("Dresden")).unwrap();
-    let ops = cdss.peer(&p("Dresden")).unwrap().instance().relation("OPS").unwrap();
+    let ops = cdss
+        .peer(&p("Dresden"))
+        .unwrap()
+        .instance()
+        .relation("OPS")
+        .unwrap();
     assert!(ops.contains(&tuple!["HIV", "gp120", "FROM-BEIJING"]));
     assert!(!ops.contains(&tuple!["Rat", "p53", "FROM-ALASKA"]));
 }
@@ -332,9 +364,19 @@ fn chain_topology_with_filter() {
     cdss.reconcile(&p("B")).unwrap();
     cdss.reconcile(&p("C")).unwrap();
 
-    let b = cdss.peer(&p("B")).unwrap().instance().relation("R").unwrap();
+    let b = cdss
+        .peer(&p("B"))
+        .unwrap()
+        .instance()
+        .relation("R")
+        .unwrap();
     assert_eq!(b.len(), 2);
-    let c = cdss.peer(&p("C")).unwrap().instance().relation("R").unwrap();
+    let c = cdss
+        .peer(&p("C"))
+        .unwrap()
+        .instance()
+        .relation("R")
+        .unwrap();
     assert_eq!(c.len(), 1, "filter admits only v > 10");
     assert!(c.contains(&tuple![2, 50]));
 }
@@ -378,8 +420,11 @@ fn empty_reconcile_is_noop() {
     assert_eq!(report.candidates, 0);
     assert!(report.outcome.accepted.is_empty());
     // Re-reconciling after an exchange fetches nothing new.
-    cdss.publish_transaction(&p("Dresden"), vec![Update::insert("OPS", tuple!["x", "y", "z"])])
-        .unwrap();
+    cdss.publish_transaction(
+        &p("Dresden"),
+        vec![Update::insert("OPS", tuple!["x", "y", "z"])],
+    )
+    .unwrap();
     cdss.reconcile(&p("Alaska")).unwrap();
     let report = cdss.reconcile(&p("Alaska")).unwrap();
     assert_eq!(report.candidates, 0);
