@@ -3,13 +3,24 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p orchestra-bench --bin experiments            # all
-//! cargo run --release -p orchestra-bench --bin experiments -- e4 e6  # some
+//! cargo run --release -p orchestra-bench --bin experiments              # all
+//! cargo run --release -p orchestra-bench --bin experiments -- e4 e6    # some
+//! cargo run --release -p orchestra-bench --bin experiments -- \
+//!     e1 e4 e7 --json-dir . --variant interned                          # emit BENCH_*.json
+//! cargo run --release -p orchestra-bench --bin experiments -- \
+//!     e1 --smoke --json-dir target/bench                                # CI smoke
 //! ```
+//!
+//! With `--json-dir`, experiments E1/E4/E7 additionally write
+//! machine-readable `BENCH_e1.json` / `BENCH_e4.json` / `BENCH_e7.json`
+//! (tuples/sec, semi-naive rounds, rule firings, and a peak-RSS proxy);
+//! `--smoke` shrinks the workloads for CI, `--variant <tag>` labels the
+//! run (e.g. `baseline` vs `interned`).
 
+use orchestra_bench::json::{BenchReport, Json};
 use orchestra_bench::*;
 use orchestra_core::demo;
-use orchestra_datalog::DeletionAlgorithm;
+use orchestra_datalog::{DeletionAlgorithm, EngineStats};
 use orchestra_provenance::{Boolean, Counting, Semiring, Tropical};
 use orchestra_reconcile::{Reconciler, TrustPolicy};
 use orchestra_relational::tuple;
@@ -17,53 +28,120 @@ use orchestra_store::{
     CacheMode, DurableOptions, DurableStore, ReplicatedStore, SyncPolicy, UpdateStore,
 };
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::path::PathBuf;
+
+/// Harness configuration parsed from the command line.
+pub struct Opts {
+    names: Vec<String>,
+    /// Reduced workloads for CI smoke runs.
+    pub smoke: bool,
+    /// Where to write `BENCH_*.json` (omitted → tables only).
+    pub json_dir: Option<PathBuf>,
+    /// Run tag recorded in the JSON (`baseline`, `interned`, …).
+    pub variant: String,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut opts = Opts {
+            names: Vec::new(),
+            smoke: false,
+            json_dir: None,
+            variant: "dev".to_string(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--json-dir" => {
+                    opts.json_dir = Some(PathBuf::from(
+                        it.next().expect("--json-dir needs a path").clone(),
+                    ))
+                }
+                "--variant" => {
+                    opts.variant = it.next().expect("--variant needs a tag").clone();
+                }
+                name => opts.names.push(name.to_string()),
+            }
+        }
+        opts
+    }
+
+    fn want(&self, name: &str) -> bool {
+        self.names.is_empty() || self.names.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+
+    fn emit(&self, report: &BenchReport) {
+        if let Some(dir) = &self.json_dir {
+            let path = report.write_to(dir).expect("write BENCH json");
+            println!("  → wrote {}", path.display());
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(name));
+    let opts = Opts::parse(&args);
 
     println!("Orchestra CDSS reproduction — experiment harness");
     println!("(shapes, not absolute numbers, are the reproduction target; see EXPERIMENTS.md)\n");
 
-    if want("e1") {
-        e1_end_to_end();
+    if opts.want("e1") {
+        e1_end_to_end(&opts);
     }
-    if want("e2") {
+    if opts.want("e2") {
         e2_bionetwork();
     }
-    if want("e3") {
+    if opts.want("e3") {
         e3_scenarios();
     }
-    if want("e4") {
-        e4_incremental();
+    if opts.want("e4") {
+        e4_incremental(&opts);
     }
-    if want("e5") {
+    if opts.want("e5") {
         e5_prov_overhead();
     }
-    if want("e6") {
+    if opts.want("e6") {
         e6_deletion();
     }
-    if want("e7") {
-        e7_reconcile();
+    if opts.want("e7") {
+        e7_reconcile(&opts);
     }
-    if want("e8") {
+    if opts.want("e8") {
         e8_store();
     }
-    if want("e9") {
+    if opts.want("e9") {
         e9_semiring();
     }
 }
 
+/// Sum the translation-engine stats over all peers of a CDSS.
+fn cdss_engine_stats(cdss: &orchestra_core::Cdss) -> EngineStats {
+    let mut total = EngineStats::default();
+    for id in cdss.peer_ids() {
+        total += cdss.peer(&id).unwrap().engine_stats();
+    }
+    total
+}
+
 /// E1 — Figure 1 architecture: end-to-end publish→translate→reconcile
 /// epochs over chain and star topologies.
-fn e1_end_to_end() {
+pub fn e1_end_to_end(opts: &Opts) -> BenchReport {
     println!("── E1: end-to-end update exchange (Fig. 1 architecture) ──");
     println!(
-        "{:<10} {:>6} {:>9} {:>12} {:>14}",
-        "topology", "peers", "updates", "publish ms", "reconcile ms"
+        "{:<10} {:>6} {:>9} {:>12} {:>14} {:>12}",
+        "topology", "peers", "updates", "publish ms", "reconcile ms", "tuples/s"
     );
-    for &peers in &[2usize, 4, 8] {
-        for &updates in &[64usize, 256] {
+    let mut report = BenchReport::new("e1", &opts.variant, opts.smoke);
+    let (chain_peers, chain_updates): (&[usize], &[usize]) = if opts.smoke {
+        (&[2], &[32])
+    } else {
+        (&[2, 4, 8], &[64, 256])
+    };
+    let (mut total_tuples, mut total_secs) = (0f64, 0f64);
+    let mut agg = EngineStats::default();
+    for &peers in chain_peers {
+        for &updates in chain_updates {
             // Chain: publish at head, reconcile down the chain.
             let mut cdss = chain_cdss(peers);
             let head = PeerId::new("P0");
@@ -75,18 +153,44 @@ fn e1_end_to_end() {
             });
             let tail_tuples = peer_total(&cdss, &format!("P{}", peers - 1));
             assert_eq!(tail_tuples, updates, "all updates reach the chain tail");
+            let stats = cdss_engine_stats(&cdss);
+            agg.index_probes += stats.index_probes;
+            // Symbol count is a gauge of one CDSS, not a flow: take the
+            // largest configuration rather than summing across runs.
+            agg.interner_symbols = agg.interner_symbols.max(stats.interner_symbols);
+            agg.interner_hits += stats.interner_hits;
+            let delivered = (updates * peers) as f64;
+            let secs = (t_pub + t_rec).as_secs_f64();
+            let tps = delivered / secs.max(1e-9);
+            total_tuples += delivered;
+            total_secs += secs;
+            report.rounds += stats.rounds;
+            report.firings += stats.firings;
+            report.row([
+                ("topology", Json::from("chain")),
+                ("peers", Json::from(peers)),
+                ("updates", Json::from(updates)),
+                ("publish_ms", Json::Num(t_pub.as_secs_f64() * 1e3)),
+                ("reconcile_ms", Json::Num(t_rec.as_secs_f64() * 1e3)),
+                ("tuples_per_sec", Json::Num(tps)),
+                ("rounds", Json::from(stats.rounds)),
+                ("firings", Json::from(stats.firings)),
+            ]);
             println!(
-                "{:<10} {:>6} {:>9} {:>12} {:>14}",
+                "{:<10} {:>6} {:>9} {:>12} {:>14} {:>12.0}",
                 "chain",
                 peers,
                 updates,
                 ms(t_pub),
-                ms(t_rec)
+                ms(t_rec),
+                tps
             );
         }
     }
-    for &peers in &[4usize, 8] {
-        let updates = 128usize;
+    let star_peers: &[usize] = if opts.smoke { &[4] } else { &[4, 8] };
+    let star_updates = if opts.smoke { 32usize } else { 128 };
+    for &peers in star_peers {
+        let updates = star_updates;
         let mut cdss = star_cdss(peers);
         let (_, t_pub) = timed(|| {
             for i in 1..peers {
@@ -105,16 +209,48 @@ fn e1_end_to_end() {
                 cdss.reconcile(&PeerId::new(format!("P{i}"))).unwrap();
             }
         });
+        let stats = cdss_engine_stats(&cdss);
+        agg.index_probes += stats.index_probes;
+        agg.interner_symbols = agg.interner_symbols.max(stats.interner_symbols);
+        agg.interner_hits += stats.interner_hits;
+        let delivered: f64 = cdss
+            .peer_ids()
+            .iter()
+            .map(|id| peer_total(&cdss, id.name()) as f64)
+            .sum();
+        let secs = (t_pub + t_rec).as_secs_f64();
+        let tps = delivered / secs.max(1e-9);
+        total_tuples += delivered;
+        total_secs += secs;
+        report.rounds += stats.rounds;
+        report.firings += stats.firings;
+        report.row([
+            ("topology", Json::from("star")),
+            ("peers", Json::from(peers)),
+            ("updates", Json::from(updates)),
+            ("publish_ms", Json::Num(t_pub.as_secs_f64() * 1e3)),
+            ("reconcile_ms", Json::Num(t_rec.as_secs_f64() * 1e3)),
+            ("tuples_per_sec", Json::Num(tps)),
+            ("rounds", Json::from(stats.rounds)),
+            ("firings", Json::from(stats.firings)),
+        ]);
         println!(
-            "{:<10} {:>6} {:>9} {:>12} {:>14}",
+            "{:<10} {:>6} {:>9} {:>12} {:>14} {:>12.0}",
             "star",
             peers,
             updates,
             ms(t_pub),
-            ms(t_rec)
+            ms(t_rec),
+            tps
         );
     }
     println!();
+    report.tuples_per_sec = total_tuples / total_secs.max(1e-9);
+    report.summary_extra("index_probes", agg.index_probes);
+    report.summary_extra("interner_symbols", agg.interner_symbols);
+    report.summary_extra("interner_hits", agg.interner_hits);
+    opts.emit(&report);
+    report
 }
 
 /// E2 — Figure 2 network: the bioinformatics CDSS under growing load.
@@ -290,15 +426,23 @@ fn scenario5_ok() -> bool {
 }
 
 /// E4 — incremental vs full recomputation of update exchange.
-fn e4_incremental() {
+pub fn e4_incremental(opts: &Opts) -> BenchReport {
     println!("── E4: incremental vs full recomputation (companion [5]) ──");
     println!(
-        "{:>8} {:>8} {:>14} {:>12} {:>10}",
-        "base", "delta", "full ms", "incr ms", "speedup"
+        "{:>8} {:>8} {:>14} {:>12} {:>10} {:>12}",
+        "base", "delta", "full ms", "incr ms", "speedup", "tuples/s"
     );
+    let mut report = BenchReport::new("e4", &opts.variant, opts.smoke);
+    let (bases, deltas): (&[usize], &[usize]) = if opts.smoke {
+        (&[128], &[8, 32])
+    } else {
+        (&[512], &[8, 32, 128, 512])
+    };
     let (schema, rules) = bio_engine_parts();
-    for &base in &[512usize] {
-        for &delta in &[8usize, 32, 128, 512] {
+    let (mut total_tuples, mut total_secs) = (0f64, 0f64);
+    let mut agg = EngineStats::default();
+    for &base in bases {
+        for &delta in deltas {
             let base_facts = bio_base_facts(base);
             let delta_facts: Vec<_> = bio_base_facts(base + delta)
                 .into_iter()
@@ -306,12 +450,21 @@ fn e4_incremental() {
                 .collect();
             // Warm engine, then incremental delta.
             let mut warm = warm_engine(schema.clone(), rules.clone(), &base_facts, true);
+            let before = warm.stats();
+            let tuples_before = warm.total_tuples();
             let (_, t_incr) = timed(|| {
                 for (rel, t) in &delta_facts {
                     warm.insert_base(rel, t.clone()).unwrap();
                 }
                 warm.propagate().unwrap();
             });
+            let after = warm.stats();
+            agg.index_builds += after.index_builds - before.index_builds;
+            agg.index_probes += after.index_probes - before.index_probes;
+            agg.interner_symbols = agg.interner_symbols.max(after.interner_symbols);
+            agg.interner_hits += after.interner_hits - before.interner_hits;
+            agg.skolem_fast_path += after.skolem_fast_path - before.skolem_fast_path;
+            let incr_tuples = (warm.total_tuples() - tuples_before) as f64;
             // Full recomputation from scratch.
             let (full, t_full) = timed(|| {
                 let mut all = base_facts.clone();
@@ -319,17 +472,56 @@ fn e4_incremental() {
                 warm_engine(schema.clone(), rules.clone(), &all, true)
             });
             assert_eq!(full.total_tuples(), warm.total_tuples());
+            let incr_secs = t_incr.as_secs_f64();
+            let tps = incr_tuples / incr_secs.max(1e-9);
+            total_tuples += incr_tuples;
+            total_secs += incr_secs;
+            let rounds = after.rounds - before.rounds;
+            let firings = after.firings - before.firings;
+            report.rounds += rounds;
+            report.firings += firings;
+            report.row([
+                ("base", Json::from(base)),
+                ("delta", Json::from(delta)),
+                ("full_ms", Json::Num(t_full.as_secs_f64() * 1e3)),
+                ("incr_ms", Json::Num(incr_secs * 1e3)),
+                (
+                    "speedup",
+                    Json::Num(t_full.as_secs_f64() / incr_secs.max(1e-9)),
+                ),
+                ("tuples_per_sec", Json::Num(tps)),
+                ("rounds", Json::from(rounds)),
+                ("firings", Json::from(firings)),
+            ]);
             println!(
-                "{:>8} {:>8} {:>14} {:>12} {:>10}",
+                "{:>8} {:>8} {:>14} {:>12} {:>10} {:>12.0}",
                 base,
                 delta,
                 ms(t_full),
                 ms(t_incr),
-                ratio(t_full, t_incr)
+                ratio(t_full, t_incr),
+                tps
             );
         }
     }
+    println!(
+        "  engine counters (incremental runs): {} index builds, {} probes, \
+         {} interned symbols, {} intern hits, {} skolem fast-path",
+        agg.index_builds,
+        agg.index_probes,
+        agg.interner_symbols,
+        agg.interner_hits,
+        agg.skolem_fast_path
+    );
     println!();
+    report.tuples_per_sec = total_tuples / total_secs.max(1e-9);
+    report.summary_extra("index_builds", agg.index_builds);
+    report.summary_extra("index_probes", agg.index_probes);
+    report.summary_extra("interner_symbols", agg.interner_symbols);
+    report.summary_extra("interner_hits", agg.interner_hits);
+    report.summary_extra("skolem_fast_path", agg.skolem_fast_path);
+    opts.emit(&report);
+    report
 }
 
 /// E5 — provenance overhead: full N\[X\] graph vs no provenance.
@@ -402,14 +594,29 @@ fn e6_deletion() {
 }
 
 /// E7 — reconciliation scaling (companion \[11\]).
-fn e7_reconcile() {
+pub fn e7_reconcile(opts: &Opts) -> BenchReport {
     println!("── E7: reconciliation scaling (companion [11]) ──");
     println!(
-        "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9}",
-        "txns", "conflict%", "depth", "greedy ms", "naive ms", "accept", "defer", "reject"
+        "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9} {:>10}",
+        "txns",
+        "conflict%",
+        "depth",
+        "greedy ms",
+        "naive ms",
+        "accept",
+        "defer",
+        "reject",
+        "txns/s"
     );
-    for &n in &[256usize, 1024, 4096] {
-        for &pct in &[0u32, 5, 20, 50] {
+    let mut report = BenchReport::new("e7", &opts.variant, opts.smoke);
+    let (sizes, pcts): (&[usize], &[u32]) = if opts.smoke {
+        (&[256], &[0, 20])
+    } else {
+        (&[256, 1024, 4096], &[0, 5, 20, 50])
+    };
+    let (mut total_txns, mut total_secs) = (0f64, 0f64);
+    for &n in sizes {
+        for &pct in pcts {
             let depth = 3usize;
             let cands = reconcile_candidates(n, pct, depth, 42);
             let schema = kv_schema();
@@ -426,8 +633,24 @@ fn e7_reconcile() {
                 .iter()
                 .filter(|c| r.decision(c.id()) == Some(orchestra_reconcile::Decision::Rejected))
                 .count();
+            let secs = t_greedy.as_secs_f64();
+            let tps = n as f64 / secs.max(1e-9);
+            total_txns += n as f64;
+            total_secs += secs;
+            report.row([
+                ("txns", Json::from(n)),
+                ("conflict_pct", Json::from(pct as u64)),
+                ("depth", Json::from(depth)),
+                ("greedy_ms", Json::Num(secs * 1e3)),
+                ("naive_ms", Json::Num(t_naive.as_secs_f64() * 1e3)),
+                ("accepted", Json::from(accepted)),
+                ("deferred", Json::from(deferred)),
+                ("rejected", Json::from(rejected)),
+                // Single-update transactions: txns/sec is tuples/sec.
+                ("tuples_per_sec", Json::Num(tps)),
+            ]);
             println!(
-                "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9}",
+                "{:>8} {:>9} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9} {:>10.0}",
                 n,
                 pct,
                 depth,
@@ -435,11 +658,15 @@ fn e7_reconcile() {
                 ms(t_naive),
                 accepted,
                 deferred,
-                rejected
+                rejected,
+                tps
             );
         }
     }
     println!();
+    report.tuples_per_sec = total_txns / total_secs.max(1e-9);
+    opts.emit(&report);
+    report
 }
 
 /// E8 — archived availability under churn × replication factor.

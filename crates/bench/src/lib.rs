@@ -4,6 +4,7 @@
 //! One module per experiment family (see DESIGN.md §3 for the experiment
 //! index). Everything is deterministic given a seed.
 
+pub mod json;
 pub mod workloads;
 
 pub use workloads::*;

@@ -1,0 +1,67 @@
+//! CI smoke: run the experiment harness on a reduced workload and
+//! validate the shape of the emitted `BENCH_*.json` files.
+
+use orchestra_bench::json::{validate_report_shape, Json};
+use std::process::Command;
+
+#[test]
+fn smoke_run_emits_valid_bench_json() {
+    let exe = env!("CARGO_BIN_EXE_experiments");
+    let dir = std::env::temp_dir().join(format!("orchestra-bench-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(exe)
+        .args([
+            "e1",
+            "e4",
+            "e7",
+            "--smoke",
+            "--variant",
+            "ci-smoke",
+            "--json-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run experiments harness");
+    assert!(
+        out.status.success(),
+        "harness failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    for exp in ["e1", "e4", "e7"] {
+        let path = dir.join(format!("BENCH_{exp}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{exp}: unparseable JSON: {e}"));
+        let errors = validate_report_shape(&doc);
+        assert!(errors.is_empty(), "{exp}: bad shape: {errors:?}\n{text}");
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some(exp));
+        assert_eq!(doc.get("variant").unwrap().as_str(), Some("ci-smoke"));
+        assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+        // Throughput must be a positive finite number on any real machine.
+        let tps = doc
+            .get("summary")
+            .unwrap()
+            .get("tuples_per_sec")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(
+            tps.is_finite() && tps > 0.0,
+            "{exp}: tuples_per_sec = {tps}"
+        );
+        // The engine-backed experiments must report engine work.
+        if exp != "e7" {
+            let firings = doc
+                .get("summary")
+                .unwrap()
+                .get("firings")
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert!(firings > 0.0, "{exp}: no rule firings recorded");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -317,20 +317,39 @@ impl Cdss {
         let epoch = self.clock.advance();
         let since = self.peer(peer_id)?.last_epoch;
         let fetched = self.store.fetch_since(since)?;
+        let fetched_len = fetched.len();
+        let max_epoch = fetched.iter().map(|t| t.epoch).max();
         let peer = self.peers.get_mut(peer_id).expect("peer exists");
 
         // New transactions, in causal order (in-batch antecedents first).
+        // `fetched` is already an owned copy from the store — filter it in
+        // place instead of cloning every transaction a second time.
         let fresh: Vec<Transaction> = fetched
-            .iter()
+            .into_iter()
             .filter(|t| !peer.ingested.contains(&t.id))
-            .cloned()
             .collect();
         let ordered = causal_order(fresh);
 
         let mut candidates = Vec::new();
+        let mut restored_own: BTreeSet<TxnId> = BTreeSet::new();
         for txn in &ordered {
+            let own = txn.id.peer == *peer_id;
             if let Some(c) = peer.ingest_and_translate(txn)? {
                 candidates.push(c);
+            } else if own {
+                // One of this peer's own transactions arriving *from the
+                // archive* — possible only after the peer lost its local
+                // state and rebuilt from the shared store (normally its own
+                // transactions are ingested at publish time and filtered
+                // out above). Restore what publishing had established: the
+                // accepted decision (so foreign dependents can resolve
+                // their antecedents) and the sequence counter (so the next
+                // publish doesn't reuse an archived transaction id). The
+                // local effects are applied below, interleaved with
+                // accepted foreign transactions in causal order.
+                peer.reconciler.note_local(txn)?;
+                peer.next_seq = peer.next_seq.max(txn.id.seq);
+                restored_own.insert(txn.id.clone());
             }
         }
         let n_candidates = candidates.len();
@@ -344,20 +363,56 @@ impl Cdss {
         };
 
         let mut applied = 0usize;
-        for txn in &outcome.accepted {
+        let mut apply = |peer: &mut Peer, txn: &Transaction| -> Result<()> {
             for u in &txn.updates {
                 u.apply(&mut peer.instance).map_err(CoreError::from)?;
                 u.apply(&mut peer.published_snapshot)
                     .map_err(CoreError::from)?;
                 applied += 1;
             }
+            Ok(())
+        };
+        if restored_own.is_empty() {
+            // Normal path: accepted transactions in dependency order.
+            for txn in &outcome.accepted {
+                apply(&mut *peer, txn)?;
+            }
+        } else {
+            // Archive rebuild: the peer's own restored transactions and
+            // newly accepted foreign ones must be applied in one causal
+            // sequence — applying the own writes first would let a
+            // causally *earlier* foreign write to the same key clobber
+            // the peer's own later version. Accepted transactions from
+            // earlier epochs' pools (not in this batch) are causally
+            // older still and go first.
+            // Accepted foreign transactions are applied in their
+            // *translated* form (the reconciler's copies); the peer's own
+            // restored ones are already in its schema.
+            let accepted_by_id: BTreeMap<&TxnId, &Transaction> =
+                outcome.accepted.iter().map(|t| (&t.id, t)).collect();
+            let batch_ids: BTreeSet<&TxnId> = ordered.iter().map(|t| &t.id).collect();
+            for txn in &outcome.accepted {
+                if !batch_ids.contains(&txn.id) {
+                    apply(&mut *peer, txn)?;
+                }
+            }
+            for txn in &ordered {
+                if restored_own.contains(&txn.id) {
+                    apply(&mut *peer, txn)?;
+                } else if let Some(translated) = accepted_by_id.get(&txn.id) {
+                    apply(&mut *peer, translated)?;
+                }
+            }
         }
-        if let Some(max_epoch) = fetched.iter().map(|t| t.epoch).max() {
+        if let Some(max_epoch) = max_epoch {
             peer.last_epoch = peer.last_epoch.max(max_epoch);
+            // Keep the system clock ahead of everything in the archive, so
+            // a CDSS rebuilt from a durable store never restamps epochs.
+            self.clock.observe(max_epoch);
         }
         Ok(ReconcileReport {
             epoch,
-            fetched: fetched.len(),
+            fetched: fetched_len,
             candidates: n_candidates,
             outcome,
             applied_updates: applied,

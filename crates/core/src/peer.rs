@@ -7,6 +7,7 @@ use orchestra_reconcile::{Decision, Reconciler, TrustPolicy};
 use orchestra_relational::{DatabaseSchema, Instance, Tuple};
 use orchestra_updates::{Epoch, PeerId, TxnId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// One CDSS participant.
 ///
@@ -35,6 +36,11 @@ pub struct Peer {
     /// Base node → the transaction that published it (provenance →
     /// transaction lineage).
     pub(crate) node_txn: HashMap<NodeId, TxnId>,
+    /// Qualified relation name (`"Peer.R"`) → local name (`"R"`), for this
+    /// peer's own namespace only. Precomputed so translating an engine
+    /// change into a local update is one hash lookup, not a per-change
+    /// prefix strip and string allocation.
+    pub(crate) local_names: HashMap<Arc<str>, Arc<str>>,
     /// Transactions already ingested into this peer's engine.
     pub(crate) ingested: BTreeSet<TxnId>,
     /// Next local transaction sequence number.
@@ -51,6 +57,15 @@ impl Peer {
         engine: Engine,
     ) -> Peer {
         let instance = Instance::new(schema.clone());
+        let local_names: HashMap<Arc<str>, Arc<str>> = schema
+            .relations()
+            .map(|r| {
+                (
+                    Arc::from(crate::mapping::qualify(&id, r.name()).as_str()),
+                    r.name_arc(),
+                )
+            })
+            .collect();
         Peer {
             reconciler: Reconciler::new(schema.clone()),
             published_snapshot: instance.clone(),
@@ -59,6 +74,7 @@ impl Peer {
             schema,
             policy,
             engine,
+            local_names,
             node_txn: HashMap::new(),
             ingested: BTreeSet::new(),
             next_seq: 0,

@@ -62,15 +62,15 @@ impl Peer {
             return Ok(None);
         }
 
-        // Restrict to this peer's namespace and strip the qualifier.
-        let prefix = format!("{}.", self.id.name());
+        // Restrict to this peer's namespace and strip the qualifier (one
+        // precomputed hash lookup per change; see `Peer::local_names`).
         let mut added: Vec<(Arc<str>, Tuple, NodeId)> = Vec::new();
         let mut removed: Vec<(Arc<str>, Tuple, NodeId)> = Vec::new();
         for ch in changes {
-            let Some(local) = ch.relation.strip_prefix(&prefix) else {
+            let Some(local) = self.local_names.get(&ch.relation) else {
                 continue;
             };
-            let local: Arc<str> = Arc::from(local);
+            let local = Arc::clone(local);
             match ch.kind {
                 ChangeKind::Added => added.push((local, ch.tuple, ch.node)),
                 ChangeKind::Removed => removed.push((local, ch.tuple, ch.node)),
@@ -159,7 +159,7 @@ impl Peer {
                 continue;
             };
             let qualified = qualify(&self.id, u.relation());
-            let Some(node) = self.engine.nodes().get(&qualified, read) else {
+            let Some(node) = self.engine.node_id(&qualified, read) else {
                 continue;
             };
             for base in self.engine.graph().first_proof_lineage(node) {

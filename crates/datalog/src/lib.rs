@@ -42,7 +42,7 @@ pub mod tgd;
 pub use ast::{Atom, Filter, Rule, RuleId, Term};
 pub use engine::{Change, ChangeKind, DeletionAlgorithm, Engine, EngineStats};
 pub use error::DatalogError;
-pub use node::{NodeId, NodeTable};
+pub use node::{NodeId, NodeTable, RelId};
 pub use provgraph::{Derivation, ProvGraph};
 pub use query::Query;
 pub use tgd::Tgd;

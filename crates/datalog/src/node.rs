@@ -4,11 +4,37 @@
 //! (produced by a mapping) — gets one [`NodeId`]. Node ids are the
 //! variables of provenance polynomials and the vertices of the provenance
 //! graph, so keeping them dense `u32`s keeps those structures small.
+//!
+//! Since the interned-value refactor the table keys on the engine's
+//! *symbol* representation: relations are dense [`RelId`]s and tuples are
+//! [`SymTuple`]s, so interning a node is one integer-keyed hash probe —
+//! no string hashing, no structural tuple walks. Translating back to
+//! names and [`Value`](orchestra_relational::Value)s is the engine's job
+//! (it owns the
+//! [`ValueInterner`](orchestra_relational::ValueInterner)).
 
-use orchestra_relational::Tuple;
+use orchestra_relational::SymTuple;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+
+/// Dense identifier of a relation within one engine (index into the
+/// engine's relation table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
 
 /// Dense identifier of an interned `(relation, tuple)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -20,11 +46,14 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// The interning table.
+/// The interning table: `(RelId, SymTuple)` → [`NodeId`], keyed per
+/// relation so lookups never hash the relation id and never clone the
+/// tuple (misses clone once, an `Arc` bump).
 #[derive(Debug, Clone, Default)]
 pub struct NodeTable {
-    by_id: Vec<(Arc<str>, Tuple)>,
-    by_key: HashMap<(Arc<str>, Tuple), NodeId>,
+    by_id: Vec<(RelId, SymTuple)>,
+    /// Indexed by `RelId`; grown on demand.
+    by_rel: Vec<HashMap<SymTuple, NodeId>>,
 }
 
 impl NodeTable {
@@ -34,28 +63,28 @@ impl NodeTable {
     }
 
     /// Intern a pair, returning its id (existing or fresh).
-    pub fn intern(&mut self, relation: &Arc<str>, tuple: &Tuple) -> NodeId {
-        if let Some(&id) = self.by_key.get(&(Arc::clone(relation), tuple.clone())) {
+    pub fn intern(&mut self, rel: RelId, tuple: &SymTuple) -> NodeId {
+        let ri = rel.index();
+        if self.by_rel.len() <= ri {
+            self.by_rel.resize_with(ri + 1, HashMap::new);
+        }
+        if let Some(&id) = self.by_rel[ri].get(tuple) {
             return id;
         }
-        let id = NodeId(self.by_id.len() as u32);
-        self.by_id.push((Arc::clone(relation), tuple.clone()));
-        self.by_key
-            .insert((Arc::clone(relation), tuple.clone()), id);
+        let id = NodeId(u32::try_from(self.by_id.len()).expect("node table overflow"));
+        self.by_id.push((rel, tuple.clone()));
+        self.by_rel[ri].insert(tuple.clone(), id);
         id
     }
 
     /// Look up an existing id without interning.
-    pub fn get(&self, relation: &str, tuple: &Tuple) -> Option<NodeId> {
-        // Arc<str> hashing is by contents, so a temporary Arc probe works.
-        self.by_key
-            .get(&(Arc::from(relation), tuple.clone()))
-            .copied()
+    pub fn get(&self, rel: RelId, tuple: &SymTuple) -> Option<NodeId> {
+        self.by_rel.get(rel.index())?.get(tuple).copied()
     }
 
     /// The `(relation, tuple)` behind an id.
-    pub fn resolve(&self, id: NodeId) -> Option<(&Arc<str>, &Tuple)> {
-        self.by_id.get(id.0 as usize).map(|(r, t)| (r, t))
+    pub fn resolve(&self, id: NodeId) -> Option<(RelId, &SymTuple)> {
+        self.by_id.get(id.0 as usize).map(|(r, t)| (*r, t))
     }
 
     /// Number of interned nodes.
@@ -72,26 +101,28 @@ impl NodeTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orchestra_relational::tuple;
+    use orchestra_relational::{tuple, ValueInterner};
 
     #[test]
     fn intern_is_idempotent() {
+        let mut i = ValueInterner::new();
         let mut t = NodeTable::new();
-        let r: Arc<str> = Arc::from("R");
-        let a = t.intern(&r, &tuple![1, 2]);
-        let b = t.intern(&r, &tuple![1, 2]);
+        let st = i.intern_tuple(&tuple![1, 2]);
+        let a = t.intern(RelId(0), &st);
+        let b = t.intern(RelId(0), &st);
         assert_eq!(a, b);
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn distinct_pairs_get_distinct_ids() {
+        let mut i = ValueInterner::new();
         let mut t = NodeTable::new();
-        let r: Arc<str> = Arc::from("R");
-        let s: Arc<str> = Arc::from("S");
-        let a = t.intern(&r, &tuple![1]);
-        let b = t.intern(&s, &tuple![1]);
-        let c = t.intern(&r, &tuple![2]);
+        let one = i.intern_tuple(&tuple![1]);
+        let two = i.intern_tuple(&tuple![2]);
+        let a = t.intern(RelId(0), &one);
+        let b = t.intern(RelId(1), &one);
+        let c = t.intern(RelId(0), &two);
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(t.len(), 3);
@@ -99,28 +130,32 @@ mod tests {
 
     #[test]
     fn resolve_roundtrips() {
+        let mut i = ValueInterner::new();
         let mut t = NodeTable::new();
-        let r: Arc<str> = Arc::from("R");
-        let id = t.intern(&r, &tuple![1, "x"]);
+        let st = i.intern_tuple(&tuple![1, "x"]);
+        let id = t.intern(RelId(3), &st);
         let (rel, tup) = t.resolve(id).unwrap();
-        assert_eq!(&**rel, "R");
-        assert_eq!(tup, &tuple![1, "x"]);
+        assert_eq!(rel, RelId(3));
+        assert_eq!(tup, &st);
         assert!(t.resolve(NodeId(99)).is_none());
     }
 
     #[test]
     fn get_without_interning() {
+        let mut i = ValueInterner::new();
         let mut t = NodeTable::new();
-        let r: Arc<str> = Arc::from("R");
-        assert_eq!(t.get("R", &tuple![1]), None);
-        let id = t.intern(&r, &tuple![1]);
-        assert_eq!(t.get("R", &tuple![1]), Some(id));
+        let st = i.intern_tuple(&tuple![1]);
+        assert_eq!(t.get(RelId(0), &st), None);
+        let id = t.intern(RelId(0), &st);
+        assert_eq!(t.get(RelId(0), &st), Some(id));
+        assert_eq!(t.get(RelId(7), &st), None, "unknown relation");
         assert_eq!(t.len(), 1, "get does not intern");
     }
 
     #[test]
     fn display_and_empty() {
         assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(RelId(2).to_string(), "r2");
         assert!(NodeTable::new().is_empty());
     }
 }

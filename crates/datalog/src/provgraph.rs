@@ -9,7 +9,7 @@
 use crate::ast::RuleId;
 use crate::node::NodeId;
 use orchestra_provenance::{Monomial, Polynomial, Semiring};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
 
 /// One rule firing: `head` was derived by `rule` from the `body` nodes.
@@ -27,14 +27,36 @@ pub struct Derivation {
 #[derive(Debug, Clone, Default)]
 pub struct ProvGraph {
     derivations: Vec<Derivation>,
-    /// Dedup set: indexes into `derivations`.
-    seen: HashSet<Derivation>,
-    /// head node → indexes of its derivations.
-    by_head: HashMap<NodeId, Vec<usize>>,
+    /// head node → indexes of its derivations. Node ids are dense (the
+    /// engine's interning order), so these adjacency lists are plain
+    /// vectors grown on demand — recording a rule firing never hashes.
+    by_head: Vec<Vec<u32>>,
     /// body node → indexes of derivations using it.
-    by_body: HashMap<NodeId, Vec<usize>>,
+    by_body: Vec<Vec<u32>>,
+    /// Dedup filter: `(head, fingerprint(rule, body))` of every recorded
+    /// derivation. A miss proves the derivation is new without scanning;
+    /// a hit falls back to structurally comparing the head's (usually
+    /// tiny) derivation list, so hash collisions cannot drop records.
+    /// Stores 12 bytes per derivation instead of a full second copy.
+    seen: HashSet<(NodeId, u64)>,
     /// Nodes asserted as base facts (EDB / peer-published inserts).
     base: BTreeSet<NodeId>,
+}
+
+fn fingerprint(d: &Derivation) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    d.rule.hash(&mut h);
+    d.body.hash(&mut h);
+    h.finish()
+}
+
+fn push_adj(adj: &mut Vec<Vec<u32>>, node: NodeId, idx: u32) {
+    let i = node.0 as usize;
+    if adj.len() <= i {
+        adj.resize_with(i + 1, Vec::new);
+    }
+    adj[i].push(idx);
 }
 
 impl ProvGraph {
@@ -65,15 +87,22 @@ impl ProvGraph {
 
     /// Record a derivation (deduplicated). Returns `true` if new.
     pub fn add_derivation(&mut self, d: Derivation) -> bool {
-        if self.seen.contains(&d) {
-            return false;
+        let fp = (d.head, fingerprint(&d));
+        if self.seen.contains(&fp) {
+            // Possible duplicate — confirm structurally (collisions on the
+            // fingerprint must not drop genuine derivations).
+            if let Some(idxs) = self.by_head.get(d.head.0 as usize) {
+                if idxs.iter().any(|&i| self.derivations[i as usize] == d) {
+                    return false;
+                }
+            }
         }
-        let idx = self.derivations.len();
-        self.by_head.entry(d.head).or_default().push(idx);
+        self.seen.insert(fp);
+        let idx = u32::try_from(self.derivations.len()).expect("derivation overflow");
+        push_adj(&mut self.by_head, d.head, idx);
         for b in &d.body {
-            self.by_body.entry(*b).or_default().push(idx);
+            push_adj(&mut self.by_body, *b, idx);
         }
-        self.seen.insert(d.clone());
         self.derivations.push(d);
         true
     }
@@ -81,19 +110,19 @@ impl ProvGraph {
     /// All derivations of a node.
     pub fn derivations_of(&self, node: NodeId) -> impl Iterator<Item = &Derivation> {
         self.by_head
-            .get(&node)
+            .get(node.0 as usize)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.derivations[i])
+            .map(move |&i| &self.derivations[i as usize])
     }
 
     /// All derivations using a node in their body.
     pub fn uses_of(&self, node: NodeId) -> impl Iterator<Item = &Derivation> {
         self.by_body
-            .get(&node)
+            .get(node.0 as usize)
             .into_iter()
             .flatten()
-            .map(move |&i| &self.derivations[i])
+            .map(move |&i| &self.derivations[i as usize])
     }
 
     /// Total number of derivation records.
@@ -125,8 +154,9 @@ impl ProvGraph {
             }
         }
         while let Some(n) = queue.pop_front() {
-            if let Some(uses) = self.by_body.get(&n) {
+            if let Some(uses) = self.by_body.get(n.0 as usize) {
                 for &i in uses {
+                    let i = i as usize;
                     // A node occurring k times in one body decrements k times,
                     // matching body.len() counting.
                     remaining[i] = remaining[i].saturating_sub(

@@ -7,8 +7,11 @@ use crate::trust::TrustPolicy;
 use crate::{Priority, Result, DISTRUSTED};
 use orchestra_relational::{DatabaseSchema, Tuple};
 use orchestra_updates::{DepGraph, Transaction, TxnId, WriteOutcome};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// One transaction's write set: (relation, key) → final outcome.
+type WriteSet = BTreeMap<(Arc<str>, Tuple), WriteOutcome>;
 
 /// What one reconciliation pass decided.
 #[derive(Debug, Clone, Default)]
@@ -45,6 +48,30 @@ pub struct Reconciler {
     accepted_writes: BTreeMap<(Arc<str>, Tuple), (TxnId, WriteOutcome)>,
     /// Open same-priority conflicts awaiting the administrator.
     conflicts: Vec<(TxnId, TxnId)>,
+    /// Memoized per-transaction write sets (immutable once computed: the
+    /// transaction and schema never change). Saves recomputing key
+    /// projections in every phase that looks at the same candidate.
+    write_sets: HashMap<TxnId, Arc<WriteSet>>,
+}
+
+/// Per-pass memo of antecedent closures. Sound for the duration of any
+/// region where no new transactions enter the dependency graph (closures
+/// depend only on graph edges, never on decisions): one reconciliation
+/// level, or one manual resolution. Without it, conflict detection on a
+/// hot key recomputes the same closure for every one of O(writers²)
+/// candidate pairs.
+#[derive(Default)]
+struct ClosureCache(HashMap<TxnId, Arc<BTreeSet<TxnId>>>);
+
+impl ClosureCache {
+    fn get(&mut self, graph: &DepGraph, id: &TxnId) -> Result<Arc<BTreeSet<TxnId>>> {
+        if let Some(c) = self.0.get(id) {
+            return Ok(Arc::clone(c));
+        }
+        let c = Arc::new(graph.antecedent_closure(id).map_err(ReconcileError::from)?);
+        self.0.insert(id.clone(), Arc::clone(&c));
+        Ok(c)
+    }
 }
 
 impl Reconciler {
@@ -57,7 +84,23 @@ impl Reconciler {
             pool: BTreeMap::new(),
             accepted_writes: BTreeMap::new(),
             conflicts: Vec::new(),
+            write_sets: HashMap::new(),
         }
+    }
+
+    /// The memoized write set of a pooled candidate.
+    fn write_set_of(&mut self, id: &TxnId) -> Result<Arc<WriteSet>> {
+        if let Some(ws) = self.write_sets.get(id) {
+            return Ok(Arc::clone(ws));
+        }
+        let ws = Arc::new(
+            self.pool[id]
+                .txn
+                .write_set(&self.schema)
+                .map_err(ReconcileError::from)?,
+        );
+        self.write_sets.insert(id.clone(), Arc::clone(&ws));
+        Ok(ws)
     }
 
     /// The recorded decision for a transaction, if any. Distrusted
@@ -137,6 +180,9 @@ impl Reconciler {
     }
 
     fn process_level(&mut self, ids: &[TxnId], outcome: &mut ReconcileOutcome) -> Result<()> {
+        // No transaction enters the graph during a level, so antecedent
+        // closures can be computed once and shared by every phase.
+        let mut closures = ClosureCache::default();
         // Phase a: classify candidates by antecedent state; build groups
         // (with their net write maps, computed once) for the eligible ones.
         let mut eligible: Vec<(TxnId, BTreeSet<TxnId>, GroupWrites)> = Vec::new();
@@ -178,8 +224,20 @@ impl Reconciler {
                         .push((idx, writer, w_outcome));
                 }
             }
-            let mut conflicting_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+            // Hot keys make this loop quadratic in their writer count, so
+            // keep the per-pair work integer-cheap: fetch each writer's
+            // antecedent closure once per key (not once per pair), collect
+            // conflicting index pairs into a Vec, and sort+dedup at the
+            // end (same set and order a BTreeSet would have produced).
+            let mut conflicting_pairs: Vec<(usize, usize)> = Vec::new();
             for writers in by_key.values() {
+                if writers.len() < 2 {
+                    continue;
+                }
+                let writer_closures: Vec<Arc<BTreeSet<TxnId>>> = writers
+                    .iter()
+                    .map(|(_, w, _)| closures.get(&self.graph, w))
+                    .collect::<Result<_>>()?;
                 for a in 0..writers.len() {
                     for b in (a + 1)..writers.len() {
                         let (ia, wa, oa) = writers[a];
@@ -187,15 +245,17 @@ impl Reconciler {
                         if ia == ib || oa == ob {
                             continue;
                         }
-                        if conflicting_pairs.contains(&(ia.min(ib), ia.max(ib))) {
-                            continue;
-                        }
-                        if !self.causally_related(wa, wb)? {
-                            conflicting_pairs.insert((ia.min(ib), ia.max(ib)));
+                        let related = wa == wb
+                            || writer_closures[a].contains(wb)
+                            || writer_closures[b].contains(wa);
+                        if !related {
+                            conflicting_pairs.push((ia.min(ib), ia.max(ib)));
                         }
                     }
                 }
             }
+            conflicting_pairs.sort_unstable();
+            conflicting_pairs.dedup();
             for (ia, ib) in conflicting_pairs {
                 let id_a = eligible[ia].0.clone();
                 let id_b = eligible[ib].0.clone();
@@ -218,7 +278,7 @@ impl Reconciler {
             if self.decisions.contains_key(&id) {
                 continue; // Became accepted as part of an earlier group.
             }
-            if self.writes_conflict_with_history(&writes)? {
+            if self.writes_conflict_with_history(&mut closures, &writes)? {
                 self.record(id.clone(), Decision::Rejected);
                 outcome.rejected.push(id);
                 continue;
@@ -229,6 +289,12 @@ impl Reconciler {
     }
 
     /// Classify a candidate by the decisions on its antecedent closure.
+    ///
+    /// Computes the closure directly rather than through a [`ClosureCache`]:
+    /// classification touches each candidate exactly once per level, so
+    /// caching here would only add insert overhead on conflict-free
+    /// workloads (the cache pays off in the conflict phases, where hot
+    /// keys revisit the same writers quadratically).
     fn classify_antecedents(&self, id: &TxnId) -> Result<AntecedentState> {
         let closure = self
             .graph
@@ -255,64 +321,57 @@ impl Reconciler {
 
     /// The net writes of a group: apply members in dependency order,
     /// last-writer-wins per key. Returns (key → (writer, outcome)).
-    fn group_writes(&self, group: &BTreeSet<TxnId>) -> Result<GroupWrites> {
+    fn group_writes(&mut self, group: &BTreeSet<TxnId>) -> Result<GroupWrites> {
         let mut out: GroupWrites = BTreeMap::new();
         // Fast path: singleton groups (the common case) need no ordering.
         if group.len() == 1 {
-            let id = group.iter().next().expect("nonempty");
-            let cand = &self.pool[id];
-            for (key, outcome) in cand
-                .txn
-                .write_set(&self.schema)
-                .map_err(ReconcileError::from)?
-            {
-                out.insert(key, (id.clone(), outcome));
+            let id = group.iter().next().expect("nonempty").clone();
+            for (key, outcome) in self.write_set_of(&id)?.iter() {
+                out.insert(key.clone(), (id.clone(), outcome.clone()));
             }
             return Ok(out);
         }
         let order = subgraph_topo_order(&self.graph, group)?;
         for id in order {
-            let cand = &self.pool[&id];
-            let ws = cand
-                .txn
-                .write_set(&self.schema)
-                .map_err(ReconcileError::from)?;
-            for (key, outcome) in ws {
-                out.insert(key, (id.clone(), outcome));
+            let ws = self.write_set_of(&id)?;
+            for (key, outcome) in ws.iter() {
+                out.insert(key.clone(), (id.clone(), outcome.clone()));
             }
         }
         Ok(out)
     }
 
-    fn causally_related(&self, a: &TxnId, b: &TxnId) -> Result<bool> {
+    fn causally_related(&self, closures: &mut ClosureCache, a: &TxnId, b: &TxnId) -> Result<bool> {
         if a == b {
             return Ok(true);
         }
-        let ca = self
-            .graph
-            .antecedent_closure(a)
-            .map_err(ReconcileError::from)?;
-        if ca.contains(b) {
+        if closures.get(&self.graph, a)?.contains(b) {
             return Ok(true);
         }
-        let cb = self
-            .graph
-            .antecedent_closure(b)
-            .map_err(ReconcileError::from)?;
-        Ok(cb.contains(a))
+        Ok(closures.get(&self.graph, b)?.contains(a))
     }
 
     /// Does the group clash with the already-accepted write history?
     /// A dependent overwriting its accepted antecedent's data is fine.
-    fn group_conflicts_with_history(&self, group: &BTreeSet<TxnId>) -> Result<bool> {
+    fn group_conflicts_with_history(
+        &mut self,
+        closures: &mut ClosureCache,
+        group: &BTreeSet<TxnId>,
+    ) -> Result<bool> {
         let writes = self.group_writes(group)?;
-        self.writes_conflict_with_history(&writes)
+        self.writes_conflict_with_history(closures, &writes)
     }
 
-    fn writes_conflict_with_history(&self, writes: &GroupWrites) -> Result<bool> {
+    fn writes_conflict_with_history(
+        &self,
+        closures: &mut ClosureCache,
+        writes: &GroupWrites,
+    ) -> Result<bool> {
         for (key, (writer, outcome)) in writes {
             if let Some((accepted_writer, accepted_outcome)) = self.accepted_writes.get(key) {
-                if outcome != accepted_outcome && !self.causally_related(writer, accepted_writer)? {
+                if outcome != accepted_outcome
+                    && !self.causally_related(closures, writer, accepted_writer)?
+                {
                     return Ok(true);
                 }
             }
@@ -332,15 +391,12 @@ impl Reconciler {
                 continue;
             }
             self.record(id.clone(), Decision::Accepted);
-            let cand = &self.pool[&id];
-            let ws = cand
-                .txn
-                .write_set(&self.schema)
-                .map_err(ReconcileError::from)?;
-            for (key, w_outcome) in ws {
-                self.accepted_writes.insert(key, (id.clone(), w_outcome));
+            let ws = self.write_set_of(&id)?;
+            for (key, w_outcome) in ws.iter() {
+                self.accepted_writes
+                    .insert(key.clone(), (id.clone(), w_outcome.clone()));
             }
-            outcome.accepted.push(cand.txn.clone());
+            outcome.accepted.push(self.pool[&id].txn.clone());
         }
         Ok(())
     }
@@ -360,6 +416,8 @@ impl Reconciler {
             return Err(ReconcileError::NotDeferred(winner.to_string()));
         }
         let mut out = ResolveOutcome::default();
+        // The graph gains no transactions during a resolution.
+        let mut closures = ClosureCache::default();
 
         // Losers: deferred counterparts in open conflicts with the winner.
         let mut losers: BTreeSet<TxnId> = BTreeSet::new();
@@ -431,7 +489,7 @@ impl Reconciler {
             self.decisions.remove(&dep);
             match self.classify_antecedents(&dep)? {
                 AntecedentState::Ready(group) => {
-                    if self.group_conflicts_with_history(&group)? {
+                    if self.group_conflicts_with_history(&mut closures, &group)? {
                         self.record(dep.clone(), Decision::Rejected);
                         out.rejected.push(dep);
                     } else {

@@ -22,10 +22,14 @@
 //! * [`Predicate`] / [`Expr`] — scalar expressions and predicates evaluated
 //!   over tuples; trust conditions in the reconciliation layer are built from
 //!   these.
+//! * [`ValueInterner`] / [`Sym`] / [`SymTuple`] — dense `u32` symbols for
+//!   values, the representation the datalog engine's join pipeline runs on
+//!   (integer equality/hashing, fixed-width index keys).
 
 pub mod error;
 pub mod expr;
 pub mod instance;
+pub mod intern;
 pub mod io;
 pub mod predicate;
 pub mod relation;
@@ -36,6 +40,7 @@ pub mod value;
 pub use error::RelationalError;
 pub use expr::Expr;
 pub use instance::Instance;
+pub use intern::{InternerStats, Sym, SymTuple, ValueInterner};
 pub use predicate::{CmpOp, Predicate};
 pub use relation::Relation;
 pub use schema::{ColumnDef, DatabaseSchema, RelationSchema};

@@ -133,17 +133,21 @@ impl Relation {
     }
 
     /// Look up tuples matching `values` on the given columns, building (and
-    /// caching) a secondary hash index on first use.
+    /// caching) a secondary hash index on first use. Steady-state probes
+    /// allocate nothing: the column set and the probe values are borrowed
+    /// slices keyed through `Borrow`.
     pub fn lookup(&mut self, cols: &[usize], values: &[Value]) -> &[Tuple] {
-        let cols_key: Vec<usize> = cols.to_vec();
-        let index = self.indexes.entry(cols_key).or_insert_with(|| {
+        if !self.indexes.contains_key(cols) {
             let mut idx: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
             for t in self.tuples.values() {
                 idx.entry(t.key_values(cols)).or_default().push(t.clone());
             }
-            idx
-        });
-        index.get(values).map(Vec::as_slice).unwrap_or(&[])
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+        self.indexes[cols]
+            .get(values)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Scan with a filter on one column (no index; linear).

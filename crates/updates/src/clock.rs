@@ -62,6 +62,13 @@ impl LogicalClock {
         self.current = self.current.next();
         self.current
     }
+
+    /// Merge an epoch observed elsewhere (Lamport-style): the clock never
+    /// runs behind epochs already seen. Lets a node rebuilt from an
+    /// archive resume publishing without reusing stamped epochs.
+    pub fn observe(&mut self, seen: Epoch) {
+        self.current = self.current.max(seen);
+    }
 }
 
 #[cfg(test)]
