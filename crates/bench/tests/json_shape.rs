@@ -1,5 +1,6 @@
 //! CI smoke: run the experiment harness on a reduced workload and
-//! validate the shape of the emitted `BENCH_*.json` files.
+//! validate the shape of the emitted `BENCH_*.json` files, including the
+//! pagination/availability counters added with the paged exchange.
 
 use orchestra_bench::json::{validate_report_shape, Json};
 use std::process::Command;
@@ -14,6 +15,7 @@ fn smoke_run_emits_valid_bench_json() {
             "e1",
             "e4",
             "e7",
+            "e8",
             "--smoke",
             "--variant",
             "ci-smoke",
@@ -29,7 +31,7 @@ fn smoke_run_emits_valid_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    for exp in ["e1", "e4", "e7"] {
+    for exp in ["e1", "e4", "e7", "e8"] {
         let path = dir.join(format!("BENCH_{exp}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
@@ -39,27 +41,53 @@ fn smoke_run_emits_valid_bench_json() {
         assert_eq!(doc.get("experiment").unwrap().as_str(), Some(exp));
         assert_eq!(doc.get("variant").unwrap().as_str(), Some("ci-smoke"));
         assert_eq!(doc.get("smoke"), Some(&Json::Bool(true)));
+        let summary = doc.get("summary").unwrap();
         // Throughput must be a positive finite number on any real machine.
-        let tps = doc
-            .get("summary")
-            .unwrap()
-            .get("tuples_per_sec")
-            .unwrap()
-            .as_f64()
-            .unwrap();
+        let tps = summary.get("tuples_per_sec").unwrap().as_f64().unwrap();
         assert!(
             tps.is_finite() && tps > 0.0,
             "{exp}: tuples_per_sec = {tps}"
         );
+        // Every report carries the pagination/availability counters.
+        let pages = summary
+            .get("store_pages")
+            .unwrap_or_else(|| panic!("{exp}: summary missing `store_pages`"))
+            .as_f64()
+            .unwrap();
+        let unavailable = summary
+            .get("store_unavailable")
+            .unwrap_or_else(|| panic!("{exp}: summary missing `store_unavailable`"))
+            .as_f64()
+            .unwrap();
+        match exp {
+            // E1 exchanges through the archive: pages must be counted,
+            // and the always-available memory store loses nothing.
+            "e1" => {
+                assert!(pages > 0.0, "{exp}: no pages recorded");
+                assert_eq!(unavailable, 0.0, "{exp}: memory store has no gaps");
+            }
+            // E8's churn rows must show partial progress: pages scanned,
+            // and (with R=1 under churn) some payloads unreachable.
+            "e8" => {
+                assert!(pages > 0.0, "{exp}: no pages recorded");
+                assert!(unavailable > 0.0, "{exp}: churn produced no gaps");
+                for row in doc.get("rows").unwrap().as_arr().unwrap() {
+                    let reachable = row.get("reachable").unwrap().as_f64().unwrap();
+                    let lost = row.get("unavailable").unwrap().as_f64().unwrap();
+                    let row_pages = row.get("pages").unwrap().as_f64().unwrap();
+                    assert!(row_pages > 0.0, "{exp}: row without pages");
+                    assert!(reachable + lost > 0.0, "{exp}: empty scan row");
+                }
+            }
+            // E4/E7 drive engine/reconciler directly: present but zero.
+            _ => {
+                assert_eq!(pages, 0.0, "{exp}: unexpected store traffic");
+                assert_eq!(unavailable, 0.0, "{exp}: unexpected store gaps");
+            }
+        }
         // The engine-backed experiments must report engine work.
-        if exp != "e7" {
-            let firings = doc
-                .get("summary")
-                .unwrap()
-                .get("firings")
-                .unwrap()
-                .as_f64()
-                .unwrap();
+        if exp == "e1" || exp == "e4" {
+            let firings = summary.get("firings").unwrap().as_f64().unwrap();
             assert!(firings > 0.0, "{exp}: no rule firings recorded");
         }
     }

@@ -7,23 +7,72 @@ use crate::Result;
 use orchestra_datalog::{Engine, Rule, Tgd};
 use orchestra_reconcile::{ReconcileOutcome, ResolveOutcome, TrustPolicy};
 use orchestra_relational::{DatabaseSchema, Tuple};
-use orchestra_store::{InMemoryStore, StoreStats, UpdateStore};
+use orchestra_store::{FetchCursor, InMemoryStore, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT};
 use orchestra_updates::{Epoch, LogicalClock, PeerId, Transaction, TxnId, Update};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Tunables for one update exchange ([`Cdss::reconcile_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOptions {
+    /// Maximum transactions materialized per archive page: the exchange
+    /// loops page by page, so its peak memory is bounded by this limit
+    /// regardless of how much history the peer has missed.
+    pub page_limit: usize,
+}
+
+impl Default for ExchangeOptions {
+    fn default() -> Self {
+        ExchangeOptions {
+            page_limit: DEFAULT_PAGE_LIMIT,
+        }
+    }
+}
+
+/// Decision summary of one exchange, by transaction **id**.
+///
+/// Ids only, deliberately: accepted payloads are translated and applied
+/// page by page, then dropped, so a full-history catch-up never retains
+/// them — the report must not reintroduce the unbounded
+/// `Vec<Transaction>` the paged exchange exists to avoid. Fetch a
+/// payload back through [`orchestra_store::UpdateStore::fetch`], or a
+/// decision through [`Peer::decision`](crate::Peer::decision), if needed.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeOutcome {
+    /// Accepted and applied this exchange.
+    pub accepted: Vec<TxnId>,
+    /// Rejected this exchange (trust policy or conflict with history).
+    pub rejected: Vec<TxnId>,
+    /// Deferred this exchange (conflicts awaiting [`Cdss::resolve`],
+    /// missing antecedents).
+    pub deferred: Vec<TxnId>,
+}
 
 /// What one [`Cdss::reconcile`] call did.
 #[derive(Debug, Clone)]
 pub struct ReconcileReport {
-    /// The epoch this exchange advanced to.
+    /// The epoch this exchange advanced to (unchanged when the exchange
+    /// found no work — idle reconciles no longer inflate the clock).
     pub epoch: Epoch,
-    /// Transactions fetched from the store (not yet seen by this peer).
+    /// Reachable transactions fetched from the store across all pages.
     pub fetched: usize,
     /// Candidates produced by translation (excludes the peer's own).
     pub candidates: usize,
     /// The reconciliation decisions.
-    pub outcome: ReconcileOutcome,
+    pub outcome: ExchangeOutcome,
     /// Tuple-level updates applied to the local instance.
     pub applied_updates: usize,
+    /// Archive pages scanned by this exchange.
+    pub pages: usize,
+    /// Unreachable payloads this peer still needs that the scan skipped
+    /// past (reachable later history was still processed where safe).
+    pub skipped_unavailable: usize,
+    /// Reachable transactions held back because they causally depend on a
+    /// skipped one; they are re-fetched once the gap heals.
+    pub held_back: usize,
+    /// The first unreachable transaction, if any: the peer's resume
+    /// cursor is frozen at this position, so the next exchange retries it
+    /// before consuming anything newer. `None` = fully caught up.
+    pub blocked_on: Option<TxnId>,
 }
 
 /// What one [`Cdss::resolve`] call did.
@@ -135,11 +184,19 @@ impl CdssBuilder {
             }
             peers.insert(id.clone(), Peer::new(id, schema, policy, engine));
         }
+        // Start the clock at or past everything already archived: a CDSS
+        // attached to a populated (e.g. durable) store must not publish
+        // into epochs behind existing history — the store would reject
+        // them as stale, and cursors would never see them.
+        let mut clock = LogicalClock::new();
+        if let Some(latest) = store.latest_epoch() {
+            clock.observe(latest);
+        }
         Ok(Cdss {
             peers,
             mappings: self.mappings,
             store,
-            clock: LogicalClock::new(),
+            clock,
             published_txns: 0,
         })
     }
@@ -309,113 +366,247 @@ impl Cdss {
         Ok(built.into_iter().map(|t| t.id).collect())
     }
 
-    /// Perform update exchange for one peer: fetch newly published
+    /// Perform update exchange for one peer: page through newly published
     /// transactions, translate them through the mapping program, reconcile
     /// under the peer's trust policy, and apply accepted transactions to
-    /// the local instance.
+    /// the local instance. Equivalent to [`reconcile_with`] under
+    /// [`ExchangeOptions::default`].
+    ///
+    /// [`reconcile_with`]: Cdss::reconcile_with
     pub fn reconcile(&mut self, peer_id: &PeerId) -> Result<ReconcileReport> {
-        let epoch = self.clock.advance();
-        let since = self.peer(peer_id)?.last_epoch;
-        let fetched = self.store.fetch_since(since)?;
-        let fetched_len = fetched.len();
-        let max_epoch = fetched.iter().map(|t| t.epoch).max();
-        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+        self.reconcile_with(peer_id, ExchangeOptions::default())
+    }
 
-        // New transactions, in causal order (in-batch antecedents first).
-        // `fetched` is already an owned copy from the store — filter it in
-        // place instead of cloning every transaction a second time.
-        let fresh: Vec<Transaction> = fetched
-            .into_iter()
-            .filter(|t| !peer.ingested.contains(&t.id))
-            .collect();
-        let ordered = causal_order(fresh);
-
-        let mut candidates = Vec::new();
-        let mut restored_own: BTreeSet<TxnId> = BTreeSet::new();
-        for txn in &ordered {
-            let own = txn.id.peer == *peer_id;
-            if let Some(c) = peer.ingest_and_translate(txn)? {
-                candidates.push(c);
-            } else if own {
-                // One of this peer's own transactions arriving *from the
-                // archive* — possible only after the peer lost its local
-                // state and rebuilt from the shared store (normally its own
-                // transactions are ingested at publish time and filtered
-                // out above). Restore what publishing had established: the
-                // accepted decision (so foreign dependents can resolve
-                // their antecedents) and the sequence counter (so the next
-                // publish doesn't reuse an archived transaction id). The
-                // local effects are applied below, interleaved with
-                // accepted foreign transactions in causal order.
-                peer.reconciler.note_local(txn)?;
-                peer.next_seq = peer.next_seq.max(txn.id.seq);
-                restored_own.insert(txn.id.clone());
-            }
-        }
-        let n_candidates = candidates.len();
-
-        // Split borrows: reconciler and policy are disjoint fields.
-        let outcome = {
-            let Peer {
-                reconciler, policy, ..
-            } = &mut *peer;
-            reconciler.reconcile(candidates, policy)?
+    /// Update exchange with explicit tunables.
+    ///
+    /// The exchange loops through the archive in bounded pages (never
+    /// materializing more than [`ExchangeOptions::page_limit`]
+    /// transactions at a time) and makes **partial progress** under
+    /// degraded availability: an unreachable payload no longer fails the
+    /// call. Instead the peer's resume cursor freezes *at the gap* (so a
+    /// later exchange retries it once a replica returns), reachable
+    /// history keeps flowing — except transactions causally dependent on
+    /// the gap, which are held back — and the report records the blocking
+    /// transaction and skip counts. The logical clock only advances when
+    /// the exchange actually did work, so idle reconcile loops no longer
+    /// inflate epochs.
+    ///
+    /// **Conflict window**: same-priority conflicting claims observed in
+    /// one page defer both for [`Cdss::resolve`] (§3) — the steady-state
+    /// case, since any exchange of ≤ `page_limit` transactions is one
+    /// page. Claims split across pages of a long catch-up follow the same
+    /// streaming semantics as claims split across separate exchanges:
+    /// the first claim *observed* is accepted, the later one is rejected
+    /// against accepted history — normally `(epoch, id)` order, though
+    /// under partial availability a claim held back behind a gap is
+    /// observed only after the gap heals, as if published later. Conflict
+    /// decisions are therefore per-peer and observation-order dependent,
+    /// as they inherently are across exchanges in an intermittently
+    /// connected CDSS. Raise `page_limit` when a catch-up must treat its
+    /// whole history as one concurrent window (at proportional memory
+    /// cost).
+    pub fn reconcile_with(
+        &mut self,
+        peer_id: &PeerId,
+        opts: ExchangeOptions,
+    ) -> Result<ReconcileReport> {
+        let page_limit = opts.page_limit.max(1);
+        let (prev_last_epoch, prev_resume, mut cursor) = {
+            let peer = self.peer(peer_id)?;
+            let cursor = peer
+                .resume
+                .clone()
+                .unwrap_or_else(|| FetchCursor::after_epoch(peer.last_epoch));
+            (peer.last_epoch, peer.resume.clone(), cursor)
         };
 
+        let mut outcome = ExchangeOutcome::default();
+        let mut fetched = 0usize;
+        let mut candidates = 0usize;
         let mut applied = 0usize;
-        let mut apply = |peer: &mut Peer, txn: &Transaction| -> Result<()> {
-            for u in &txn.updates {
-                u.apply(&mut peer.instance).map_err(CoreError::from)?;
-                u.apply(&mut peer.published_snapshot)
-                    .map_err(CoreError::from)?;
-                applied += 1;
-            }
-            Ok(())
+        let mut pages = 0usize;
+        let mut skipped = 0usize;
+        let mut held_back = 0usize;
+        let mut processed = 0usize;
+        let mut blocked: Option<(Epoch, TxnId)> = None;
+        // Transactions this peer must not consume yet: skipped gaps plus
+        // (transitively) everything reachable that depends on one. Scan
+        // order is (epoch, id), which well-formed publication keeps
+        // causal, so a dependent is always examined after its antecedent
+        // has entered this set. Persisted on the peer while blocked.
+        let mut held: BTreeSet<TxnId> = BTreeSet::new();
+        // Reachable transactions whose antecedents may still be ahead in
+        // scan order (forward references): retried with each later page,
+        // flushed through the reconciler after the scan completes.
+        let mut parked: Vec<Transaction> = Vec::new();
+        let mut max_seen: Option<Epoch> = None;
+        let mut hw: Option<(Epoch, TxnId)> = None;
+        let observe = |max_seen: &mut Option<Epoch>, e: Epoch| {
+            *max_seen = Some(max_seen.map_or(e, |m| m.max(e)));
         };
-        if restored_own.is_empty() {
-            // Normal path: accepted transactions in dependency order.
-            for txn in &outcome.accepted {
-                apply(&mut *peer, txn)?;
-            }
-        } else {
-            // Archive rebuild: the peer's own restored transactions and
-            // newly accepted foreign ones must be applied in one causal
-            // sequence — applying the own writes first would let a
-            // causally *earlier* foreign write to the same key clobber
-            // the peer's own later version. Accepted transactions from
-            // earlier epochs' pools (not in this batch) are causally
-            // older still and go first.
-            // Accepted foreign transactions are applied in their
-            // *translated* form (the reconciler's copies); the peer's own
-            // restored ones are already in its schema.
-            let accepted_by_id: BTreeMap<&TxnId, &Transaction> =
-                outcome.accepted.iter().map(|t| (&t.id, t)).collect();
-            let batch_ids: BTreeSet<&TxnId> = ordered.iter().map(|t| &t.id).collect();
-            for txn in &outcome.accepted {
-                if !batch_ids.contains(&txn.id) {
-                    apply(&mut *peer, txn)?;
+
+        // Blocked from a previous exchange: cheaply probe the frozen gap
+        // first. If it is *still* unreachable, keep the persisted held
+        // set and jump the scan to the high-water mark — only new history
+        // gets fetched, instead of re-cloning the whole suffix past the
+        // gap on every poll. If the gap healed, fall through to a full
+        // rescan from the gap (the held set is rebuilt as it goes).
+        if prev_resume.is_some() {
+            let probe = self.store.fetch_page(&cursor, 1)?;
+            pages += 1;
+            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            match probe.unavailable.first() {
+                Some((ep, id)) if !peer.ingested.contains(id) => {
+                    observe(&mut max_seen, *ep);
+                    blocked = Some((*ep, id.clone()));
+                    skipped += 1;
+                    if id.peer == *peer_id {
+                        // Archive rebuild with the peer's own txn as the
+                        // gap: its id is archived regardless, so the next
+                        // publish must not reuse it.
+                        peer.next_seq = peer.next_seq.max(id.seq);
+                    }
+                    held = peer.held.clone();
+                    hw = peer.scanned_hw.clone();
+                    cursor = match &peer.scanned_hw {
+                        Some((e, last)) => FetchCursor::after_txn(*e, last.clone()),
+                        // A blocked exchange always scanned at least the
+                        // gap itself, so this arm is unreachable in
+                        // practice; rescan from the gap to stay safe.
+                        None => cursor,
+                    };
                 }
+                _ => held.clear(), // Gap healed (or ingested): full rescan.
             }
-            for txn in &ordered {
-                if restored_own.contains(&txn.id) {
-                    apply(&mut *peer, txn)?;
-                } else if let Some(translated) = accepted_by_id.get(&txn.id) {
-                    apply(&mut *peer, translated)?;
+        }
+
+        loop {
+            let page = self.store.fetch_page(&cursor, page_limit)?;
+            let next = page.next_cursor;
+            pages += 1;
+            fetched += page.txns.len();
+            // Pages come in (epoch, id) order: the last reachable
+            // transaction carries the page's highest reachable epoch, and
+            // the later of the two trailing positions is the page's
+            // high-water mark.
+            if let Some(t) = page.txns.last() {
+                observe(&mut max_seen, t.epoch);
+                let pos = (t.epoch, t.id.clone());
+                hw = Some(hw.map_or(pos.clone(), |h| h.max(pos)));
+            }
+            if let Some(u) = page.unavailable.last() {
+                hw = Some(hw.map_or(u.clone(), |h| h.max(u.clone())));
+            }
+            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            for (ep, id) in &page.unavailable {
+                observe(&mut max_seen, *ep);
+                if peer.ingested.contains(id) {
+                    continue; // Already ingested earlier — not a gap.
+                }
+                if blocked.is_none() {
+                    blocked = Some((*ep, id.clone()));
+                }
+                if id.peer == *peer_id {
+                    // Archive rebuild with the peer's own txn unreachable:
+                    // the id is archived regardless, so the next publish
+                    // must not reuse it (the store would reject it as a
+                    // duplicate after the local instance was mutated).
+                    peer.next_seq = peer.next_seq.max(id.seq);
+                }
+                held.insert(id.clone());
+                skipped += 1;
+            }
+            // Previously parked forward references re-enter with this
+            // page: if their antecedents are in it, causal_order slots
+            // them right after.
+            let mut batch = page.txns;
+            batch.append(&mut parked);
+            let r = process_page(peer, peer_id, batch, &mut held, Some(&mut parked))?;
+            candidates += r.candidates;
+            applied += r.applied;
+            held_back += r.held_back;
+            processed += r.processed;
+            // Keep ids, drop payloads: the page's accepted transactions
+            // are already applied, and retaining them across a long
+            // catch-up would grow with history instead of page size.
+            outcome
+                .accepted
+                .extend(r.outcome.accepted.into_iter().map(|t| t.id));
+            outcome.rejected.extend(r.outcome.rejected);
+            outcome.deferred.extend(r.outcome.deferred);
+            match next {
+                Some(c) => cursor = c,
+                None => break,
+            }
+        }
+
+        // Forward references that never resolved: their antecedents are
+        // not archived (ghosts). Run them through the reconciler so they
+        // get the deferred decision the one-shot exchange gave them.
+        if !parked.is_empty() {
+            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            let batch = std::mem::take(&mut parked);
+            let r = process_page(peer, peer_id, batch, &mut held, None)?;
+            candidates += r.candidates;
+            applied += r.applied;
+            held_back += r.held_back;
+            processed += r.processed;
+            outcome
+                .accepted
+                .extend(r.outcome.accepted.into_iter().map(|t| t.id));
+            outcome.rejected.extend(r.outcome.rejected);
+            outcome.deferred.extend(r.outcome.deferred);
+        }
+
+        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+        match &blocked {
+            Some((gap_epoch, gap_id)) => {
+                // Freeze durable progress at the gap: the next exchange
+                // re-probes exactly this position first. Reachable work
+                // past the gap was already applied where safe; the held
+                // set and high-water mark persist so the next poll only
+                // probes the gap and fetches history it has not seen.
+                peer.resume = Some(FetchCursor::at_txn(*gap_epoch, gap_id.clone()));
+                let caught_up = Epoch::new(gap_epoch.value().saturating_sub(1));
+                peer.last_epoch = peer.last_epoch.max(caught_up);
+                peer.held = held;
+                peer.scanned_hw = hw.max(peer.scanned_hw.take());
+            }
+            None => {
+                peer.resume = None;
+                peer.held.clear();
+                peer.scanned_hw = None;
+                if let Some(m) = max_seen {
+                    peer.last_epoch = peer.last_epoch.max(m);
                 }
             }
         }
-        if let Some(max_epoch) = max_epoch {
-            peer.last_epoch = peer.last_epoch.max(max_epoch);
+        // §2: the clock advances per update exchange — but only exchanges
+        // that did something. A blocked retry that learns nothing new and
+        // an idle poll both leave the clock alone, so polling loops no
+        // longer inflate epochs (and epoch-indexed snapshots) unboundedly.
+        let progress =
+            processed > 0 || peer.last_epoch != prev_last_epoch || peer.resume != prev_resume;
+        if let Some(m) = max_seen {
             // Keep the system clock ahead of everything in the archive, so
             // a CDSS rebuilt from a durable store never restamps epochs.
-            self.clock.observe(max_epoch);
+            self.clock.observe(m);
         }
+        let epoch = if progress {
+            self.clock.advance()
+        } else {
+            self.clock.current()
+        };
         Ok(ReconcileReport {
             epoch,
-            fetched: fetched_len,
-            candidates: n_candidates,
+            fetched,
+            candidates,
             outcome,
             applied_updates: applied,
+            pages,
+            skipped_unavailable: skipped,
+            held_back,
+            blocked_on: blocked.map(|(_, id)| id),
         })
     }
 
@@ -468,6 +659,160 @@ impl Cdss {
         }
         out
     }
+}
+
+/// What [`process_page`] did with one page of archive transactions.
+struct PageResult {
+    candidates: usize,
+    applied: usize,
+    held_back: usize,
+    /// Transactions actually worked on (not previously ingested, not
+    /// held back) — the exchange's "did anything happen" signal.
+    processed: usize,
+    outcome: ReconcileOutcome,
+}
+
+/// Run one fetched page through a peer's exchange pipeline: filter out
+/// transactions already ingested, hold back anything causally downstream
+/// of a skipped gap, park forward references for a later page, translate
+/// the rest, reconcile, and apply accepted work to the local instance.
+/// Page-sized batches keep the exchange's peak memory independent of how
+/// much history the peer missed; the reconciler's persistent decisions
+/// make per-page passes equivalent to the old whole-history pass.
+fn process_page(
+    peer: &mut Peer,
+    peer_id: &PeerId,
+    txns: Vec<Transaction>,
+    held: &mut BTreeSet<TxnId>,
+    mut park: Option<&mut Vec<Transaction>>,
+) -> Result<PageResult> {
+    // New transactions, in causal order (in-page antecedents first). The
+    // page is already an owned copy from the store — filter it in place
+    // instead of cloning every transaction a second time.
+    let fresh: Vec<Transaction> = txns
+        .into_iter()
+        .filter(|t| !peer.ingested.contains(&t.id))
+        .collect();
+    let ordered = causal_order(fresh);
+
+    let mut kept: Vec<Transaction> = Vec::with_capacity(ordered.len());
+    let mut held_back = 0usize;
+    let mut candidates = Vec::new();
+    let mut restored_own: BTreeSet<TxnId> = BTreeSet::new();
+    for txn in ordered {
+        if txn.antecedents.iter().any(|a| held.contains(a)) {
+            // Depends on an unavailable gap (directly or through another
+            // held transaction): not safe to consume yet. The frozen
+            // resume cursor guarantees it is re-fetched after the gap
+            // heals, in causal order.
+            if txn.id.peer == *peer_id {
+                // A held-back own transaction (archive rebuild): its id
+                // is archived regardless, so never reuse it.
+                peer.next_seq = peer.next_seq.max(txn.id.seq);
+            }
+            held.insert(txn.id.clone());
+            held_back += 1;
+            continue;
+        }
+        if let Some(p) = park.as_deref_mut() {
+            // An antecedent that is neither ingested nor decided can be a
+            // forward reference: a transaction later in scan order (CDSS
+            // publication keeps (epoch, id) order causal, but a direct
+            // store publisher may interleave peers within one epoch).
+            // Feeding it to the reconciler now would record a *sticky*
+            // deferral, so park the transaction and retry it with the
+            // next page — the final pass (park = None) lets genuinely
+            // ghost antecedents reach the reconciler and defer, as the
+            // one-shot exchange always did.
+            let forward_ref = txn
+                .antecedents
+                .iter()
+                .any(|a| !peer.ingested.contains(a) && peer.reconciler.decision(a).is_none());
+            if forward_ref {
+                p.push(txn);
+                continue;
+            }
+        }
+        let own = txn.id.peer == *peer_id;
+        if let Some(c) = peer.ingest_and_translate(&txn)? {
+            candidates.push(c);
+        } else if own {
+            // One of this peer's own transactions arriving *from the
+            // archive* — possible only after the peer lost its local
+            // state and rebuilt from the shared store (normally its own
+            // transactions are ingested at publish time and filtered
+            // out above). Restore what publishing had established: the
+            // accepted decision (so foreign dependents can resolve
+            // their antecedents) and the sequence counter (so the next
+            // publish doesn't reuse an archived transaction id). The
+            // local effects are applied below, interleaved with
+            // accepted foreign transactions in causal order.
+            peer.reconciler.note_local(&txn)?;
+            peer.next_seq = peer.next_seq.max(txn.id.seq);
+            restored_own.insert(txn.id.clone());
+        }
+        kept.push(txn);
+    }
+    let n_candidates = candidates.len();
+    let processed = kept.len();
+
+    // Split borrows: reconciler and policy are disjoint fields.
+    let outcome = {
+        let Peer {
+            reconciler, policy, ..
+        } = &mut *peer;
+        reconciler.reconcile(candidates, policy)?
+    };
+
+    let mut applied = 0usize;
+    let mut apply = |peer: &mut Peer, txn: &Transaction| -> Result<()> {
+        for u in &txn.updates {
+            u.apply(&mut peer.instance).map_err(CoreError::from)?;
+            u.apply(&mut peer.published_snapshot)
+                .map_err(CoreError::from)?;
+            applied += 1;
+        }
+        Ok(())
+    };
+    if restored_own.is_empty() {
+        // Normal path: accepted transactions in dependency order.
+        for txn in &outcome.accepted {
+            apply(&mut *peer, txn)?;
+        }
+    } else {
+        // Archive rebuild: the peer's own restored transactions and
+        // newly accepted foreign ones must be applied in one causal
+        // sequence — applying the own writes first would let a
+        // causally *earlier* foreign write to the same key clobber
+        // the peer's own later version. Accepted transactions from
+        // earlier epochs' pools (not in this page) are causally
+        // older still and go first.
+        // Accepted foreign transactions are applied in their
+        // *translated* form (the reconciler's copies); the peer's own
+        // restored ones are already in its schema.
+        let accepted_by_id: BTreeMap<&TxnId, &Transaction> =
+            outcome.accepted.iter().map(|t| (&t.id, t)).collect();
+        let page_ids: BTreeSet<&TxnId> = kept.iter().map(|t| &t.id).collect();
+        for txn in &outcome.accepted {
+            if !page_ids.contains(&txn.id) {
+                apply(&mut *peer, txn)?;
+            }
+        }
+        for txn in &kept {
+            if restored_own.contains(&txn.id) {
+                apply(&mut *peer, txn)?;
+            } else if let Some(translated) = accepted_by_id.get(&txn.id) {
+                apply(&mut *peer, translated)?;
+            }
+        }
+    }
+    Ok(PageResult {
+        candidates: n_candidates,
+        applied,
+        held_back,
+        processed,
+        outcome,
+    })
 }
 
 /// Order transactions so that in-batch antecedents come before dependents;

@@ -63,7 +63,9 @@ pub mod mapping;
 pub mod peer;
 pub mod translate;
 
-pub use cdss::{Cdss, CdssBuilder, CdssStats, ReconcileReport, ResolveReport};
+pub use cdss::{
+    Cdss, CdssBuilder, CdssStats, ExchangeOptions, ExchangeOutcome, ReconcileReport, ResolveReport,
+};
 pub use error::CoreError;
 pub use mapping::{identity_mappings, qualified_schema, qualify};
 pub use peer::Peer;

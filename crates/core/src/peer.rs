@@ -5,6 +5,7 @@ use crate::Result;
 use orchestra_datalog::{Engine, NodeId, Query};
 use orchestra_reconcile::{Decision, Reconciler, TrustPolicy};
 use orchestra_relational::{DatabaseSchema, Instance, Tuple};
+use orchestra_store::FetchCursor;
 use orchestra_updates::{Epoch, PeerId, TxnId};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -45,8 +46,20 @@ pub struct Peer {
     pub(crate) ingested: BTreeSet<TxnId>,
     /// Next local transaction sequence number.
     pub(crate) next_seq: u64,
-    /// Epoch up to which this peer has reconciled.
+    /// Epoch up to which this peer has fully reconciled.
     pub(crate) last_epoch: Epoch,
+    /// Where the next exchange resumes when the last one hit an
+    /// unreachable payload: frozen **at** the gap, so the blocked
+    /// transaction is retried before anything newer is consumed.
+    pub(crate) resume: Option<FetchCursor>,
+    /// While blocked: the gaps skipped so far plus the reachable
+    /// transactions held back behind them (persisted so a cheap poll can
+    /// skip re-scanning the suffix yet still hold new dependents back).
+    pub(crate) held: BTreeSet<TxnId>,
+    /// While blocked: the last archive position this peer has scanned.
+    /// A poll that finds the gap still dead resumes scanning *new*
+    /// history from here instead of re-cloning everything past the gap.
+    pub(crate) scanned_hw: Option<(Epoch, TxnId)>,
 }
 
 impl Peer {
@@ -79,6 +92,9 @@ impl Peer {
             ingested: BTreeSet::new(),
             next_seq: 0,
             last_epoch: Epoch::zero(),
+            resume: None,
+            held: BTreeSet::new(),
+            scanned_hw: None,
         }
     }
 
@@ -136,6 +152,13 @@ impl Peer {
     /// Epoch up to which this peer has reconciled.
     pub fn last_reconciled_epoch(&self) -> Epoch {
         self.last_epoch
+    }
+
+    /// The archive position the next exchange resumes from, when the last
+    /// one was blocked by an unreachable payload (`None` = caught up; see
+    /// [`crate::ReconcileReport::blocked_on`]).
+    pub fn resume_cursor(&self) -> Option<&FetchCursor> {
+        self.resume.as_ref()
     }
 
     /// Run a conjunctive query over the local instance.

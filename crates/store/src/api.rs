@@ -1,19 +1,37 @@
 //! The update-store contract.
 
 use orchestra_updates::{Epoch, Transaction, TxnId};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default page size for [`UpdateStore::fetch_page`] and the
+/// [`UpdateStore::fetch_since`] convenience wrapper: the most transactions
+/// a store materializes in memory per call.
+pub const DEFAULT_PAGE_LIMIT: usize = 1024;
 
 /// Errors raised by update stores.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// A transaction with this id was already archived (ids are immutable
-    /// once published).
+    /// once published), or appeared twice in one publish batch.
     DuplicateTxn(String),
-    /// A transaction's payload could not be retrieved from any replica
-    /// (all holders are offline).
+    /// A transaction's payload could not be stored or retrieved: at fetch
+    /// time every replica holding it is offline; at publish time no alive
+    /// storage node was available to hold it.
     Unavailable {
         /// The unreachable transaction.
         txn: String,
+    },
+    /// A publish targeted an epoch older than the newest archived one.
+    /// Inserting history *behind* existing epochs would be silently
+    /// invisible to any cursor already past that position, so the archive
+    /// enforces epoch-monotone appends.
+    StaleEpoch {
+        /// The rejected publish epoch.
+        epoch: u64,
+        /// The newest epoch already archived.
+        latest: u64,
     },
     /// The store was configured inconsistently (e.g. zero nodes).
     InvalidConfig(String),
@@ -44,8 +62,13 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::DuplicateTxn(id) => write!(f, "transaction `{id}` already archived"),
             StoreError::Unavailable { txn } => {
-                write!(f, "transaction `{txn}` unavailable: all replicas offline")
+                write!(f, "transaction `{txn}` unavailable: no alive replica")
             }
+            StoreError::StaleEpoch { epoch, latest } => write!(
+                f,
+                "publish epoch e{epoch} is behind the newest archived epoch e{latest}: \
+                 appends must be epoch-monotone"
+            ),
             StoreError::InvalidConfig(msg) => write!(f, "invalid store config: {msg}"),
             StoreError::Io { op, path, message } => {
                 write!(f, "io error during {op} on `{path}`: {message}")
@@ -72,8 +95,210 @@ pub struct StoreStats {
     pub fetched: u64,
     /// Storage-node probes performed (replicated store only).
     pub probes: u64,
-    /// Fetches that found no alive replica.
+    /// Lookups that found no alive replica.
     pub misses: u64,
+    /// Pages served by [`UpdateStore::fetch_page`].
+    pub pages: u64,
+    /// Transactions reported unreachable by paged scans.
+    pub unavailable: u64,
+    /// Transactions published onto fewer replicas than the configured
+    /// replication factor (replicated store only).
+    pub degraded: u64,
+}
+
+/// Internally synchronized [`StoreStats`] so read paths can count under a
+/// shared read lock (concurrent fetches must not serialize on a write
+/// lock just to bump counters).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    published: AtomicU64,
+    fetched: AtomicU64,
+    probes: AtomicU64,
+    misses: AtomicU64,
+    pages: AtomicU64,
+    unavailable: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl AtomicStats {
+    pub fn add_published(&self, n: u64) {
+        self.published.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_fetched(&self, n: u64) {
+        self.fetched.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_probes(&self, n: u64) {
+        self.probes.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_pages(&self, n: u64) {
+        self.pages.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_unavailable(&self, n: u64) {
+        self.unavailable.fetch_add(n, Ordering::Relaxed);
+    }
+    pub fn add_degraded(&self, n: u64) {
+        self.degraded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            published: self.published.load(Ordering::Relaxed),
+            fetched: self.fetched.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            pages: self.pages.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Where a cursor stands inside its epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Bound {
+    /// At the first transaction of the epoch.
+    Start,
+    /// At this transaction, inclusive.
+    At(TxnId),
+    /// Strictly after this transaction.
+    After(TxnId),
+}
+
+/// A resumable position in the archive's deterministic `(epoch, txn id)`
+/// order.
+///
+/// Cursors are plain values: they survive process restarts (the durable
+/// store's order is rebuilt identically on recovery) and stay valid
+/// across interleaved publishes because stores enforce epoch-monotone
+/// appends ([`StoreError::StaleEpoch`]) — history never lands behind a
+/// scanned epoch. One caveat remains: appending more transactions *into*
+/// the newest epoch is allowed, so a cursor parked mid-way through that
+/// epoch can miss late arrivals sorting below it. Publishers that need
+/// strict cursor completeness use a fresh epoch per batch, as the CDSS
+/// logical clock does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchCursor {
+    epoch: Epoch,
+    bound: Bound,
+}
+
+impl FetchCursor {
+    /// Start at the first transaction of `epoch` (or any later epoch).
+    pub fn at_epoch(epoch: Epoch) -> Self {
+        FetchCursor {
+            epoch,
+            bound: Bound::Start,
+        }
+    }
+
+    /// Everything published **after** `since` — the paged equivalent of
+    /// [`UpdateStore::fetch_since`]`(since)`.
+    pub fn after_epoch(since: Epoch) -> Self {
+        FetchCursor::at_epoch(since.next())
+    }
+
+    /// Resume **at** transaction `id` of `epoch`, inclusive — used to
+    /// freeze an exchange at an unreachable transaction so a later call
+    /// retries exactly that position.
+    pub fn at_txn(epoch: Epoch, id: TxnId) -> Self {
+        FetchCursor {
+            epoch,
+            bound: Bound::At(id),
+        }
+    }
+
+    /// Resume strictly after transaction `id` of `epoch`.
+    pub fn after_txn(epoch: Epoch, id: TxnId) -> Self {
+        FetchCursor {
+            epoch,
+            bound: Bound::After(id),
+        }
+    }
+
+    /// The epoch this cursor points into.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+}
+
+impl fmt::Display for FetchCursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.bound {
+            Bound::Start => write!(f, "{}^", self.epoch),
+            Bound::At(id) => write!(f, "{}@{id}", self.epoch),
+            Bound::After(id) => write!(f, "{}>{id}", self.epoch),
+        }
+    }
+}
+
+/// One page of the archive, in `(epoch, txn id)` order.
+///
+/// `txns` and `unavailable` partition the positions scanned: together
+/// they hold at most the `limit` passed to [`UpdateStore::fetch_page`].
+/// Page boundaries depend only on the archive contents, the cursor, and
+/// the limit — never on replica liveness — so a scan repeated under
+/// different churn visits identical positions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FetchPage {
+    /// Transactions whose payloads were reachable.
+    pub txns: Vec<Transaction>,
+    /// Positions whose payloads were unreachable (every replica offline),
+    /// in scan order.
+    pub unavailable: Vec<(Epoch, TxnId)>,
+    /// Cursor for the next page, or `None` when the scan reached the end
+    /// of the archive.
+    pub next_cursor: Option<FetchCursor>,
+}
+
+impl FetchPage {
+    /// Positions scanned by this page (reachable + unreachable).
+    pub fn scanned(&self) -> usize {
+        self.txns.len() + self.unavailable.len()
+    }
+}
+
+/// Shared pagination over the `epoch → sorted txn ids` index every
+/// backend maintains: the positions for one page plus the follow-up
+/// cursor (`None` once the archive is exhausted). Callers only
+/// materialize up to `limit` ids — never whole-history vectors.
+pub(crate) fn collect_page(
+    by_epoch: &BTreeMap<Epoch, Vec<TxnId>>,
+    cursor: &FetchCursor,
+    limit: usize,
+) -> (Vec<(Epoch, TxnId)>, Option<FetchCursor>) {
+    let limit = limit.max(1);
+    let mut out: Vec<(Epoch, TxnId)> = Vec::new();
+    let mut more = false;
+    'scan: for (&ep, ids) in by_epoch.range(cursor.epoch..) {
+        // Per-epoch id lists are kept sorted by `publish`, so the cursor
+        // bound is a binary search, not a scan.
+        let skip = if ep == cursor.epoch {
+            match &cursor.bound {
+                Bound::Start => 0,
+                Bound::At(id) => ids.partition_point(|x| x < id),
+                Bound::After(id) => ids.partition_point(|x| x <= id),
+            }
+        } else {
+            0
+        };
+        for id in &ids[skip..] {
+            if out.len() == limit {
+                more = true;
+                break 'scan;
+            }
+            out.push((ep, id.clone()));
+        }
+    }
+    let next = if more {
+        let (e, id) = out.last().expect("limit >= 1");
+        Some(FetchCursor::after_txn(*e, id.clone()))
+    } else {
+        None
+    };
+    (out, next)
 }
 
 /// The archive of published transactions shared by all CDSS peers.
@@ -82,12 +307,44 @@ pub struct StoreStats {
 /// peers publish and reconcile against one shared store.
 pub trait UpdateStore: Send + Sync {
     /// Archive a batch of transactions published in the given epoch.
+    /// Atomic: a duplicate id (against the archive or within the batch)
+    /// or an unavailable replica set rejects the whole batch.
     fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()>;
 
+    /// One page of archived transactions starting at `cursor`, in
+    /// deterministic `(epoch, txn id)` order, scanning at most `limit`
+    /// positions (`limit` is clamped to at least 1).
+    ///
+    /// Unreachable payloads do **not** fail the call: they are reported
+    /// in [`FetchPage::unavailable`] and the scan continues, so a single
+    /// dead replica never blocks access to the rest of the history.
+    fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage>;
+
     /// Every archived transaction with epoch **greater than** `since`, in
-    /// deterministic (epoch, txn id) order. Transactions whose payload is
-    /// unreachable are reported in the error.
-    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>>;
+    /// deterministic (epoch, txn id) order — a convenience wrapper that
+    /// drains [`fetch_page`](UpdateStore::fetch_page). Unlike the paged
+    /// API it fails on the first unreachable payload (reported in the
+    /// error); counters still reflect the pages actually scanned.
+    ///
+    /// Pages are fetched under separate lock acquisitions, so the result
+    /// is not a point-in-time snapshot: a concurrent publish appending
+    /// into the newest, partially-scanned epoch can be missed when its
+    /// ids sort below the in-flight cursor (see [`FetchCursor`]).
+    /// Publishers that use a fresh epoch per batch — as the CDSS logical
+    /// clock does — are immune.
+    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
+        let mut out = Vec::new();
+        for page in pages(self, FetchCursor::after_epoch(since), DEFAULT_PAGE_LIMIT) {
+            let page = page?;
+            if let Some((_, id)) = page.unavailable.first() {
+                return Err(StoreError::Unavailable {
+                    txn: id.to_string(),
+                });
+            }
+            out.extend(page.txns);
+        }
+        Ok(out)
+    }
 
     /// Fetch one transaction by id, if archived and reachable.
     fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>>;
@@ -108,9 +365,125 @@ pub trait UpdateStore: Send + Sync {
     fn stats(&self) -> StoreStats;
 }
 
+/// Iterate a store's pages from `cursor`: the loop every caller of
+/// [`UpdateStore::fetch_page`] would otherwise hand-roll. Yields each
+/// [`FetchPage`] until the archive is exhausted; a fetch error is yielded
+/// once and ends the iteration. Works on concrete stores and
+/// `dyn UpdateStore` alike.
+pub fn pages<S: UpdateStore + ?Sized>(
+    store: &S,
+    cursor: FetchCursor,
+    limit: usize,
+) -> Pages<'_, S> {
+    Pages {
+        store,
+        cursor: Some(cursor),
+        limit,
+    }
+}
+
+/// Iterator over a store's pages — see [`pages`].
+#[derive(Debug)]
+pub struct Pages<'a, S: UpdateStore + ?Sized> {
+    store: &'a S,
+    cursor: Option<FetchCursor>,
+    limit: usize,
+}
+
+impl<S: UpdateStore + ?Sized> Iterator for Pages<'_, S> {
+    type Item = crate::Result<FetchPage>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cursor = self.cursor.take()?;
+        match self.store.fetch_page(&cursor, self.limit) {
+            Ok(page) => {
+                self.cursor = page.next_cursor.clone();
+                Some(Ok(page))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Reject a publish batch that repeats an id already archived (`known`)
+/// or repeats an id within the batch itself — the silent-overwrite
+/// double-index bug both cases used to cause.
+pub(crate) fn check_batch_ids<'a>(
+    txns: &'a [Transaction],
+    mut known: impl FnMut(&TxnId) -> bool,
+) -> Result<(), StoreError> {
+    let mut seen: std::collections::BTreeSet<&'a TxnId> = std::collections::BTreeSet::new();
+    for t in txns {
+        if known(&t.id) || !seen.insert(&t.id) {
+            return Err(StoreError::DuplicateTxn(t.id.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// Append a batch's ids to the `epoch → ids` index, maintaining the
+/// sorted per-epoch order that [`collect_page`]'s binary search depends
+/// on — the one place that owns this invariant.
+pub(crate) fn index_epoch_ids(
+    by_epoch: &mut BTreeMap<Epoch, Vec<TxnId>>,
+    epoch: Epoch,
+    ids: impl IntoIterator<Item = TxnId>,
+) {
+    let list = by_epoch.entry(epoch).or_default();
+    let mid = list.len();
+    list.extend(ids);
+    list[mid..].sort_unstable();
+    // Repeated appends into one epoch only sort the incoming batch; when
+    // the runs interleave, merge the two sorted halves linearly instead
+    // of re-sorting everything already in place.
+    if mid > 0 && list[mid - 1] > list[mid] {
+        let tail = list.split_off(mid);
+        let head = std::mem::take(list);
+        let mut a = head.into_iter().peekable();
+        let mut b = tail.into_iter().peekable();
+        let mut merged = Vec::with_capacity(mid + b.len());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x <= y {
+                        merged.push(a.next().expect("peeked"));
+                    } else {
+                        merged.push(b.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push(a.next().expect("peeked")),
+                (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        *list = merged;
+    }
+}
+
+/// Reject a publish into an epoch behind the newest archived one: cursors
+/// already past that position would never see it (appending *into* the
+/// newest epoch remains allowed — but a cursor mid-way through that epoch
+/// can likewise miss late arrivals sorting below it, so publishers wanting
+/// strict cursor completeness should use a fresh epoch per batch, as the
+/// CDSS logical clock does).
+pub(crate) fn check_epoch_monotone(epoch: Epoch, latest: Option<Epoch>) -> Result<(), StoreError> {
+    match latest {
+        Some(latest) if epoch < latest => Err(StoreError::StaleEpoch {
+            epoch: epoch.value(),
+            latest: latest.value(),
+        }),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orchestra_updates::PeerId;
+
+    fn id(peer: &str, seq: u64) -> TxnId {
+        TxnId::new(PeerId::new(peer), seq)
+    }
 
     #[test]
     fn error_display() {
@@ -130,5 +503,129 @@ mod tests {
         let s = StoreStats::default();
         assert_eq!(s.published, 0);
         assert_eq!(s.misses, 0);
+        assert_eq!(s.pages, 0);
+        assert_eq!(s.unavailable, 0);
+        assert_eq!(s.degraded, 0);
+    }
+
+    #[test]
+    fn atomic_stats_snapshot() {
+        let a = AtomicStats::default();
+        a.add_published(2);
+        a.add_fetched(3);
+        a.add_pages(1);
+        a.add_unavailable(4);
+        a.add_degraded(5);
+        let s = a.snapshot();
+        assert_eq!(s.published, 2);
+        assert_eq!(s.fetched, 3);
+        assert_eq!(s.pages, 1);
+        assert_eq!(s.unavailable, 4);
+        assert_eq!(s.degraded, 5);
+    }
+
+    fn sample_index() -> BTreeMap<Epoch, Vec<TxnId>> {
+        let mut m = BTreeMap::new();
+        m.insert(Epoch::new(1), vec![id("A", 1), id("B", 1)]);
+        m.insert(Epoch::new(3), vec![id("A", 2), id("A", 3), id("C", 1)]);
+        m
+    }
+
+    #[test]
+    fn collect_page_walks_in_order() {
+        let m = sample_index();
+        let (p1, c1) = collect_page(&m, &FetchCursor::at_epoch(Epoch::zero()), 2);
+        assert_eq!(
+            p1,
+            vec![(Epoch::new(1), id("A", 1)), (Epoch::new(1), id("B", 1))]
+        );
+        let (p2, c2) = collect_page(&m, &c1.unwrap(), 2);
+        assert_eq!(
+            p2,
+            vec![(Epoch::new(3), id("A", 2)), (Epoch::new(3), id("A", 3))]
+        );
+        let (p3, c3) = collect_page(&m, &c2.unwrap(), 2);
+        assert_eq!(p3, vec![(Epoch::new(3), id("C", 1))]);
+        assert!(c3.is_none());
+    }
+
+    #[test]
+    fn collect_page_exact_boundary_peeks_ahead() {
+        let m = sample_index();
+        // Limit lands exactly on the final position: no follow-up cursor.
+        let (all, next) = collect_page(&m, &FetchCursor::at_epoch(Epoch::zero()), 5);
+        assert_eq!(all.len(), 5);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn collect_page_cursor_bounds() {
+        let m = sample_index();
+        let (at, _) = collect_page(&m, &FetchCursor::at_txn(Epoch::new(3), id("A", 3)), 10);
+        assert_eq!(
+            at,
+            vec![(Epoch::new(3), id("A", 3)), (Epoch::new(3), id("C", 1))]
+        );
+        let (after, _) = collect_page(&m, &FetchCursor::after_txn(Epoch::new(3), id("A", 3)), 10);
+        assert_eq!(after, vec![(Epoch::new(3), id("C", 1))]);
+        let (since, _) = collect_page(&m, &FetchCursor::after_epoch(Epoch::new(1)), 10);
+        assert_eq!(since.len(), 3);
+        let (empty, next) = collect_page(&m, &FetchCursor::at_epoch(Epoch::new(9)), 10);
+        assert!(empty.is_empty());
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn collect_page_zero_limit_clamps_to_one() {
+        let m = sample_index();
+        let (p, next) = collect_page(&m, &FetchCursor::at_epoch(Epoch::zero()), 0);
+        assert_eq!(p.len(), 1);
+        assert!(next.is_some());
+    }
+
+    #[test]
+    fn index_epoch_ids_merges_interleaved_appends() {
+        let mut m: BTreeMap<Epoch, Vec<TxnId>> = BTreeMap::new();
+        let e = Epoch::new(1);
+        index_epoch_ids(&mut m, e, [id("M", 1), id("D", 1)]);
+        assert_eq!(m[&e], vec![id("D", 1), id("M", 1)]);
+        // Second append interleaves below and above the existing run.
+        index_epoch_ids(&mut m, e, [id("Z", 1), id("A", 1), id("G", 1)]);
+        assert_eq!(
+            m[&e],
+            vec![id("A", 1), id("D", 1), id("G", 1), id("M", 1), id("Z", 1)]
+        );
+        // Append entirely above the run: fast path, no merge needed.
+        index_epoch_ids(&mut m, e, [id("ZZ", 1)]);
+        assert_eq!(m[&e].len(), 6);
+        assert!(m[&e].windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn batch_id_check_catches_in_batch_duplicates() {
+        use orchestra_updates::Transaction;
+        let t = |seq| Transaction::new(id("A", seq), Epoch::zero(), vec![]);
+        assert!(check_batch_ids(&[t(1), t(2)], |_| false).is_ok());
+        assert!(matches!(
+            check_batch_ids(&[t(1), t(1)], |_| false),
+            Err(StoreError::DuplicateTxn(_))
+        ));
+        assert!(matches!(
+            check_batch_ids(&[t(1)], |_| true),
+            Err(StoreError::DuplicateTxn(_))
+        ));
+    }
+
+    #[test]
+    fn cursor_display() {
+        assert_eq!(FetchCursor::at_epoch(Epoch::new(2)).to_string(), "e2^");
+        assert_eq!(
+            FetchCursor::at_txn(Epoch::new(2), id("A", 1)).to_string(),
+            "e2@A#1"
+        );
+        assert_eq!(
+            FetchCursor::after_txn(Epoch::new(2), id("A", 1)).to_string(),
+            "e2>A#1"
+        );
     }
 }

@@ -35,7 +35,10 @@ pub mod wal;
 
 pub use wal::SyncPolicy;
 
-use crate::api::{StoreError, StoreStats, UpdateStore};
+use crate::api::{
+    check_batch_ids, check_epoch_monotone, collect_page, index_epoch_ids, AtomicStats,
+};
+use crate::api::{FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::RwLock;
 use snapshot::{list_snapshots, snapshot_file_name};
@@ -128,7 +131,6 @@ struct Inner {
     snapshot_watermark: Option<u64>,
     batches_since_compact: u64,
     last_compact_error: Option<StoreError>,
-    stats: StoreStats,
     dstats: DurableStats,
 }
 
@@ -138,6 +140,7 @@ pub struct DurableStore {
     dir: PathBuf,
     opts: DurableOptions,
     inner: RwLock<Inner>,
+    stats: AtomicStats,
     /// Held for the store's lifetime: an exclusive advisory lock on the
     /// archive directory. Two stores appending to one WAL would corrupt
     /// each other's offsets and compact files out from under each other.
@@ -231,9 +234,9 @@ impl DurableStore {
                 snapshot_watermark: watermark,
                 batches_since_compact: 0,
                 last_compact_error: None,
-                stats: StoreStats::default(),
                 dstats,
             }),
+            stats: AtomicStats::default(),
             _lock: lock,
         })
     }
@@ -428,6 +431,10 @@ fn index_batch(
     epoch: Epoch,
     txns: Vec<Transaction>,
 ) {
+    if txns.is_empty() {
+        return;
+    }
+    let mut ids = Vec::with_capacity(txns.len());
     for (i, t) in txns.into_iter().enumerate() {
         index.insert(
             t.id.clone(),
@@ -437,21 +444,22 @@ fn index_batch(
                 index: i as u32,
             },
         );
-        by_epoch.entry(epoch).or_default().push(t.id.clone());
+        ids.push(t.id.clone());
         if mode == CacheMode::Cached {
             cache.insert(t.id.clone(), t);
         }
     }
+    index_epoch_ids(by_epoch, epoch, ids);
 }
 
 impl UpdateStore for DurableStore {
     fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()> {
-        let mut inner = self.inner.write();
-        for t in &txns {
-            if inner.index.contains_key(&t.id) {
-                return Err(StoreError::DuplicateTxn(t.id.to_string()));
-            }
+        if txns.is_empty() {
+            return Ok(()); // Vacuous: nothing a cursor could miss.
         }
+        let mut inner = self.inner.write();
+        check_batch_ids(&txns, |id| inner.index.contains_key(id))?;
+        check_epoch_monotone(epoch, inner.by_epoch.keys().next_back().copied())?;
         let mut stamped = txns;
         for t in &mut stamped {
             t.epoch = epoch;
@@ -478,7 +486,7 @@ impl UpdateStore for DurableStore {
             epoch,
             stamped,
         );
-        inner.stats.published += n;
+        self.stats.add_published(n);
         inner.batches_since_compact += 1;
 
         if let Some(every) = self.opts.compact_every_batches {
@@ -497,29 +505,26 @@ impl UpdateStore for DurableStore {
         Ok(())
     }
 
-    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
-        let mut inner = self.inner.write();
-        let mut ids: Vec<(Epoch, TxnId)> = Vec::new();
-        for (&ep, txids) in inner.by_epoch.range(since.next()..) {
-            for id in txids {
-                ids.push((ep, id.clone()));
-            }
-        }
-        ids.sort();
-        // Group disk reads per batch frame so a cold fetch decodes each
+    fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage> {
+        // Read lock only: concurrent reconciles page the archive in
+        // parallel; the epoch index locates each batch frame without
+        // decoding anything outside this page.
+        let inner = self.inner.read();
+        let (positions, next_cursor) = collect_page(&inner.by_epoch, cursor, limit);
+        // Group disk reads per batch frame so a cold page decodes each
         // frame once, not once per transaction.
         let mut frame_cache: HashMap<(FileRef, u64), Vec<Transaction>> = HashMap::new();
-        let mut out = Vec::with_capacity(ids.len());
-        for (_, id) in &ids {
+        let mut txns = Vec::with_capacity(positions.len());
+        for (_, id) in &positions {
             if let Some(t) = inner.cache.get(id) {
-                out.push(t.clone());
+                txns.push(t.clone());
                 continue;
             }
             let loc = *inner.index.get(id).expect("by_epoch ids are indexed");
             let key = (loc.file, loc.offset);
             if let std::collections::hash_map::Entry::Vacant(e) = frame_cache.entry(key) {
-                let (_, txns) = read_batch_from(&self.file_path(loc.file), loc.offset)?;
-                e.insert(txns);
+                let (_, batch) = read_batch_from(&self.file_path(loc.file), loc.offset)?;
+                e.insert(batch);
             }
             let batch = &frame_cache[&key];
             let t = batch
@@ -529,17 +534,22 @@ impl UpdateStore for DurableStore {
                     offset: loc.offset,
                     reason: format!("batch shorter than indexed position {}", loc.index),
                 })?;
-            out.push(t.clone());
+            txns.push(t.clone());
         }
-        inner.stats.fetched += out.len() as u64;
-        Ok(out)
+        self.stats.add_fetched(txns.len() as u64);
+        self.stats.add_pages(1);
+        Ok(FetchPage {
+            txns,
+            unavailable: Vec::new(),
+            next_cursor,
+        })
     }
 
     fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
-        let mut inner = self.inner.write();
+        let inner = self.inner.read();
         let got = self.load_txn(&inner, id)?;
         if got.is_some() {
-            inner.stats.fetched += 1;
+            self.stats.add_fetched(1);
         }
         Ok(got)
     }
@@ -553,7 +563,7 @@ impl UpdateStore for DurableStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.read().stats
+        self.stats.snapshot()
     }
 }
 

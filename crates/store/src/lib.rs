@@ -14,6 +14,13 @@
 //!    still retrieve Beijing's updates from the CDSS").
 //! 2. **Epoch indexing**: a reconciling peer asks for "everything published
 //!    since my last reconciliation epoch".
+//! 3. **Bounded, partial-progress reads**: [`UpdateStore::fetch_page`]
+//!    walks the archive in `(epoch, txn id)` order through a resumable
+//!    [`FetchCursor`], materializing at most one page at a time, and
+//!    reports unreachable payloads in [`FetchPage::unavailable`] instead
+//!    of failing the scan — one dead replica never blocks the rest of the
+//!    history. [`UpdateStore::fetch_since`] is a convenience wrapper that
+//!    drains the pages (and keeps the old fail-on-unavailable contract).
 //!
 //! Three implementations of the [`UpdateStore`] trait:
 //!
@@ -36,7 +43,9 @@ pub mod durable;
 pub mod memory;
 pub mod replicated;
 
-pub use api::{StoreError, StoreStats, UpdateStore};
+pub use api::{
+    pages, FetchCursor, FetchPage, Pages, StoreError, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT,
+};
 pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, SyncPolicy};
 pub use memory::InMemoryStore;
 pub use replicated::ReplicatedStore;

@@ -1,15 +1,19 @@
 //! The centralized in-memory archive.
 
-use crate::api::{StoreError, StoreStats, UpdateStore};
+use crate::api::{
+    check_batch_ids, check_epoch_monotone, collect_page, index_epoch_ids, AtomicStats,
+};
+use crate::api::{FetchCursor, FetchPage, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 
 #[derive(Debug, Default)]
 struct Inner {
+    /// Epoch → txn ids, each epoch's list kept sorted (the paged scan
+    /// order is `(epoch, id)`).
     by_epoch: BTreeMap<Epoch, Vec<TxnId>>,
     by_id: HashMap<TxnId, Transaction>,
-    stats: StoreStats,
 }
 
 /// A centralized, always-available archive — the reference implementation
@@ -17,6 +21,7 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct InMemoryStore {
     inner: RwLock<Inner>,
+    stats: AtomicStats,
 }
 
 impl InMemoryStore {
@@ -28,40 +33,45 @@ impl InMemoryStore {
 
 impl UpdateStore for InMemoryStore {
     fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()> {
-        let mut inner = self.inner.write();
-        for t in &txns {
-            if inner.by_id.contains_key(&t.id) {
-                return Err(StoreError::DuplicateTxn(t.id.to_string()));
-            }
+        if txns.is_empty() {
+            return Ok(()); // Vacuous: nothing a cursor could miss.
         }
+        let mut inner = self.inner.write();
+        check_batch_ids(&txns, |id| inner.by_id.contains_key(id))?;
+        check_epoch_monotone(epoch, inner.by_epoch.keys().next_back().copied())?;
+        let n = txns.len() as u64;
+        let mut ids = Vec::with_capacity(txns.len());
         for mut t in txns {
             t.epoch = epoch;
-            inner.by_epoch.entry(epoch).or_default().push(t.id.clone());
+            ids.push(t.id.clone());
             inner.by_id.insert(t.id.clone(), t);
-            inner.stats.published += 1;
         }
+        index_epoch_ids(&mut inner.by_epoch, epoch, ids);
+        self.stats.add_published(n);
         Ok(())
     }
 
-    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
-        let mut inner = self.inner.write();
-        let mut ids: Vec<(Epoch, TxnId)> = Vec::new();
-        for (&ep, txids) in inner.by_epoch.range(since.next()..) {
-            for id in txids {
-                ids.push((ep, id.clone()));
-            }
-        }
-        ids.sort();
-        let out: Vec<Transaction> = ids.iter().map(|(_, id)| inner.by_id[id].clone()).collect();
-        inner.stats.fetched += out.len() as u64;
-        Ok(out)
+    fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage> {
+        let inner = self.inner.read();
+        let (positions, next_cursor) = collect_page(&inner.by_epoch, cursor, limit);
+        let txns: Vec<Transaction> = positions
+            .iter()
+            .map(|(_, id)| inner.by_id[id].clone())
+            .collect();
+        self.stats.add_fetched(txns.len() as u64);
+        self.stats.add_pages(1);
+        Ok(FetchPage {
+            txns,
+            unavailable: Vec::new(),
+            next_cursor,
+        })
     }
 
     fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
-        let mut inner = self.inner.write();
+        let inner = self.inner.read();
         let got = inner.by_id.get(id).cloned();
         if got.is_some() {
-            inner.stats.fetched += 1;
+            self.stats.add_fetched(1);
         }
         Ok(got)
     }
@@ -75,13 +85,14 @@ impl UpdateStore for InMemoryStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.read().stats
+        self.stats.snapshot()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::StoreError;
     use orchestra_relational::tuple;
     use orchestra_updates::{PeerId, Update};
 
@@ -129,6 +140,15 @@ mod tests {
     }
 
     #[test]
+    fn in_batch_duplicate_rejected() {
+        let s = InMemoryStore::new();
+        let err = s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 1)]);
+        assert!(matches!(err, Err(StoreError::DuplicateTxn(_))));
+        assert_eq!(s.len(), 0, "nothing archived");
+        assert!(s.fetch_since(Epoch::zero()).unwrap().is_empty());
+    }
+
+    #[test]
     fn fetch_by_id() {
         let s = InMemoryStore::new();
         s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
@@ -157,11 +177,29 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.published, 2);
         assert_eq!(st.fetched, 2);
+        assert!(st.pages >= 1, "paged scan counted");
     }
 
     #[test]
     fn empty_fetch() {
         let s = InMemoryStore::new();
         assert!(s.fetch_since(Epoch::zero()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fetch_page_walks_the_archive() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("B", 1), txn("A", 1)])
+            .unwrap();
+        s.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+        let p1 = s
+            .fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 2)
+            .unwrap();
+        assert_eq!(p1.txns.len(), 2);
+        assert_eq!(p1.txns[0].id.peer.name(), "A");
+        assert!(p1.unavailable.is_empty());
+        let p2 = s.fetch_page(&p1.next_cursor.unwrap(), 2).unwrap();
+        assert_eq!(p2.txns.len(), 1);
+        assert!(p2.next_cursor.is_none());
     }
 }

@@ -9,7 +9,10 @@
 //! *payload* availability, which is where replication factor and churn
 //! interact).
 
-use crate::api::{StoreError, StoreStats, UpdateStore};
+use crate::api::{
+    check_batch_ids, check_epoch_monotone, collect_page, index_epoch_ids, AtomicStats,
+};
+use crate::api::{FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -34,9 +37,10 @@ struct StoredTxn {
 #[derive(Debug)]
 struct Inner {
     nodes_alive: Vec<bool>,
+    /// Epoch → txn ids, each epoch's list kept sorted (the paged scan
+    /// order is `(epoch, id)`).
     by_epoch: BTreeMap<Epoch, Vec<TxnId>>,
     by_id: HashMap<TxnId, StoredTxn>,
-    stats: StoreStats,
 }
 
 /// The simulated DHT store.
@@ -45,6 +49,7 @@ pub struct ReplicatedStore {
     num_nodes: usize,
     replication: usize,
     inner: RwLock<Inner>,
+    stats: AtomicStats,
 }
 
 impl ReplicatedStore {
@@ -68,8 +73,8 @@ impl ReplicatedStore {
                 nodes_alive: vec![true; num_nodes],
                 by_epoch: BTreeMap::new(),
                 by_id: HashMap::new(),
-                stats: StoreStats::default(),
             }),
+            stats: AtomicStats::default(),
         })
     }
 
@@ -100,6 +105,13 @@ impl ReplicatedStore {
     /// Number of alive nodes.
     pub fn alive_nodes(&self) -> usize {
         self.inner.read().nodes_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The storage nodes recorded as holding a transaction's payload at
+    /// publish time, if archived. Introspection for tests, experiments,
+    /// and operators staging targeted churn.
+    pub fn holders(&self, id: &TxnId) -> Option<Vec<usize>> {
+        self.inner.read().by_id.get(id).map(|st| st.holders.clone())
     }
 
     /// Fraction of archived transactions whose payload is currently
@@ -133,88 +145,107 @@ impl ReplicatedStore {
         }
         holders
     }
+
+    /// Probe a stored transaction's holders in order; `Some(probes)` when
+    /// an alive one was found, `None` (with every holder probed) when not.
+    fn probe(alive: &[bool], st: &StoredTxn) -> (bool, u64) {
+        let mut probes = 0u64;
+        for &h in &st.holders {
+            probes += 1;
+            if alive[h] {
+                return (true, probes);
+            }
+        }
+        (false, probes)
+    }
 }
 
 impl UpdateStore for ReplicatedStore {
     fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> crate::Result<()> {
-        let mut inner = self.inner.write();
-        for t in &txns {
-            if inner.by_id.contains_key(&t.id) {
-                return Err(StoreError::DuplicateTxn(t.id.to_string()));
-            }
+        if txns.is_empty() {
+            return Ok(()); // Vacuous: nothing a cursor could miss.
         }
-        for mut t in txns {
-            t.epoch = epoch;
+        let mut inner = self.inner.write();
+        check_batch_ids(&txns, |id| inner.by_id.contains_key(id))?;
+        check_epoch_monotone(epoch, inner.by_epoch.keys().next_back().copied())?;
+        // Choose every replica set up front so the batch is atomic: if any
+        // transaction has no alive node to land on, nothing is archived —
+        // a publish that "succeeds" with zero holders would archive a
+        // payload that is permanently unreachable.
+        let mut placements: Vec<Vec<usize>> = Vec::with_capacity(txns.len());
+        let mut degraded = 0u64;
+        for t in &txns {
             let holders = self.choose_holders(&inner.nodes_alive, &t.id);
-            inner.stats.probes += holders.len() as u64;
-            inner.by_epoch.entry(epoch).or_default().push(t.id.clone());
+            if holders.is_empty() {
+                return Err(StoreError::Unavailable {
+                    txn: t.id.to_string(),
+                });
+            }
+            if holders.len() < self.replication {
+                degraded += 1;
+            }
+            placements.push(holders);
+        }
+        let n = txns.len() as u64;
+        let mut probes = 0u64;
+        let mut ids = Vec::with_capacity(txns.len());
+        for (mut t, holders) in txns.into_iter().zip(placements) {
+            t.epoch = epoch;
+            probes += holders.len() as u64;
+            ids.push(t.id.clone());
             inner
                 .by_id
                 .insert(t.id.clone(), StoredTxn { txn: t, holders });
-            inner.stats.published += 1;
         }
+        index_epoch_ids(&mut inner.by_epoch, epoch, ids);
+        self.stats.add_probes(probes);
+        self.stats.add_published(n);
+        self.stats.add_degraded(degraded);
         Ok(())
     }
 
-    fn fetch_since(&self, since: Epoch) -> crate::Result<Vec<Transaction>> {
-        let mut inner = self.inner.write();
-        let mut ids: Vec<(Epoch, TxnId)> = Vec::new();
-        for (&ep, txids) in inner.by_epoch.range(since.next()..) {
-            for id in txids {
-                ids.push((ep, id.clone()));
-            }
-        }
-        ids.sort();
-        let mut out = Vec::with_capacity(ids.len());
-        for (_, id) in &ids {
-            let st = &inner.by_id[id];
-            // Probe holders in order until one is alive.
-            let mut found = false;
-            let mut probes = 0u64;
-            for &h in &st.holders {
-                probes += 1;
-                if inner.nodes_alive[h] {
-                    found = true;
-                    break;
-                }
-            }
+    fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage> {
+        let inner = self.inner.read();
+        let (positions, next_cursor) = collect_page(&inner.by_epoch, cursor, limit);
+        let mut txns = Vec::new();
+        let mut unavailable = Vec::new();
+        let mut probes = 0u64;
+        for (ep, id) in positions {
+            let st = &inner.by_id[&id];
+            // Probe holder liveness *before* touching the payload: a miss
+            // must not pay for a deep clone it will throw away.
+            let (found, p) = ReplicatedStore::probe(&inner.nodes_alive, st);
+            probes += p;
             if found {
-                out.push(st.txn.clone());
-            }
-            inner.stats.probes += probes;
-            if !found {
-                inner.stats.misses += 1;
-                return Err(StoreError::Unavailable {
-                    txn: id.to_string(),
-                });
+                txns.push(st.txn.clone());
+            } else {
+                unavailable.push((ep, id));
             }
         }
-        inner.stats.fetched += out.len() as u64;
-        Ok(out)
+        self.stats.add_probes(probes);
+        self.stats.add_fetched(txns.len() as u64);
+        self.stats.add_misses(unavailable.len() as u64);
+        self.stats.add_unavailable(unavailable.len() as u64);
+        self.stats.add_pages(1);
+        Ok(FetchPage {
+            txns,
+            unavailable,
+            next_cursor,
+        })
     }
 
     fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
-        let mut inner = self.inner.write();
+        let inner = self.inner.read();
         let Some(st) = inner.by_id.get(id) else {
             return Ok(None);
         };
-        let holders = st.holders.clone();
-        let txn = st.txn.clone();
-        let mut probes = 0u64;
-        let mut found = false;
-        for &h in &holders {
-            probes += 1;
-            if inner.nodes_alive[h] {
-                found = true;
-                break;
-            }
-        }
-        inner.stats.probes += probes;
+        let (found, probes) = ReplicatedStore::probe(&inner.nodes_alive, st);
+        self.stats.add_probes(probes);
         if found {
-            inner.stats.fetched += 1;
-            Ok(Some(txn))
+            self.stats.add_fetched(1);
+            Ok(Some(st.txn.clone()))
         } else {
-            inner.stats.misses += 1;
+            self.stats.add_misses(1);
             Err(StoreError::Unavailable {
                 txn: id.to_string(),
             })
@@ -230,7 +261,7 @@ impl UpdateStore for ReplicatedStore {
     }
 
     fn stats(&self) -> StoreStats {
-        self.inner.read().stats
+        self.stats.snapshot()
     }
 }
 
@@ -295,6 +326,39 @@ mod tests {
             Err(StoreError::Unavailable { .. })
         ));
         assert!(s.stats().misses > 0);
+        assert!(s.stats().unavailable > 0);
+    }
+
+    #[test]
+    fn paged_fetch_skips_gaps_instead_of_failing() {
+        let s = ReplicatedStore::new(4, 1).unwrap();
+        s.publish(Epoch::new(1), (0..40).map(|i| txn("C", i)).collect())
+            .unwrap();
+        for n in 0..2 {
+            s.take_node_down(n);
+        }
+        // The one-shot fetch fails; the paged fetch makes partial progress.
+        assert!(s.fetch_since(Epoch::zero()).is_err());
+        let (mut reachable, mut lost) = (0usize, 0usize);
+        for page in crate::api::pages(&s, FetchCursor::after_epoch(Epoch::zero()), 7) {
+            let page = page.unwrap();
+            reachable += page.txns.len();
+            lost += page.unavailable.len();
+        }
+        assert_eq!(reachable + lost, 40, "every position is scanned");
+        assert!(reachable > 0 && lost > 0);
+        // Recovery: the frozen position becomes fetchable again.
+        let (_, first_lost) = crate::api::pages(&s, FetchCursor::after_epoch(Epoch::zero()), 7)
+            .find_map(|p| p.unwrap().unavailable.first().cloned())
+            .expect("gap exists");
+        for n in 0..2 {
+            s.bring_node_up(n);
+        }
+        let retry = s
+            .fetch_page(&FetchCursor::at_txn(Epoch::new(1), first_lost.clone()), 1)
+            .unwrap();
+        assert_eq!(retry.txns.len(), 1);
+        assert_eq!(retry.txns[0].id, first_lost);
     }
 
     #[test]
@@ -336,6 +400,11 @@ mod tests {
             s.publish(Epoch::new(2), vec![txn("A", 1)]),
             Err(StoreError::DuplicateTxn(_))
         ));
+        assert!(matches!(
+            s.publish(Epoch::new(2), vec![txn("B", 1), txn("B", 1)]),
+            Err(StoreError::DuplicateTxn(_))
+        ));
+        assert_eq!(s.len(), 1, "in-batch duplicate rejected atomically");
     }
 
     #[test]
@@ -355,6 +424,46 @@ mod tests {
         // payloads.
         s.bring_node_up(0);
         assert_eq!(s.availability(), 0.0);
+    }
+
+    #[test]
+    fn publish_with_zero_alive_nodes_fails_atomically() {
+        let s = ReplicatedStore::new(4, 2).unwrap();
+        for n in 0..4 {
+            s.take_node_down(n);
+        }
+        let err = s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)]);
+        assert!(matches!(err, Err(StoreError::Unavailable { .. })));
+        assert_eq!(s.len(), 0, "nothing archived — no unreachable ghosts");
+        assert_eq!(s.stats().published, 0);
+        // With a node back, the same publish succeeds (degraded: 1 < 2).
+        s.bring_node_up(0);
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)])
+            .unwrap();
+        assert_eq!(s.availability(), 1.0);
+        assert_eq!(s.stats().degraded, 2, "both txns under-replicated");
+    }
+
+    #[test]
+    fn degraded_counter_tracks_under_replication() {
+        let s = ReplicatedStore::new(4, 3).unwrap();
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        assert_eq!(s.stats().degraded, 0);
+        s.take_node_down(0);
+        s.take_node_down(1);
+        // Only 2 alive < replication 3: every new publish is degraded.
+        s.publish(Epoch::new(2), vec![txn("A", 2), txn("A", 3)])
+            .unwrap();
+        assert_eq!(s.stats().degraded, 2);
+    }
+
+    #[test]
+    fn holders_are_recorded_at_publish_time() {
+        let s = ReplicatedStore::new(8, 3).unwrap();
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        let held = s.holders(&TxnId::new(PeerId::new("A"), 1)).unwrap();
+        assert_eq!(held.len(), 3);
+        assert!(s.holders(&TxnId::new(PeerId::new("Z"), 1)).is_none());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use orchestra_relational::tuple;
 use orchestra_store::{
-    CacheMode, DurableOptions, DurableStore, InMemoryStore, ReplicatedStore, StoreError,
-    UpdateStore,
+    CacheMode, DurableOptions, DurableStore, FetchCursor, InMemoryStore, ReplicatedStore,
+    StoreError, UpdateStore,
 };
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use std::path::PathBuf;
@@ -181,6 +181,158 @@ fn empty_fetch() {
             "{}",
             b.name
         );
+    }
+}
+
+/// Drain the archive through `fetch_page` with the given limit,
+/// returning the concatenated transactions and the page count.
+fn drain_pages(
+    s: &dyn UpdateStore,
+    since: Epoch,
+    limit: usize,
+) -> (Vec<orchestra_updates::Transaction>, usize) {
+    let mut out = Vec::new();
+    let mut pages = 0usize;
+    for page in orchestra_store::pages(s, FetchCursor::after_epoch(since), limit) {
+        let page = page.unwrap();
+        assert!(page.scanned() <= limit.max(1), "page respects the limit");
+        assert!(page.unavailable.is_empty(), "all nodes up: no gaps");
+        out.extend(page.txns);
+        pages += 1;
+    }
+    (out, pages)
+}
+
+/// Seed a store with an awkward shape: uneven epochs, interleaved peers,
+/// publish order different from id order.
+fn seed_pages(s: &dyn UpdateStore) {
+    s.publish(Epoch::new(1), vec![txn("B", 1), txn("A", 1), txn("C", 1)])
+        .unwrap();
+    s.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+    s.publish(Epoch::new(4), (3..9).map(|i| txn("A", i)).collect())
+        .unwrap();
+    s.publish(Epoch::new(7), vec![txn("C", 2), txn("B", 2)])
+        .unwrap();
+}
+
+#[test]
+fn paged_fetch_matches_one_shot_fetch_at_every_page_size() {
+    for b in backends() {
+        let s = &*b.store;
+        seed_pages(s);
+        let one_shot = s.fetch_since(Epoch::zero()).unwrap();
+        assert_eq!(one_shot.len(), 12, "{}", b.name);
+        for limit in [1usize, 2, 3, 5, 7, 12, 100] {
+            let (paged, pages) = drain_pages(s, Epoch::zero(), limit);
+            assert_eq!(paged, one_shot, "{}: limit {limit}", b.name);
+            assert_eq!(
+                pages,
+                12usize.div_ceil(limit),
+                "{}: limit {limit} page count",
+                b.name
+            );
+        }
+        // Epoch-filtered paging matches epoch-filtered one-shot fetch.
+        let late = s.fetch_since(Epoch::new(2)).unwrap();
+        let (paged_late, _) = drain_pages(s, Epoch::new(2), 4);
+        assert_eq!(paged_late, late, "{}", b.name);
+        assert!(s.stats().pages > 0, "{}: pages counted", b.name);
+    }
+}
+
+#[test]
+fn page_boundaries_are_deterministic() {
+    for b in backends() {
+        let s = &*b.store;
+        seed_pages(s);
+        // The same walk twice produces identical pages and cursors.
+        let walk = || {
+            let mut cursors = Vec::new();
+            let mut cursor = FetchCursor::after_epoch(Epoch::zero());
+            loop {
+                let page = s.fetch_page(&cursor, 5).unwrap();
+                cursors.push(format!("{cursor}"));
+                match page.next_cursor {
+                    Some(c) => cursor = c,
+                    None => break,
+                }
+            }
+            cursors
+        };
+        assert_eq!(walk(), walk(), "{}", b.name);
+    }
+}
+
+#[test]
+fn pages_are_stable_across_interleaved_publishes() {
+    // A cursor taken mid-walk stays valid when new epochs land before the
+    // next page is fetched: positions already scanned never change.
+    for b in backends() {
+        let s = &*b.store;
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)])
+            .unwrap();
+        let p1 = s
+            .fetch_page(&FetchCursor::after_epoch(Epoch::zero()), 1)
+            .unwrap();
+        assert_eq!(p1.txns.len(), 1, "{}", b.name);
+        s.publish(Epoch::new(2), vec![txn("B", 1)]).unwrap();
+        let rest: Vec<_> = orchestra_store::pages(s, p1.next_cursor.unwrap(), 10)
+            .flat_map(|p| p.unwrap().txns)
+            .collect();
+        let ids: Vec<String> = rest.iter().map(|t| t.id.to_string()).collect();
+        assert_eq!(ids, ["A#2", "B#1"], "{}", b.name);
+    }
+}
+
+#[test]
+fn in_batch_duplicate_rejected_atomically() {
+    for b in backends() {
+        let s = &*b.store;
+        let err = s.publish(Epoch::new(1), vec![txn("A", 1), txn("B", 1), txn("A", 1)]);
+        assert!(
+            matches!(err, Err(StoreError::DuplicateTxn(_))),
+            "{}: in-batch duplicate must be rejected",
+            b.name
+        );
+        assert_eq!(s.len(), 0, "{}: nothing archived", b.name);
+        assert!(
+            s.fetch_since(Epoch::zero()).unwrap().is_empty(),
+            "{}: no double-indexed ghost entries",
+            b.name
+        );
+        // The same id can then be published cleanly exactly once.
+        s.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+        assert_eq!(s.fetch_since(Epoch::zero()).unwrap().len(), 1, "{}", b.name);
+    }
+}
+
+#[test]
+fn stale_epoch_publish_rejected() {
+    // Publishing behind the newest archived epoch would plant history that
+    // advanced cursors can never see; every backend rejects it. Appending
+    // into the newest epoch stays allowed.
+    for b in backends() {
+        let s = &*b.store;
+        s.publish(Epoch::new(5), vec![txn("A", 1)]).unwrap();
+        let err = s.publish(Epoch::new(3), vec![txn("B", 1)]);
+        assert!(
+            matches!(
+                err,
+                Err(StoreError::StaleEpoch {
+                    epoch: 3,
+                    latest: 5
+                })
+            ),
+            "{}",
+            b.name
+        );
+        assert_eq!(s.len(), 1, "{}: stale batch not archived", b.name);
+        s.publish(Epoch::new(5), vec![txn("B", 1)]).unwrap();
+        s.publish(Epoch::new(6), vec![txn("C", 1)]).unwrap();
+        assert_eq!(s.fetch_since(Epoch::zero()).unwrap().len(), 3, "{}", b.name);
+        // An empty batch is a vacuous no-op at any epoch: nothing a
+        // cursor could miss, so no staleness to enforce.
+        s.publish(Epoch::new(1), vec![]).unwrap();
     }
 }
 

@@ -174,12 +174,7 @@ fn scenario3_trusted_txn_pulls_distrusted_antecedent() {
     // Crete reconciles: Alaska alone would be distrusted, but Beijing's
     // trusted modification pulls the antecedent in.
     let report = cdss.reconcile(&crete).unwrap();
-    let accepted: Vec<TxnId> = report
-        .outcome
-        .accepted
-        .iter()
-        .map(|t| t.id.clone())
-        .collect();
+    let accepted = &report.outcome.accepted;
     assert!(accepted.contains(&alaska_txn), "antecedent accepted");
     assert!(accepted.contains(&beijing_txn), "trusted txn accepted");
     // Dependency order: Alaska before Beijing.

@@ -19,11 +19,12 @@ impl UpdateStore for Shared {
     ) -> orchestra_store::Result<()> {
         self.0.publish(epoch, txns)
     }
-    fn fetch_since(
+    fn fetch_page(
         &self,
-        since: Epoch,
-    ) -> orchestra_store::Result<Vec<orchestra_updates::Transaction>> {
-        self.0.fetch_since(since)
+        cursor: &orchestra_store::FetchCursor,
+        limit: usize,
+    ) -> orchestra_store::Result<orchestra_store::FetchPage> {
+        self.0.fetch_page(cursor, limit)
     }
     fn fetch(
         &self,
@@ -42,9 +43,11 @@ impl UpdateStore for Shared {
     }
 }
 
-/// When the archive loses all replicas of a payload, reconciliation
-/// surfaces a store error and the peer's state is untouched; after the
-/// nodes recover, the same reconcile succeeds.
+/// When the archive loses all replicas of a payload, reconciliation no
+/// longer errors: it reports the blocking transaction, freezes the peer's
+/// resume cursor at the gap, and leaves the instance untouched; after the
+/// nodes recover, the next reconcile resumes from the cursor and applies
+/// everything.
 #[test]
 fn reconcile_survives_store_outage_and_recovers() {
     let dht = Arc::new(ReplicatedStore::new(4, 1).unwrap());
@@ -52,34 +55,48 @@ fn reconcile_survives_store_outage_and_recovers() {
     let alaska = PeerId::new("Alaska");
     let dresden = PeerId::new("Dresden");
 
-    cdss.publish_transaction(
-        &alaska,
-        vec![
-            Update::insert("O", tuple!["HIV", 1]),
-            Update::insert("P", tuple!["gp120", 2]),
-            Update::insert("S", tuple![1, 2, "AAA"]),
-        ],
-    )
-    .unwrap();
+    let txn = cdss
+        .publish_transaction(
+            &alaska,
+            vec![
+                Update::insert("O", tuple!["HIV", 1]),
+                Update::insert("P", tuple!["gp120", 2]),
+                Update::insert("S", tuple![1, 2, "AAA"]),
+            ],
+        )
+        .unwrap();
 
     // Kill every storage node: the payload is unreachable.
     for n in 0..4 {
         dht.take_node_down(n);
     }
-    let err = cdss.reconcile(&dresden);
-    assert!(matches!(err, Err(CoreError::Store(_))));
+    let report = cdss.reconcile(&dresden).unwrap();
+    assert_eq!(report.blocked_on, Some(txn.clone()), "gap identified");
+    assert_eq!(report.skipped_unavailable, 1);
+    assert_eq!(report.fetched, 0);
+    assert!(report.outcome.accepted.is_empty());
+    let peer = cdss.peer(&dresden).unwrap();
+    assert!(peer.resume_cursor().is_some(), "cursor frozen at the gap");
     assert_eq!(
-        cdss.peer(&dresden).unwrap().instance().total_tuples(),
+        peer.instance().total_tuples(),
         0,
-        "failed reconcile left no partial state"
+        "blocked reconcile left no partial state"
     );
 
-    // Nodes come back: the very same reconcile succeeds.
+    // A retry while the outage persists learns nothing new: no epoch burn.
+    let epoch_before = cdss.current_epoch();
+    let retry = cdss.reconcile(&dresden).unwrap();
+    assert_eq!(retry.blocked_on, Some(txn));
+    assert_eq!(cdss.current_epoch(), epoch_before, "idle retry is free");
+
+    // Nodes come back: the next reconcile resumes from the frozen cursor.
     for n in 0..4 {
         dht.bring_node_up(n);
     }
     let report = cdss.reconcile(&dresden).unwrap();
     assert_eq!(report.outcome.accepted.len(), 1);
+    assert_eq!(report.blocked_on, None);
+    assert!(cdss.peer(&dresden).unwrap().resume_cursor().is_none());
     assert!(cdss
         .peer(&dresden)
         .unwrap()
