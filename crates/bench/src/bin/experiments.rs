@@ -9,6 +9,10 @@
 //!     e1 e4 e7 --json-dir . --variant interned                          # emit BENCH_*.json
 //! cargo run --release -p orchestra-bench --bin experiments -- \
 //!     e1 --smoke --json-dir target/bench                                # CI smoke
+//! cargo run --release -p orchestra-bench --bin experiments -- \
+//!     --bind 0.0.0.0:7654                                               # serve an archive
+//! cargo run --release -p orchestra-bench --bin experiments -- \
+//!     e10 --connect peer-a:7654                                         # E10 vs a real peer
 //! ```
 //!
 //! With `--json-dir`, experiments E1/E4/E7/E8 additionally write
@@ -22,6 +26,7 @@ use orchestra_bench::json::{BenchReport, Json};
 use orchestra_bench::*;
 use orchestra_core::demo;
 use orchestra_datalog::{DeletionAlgorithm, EngineStats};
+use orchestra_net::{PeerServer, RemoteOptions, RemoteStore};
 use orchestra_provenance::{Boolean, Counting, Semiring, Tropical};
 use orchestra_reconcile::{Reconciler, TrustPolicy};
 use orchestra_relational::tuple;
@@ -30,6 +35,7 @@ use orchestra_store::{
 };
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Harness configuration parsed from the command line.
 pub struct Opts {
@@ -40,6 +46,12 @@ pub struct Opts {
     pub json_dir: Option<PathBuf>,
     /// Run tag recorded in the JSON (`baseline`, `interned`, …).
     pub variant: String,
+    /// Serve an archive over TCP at this address instead of running
+    /// experiments (the server half of a two-process E10).
+    pub bind: Option<String>,
+    /// Run E10 against an already-running peer server at this address
+    /// instead of spawning loopback threads.
+    pub connect: Option<String>,
 }
 
 impl Opts {
@@ -49,6 +61,8 @@ impl Opts {
             smoke: false,
             json_dir: None,
             variant: "dev".to_string(),
+            bind: None,
+            connect: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -61,6 +75,12 @@ impl Opts {
                 }
                 "--variant" => {
                     opts.variant = it.next().expect("--variant needs a tag").clone();
+                }
+                "--bind" => {
+                    opts.bind = Some(it.next().expect("--bind needs an address").clone());
+                }
+                "--connect" => {
+                    opts.connect = Some(it.next().expect("--connect needs an address").clone());
                 }
                 name => opts.names.push(name.to_string()),
             }
@@ -83,6 +103,11 @@ impl Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = Opts::parse(&args);
+
+    if let Some(addr) = &opts.bind {
+        serve_archive(addr);
+        return;
+    }
 
     println!("Orchestra CDSS reproduction — experiment harness");
     println!("(shapes, not absolute numbers, are the reproduction target; see EXPERIMENTS.md)\n");
@@ -113,6 +138,26 @@ fn main() {
     }
     if opts.want("e9") {
         e9_semiring();
+    }
+    if opts.want("e10") {
+        e10_network(&opts);
+    }
+}
+
+/// `--bind`: run the server half of a two-process E10 — an empty
+/// in-memory archive served over TCP until the process is killed. The
+/// client half runs `experiments e10 --connect <this address>` on any
+/// machine that can reach it.
+fn serve_archive(addr: &str) {
+    let server = PeerServer::bind(addr, Arc::new(orchestra_store::InMemoryStore::new()))
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    println!(
+        "serving an in-memory archive at {} (protocol v{}) — ctrl-c to stop",
+        server.local_addr(),
+        orchestra_net::PROTOCOL_VERSION
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
     }
 }
 
@@ -914,4 +959,231 @@ fn e9_semiring() {
         );
     }
     println!();
+}
+
+/// E10 — networked peers: the E8 paged-availability workload with the
+/// archive on the other side of real TCP sockets. Loopback by default
+/// (server threads in this process); `--connect <addr>` points the
+/// client half at a real peer started with `--bind <addr>` on another
+/// machine. Reports publish/scan throughput over the wire, round trips,
+/// and the transport→`Unavailable` mapping a dead endpoint produces.
+pub fn e10_network(opts: &Opts) -> BenchReport {
+    println!("── E10: networked peers (UpdateStore over TCP) ──");
+    println!(
+        "{:>10} {:>7} {:>6} {:>12} {:>10} {:>7} {:>11} {:>12}",
+        "mode", "txns", "limit", "publish ms", "scan ms", "pages", "roundtrips", "tuples/s"
+    );
+    let mut report = BenchReport::new("e10", &opts.variant, opts.smoke);
+    let n_txns: u64 = if opts.smoke { 200 } else { 2000 };
+    let limits: &[usize] = if opts.smoke { &[64] } else { &[64, 256, 1024] };
+    let client_opts = RemoteOptions::default();
+
+    // Unique publisher name so repeated runs against one long-lived
+    // `--bind` server never collide on transaction ids.
+    let publisher = format!("pub-{}", std::process::id());
+    let make_txns = |epoch_base: u64| -> Vec<Vec<Transaction>> {
+        (0..n_txns)
+            .map(|i| {
+                Transaction::new(
+                    TxnId::new(PeerId::new(&publisher), epoch_base * 1_000_000 + i),
+                    Epoch::new(1),
+                    vec![Update::insert("R", tuple![i as i64, 0])],
+                )
+            })
+            .collect::<Vec<_>>()
+            .chunks(100)
+            .map(|c| c.to_vec())
+            .collect()
+    };
+
+    let (mut total_tuples, mut total_secs) = (0f64, 0f64);
+    let (mut total_pages, mut total_unavail, mut total_round_trips) = (0u64, 0u64, 0u64);
+    for (li, &limit) in limits.iter().enumerate() {
+        // Loopback mode spins a fresh server per row; connect mode
+        // reuses the external peer (epochs advance past its history).
+        let local = if opts.connect.is_none() {
+            Some(
+                PeerServer::bind(
+                    "127.0.0.1:0",
+                    Arc::new(orchestra_store::InMemoryStore::new()),
+                )
+                .expect("bind loopback"),
+            )
+        } else {
+            None
+        };
+        let addr = match (&opts.connect, &local) {
+            (Some(addr), _) => addr.clone(),
+            (None, Some(server)) => server.local_addr().to_string(),
+            _ => unreachable!(),
+        };
+        let remote =
+            RemoteStore::connect_with(addr.as_str(), client_opts).expect("connect to archive");
+        // One probe serves both the epoch base and the scan start.
+        let (_, latest, _) = remote.probe().expect("probe archive");
+        let epoch_base = latest.map_or(0, |e| e.value());
+        let batches = make_txns(epoch_base + li as u64);
+        let scan_from = latest.unwrap_or_else(Epoch::zero);
+        let (_, t_pub) = timed(|| {
+            for (i, batch) in batches.into_iter().enumerate() {
+                remote
+                    .publish(Epoch::new(epoch_base + i as u64 + 1), batch)
+                    .expect("publish over tcp");
+            }
+        });
+        let before_rt = remote.net_stats().round_trips;
+        let ((reachable, pages), t_scan) = timed(|| {
+            let (mut ok, mut pages) = (0u64, 0u64);
+            for page in orchestra_store::pages(&remote, FetchCursor::after_epoch(scan_from), limit)
+            {
+                let page = page.expect("paged scan over tcp");
+                ok += page.txns.len() as u64;
+                pages += 1;
+            }
+            (ok, pages)
+        });
+        assert_eq!(reachable, n_txns, "every published txn scanned back");
+        let round_trips = remote.net_stats().round_trips - before_rt;
+        let secs = t_scan.as_secs_f64();
+        let tps = reachable as f64 / secs.max(1e-9);
+        total_tuples += reachable as f64;
+        total_secs += secs;
+        total_pages += pages;
+        total_round_trips += remote.net_stats().round_trips;
+        let mode = if opts.connect.is_some() {
+            "remote"
+        } else {
+            "loopback"
+        };
+        report.row([
+            ("mode", Json::from(mode)),
+            ("txns", Json::from(n_txns)),
+            ("page_limit", Json::from(limit)),
+            ("publish_ms", Json::Num(t_pub.as_secs_f64() * 1e3)),
+            ("scan_ms", Json::Num(secs * 1e3)),
+            ("pages", Json::from(pages)),
+            ("round_trips", Json::from(round_trips)),
+            ("tuples_per_sec", Json::Num(tps)),
+        ]);
+        println!(
+            "{:>10} {:>7} {:>6} {:>12} {:>10} {:>7} {:>11} {:>12.0}",
+            mode,
+            n_txns,
+            limit,
+            ms(t_pub),
+            ms(t_scan),
+            pages,
+            round_trips,
+            tps
+        );
+        if let Some(server) = local {
+            server.shutdown();
+        }
+    }
+
+    // Churn over the wire (loopback only: it needs the server-side churn
+    // handle): a replicated backend with a third of its nodes down still
+    // serves pages, reporting the unreachable positions remotely.
+    if opts.connect.is_none() {
+        let dht = Arc::new(ReplicatedStore::new(64, 1).expect("ring"));
+        dht.publish(
+            Epoch::new(1),
+            (0..n_txns)
+                .map(|i| {
+                    Transaction::new(
+                        TxnId::new(PeerId::new("churn"), i),
+                        Epoch::new(1),
+                        vec![Update::insert("R", tuple![i as i64, 0])],
+                    )
+                })
+                .collect(),
+        )
+        .expect("seed churn archive");
+        for node in 0..(64 / 3) {
+            dht.take_node_down((node * 7) % 64);
+        }
+        let server = PeerServer::bind("127.0.0.1:0", dht).expect("bind churn server");
+        let remote = RemoteStore::connect_with(server.local_addr(), client_opts).expect("connect");
+        let ((reachable, unavailable, pages), t_scan) = timed(|| {
+            let (mut ok, mut lost, mut pages) = (0u64, 0u64, 0u64);
+            for page in
+                orchestra_store::pages(&remote, FetchCursor::after_epoch(Epoch::zero()), 256)
+            {
+                let page = page.expect("churn scan over tcp");
+                ok += page.txns.len() as u64;
+                lost += page.unavailable.len() as u64;
+                pages += 1;
+            }
+            (ok, lost, pages)
+        });
+        assert_eq!(reachable + unavailable, n_txns);
+        assert!(unavailable > 0, "churn must produce wire-visible gaps");
+        let secs = t_scan.as_secs_f64();
+        total_pages += pages;
+        total_unavail += unavailable;
+        total_round_trips += remote.net_stats().round_trips;
+        report.row([
+            ("mode", Json::from("loopback-churn")),
+            ("txns", Json::from(n_txns)),
+            ("page_limit", Json::from(256u64)),
+            ("reachable", Json::from(reachable)),
+            ("unavailable", Json::from(unavailable)),
+            ("pages", Json::from(pages)),
+            (
+                "tuples_per_sec",
+                Json::Num(reachable as f64 / secs.max(1e-9)),
+            ),
+        ]);
+        println!(
+            "{:>10} {:>7} {:>6} {:>12} {:>10} {:>7} {:>11} {:>12.0}  ({} unavailable over the wire)",
+            "churn",
+            n_txns,
+            256,
+            "-",
+            ms(t_scan),
+            pages,
+            remote.net_stats().round_trips,
+            reachable as f64 / secs.max(1e-9),
+            unavailable
+        );
+        server.shutdown();
+
+        // Dead endpoint: every transport failure maps to the
+        // `Unavailable` error the reconcile loop absorbs.
+        let dead = PeerServer::bind(
+            "127.0.0.1:0",
+            Arc::new(orchestra_store::InMemoryStore::new()),
+        )
+        .expect("bind");
+        let dead_addr = dead.local_addr();
+        dead.shutdown();
+        let fast = RemoteOptions {
+            connect_timeout: std::time::Duration::from_millis(200),
+            retries: 1,
+            ..RemoteOptions::default()
+        };
+        let remote = RemoteStore::lazy_with(dead_addr, fast).expect("lazy attach");
+        let mut unavailable_mapped = 0u64;
+        for _ in 0..3 {
+            match remote.fetch_page(&FetchCursor::after_epoch(Epoch::zero()), 8) {
+                Err(orchestra_store::StoreError::Unavailable { .. }) => unavailable_mapped += 1,
+                other => panic!("dead endpoint must map to Unavailable, got {other:?}"),
+            }
+        }
+        assert_eq!(remote.net_stats().unavailable_mapped, unavailable_mapped);
+        report.summary_extra("unavailable_mapped", unavailable_mapped);
+        println!(
+            "  dead endpoint: {unavailable_mapped}/3 calls mapped to StoreError::Unavailable\n"
+        );
+    } else {
+        report.summary_extra("unavailable_mapped", 0u64);
+        println!();
+    }
+
+    report.tuples_per_sec = total_tuples / total_secs.max(1e-9);
+    report.summary_extra("store_pages", total_pages);
+    report.summary_extra("store_unavailable", total_unavail);
+    report.summary_extra("round_trips", total_round_trips);
+    opts.emit(&report);
+    report
 }

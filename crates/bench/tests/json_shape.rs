@@ -1,6 +1,8 @@
 //! CI smoke: run the experiment harness on a reduced workload and
 //! validate the shape of the emitted `BENCH_*.json` files, including the
-//! pagination/availability counters added with the paged exchange.
+//! pagination/availability counters added with the paged exchange and
+//! the E10 loopback-network counters (round trips, wire-visible gaps,
+//! transport failures mapped to `Unavailable`).
 
 use orchestra_bench::json::{validate_report_shape, Json};
 use std::process::Command;
@@ -16,6 +18,7 @@ fn smoke_run_emits_valid_bench_json() {
             "e4",
             "e7",
             "e8",
+            "e10",
             "--smoke",
             "--variant",
             "ci-smoke",
@@ -31,7 +34,7 @@ fn smoke_run_emits_valid_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    for exp in ["e1", "e4", "e7", "e8"] {
+    for exp in ["e1", "e4", "e7", "e8", "e10"] {
         let path = dir.join(format!("BENCH_{exp}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
@@ -77,6 +80,25 @@ fn smoke_run_emits_valid_bench_json() {
                     let row_pages = row.get("pages").unwrap().as_f64().unwrap();
                     assert!(row_pages > 0.0, "{exp}: row without pages");
                     assert!(reachable + lost > 0.0, "{exp}: empty scan row");
+                }
+            }
+            // E10 pages the archive over TCP loopback: round trips
+            // happened, churn rows carry wire-visible gaps, and a dead
+            // endpoint mapped its transport failures to `Unavailable`.
+            "e10" => {
+                assert!(pages > 0.0, "{exp}: no pages recorded");
+                assert!(unavailable > 0.0, "{exp}: churn produced no gaps");
+                let rt = summary.get("round_trips").unwrap().as_f64().unwrap();
+                assert!(rt > 0.0, "{exp}: no round trips counted");
+                let mapped = summary
+                    .get("unavailable_mapped")
+                    .unwrap_or_else(|| panic!("{exp}: summary missing `unavailable_mapped`"))
+                    .as_f64()
+                    .unwrap();
+                assert!(mapped > 0.0, "{exp}: dead endpoint not exercised");
+                for row in doc.get("rows").unwrap().as_arr().unwrap() {
+                    let row_pages = row.get("pages").unwrap().as_f64().unwrap();
+                    assert!(row_pages > 0.0, "{exp}: row without pages");
                 }
             }
             // E4/E7 drive engine/reconciler directly: present but zero.

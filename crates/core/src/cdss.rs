@@ -7,7 +7,10 @@ use crate::Result;
 use orchestra_datalog::{Engine, Rule, Tgd};
 use orchestra_reconcile::{ReconcileOutcome, ResolveOutcome, TrustPolicy};
 use orchestra_relational::{DatabaseSchema, Tuple};
-use orchestra_store::{FetchCursor, InMemoryStore, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT};
+use orchestra_store::{
+    CursorBound, FetchCursor, InMemoryStore, StoreError, StoreStats, UpdateStore,
+    DEFAULT_PAGE_LIMIT,
+};
 use orchestra_updates::{Epoch, LogicalClock, PeerId, Transaction, TxnId, Update};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -73,6 +76,12 @@ pub struct ReconcileReport {
     /// cursor is frozen at this position, so the next exchange retries it
     /// before consuming anything newer. `None` = fully caught up.
     pub blocked_on: Option<TxnId>,
+    /// True when the archive itself became unreachable (a dead or flaky
+    /// network peer — `fetch_page` failed outright rather than reporting
+    /// per-payload gaps). The exchange kept whatever progress it made and
+    /// froze the resume cursor at the first unfetched position; the next
+    /// exchange retries from there.
+    pub unreachable: bool,
 }
 
 /// What one [`Cdss::resolve`] call did.
@@ -452,7 +461,33 @@ impl Cdss {
         // gap on every poll. If the gap healed, fall through to a full
         // rescan from the gap (the held set is rebuilt as it goes).
         if prev_resume.is_some() {
-            let probe = self.store.fetch_page(&cursor, 1)?;
+            let probe = match self.store.fetch_page(&cursor, 1) {
+                Ok(p) => p,
+                Err(StoreError::Unavailable { .. }) => {
+                    // The archive itself is unreachable (dead or flaky
+                    // network peer) while this peer is already blocked:
+                    // leave every durable field frozen exactly as it was
+                    // and report the outage. The frozen cursor still
+                    // names the gap, so `blocked_on` is preserved.
+                    let blocked_on = match cursor.bound() {
+                        CursorBound::At(id) => Some(id.clone()),
+                        _ => None,
+                    };
+                    return Ok(ReconcileReport {
+                        epoch: self.clock.current(),
+                        fetched: 0,
+                        candidates: 0,
+                        outcome: ExchangeOutcome::default(),
+                        applied_updates: 0,
+                        pages: 0,
+                        skipped_unavailable: 0,
+                        held_back: 0,
+                        blocked_on,
+                        unreachable: true,
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            };
             pages += 1;
             let peer = self.peers.get_mut(peer_id).expect("peer exists");
             match probe.unavailable.first() {
@@ -480,8 +515,20 @@ impl Cdss {
             }
         }
 
+        let mut unreachable = false;
         loop {
-            let page = self.store.fetch_page(&cursor, page_limit)?;
+            let page = match self.store.fetch_page(&cursor, page_limit) {
+                Ok(p) => p,
+                Err(StoreError::Unavailable { .. }) => {
+                    // Transport outage mid-exchange: keep the progress
+                    // already applied and freeze the resume cursor at the
+                    // first unfetched position (below), so the next
+                    // exchange picks up exactly at the cut.
+                    unreachable = true;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            };
             let next = page.next_cursor;
             pages += 1;
             fetched += page.txns.len();
@@ -543,7 +590,11 @@ impl Cdss {
         // Forward references that never resolved: their antecedents are
         // not archived (ghosts). Run them through the reconciler so they
         // get the deferred decision the one-shot exchange gave them.
-        if !parked.is_empty() {
+        // Except when the archive went unreachable mid-scan: the unseen
+        // pages may hold exactly those antecedents, and deferrals are
+        // sticky — so instead the resume position below rewinds to cover
+        // the parked transactions and they are re-fetched after the cut.
+        if !parked.is_empty() && !unreachable {
             let peer = self.peers.get_mut(peer_id).expect("peer exists");
             let batch = std::mem::take(&mut parked);
             let r = process_page(peer, peer_id, batch, &mut held, None)?;
@@ -559,15 +610,37 @@ impl Cdss {
         }
 
         let peer = self.peers.get_mut(peer_id).expect("peer exists");
-        match &blocked {
-            Some((gap_epoch, gap_id)) => {
-                // Freeze durable progress at the gap: the next exchange
-                // re-probes exactly this position first. Reachable work
-                // past the gap was already applied where safe; the held
-                // set and high-water mark persist so the next poll only
-                // probes the gap and fetches history it has not seen.
-                peer.resume = Some(FetchCursor::at_txn(*gap_epoch, gap_id.clone()));
-                let caught_up = Epoch::new(gap_epoch.value().saturating_sub(1));
+        // Where the next exchange must resume: the first payload gap if
+        // one was found — rewound further to cover any parked forward
+        // reference whose final pass never ran because the archive went
+        // unreachable — or, on a transport cut with no gap, the first
+        // unfetched page of the interrupted scan.
+        let mut freeze = blocked
+            .as_ref()
+            .map(|(e, id)| FetchCursor::at_txn(*e, id.clone()));
+        if unreachable {
+            let parked_min = parked
+                .iter()
+                .map(|t| (t.epoch, t.id.clone()))
+                .min()
+                .map(|(e, id)| FetchCursor::at_txn(e, id));
+            for candidate in [parked_min, Some(cursor.clone())].into_iter().flatten() {
+                freeze = Some(match freeze.take() {
+                    Some(f) => min_cursor(f, candidate),
+                    None => candidate,
+                });
+            }
+        }
+        match &freeze {
+            Some(at) => {
+                // Freeze durable progress at the blocking position: the
+                // next exchange re-probes exactly this position first.
+                // Reachable work past it was already applied where safe;
+                // the held set and high-water mark persist so the next
+                // poll only probes the gap and fetches history it has
+                // not seen.
+                peer.resume = Some(at.clone());
+                let caught_up = Epoch::new(at.epoch().value().saturating_sub(1));
                 peer.last_epoch = peer.last_epoch.max(caught_up);
                 peer.held = held;
                 peer.scanned_hw = hw.max(peer.scanned_hw.take());
@@ -607,6 +680,7 @@ impl Cdss {
             skipped_unavailable: skipped,
             held_back,
             blocked_on: blocked.map(|(_, id)| id),
+            unreachable,
         })
     }
 
@@ -813,6 +887,26 @@ fn process_page(
         processed,
         outcome,
     })
+}
+
+/// The earlier of two cursors in archive position order: `Start` of an
+/// epoch precedes its transactions, and `At(id)` (inclusive) precedes
+/// `After(id)` (exclusive) at the same id — so the minimum is the cursor
+/// whose scan covers everything the other's does.
+fn min_cursor(a: FetchCursor, b: FetchCursor) -> FetchCursor {
+    fn key(c: &FetchCursor) -> (Epoch, Option<(&TxnId, u8)>) {
+        let bound = match c.bound() {
+            CursorBound::Start => None,
+            CursorBound::At(id) => Some((id, 0)),
+            CursorBound::After(id) => Some((id, 1)),
+        };
+        (c.epoch(), bound)
+    }
+    if key(&b) < key(&a) {
+        b
+    } else {
+        a
+    }
 }
 
 /// Order transactions so that in-batch antecedents come before dependents;

@@ -1,0 +1,409 @@
+//! [`RemoteStore`]: the [`UpdateStore`] trait spoken over TCP.
+//!
+//! A drop-in backend: `Cdss::build_with_store(Box::new(RemoteStore::…))`
+//! gives a peer process the same archive a [`PeerServer`] exposes on
+//! another machine. Connections are pooled and re-dialed lazily; every
+//! transport-level failure — connect refused, timeout, connection cut,
+//! checksum mismatch — maps to [`StoreError::Unavailable`], the error
+//! the reconcile loop already absorbs with frozen resume cursors, so a
+//! dead or flaky peer degrades an exchange instead of failing it.
+//! Application-level errors (duplicate ids, stale epochs…) travel the
+//! wire intact and surface exactly as a local backend would raise them.
+//!
+//! [`PeerServer`]: crate::PeerServer
+
+use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use orchestra_store::frame::{frame, FrameRead, FrameReader};
+use orchestra_store::{FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
+use orchestra_updates::{Epoch, Transaction, TxnId};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tunables for a [`RemoteStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteOptions {
+    /// Dial timeout per connection attempt.
+    pub connect_timeout: Duration,
+    /// How long to wait for a response frame.
+    pub read_timeout: Duration,
+    /// How long a request write may block.
+    pub write_timeout: Duration,
+    /// Idle connections kept for reuse.
+    pub pool_capacity: usize,
+    /// Extra attempts on a fresh connection after a transport failure
+    /// (absorbs a flaky link or a server restart between requests).
+    pub retries: usize,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            pool_capacity: 4,
+            retries: 1,
+        }
+    }
+}
+
+/// Client-side transport counters (the server's archive counters come
+/// back through [`UpdateStore::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Request/response round trips completed.
+    pub round_trips: u64,
+    /// Fresh connections dialed (first use + every reconnect).
+    pub connects: u64,
+    /// Transport-level failures observed (before retries).
+    pub transport_errors: u64,
+    /// Operations that exhausted retries and were mapped to
+    /// [`StoreError::Unavailable`].
+    pub unavailable_mapped: u64,
+    /// Frame payload bytes sent.
+    pub bytes_sent: u64,
+    /// Frame payload bytes received.
+    pub bytes_received: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicNetStats {
+    round_trips: AtomicU64,
+    connects: AtomicU64,
+    transport_errors: AtomicU64,
+    unavailable_mapped: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl AtomicNetStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            transport_errors: self.transport_errors.load(Ordering::Relaxed),
+            unavailable_mapped: self.unavailable_mapped.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An [`UpdateStore`] whose archive lives behind a [`PeerServer`] on the
+/// other end of TCP connections.
+///
+/// [`PeerServer`]: crate::PeerServer
+pub struct RemoteStore {
+    addrs: Vec<std::net::SocketAddr>,
+    addr_label: String,
+    opts: RemoteOptions,
+    pool: Mutex<Vec<TcpStream>>,
+    net: AtomicNetStats,
+}
+
+impl RemoteStore {
+    /// Attach to a server, verifying it speaks protocol v1 with one
+    /// eager dial (fails fast on a wrong address or incompatible peer).
+    pub fn connect(addr: impl std::net::ToSocketAddrs + std::fmt::Display) -> crate::Result<Self> {
+        RemoteStore::connect_with(addr, RemoteOptions::default())
+    }
+
+    /// [`connect`](RemoteStore::connect) with explicit options.
+    pub fn connect_with(
+        addr: impl std::net::ToSocketAddrs + std::fmt::Display,
+        opts: RemoteOptions,
+    ) -> crate::Result<Self> {
+        let store = RemoteStore::lazy_with(addr, opts)?;
+        let conn = store.checkout()?;
+        store.checkin(conn);
+        Ok(store)
+    }
+
+    /// Attach without dialing: the first operation connects. Use when the
+    /// server may not be up yet — the reconcile loop treats an
+    /// unreachable archive as a degraded exchange, not an error.
+    pub fn lazy(addr: impl std::net::ToSocketAddrs + std::fmt::Display) -> crate::Result<Self> {
+        RemoteStore::lazy_with(addr, RemoteOptions::default())
+    }
+
+    /// [`lazy`](RemoteStore::lazy) with explicit options.
+    pub fn lazy_with(
+        addr: impl std::net::ToSocketAddrs + std::fmt::Display,
+        opts: RemoteOptions,
+    ) -> crate::Result<Self> {
+        let addr_label = addr.to_string();
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| StoreError::InvalidConfig(format!("bad address `{addr_label}`: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(StoreError::InvalidConfig(format!(
+                "address `{addr_label}` resolves to nothing"
+            )));
+        }
+        Ok(RemoteStore {
+            addrs,
+            addr_label,
+            opts,
+            pool: Mutex::new(Vec::new()),
+            net: AtomicNetStats::default(),
+        })
+    }
+
+    /// The address this store dials.
+    pub fn addr(&self) -> &str {
+        &self.addr_label
+    }
+
+    /// Client-side transport counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.net.snapshot()
+    }
+
+    /// Dial a fresh connection and complete the version handshake,
+    /// trying every resolved address before giving up. Application-level
+    /// verdicts (a server error, a version mismatch) are authoritative
+    /// and end the search; transport failures move on to the next
+    /// address.
+    fn dial(&self) -> Result<TcpStream, StoreError> {
+        let mut last: Option<StoreError> = None;
+        for addr in &self.addrs {
+            let stream = match TcpStream::connect_timeout(addr, self.opts.connect_timeout) {
+                Ok(s) => s,
+                Err(e) => {
+                    last = Some(self.transport_failure(format_args!("connect {addr} failed: {e}")));
+                    continue;
+                }
+            };
+            self.net.connects.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.opts.read_timeout));
+            let _ = stream.set_write_timeout(Some(self.opts.write_timeout));
+            let mut stream = stream;
+            match self.roundtrip(
+                &mut stream,
+                &Request::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+            ) {
+                Ok(Response::HelloOk { version: 1 }) => return Ok(stream),
+                Ok(Response::HelloOk { version }) => {
+                    return Err(StoreError::InvalidConfig(format!(
+                        "server `{}` negotiated unsupported protocol version {version}",
+                        self.addr_label
+                    )))
+                }
+                Ok(Response::Err(e)) => return Err(e),
+                Ok(other) => {
+                    last = Some(
+                        self.transport_failure(format_args!("unexpected hello response {other:?}")),
+                    );
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| self.transport_failure(format_args!("no reachable address"))))
+    }
+
+    fn checkout(&self) -> Result<TcpStream, StoreError> {
+        if let Some(conn) = self.pool.lock().pop() {
+            return Ok(conn);
+        }
+        self.dial()
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.opts.pool_capacity {
+            pool.push(conn);
+        }
+    }
+
+    /// Record a transport-level failure and build the `Unavailable` it
+    /// maps to. The reconcile loop treats this exactly like a payload
+    /// with no alive replica: freeze the cursor, retry later.
+    fn transport_failure(&self, what: std::fmt::Arguments<'_>) -> StoreError {
+        self.net.transport_errors.fetch_add(1, Ordering::Relaxed);
+        StoreError::Unavailable {
+            txn: format!("<remote {}: {what}>", self.addr_label),
+        }
+    }
+
+    /// One framed request/response exchange on an established connection.
+    /// Any failure is a transport failure (the caller drops the stream).
+    fn roundtrip(&self, stream: &mut TcpStream, request: &Request) -> Result<Response, StoreError> {
+        let framed = frame(&request.encode());
+        stream
+            .write_all(&framed)
+            .and_then(|()| stream.flush())
+            .map_err(|e| self.transport_failure(format_args!("send failed: {e}")))?;
+        self.net
+            .bytes_sent
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        let payload = match FrameReader::new(&mut *stream, 0).next_frame() {
+            Ok((_, FrameRead::Ok { payload, size })) => {
+                self.net
+                    .bytes_received
+                    .fetch_add(size as u64, Ordering::Relaxed);
+                payload
+            }
+            Ok((_, FrameRead::Eof)) => {
+                return Err(self.transport_failure(format_args!("connection closed by server")))
+            }
+            Ok((_, FrameRead::Torn)) => {
+                return Err(self.transport_failure(format_args!("connection cut mid-response")))
+            }
+            Ok((_, FrameRead::Corrupt { reason })) => {
+                return Err(self.transport_failure(format_args!("corrupt response frame: {reason}")))
+            }
+            Err(e) => return Err(self.transport_failure(format_args!("receive failed: {e}"))),
+        };
+        let response = Response::decode(&payload)
+            .map_err(|e| self.transport_failure(format_args!("undecodable response: {e}")))?;
+        self.net.round_trips.fetch_add(1, Ordering::Relaxed);
+        Ok(response)
+    }
+
+    /// Issue one request, transparently retrying transport failures on a
+    /// fresh connection. Application-level errors (carried in
+    /// [`Response::Err`]) are returned as-is by the callers and keep the
+    /// connection pooled — the server keeps it open too.
+    fn call(&self, request: &Request) -> Result<Response, StoreError> {
+        // A pooled connection may have been closed by the server's idle
+        // reaper or a restart between requests; its failure is not
+        // authoritative, so it costs none of the configured retries.
+        // (Popped as a statement: the pool guard must drop before
+        // `checkin` re-locks it.)
+        let pooled = self.pool.lock().pop();
+        if let Some(mut conn) = pooled {
+            if let Ok(resp) = self.roundtrip(&mut conn, request) {
+                self.checkin(conn);
+                return Ok(resp);
+            }
+            // Stale pooled stream (dropped): fall through to fresh dials.
+        }
+        let mut last: Option<StoreError> = None;
+        for _ in 0..=self.opts.retries {
+            match self.dial() {
+                Ok(mut conn) => match self.roundtrip(&mut conn, request) {
+                    Ok(resp) => {
+                        self.checkin(conn);
+                        return Ok(resp);
+                    }
+                    Err(e) => last = Some(e),
+                },
+                // A version mismatch is not transient: surface it.
+                Err(e @ StoreError::InvalidConfig(_)) => return Err(e),
+                Err(e) => last = Some(e),
+            }
+        }
+        self.net.unavailable_mapped.fetch_add(1, Ordering::Relaxed);
+        Err(last.unwrap_or_else(|| self.transport_failure(format_args!("no attempt made"))))
+    }
+
+    /// Archive metadata in one round trip: `(len, latest_epoch, stats)`
+    /// — what [`UpdateStore::len`], [`UpdateStore::latest_epoch`], and
+    /// [`UpdateStore::stats`] each report, without paying three RPCs.
+    pub fn probe(&self) -> crate::Result<(u64, Option<Epoch>, StoreStats)> {
+        let request = Request::Probe;
+        match self.call(&request)? {
+            Response::ProbeOk {
+                len,
+                latest_epoch,
+                stats,
+            } => Ok((len, latest_epoch, stats)),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    fn unexpected(&self, request: &Request, response: Response) -> StoreError {
+        self.transport_failure(format_args!(
+            "unexpected response to {}: {response:?}",
+            request.label()
+        ))
+    }
+}
+
+impl UpdateStore for RemoteStore {
+    fn publish(&self, epoch: Epoch, txns: Vec<Transaction>) -> orchestra_store::Result<()> {
+        // Kept to disambiguate a retried publish whose first attempt's
+        // response was lost (below).
+        let witness = txns.first().cloned();
+        let request = Request::Publish { epoch, txns };
+        let result = match self.call(&request)? {
+            Response::PublishOk => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        };
+        // Publish is retried on a fresh connection like every request,
+        // but it is not idempotent: if the server committed the batch
+        // and the *response* was lost, the retry answers `DuplicateTxn`
+        // for a publish that actually succeeded. Disambiguate by
+        // reading the batch's first transaction back — transaction ids
+        // are globally unique (peer-owned sequences) and publishes are
+        // atomic, so finding our exact first transaction archived means
+        // the whole batch landed. A genuine conflict (different bytes
+        // under the same id, or a later id reported) still errors.
+        if let Err(StoreError::DuplicateTxn(dup)) = &result {
+            if let Some(mut expect) = witness {
+                if expect.id.to_string() == *dup {
+                    expect.epoch = epoch; // The store stamps the publish epoch.
+                    if let Ok(Some(archived)) = self.fetch(&expect.id) {
+                        if archived == expect {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> orchestra_store::Result<FetchPage> {
+        let request = Request::FetchPage {
+            cursor: cursor.clone(),
+            limit: limit as u64,
+        };
+        match self.call(&request)? {
+            Response::Page(page) => Ok(page),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    fn fetch(&self, id: &TxnId) -> orchestra_store::Result<Option<Transaction>> {
+        let request = Request::Fetch { id: id.clone() };
+        match self.call(&request)? {
+            Response::Txn(txn) => Ok(txn),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        // Unreachable archive: nothing observable.
+        self.probe().map_or(0, |(len, _, _)| len as usize)
+    }
+
+    fn latest_epoch(&self) -> Option<Epoch> {
+        self.probe().ok().and_then(|(_, latest, _)| latest)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.probe()
+            .map_or_else(|_| StoreStats::default(), |(_, _, stats)| stats)
+    }
+}
+
+impl std::fmt::Debug for RemoteStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteStore")
+            .field("addr", &self.addr_label)
+            .field("pooled", &self.pool.lock().len())
+            .finish()
+    }
+}

@@ -1,0 +1,575 @@
+//! The `orchestra-net` wire protocol: versioned, length-prefixed,
+//! CRC32-checksummed messages carrying the [`UpdateStore`] surface.
+//!
+//! Every message travels inside one frame from [`orchestra_store::frame`]
+//! (`len:u32le crc:u32le payload[len]`) — the same framing the durable
+//! WAL uses on disk — and transactions, cursors, and batches are encoded
+//! by [`orchestra_store::durable::codec`], so a transaction's bytes are
+//! identical on the wire and in the archive. See `docs/wire-protocol.md`
+//! for the full layout.
+//!
+//! ```text
+//! request  := HELLO      magic:u32le version:uvarint
+//!           | PUBLISH    batch                  (the WAL batch record)
+//!           | FETCH_PAGE cursor limit:uvarint
+//!           | FETCH      txn_id
+//!           | PROBE
+//! response := HELLO_OK   version:uvarint
+//!           | PUBLISH_OK
+//!           | PAGE       n:uvarint txn* u:uvarint (epoch:uvarint txn_id)*
+//!                        has_next:u8 [cursor]
+//!           | TXN        present:u8 [txn]
+//!           | PROBE_OK   len:uvarint has_latest:u8 [epoch:uvarint]
+//!                        stats:7×uvarint
+//!           | ERR        code:u8 fields…        (see `StoreError` table)
+//! ```
+//!
+//! [`UpdateStore`]: orchestra_store::UpdateStore
+
+use orchestra_store::durable::codec::{
+    decode_batch, encode_batch, get_cursor, get_transaction, get_txn_id, put_cursor, put_str,
+    put_transaction, put_txn_id, put_uvarint, CodecError, Cursor,
+};
+use orchestra_store::{FetchCursor, FetchPage, StoreError, StoreStats};
+use orchestra_updates::{Epoch, Transaction, TxnId};
+
+/// Protocol version spoken by this build. Version 1 is the only version;
+/// the HELLO exchange exists so future versions can negotiate down.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Magic prefix of a HELLO payload: `"ORCN"` little-endian. A server
+/// reading anything else as its first frame is talking to something that
+/// is not an orchestra peer and closes the connection.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"ORCN");
+
+// Request opcodes.
+const OP_HELLO: u8 = 0x01;
+const OP_PUBLISH: u8 = 0x02;
+const OP_FETCH_PAGE: u8 = 0x03;
+const OP_FETCH: u8 = 0x04;
+const OP_PROBE: u8 = 0x05;
+// Response opcodes (high bit set).
+const OP_HELLO_OK: u8 = 0x81;
+const OP_PUBLISH_OK: u8 = 0x82;
+const OP_PAGE: u8 = 0x83;
+const OP_TXN: u8 = 0x84;
+const OP_PROBE_OK: u8 = 0x85;
+const OP_ERR: u8 = 0xee;
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first frame on a connection.
+    Hello {
+        /// The newest protocol version the client speaks.
+        version: u64,
+    },
+    /// Archive a batch of transactions (mirrors `UpdateStore::publish`).
+    Publish {
+        /// The publish epoch.
+        epoch: Epoch,
+        /// The batch.
+        txns: Vec<Transaction>,
+    },
+    /// One page of the archive (mirrors `UpdateStore::fetch_page`).
+    FetchPage {
+        /// Resume position.
+        cursor: FetchCursor,
+        /// Maximum positions to scan.
+        limit: u64,
+    },
+    /// One transaction by id (mirrors `UpdateStore::fetch`).
+    Fetch {
+        /// The wanted transaction.
+        id: TxnId,
+    },
+    /// Archive metadata: length, latest epoch, counters — serves `len`,
+    /// `latest_epoch`, and `stats` in one round trip.
+    Probe,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// HELLO accepted; the version both sides will speak.
+    HelloOk {
+        /// The negotiated protocol version.
+        version: u64,
+    },
+    /// Publish succeeded.
+    PublishOk,
+    /// One archive page.
+    Page(FetchPage),
+    /// A fetched transaction (or its absence).
+    Txn(Option<Transaction>),
+    /// Archive metadata.
+    ProbeOk {
+        /// Number of archived transactions.
+        len: u64,
+        /// Latest archived epoch, if any.
+        latest_epoch: Option<Epoch>,
+        /// The remote store's counters.
+        stats: StoreStats,
+    },
+    /// The operation failed on the server; carries the full
+    /// [`StoreError`] so the client surfaces exactly what a local
+    /// backend would have returned.
+    Err(StoreError),
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Request::Hello { version } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&MAGIC.to_le_bytes());
+                put_uvarint(&mut out, *version);
+            }
+            Request::Publish { epoch, txns } => {
+                out.push(OP_PUBLISH);
+                // The body is byte-identical to the WAL's batch record:
+                // durable and net serialize a publish the same way.
+                out.extend_from_slice(&encode_batch(*epoch, txns));
+            }
+            Request::FetchPage { cursor, limit } => {
+                out.push(OP_FETCH_PAGE);
+                put_cursor(&mut out, cursor);
+                put_uvarint(&mut out, *limit);
+            }
+            Request::Fetch { id } => {
+                out.push(OP_FETCH);
+                put_txn_id(&mut out, id);
+            }
+            Request::Probe => out.push(OP_PROBE),
+        }
+        out
+    }
+
+    /// Decode a frame payload; must be consumed exactly.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        let req = match op {
+            OP_HELLO => {
+                let magic = u32::from_le_bytes(take4(&mut c)?);
+                if magic != MAGIC {
+                    return fail(&c, format!("bad hello magic {magic:#010x}"));
+                }
+                Request::Hello {
+                    version: c.uvarint()?,
+                }
+            }
+            OP_PUBLISH => {
+                let (epoch, txns) = decode_batch(rest(&mut c))?;
+                return Ok(Request::Publish { epoch, txns });
+            }
+            OP_FETCH_PAGE => Request::FetchPage {
+                cursor: get_cursor(&mut c)?,
+                limit: c.uvarint()?,
+            },
+            OP_FETCH => Request::Fetch {
+                id: get_txn_id(&mut c)?,
+            },
+            OP_PROBE => Request::Probe,
+            other => return fail(&c, format!("unknown request opcode {other:#04x}")),
+        };
+        finish(c, req)
+    }
+
+    /// Short label for logs and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Publish { .. } => "publish",
+            Request::FetchPage { .. } => "fetch_page",
+            Request::Fetch { .. } => "fetch",
+            Request::Probe => "probe",
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Response::HelloOk { version } => {
+                out.push(OP_HELLO_OK);
+                put_uvarint(&mut out, *version);
+            }
+            Response::PublishOk => out.push(OP_PUBLISH_OK),
+            Response::Page(page) => {
+                out.push(OP_PAGE);
+                put_uvarint(&mut out, page.txns.len() as u64);
+                for t in &page.txns {
+                    put_transaction(&mut out, t);
+                }
+                put_uvarint(&mut out, page.unavailable.len() as u64);
+                for (ep, id) in &page.unavailable {
+                    put_uvarint(&mut out, ep.value());
+                    put_txn_id(&mut out, id);
+                }
+                match &page.next_cursor {
+                    Some(cursor) => {
+                        out.push(1);
+                        put_cursor(&mut out, cursor);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::Txn(txn) => {
+                out.push(OP_TXN);
+                match txn {
+                    Some(t) => {
+                        out.push(1);
+                        put_transaction(&mut out, t);
+                    }
+                    None => out.push(0),
+                }
+            }
+            Response::ProbeOk {
+                len,
+                latest_epoch,
+                stats,
+            } => {
+                out.push(OP_PROBE_OK);
+                put_uvarint(&mut out, *len);
+                match latest_epoch {
+                    Some(ep) => {
+                        out.push(1);
+                        put_uvarint(&mut out, ep.value());
+                    }
+                    None => out.push(0),
+                }
+                for n in [
+                    stats.published,
+                    stats.fetched,
+                    stats.probes,
+                    stats.misses,
+                    stats.pages,
+                    stats.unavailable,
+                    stats.degraded,
+                ] {
+                    put_uvarint(&mut out, n);
+                }
+            }
+            Response::Err(e) => {
+                out.push(OP_ERR);
+                put_store_error(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload; must be consumed exactly.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut c = Cursor::new(payload);
+        let op = c.u8()?;
+        let resp = match op {
+            OP_HELLO_OK => Response::HelloOk {
+                version: c.uvarint()?,
+            },
+            OP_PUBLISH_OK => Response::PublishOk,
+            OP_PAGE => {
+                let n = c.uvarint()? as usize;
+                let mut txns = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    txns.push(get_transaction(&mut c)?);
+                }
+                let u = c.uvarint()? as usize;
+                let mut unavailable = Vec::with_capacity(u.min(65_536));
+                for _ in 0..u {
+                    let ep = Epoch::new(c.uvarint()?);
+                    unavailable.push((ep, get_txn_id(&mut c)?));
+                }
+                let next_cursor = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_cursor(&mut c)?),
+                    other => return fail(&c, format!("bad next-cursor flag {other}")),
+                };
+                Response::Page(FetchPage {
+                    txns,
+                    unavailable,
+                    next_cursor,
+                })
+            }
+            OP_TXN => match c.u8()? {
+                0 => Response::Txn(None),
+                1 => Response::Txn(Some(get_transaction(&mut c)?)),
+                other => return fail(&c, format!("bad txn-present flag {other}")),
+            },
+            OP_PROBE_OK => {
+                let len = c.uvarint()?;
+                let latest_epoch = match c.u8()? {
+                    0 => None,
+                    1 => Some(Epoch::new(c.uvarint()?)),
+                    other => return fail(&c, format!("bad latest-epoch flag {other}")),
+                };
+                let stats = StoreStats {
+                    published: c.uvarint()?,
+                    fetched: c.uvarint()?,
+                    probes: c.uvarint()?,
+                    misses: c.uvarint()?,
+                    pages: c.uvarint()?,
+                    unavailable: c.uvarint()?,
+                    degraded: c.uvarint()?,
+                };
+                Response::ProbeOk {
+                    len,
+                    latest_epoch,
+                    stats,
+                }
+            }
+            OP_ERR => Response::Err(get_store_error(&mut c)?),
+            other => return fail(&c, format!("unknown response opcode {other:#04x}")),
+        };
+        finish(c, resp)
+    }
+}
+
+// Error codes on the wire (see docs/wire-protocol.md for the table).
+const ERR_DUPLICATE: u8 = 0;
+const ERR_UNAVAILABLE: u8 = 1;
+const ERR_STALE_EPOCH: u8 = 2;
+const ERR_INVALID_CONFIG: u8 = 3;
+const ERR_IO: u8 = 4;
+const ERR_CORRUPT: u8 = 5;
+
+fn put_store_error(out: &mut Vec<u8>, e: &StoreError) {
+    match e {
+        StoreError::DuplicateTxn(id) => {
+            out.push(ERR_DUPLICATE);
+            put_str(out, id);
+        }
+        StoreError::Unavailable { txn } => {
+            out.push(ERR_UNAVAILABLE);
+            put_str(out, txn);
+        }
+        StoreError::StaleEpoch { epoch, latest } => {
+            out.push(ERR_STALE_EPOCH);
+            put_uvarint(out, *epoch);
+            put_uvarint(out, *latest);
+        }
+        StoreError::InvalidConfig(msg) => {
+            out.push(ERR_INVALID_CONFIG);
+            put_str(out, msg);
+        }
+        StoreError::Io { op, path, message } => {
+            out.push(ERR_IO);
+            put_str(out, op);
+            put_str(out, path);
+            put_str(out, message);
+        }
+        StoreError::Corrupt {
+            path,
+            offset,
+            reason,
+        } => {
+            out.push(ERR_CORRUPT);
+            put_str(out, path);
+            put_uvarint(out, *offset);
+            put_str(out, reason);
+        }
+    }
+}
+
+fn get_store_error(c: &mut Cursor<'_>) -> Result<StoreError> {
+    Ok(match c.u8()? {
+        ERR_DUPLICATE => StoreError::DuplicateTxn(c.str()?.to_owned()),
+        ERR_UNAVAILABLE => StoreError::Unavailable {
+            txn: c.str()?.to_owned(),
+        },
+        ERR_STALE_EPOCH => StoreError::StaleEpoch {
+            epoch: c.uvarint()?,
+            latest: c.uvarint()?,
+        },
+        ERR_INVALID_CONFIG => StoreError::InvalidConfig(c.str()?.to_owned()),
+        ERR_IO => StoreError::Io {
+            op: c.str()?.to_owned(),
+            path: c.str()?.to_owned(),
+            message: c.str()?.to_owned(),
+        },
+        ERR_CORRUPT => StoreError::Corrupt {
+            path: c.str()?.to_owned(),
+            offset: c.uvarint()?,
+            reason: c.str()?.to_owned(),
+        },
+        other => return fail(c, format!("unknown error code {other}")),
+    })
+}
+
+// --------------------------------------------------------------- helpers
+
+fn take4(c: &mut Cursor<'_>) -> Result<[u8; 4]> {
+    let mut out = [0u8; 4];
+    for b in &mut out {
+        *b = c.u8()?;
+    }
+    Ok(out)
+}
+
+/// All remaining bytes (for bodies delegated to another decoder).
+fn rest<'a>(c: &mut Cursor<'a>) -> &'a [u8] {
+    c.remaining()
+}
+
+fn fail<T>(c: &Cursor<'_>, reason: String) -> Result<T> {
+    Err(CodecError {
+        offset: c.position(),
+        reason,
+    })
+}
+
+fn finish<T>(c: Cursor<'_>, value: T) -> Result<T> {
+    if c.is_empty() {
+        Ok(value)
+    } else {
+        Err(CodecError {
+            offset: c.position(),
+            reason: "trailing bytes after message".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_relational::tuple;
+    use orchestra_updates::{PeerId, Update};
+
+    fn sample_txn(seq: u64) -> Transaction {
+        Transaction::new(
+            TxnId::new(PeerId::new("Alaska"), seq),
+            Epoch::new(3),
+            vec![Update::insert("R", tuple![1, "a"])],
+        )
+        .with_antecedents([TxnId::new(PeerId::new("Beijing"), 1)])
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Publish {
+                epoch: Epoch::new(7),
+                txns: vec![sample_txn(1), sample_txn(2)],
+            },
+            Request::FetchPage {
+                cursor: FetchCursor::at_txn(Epoch::new(2), TxnId::new(PeerId::new("A"), 5)),
+                limit: 128,
+            },
+            Request::Fetch {
+                id: TxnId::new(PeerId::new("A"), 5),
+            },
+            Request::Probe,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{}", req.label());
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::HelloOk {
+                version: PROTOCOL_VERSION,
+            },
+            Response::PublishOk,
+            Response::Page(FetchPage {
+                txns: vec![sample_txn(1)],
+                unavailable: vec![(Epoch::new(2), TxnId::new(PeerId::new("B"), 9))],
+                next_cursor: Some(FetchCursor::after_txn(
+                    Epoch::new(2),
+                    TxnId::new(PeerId::new("B"), 9),
+                )),
+            }),
+            Response::Page(FetchPage::default()),
+            Response::Txn(Some(sample_txn(4))),
+            Response::Txn(None),
+            Response::ProbeOk {
+                len: 42,
+                latest_epoch: Some(Epoch::new(9)),
+                stats: StoreStats {
+                    published: 1,
+                    fetched: 2,
+                    probes: 3,
+                    misses: 4,
+                    pages: 5,
+                    unavailable: 6,
+                    degraded: 7,
+                },
+            },
+            Response::ProbeOk {
+                len: 0,
+                latest_epoch: None,
+                stats: StoreStats::default(),
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn every_store_error_roundtrips() {
+        let errs = [
+            StoreError::DuplicateTxn("A#1".into()),
+            StoreError::Unavailable { txn: "B#2".into() },
+            StoreError::StaleEpoch {
+                epoch: 3,
+                latest: 9,
+            },
+            StoreError::InvalidConfig("zero nodes".into()),
+            StoreError::Io {
+                op: "fsync".into(),
+                path: "/wal/000001.seg".into(),
+                message: "disk full".into(),
+            },
+            StoreError::Corrupt {
+                path: "/wal/000001.seg".into(),
+                offset: 128,
+                reason: "checksum mismatch".into(),
+            },
+        ];
+        for e in errs {
+            let bytes = Response::Err(e.clone()).encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), Response::Err(e));
+        }
+    }
+
+    #[test]
+    fn publish_body_is_the_wal_batch_record() {
+        // The net bytes after the opcode are exactly the durable WAL's
+        // batch record: one codec, two consumers.
+        let txns = vec![sample_txn(1)];
+        let wire = Request::Publish {
+            epoch: Epoch::new(7),
+            txns: txns.clone(),
+        }
+        .encode();
+        assert_eq!(&wire[1..], &encode_batch(Epoch::new(7), &txns)[..]);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[0x7f]).is_err(), "unknown opcode");
+        assert!(Response::decode(&[0x01]).is_err(), "request op as response");
+        // Wrong magic.
+        let mut hello = Request::Hello { version: 1 }.encode();
+        hello[1] ^= 0xff;
+        assert!(Request::decode(&hello).is_err());
+        // Trailing bytes.
+        let mut probe = Request::Probe.encode();
+        probe.push(0);
+        assert!(Request::decode(&probe).is_err());
+    }
+}

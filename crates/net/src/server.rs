@@ -1,0 +1,500 @@
+//! [`PeerServer`]: expose any [`UpdateStore`] backend over TCP.
+//!
+//! One listener, a small fixed worker pool. Connections are *not* pinned
+//! to workers: a worker takes a connection off the shared queue, serves
+//! requests while data keeps arriving (bounded per turn for fairness),
+//! and the moment the connection goes quiet for one poll tick it is
+//! requeued and the worker moves on — so a handful of idle keep-alive
+//! clients can never starve new connections. Reads poll in short ticks
+//! (graceful shutdown never waits on an idle socket), a frame that
+//! started arriving must complete within `read_timeout`, and quiet
+//! connections are reaped after `idle_timeout`.
+
+use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use orchestra_store::frame::{crc32, frame, FRAME_HEADER, MAX_FRAME_LEN};
+use orchestra_store::{StoreError, UpdateStore};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// How often a blocked read wakes up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Tunables for a [`PeerServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Worker threads — the number of connections served concurrently.
+    pub workers: usize,
+    /// An idle connection (no request in progress) is closed after this
+    /// long; the client pool reconnects transparently.
+    pub idle_timeout: Duration,
+    /// A connection that stalls *mid-frame* for this long is closed.
+    pub read_timeout: Duration,
+    /// A response write that blocks for this long closes the connection.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 4,
+            idle_timeout: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters exposed by a [`PeerServer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (any response, including errors).
+    pub requests: u64,
+    /// Requests answered with an [`Response::Err`].
+    pub errors: u64,
+    /// Connections dropped for protocol violations (bad magic, corrupt
+    /// frames, mid-frame stalls).
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl AtomicServerStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A TCP endpoint serving the [`UpdateStore`] surface of any backend —
+/// in-memory, replicated, or durable. Peers on other machines attach a
+/// [`RemoteStore`](crate::RemoteStore) to it and reconcile as if the
+/// archive were local.
+pub struct PeerServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<AtomicServerStats>,
+}
+
+impl PeerServer {
+    /// Bind with default options. Pass port 0 to let the OS pick one
+    /// (read it back from [`local_addr`](PeerServer::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, store: Arc<dyn UpdateStore>) -> std::io::Result<Self> {
+        PeerServer::bind_with(addr, store, ServerOptions::default())
+    }
+
+    /// Bind with explicit options.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        store: Arc<dyn UpdateStore>,
+        opts: ServerOptions,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(AtomicServerStats::default());
+        let (tx, rx) = mpsc::channel::<Conn>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(opts.workers.max(1));
+        for _ in 0..opts.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let tx = tx.clone();
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            workers.push(std::thread::spawn(move || loop {
+                // Hold the receiver lock only while waiting for the next
+                // connection; serve it with the lock released. The wait
+                // is a short tick so shutdown is always observed even
+                // though this worker's own `tx` clone keeps the channel
+                // open.
+                let conn = {
+                    let guard = rx.lock();
+                    guard.recv_timeout(POLL_TICK)
+                };
+                match conn {
+                    Ok(mut conn) => {
+                        match serve_turn(&mut conn, &*store, &shutdown, opts, &stats) {
+                            // Quiet but healthy: hand the connection back
+                            // to the queue so this worker can serve
+                            // someone else.
+                            Turn::Keep if !shutdown.load(Ordering::SeqCst) => {
+                                let _ = tx.send(conn);
+                            }
+                            _ => {} // Closed, or shutting down: drop it.
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }));
+        }
+
+        // Non-blocking accept loop: polls the shutdown flag every tick,
+        // so shutdown never depends on being able to connect to our own
+        // listening address.
+        listener.set_nonblocking(true)?;
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(POLL_TICK));
+                        let _ = stream.set_write_timeout(Some(opts.write_timeout));
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        if tx
+                            .send(Conn {
+                                stream,
+                                greeted: false,
+                                idle_since: Instant::now(),
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_TICK);
+                    }
+                    Err(_) => std::thread::sleep(POLL_TICK),
+                }
+                // `tx` drops when this thread exits; the workers each
+                // hold a clone, and exit on the shutdown flag instead.
+            })
+        };
+
+        Ok(PeerServer {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// join every thread. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Acceptor and workers poll the flag every tick; nothing blocks
+        // indefinitely, so plain joins suffice.
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PeerServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for PeerServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// A connection and its protocol state, travelling between workers via
+/// the shared queue.
+struct Conn {
+    stream: TcpStream,
+    /// HELLO completed — until then only a handshake is accepted.
+    greeted: bool,
+    /// When this connection last did useful work (for idle reaping).
+    idle_since: Instant,
+}
+
+/// What a worker should do with a connection after one serving turn.
+enum Turn {
+    /// Healthy but currently quiet: requeue it.
+    Keep,
+    /// Closed, violated the protocol, idled out, or shutting down.
+    Close,
+}
+
+/// Requests served back-to-back before a busy connection is requeued —
+/// keeps one chatty peer from pinning a worker forever.
+const REQUESTS_PER_TURN: usize = 128;
+
+/// Serve one turn on a connection: handle requests while data keeps
+/// arriving, yield the worker as soon as the connection goes quiet for
+/// one poll tick.
+fn serve_turn(
+    conn: &mut Conn,
+    store: &dyn UpdateStore,
+    shutdown: &AtomicBool,
+    opts: ServerOptions,
+    stats: &AtomicServerStats,
+) -> Turn {
+    for _ in 0..REQUESTS_PER_TURN {
+        // Phase 1: wait one tick for the first byte of the next frame.
+        let mut first = [0u8; 1];
+        match read_exact_polled(&mut conn.stream, &mut first, shutdown, POLL_TICK, true) {
+            PolledRead::Done => {}
+            PolledRead::Eof => return Turn::Close, // Clean close.
+            PolledRead::Shutdown => return Turn::Close,
+            PolledRead::TimedOut => {
+                // Quiet this tick: reap if it has been quiet too long,
+                // otherwise give the worker back.
+                if conn.idle_since.elapsed() >= opts.idle_timeout {
+                    return Turn::Close;
+                }
+                return Turn::Keep;
+            }
+            PolledRead::Failed => return Turn::Close,
+        }
+        // Phase 2: the frame started — it must now complete within
+        // `read_timeout`, or the peer is stalling mid-frame.
+        let payload = match recv_started_frame(&mut conn.stream, first[0], &opts) {
+            Some(p) => p,
+            None => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Turn::Close;
+            }
+        };
+        conn.idle_since = Instant::now();
+
+        if !conn.greeted {
+            // The first frame must be a version handshake.
+            match Request::decode(&payload) {
+                Ok(Request::Hello { version }) if version >= 1 => {
+                    let negotiated = version.min(PROTOCOL_VERSION);
+                    if send(
+                        &mut conn.stream,
+                        &Response::HelloOk {
+                            version: negotiated,
+                        },
+                    )
+                    .is_err()
+                    {
+                        return Turn::Close;
+                    }
+                    conn.greeted = true;
+                }
+                Ok(Request::Hello { version }) => {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = send(
+                        &mut conn.stream,
+                        &Response::Err(StoreError::InvalidConfig(format!(
+                            "unsupported protocol version {version} \
+                             (server speaks {PROTOCOL_VERSION})"
+                        ))),
+                    );
+                    return Turn::Close;
+                }
+                _ => {
+                    // Not a hello (or undecodable): whatever is on the
+                    // other end is not an orchestra peer.
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = send(
+                        &mut conn.stream,
+                        &Response::Err(StoreError::InvalidConfig(
+                            "expected HELLO as the first frame".into(),
+                        )),
+                    );
+                    return Turn::Close;
+                }
+            }
+        } else {
+            let response = match Request::decode(&payload) {
+                Ok(req) => execute(store, req),
+                Err(e) => Response::Err(StoreError::Corrupt {
+                    path: "<wire>".into(),
+                    offset: e.offset as u64,
+                    reason: e.reason,
+                }),
+            };
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            if matches!(response, Response::Err(_)) {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if send(&mut conn.stream, &response).is_err() {
+                return Turn::Close;
+            }
+        }
+        // Finish the in-flight request before honoring shutdown — that
+        // is what makes the shutdown graceful.
+        if shutdown.load(Ordering::SeqCst) {
+            return Turn::Close;
+        }
+    }
+    Turn::Keep // Busy connection: requeue for fairness.
+}
+
+/// Finish reading a frame whose first byte already arrived: the rest of
+/// the header and the payload must complete within `read_timeout`.
+/// Returns the checksum-verified payload, or `None` on any violation
+/// (stall, cut, oversized length, checksum mismatch).
+fn recv_started_frame(
+    stream: &mut TcpStream,
+    first_byte: u8,
+    opts: &ServerOptions,
+) -> Option<Vec<u8>> {
+    let mut header = [0u8; FRAME_HEADER];
+    header[0] = first_byte;
+    match read_exact_polled(
+        stream,
+        &mut header[1..],
+        &AtomicBool::new(false),
+        opts.read_timeout,
+        false,
+    ) {
+        PolledRead::Done => {}
+        _ => return None, // Cut or stalled mid-header.
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_polled(
+        stream,
+        &mut payload,
+        &AtomicBool::new(false),
+        opts.read_timeout,
+        false,
+    ) {
+        PolledRead::Done => {}
+        _ => return None, // Cut or stalled mid-payload.
+    }
+    if crc32(&payload) != crc {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Run one request against the backing store.
+fn execute(store: &dyn UpdateStore, req: Request) -> Response {
+    match req {
+        // A second hello on an established connection is harmless.
+        Request::Hello { .. } => Response::HelloOk {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Publish { epoch, txns } => match store.publish(epoch, txns) {
+            Ok(()) => Response::PublishOk,
+            Err(e) => Response::Err(e),
+        },
+        Request::FetchPage { cursor, limit } => {
+            match store.fetch_page(&cursor, limit.min(usize::MAX as u64) as usize) {
+                Ok(page) => Response::Page(page),
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Fetch { id } => match store.fetch(&id) {
+            Ok(txn) => Response::Txn(txn),
+            Err(e) => Response::Err(e),
+        },
+        Request::Probe => Response::ProbeOk {
+            len: store.len() as u64,
+            latest_epoch: store.latest_epoch(),
+            stats: store.stats(),
+        },
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let framed = frame(&response.encode());
+    stream.write_all(&framed)?;
+    stream.flush()
+}
+
+enum PolledRead {
+    /// Buffer filled.
+    Done,
+    /// Stream ended before the buffer filled.
+    Eof,
+    /// Shutdown observed before any byte arrived.
+    Shutdown,
+    /// Deadline passed before the buffer filled.
+    TimedOut,
+    /// Hard I/O error.
+    Failed,
+}
+
+fn read_exact_polled(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    deadline: Duration,
+    honor_shutdown_while_empty: bool,
+) -> PolledRead {
+    let start = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return PolledRead::Eof,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if honor_shutdown_while_empty && filled == 0 && shutdown.load(Ordering::SeqCst) {
+                    return PolledRead::Shutdown;
+                }
+                if start.elapsed() >= deadline {
+                    return PolledRead::TimedOut;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return PolledRead::Failed,
+        }
+    }
+    PolledRead::Done
+}

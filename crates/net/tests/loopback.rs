@@ -1,0 +1,293 @@
+//! Loopback integration: a real `PeerServer` on 127.0.0.1 with real
+//! `RemoteStore` clients — the store contract over actual sockets, error
+//! pass-through, transport→Unavailable mapping, restart recovery,
+//! concurrent clients, and graceful shutdown.
+
+use orchestra_net::{PeerServer, RemoteOptions, RemoteStore, ServerOptions};
+use orchestra_relational::tuple;
+use orchestra_store::{FetchCursor, InMemoryStore, ReplicatedStore, StoreError, UpdateStore};
+use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn txn(peer: &str, seq: u64) -> Transaction {
+    Transaction::new(
+        TxnId::new(PeerId::new(peer), seq),
+        Epoch::zero(),
+        vec![Update::insert("R", tuple![seq as i64, 0])],
+    )
+}
+
+/// Options tuned for tests: short timeouts, quick retries.
+fn fast_opts() -> RemoteOptions {
+    RemoteOptions {
+        connect_timeout: Duration::from_millis(500),
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        pool_capacity: 2,
+        retries: 1,
+    }
+}
+
+#[test]
+fn store_contract_over_loopback() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend.clone()).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+
+    assert!(remote.is_empty());
+    assert_eq!(remote.latest_epoch(), None);
+
+    remote
+        .publish(Epoch::new(1), vec![txn("B", 1), txn("A", 1)])
+        .unwrap();
+    remote.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+
+    assert_eq!(remote.len(), 3);
+    assert_eq!(remote.latest_epoch(), Some(Epoch::new(2)));
+
+    // Paged scan over the wire matches the backend's deterministic order.
+    let p1 = remote
+        .fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 2)
+        .unwrap();
+    assert_eq!(p1.txns.len(), 2);
+    assert_eq!(p1.txns[0].id.peer.name(), "A");
+    let p2 = remote.fetch_page(&p1.next_cursor.unwrap(), 2).unwrap();
+    assert_eq!(p2.txns.len(), 1);
+    assert!(p2.next_cursor.is_none());
+
+    // fetch_since drains through the trait's default impl.
+    let all = remote.fetch_since(Epoch::zero()).unwrap();
+    assert_eq!(all.len(), 3);
+    assert_eq!(all, backend.fetch_since(Epoch::zero()).unwrap());
+
+    // Point fetch, hit and miss.
+    let got = remote.fetch(&TxnId::new(PeerId::new("A"), 2)).unwrap();
+    assert_eq!(got.unwrap().id.seq, 2);
+    assert!(remote
+        .fetch(&TxnId::new(PeerId::new("Z"), 9))
+        .unwrap()
+        .is_none());
+
+    // Remote stats are the backend's counters.
+    assert_eq!(remote.stats().published, 3);
+
+    // The pool reuses connections: well under one connect per request.
+    let net = remote.net_stats();
+    assert!(net.round_trips >= 8, "round trips counted: {net:?}");
+    assert!(
+        net.connects <= 3,
+        "pooled connections were not reused: {net:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn application_errors_travel_the_wire_intact() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+
+    remote.publish(Epoch::new(5), vec![txn("A", 1)]).unwrap();
+
+    // Duplicate id: the same error a local backend raises.
+    let dup = remote.publish(Epoch::new(6), vec![txn("A", 1)]);
+    assert!(matches!(dup, Err(StoreError::DuplicateTxn(_))), "{dup:?}");
+
+    // Stale epoch: field values survive the round trip.
+    let stale = remote.publish(Epoch::new(3), vec![txn("A", 2)]);
+    assert_eq!(
+        stale,
+        Err(StoreError::StaleEpoch {
+            epoch: 3,
+            latest: 5
+        })
+    );
+
+    // An application error does not poison the connection.
+    remote.publish(Epoch::new(6), vec![txn("A", 2)]).unwrap();
+    assert_eq!(remote.len(), 2);
+}
+
+/// The lost-response hazard: a publish whose response never arrives is
+/// retried and answered `DuplicateTxn` although it committed. The client
+/// disambiguates by reading the batch back, so re-publishing identical
+/// bytes is idempotent — while a genuine conflict (same id, different
+/// content) still errors.
+#[test]
+fn republishing_identical_batch_is_idempotent_but_conflicts_still_error() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+
+    let batch = vec![txn("A", 1), txn("A", 2)];
+    remote.publish(Epoch::new(1), batch.clone()).unwrap();
+    // Same bytes again — what a retry after a lost response looks like.
+    remote.publish(Epoch::new(1), batch).unwrap();
+    assert_eq!(remote.len(), 2, "nothing archived twice");
+
+    // Same id, different content: a real conflict, surfaced as such.
+    let conflicting = Transaction::new(
+        TxnId::new(PeerId::new("A"), 1),
+        Epoch::zero(),
+        vec![Update::insert("R", tuple![99, 99])],
+    );
+    let err = remote.publish(Epoch::new(1), vec![conflicting]);
+    assert!(matches!(err, Err(StoreError::DuplicateTxn(_))), "{err:?}");
+    server.shutdown();
+}
+
+#[test]
+fn payload_unavailability_flows_through_pages() {
+    // A replicated backend with churn behind the server: the page's
+    // unavailable positions arrive at the client exactly as they would
+    // from a local store.
+    let dht = Arc::new(ReplicatedStore::new(16, 1).unwrap());
+    dht.publish(Epoch::new(1), vec![txn("A", 1), txn("A", 2)])
+        .unwrap();
+    let victim = dht.holders(&TxnId::new(PeerId::new("A"), 1)).unwrap()[0];
+    dht.take_node_down(victim);
+    let expected = dht
+        .fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 16)
+        .unwrap();
+
+    let server = PeerServer::bind("127.0.0.1:0", dht.clone()).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+    let page = remote
+        .fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 16)
+        .unwrap();
+    assert_eq!(page, expected, "byte-identical page over the wire");
+    assert!(!page.unavailable.is_empty(), "churn visible remotely");
+}
+
+#[test]
+fn dead_server_maps_to_unavailable() {
+    // Bind then immediately shut down to get a port nothing listens on.
+    let server = PeerServer::bind("127.0.0.1:0", Arc::new(InMemoryStore::new())).unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+
+    let remote = RemoteStore::lazy_with(addr, fast_opts()).unwrap();
+    let err = remote.fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 8);
+    assert!(
+        matches!(err, Err(StoreError::Unavailable { .. })),
+        "{err:?}"
+    );
+    let err = remote.publish(Epoch::new(1), vec![txn("A", 1)]);
+    assert!(
+        matches!(err, Err(StoreError::Unavailable { .. })),
+        "{err:?}"
+    );
+    // Metadata probes degrade to "nothing observable", not panics.
+    assert_eq!(remote.len(), 0);
+    assert_eq!(remote.latest_epoch(), None);
+    assert!(remote.net_stats().unavailable_mapped >= 2);
+}
+
+#[test]
+fn client_survives_a_server_restart_on_the_same_port() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend.clone()).unwrap();
+    let addr = server.local_addr();
+    let remote = RemoteStore::connect_with(addr, fast_opts()).unwrap();
+    remote.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+    server.shutdown();
+
+    // Down: transport failure surfaces as Unavailable.
+    assert!(matches!(
+        remote.publish(Epoch::new(2), vec![txn("A", 2)]),
+        Err(StoreError::Unavailable { .. })
+    ));
+
+    // Restart on the same port with the same backend (the archive is the
+    // durable thing; the endpoint is just a door).
+    let server = PeerServer::bind(addr, backend).unwrap();
+    remote.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+    assert_eq!(remote.len(), 2);
+    let net = remote.net_stats();
+    assert!(net.transport_errors >= 1, "{net:?}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_one_archive() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind_with(
+        "127.0.0.1:0",
+        backend,
+        ServerOptions {
+            workers: 4,
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        handles.push(std::thread::spawn(move || {
+            let remote = RemoteStore::connect_with(addr, fast_opts()).unwrap();
+            for i in 0..10u64 {
+                remote
+                    .publish(Epoch::new(1), vec![txn(&format!("P{t}"), i + 1)])
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let remote = RemoteStore::connect_with(addr, fast_opts()).unwrap();
+    assert_eq!(remote.len(), 40, "every publish archived exactly once");
+    let page = remote
+        .fetch_page(&FetchCursor::at_epoch(Epoch::zero()), 64)
+        .unwrap();
+    assert_eq!(page.txns.len(), 40);
+    assert!(page.next_cursor.is_none());
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_finishes_in_flight_requests() {
+    let backend = Arc::new(InMemoryStore::new());
+    for _ in 0..3 {
+        let server = PeerServer::bind_with(
+            "127.0.0.1:0",
+            backend.clone(),
+            ServerOptions {
+                workers: 2,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+        remote.publish(Epoch::new(1), vec![]).unwrap();
+        // Shutdown must join quickly even with an idle pooled connection
+        // open (the poll tick notices the flag, not a 60s idle timeout).
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "graceful shutdown stalled"
+        );
+    }
+}
+
+#[test]
+fn garbage_speaking_client_is_rejected_not_served() {
+    use std::io::{Read, Write};
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    // No HELLO, just bytes that happen to be a valid frame.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let bogus = orchestra_store::frame::frame(b"not a protocol message");
+    raw.write_all(&bogus).unwrap();
+    let mut buf = Vec::new();
+    let _ = raw.read_to_end(&mut buf); // Server answers with ERR and closes.
+    assert!(!buf.is_empty(), "server sent a rejection before closing");
+    let stats = server.stats();
+    assert!(stats.protocol_errors >= 1, "{stats:?}");
+    server.shutdown();
+}

@@ -156,9 +156,12 @@ impl AtomicStats {
     }
 }
 
-/// Where a cursor stands inside its epoch.
+/// Where a cursor stands inside its epoch. Public so codecs (the durable
+/// archive's on-disk format, the network wire protocol) can give cursors
+/// a stable binary representation without this module knowing about
+/// serialization.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Bound {
+pub enum CursorBound {
     /// At the first transaction of the epoch.
     Start,
     /// At this transaction, inclusive.
@@ -182,7 +185,7 @@ enum Bound {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FetchCursor {
     epoch: Epoch,
-    bound: Bound,
+    bound: CursorBound,
 }
 
 impl FetchCursor {
@@ -190,7 +193,7 @@ impl FetchCursor {
     pub fn at_epoch(epoch: Epoch) -> Self {
         FetchCursor {
             epoch,
-            bound: Bound::Start,
+            bound: CursorBound::Start,
         }
     }
 
@@ -206,7 +209,7 @@ impl FetchCursor {
     pub fn at_txn(epoch: Epoch, id: TxnId) -> Self {
         FetchCursor {
             epoch,
-            bound: Bound::At(id),
+            bound: CursorBound::At(id),
         }
     }
 
@@ -214,7 +217,7 @@ impl FetchCursor {
     pub fn after_txn(epoch: Epoch, id: TxnId) -> Self {
         FetchCursor {
             epoch,
-            bound: Bound::After(id),
+            bound: CursorBound::After(id),
         }
     }
 
@@ -222,14 +225,25 @@ impl FetchCursor {
     pub fn epoch(&self) -> Epoch {
         self.epoch
     }
+
+    /// Where the cursor stands inside its epoch.
+    pub fn bound(&self) -> &CursorBound {
+        &self.bound
+    }
+
+    /// Rebuild a cursor from its parts — the decode half of a binary
+    /// round-trip (see `orchestra_store::durable::codec::put_cursor`).
+    pub fn from_parts(epoch: Epoch, bound: CursorBound) -> Self {
+        FetchCursor { epoch, bound }
+    }
 }
 
 impl fmt::Display for FetchCursor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.bound {
-            Bound::Start => write!(f, "{}^", self.epoch),
-            Bound::At(id) => write!(f, "{}@{id}", self.epoch),
-            Bound::After(id) => write!(f, "{}>{id}", self.epoch),
+            CursorBound::Start => write!(f, "{}^", self.epoch),
+            CursorBound::At(id) => write!(f, "{}@{id}", self.epoch),
+            CursorBound::After(id) => write!(f, "{}>{id}", self.epoch),
         }
     }
 }
@@ -277,9 +291,9 @@ pub(crate) fn collect_page(
         // bound is a binary search, not a scan.
         let skip = if ep == cursor.epoch {
             match &cursor.bound {
-                Bound::Start => 0,
-                Bound::At(id) => ids.partition_point(|x| x < id),
-                Bound::After(id) => ids.partition_point(|x| x <= id),
+                CursorBound::Start => 0,
+                CursorBound::At(id) => ids.partition_point(|x| x < id),
+                CursorBound::After(id) => ids.partition_point(|x| x <= id),
             }
         } else {
             0

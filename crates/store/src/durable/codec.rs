@@ -1,6 +1,10 @@
-//! The durable archive's binary codec: varint/zigzag primitives, a
-//! hand-rolled CRC32 (IEEE 802.3, reflected), and length-prefixed,
-//! checksummed frames around [`Transaction`] batch records.
+//! The shared binary codec: varint/zigzag primitives and the record
+//! encodings for [`Transaction`] batches and [`FetchCursor`]s. Both the
+//! durable archive's on-disk files and the `orchestra-net` wire protocol
+//! serialize through these functions, so a transaction's bytes are
+//! identical whether they land in a WAL frame or a network frame. The
+//! checksummed length-prefixed framing itself lives in
+//! [`crate::frame`] (re-exported here for compatibility).
 //!
 //! Wire formats are deliberately dependency-free and stable:
 //!
@@ -15,20 +19,21 @@
 //! tuple   := arity:uvarint value*
 //! value   := 0 | 1 b:u8 | 2 i:ivarint | 3 bits:u64le
 //!          | 4 s:str | 5 f:str argc:uvarint value*
+//! cursor  := epoch:uvarint 0            (start of epoch)
+//!          | epoch:uvarint 1 txn_id     (at txn, inclusive)
+//!          | epoch:uvarint 2 txn_id     (strictly after txn)
 //! str     := len:uvarint utf8-bytes
 //! ```
 
+use crate::api::{CursorBound, FetchCursor};
 use orchestra_relational::{Tuple, Value};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Frame header size: u32 length + u32 checksum.
-pub const FRAME_HEADER: usize = 8;
-
-/// Upper bound on one frame's payload. A corrupt length prefix must not
-/// drive a multi-gigabyte allocation.
-pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+pub use crate::frame::{
+    crc32, frame, read_frame, FrameRead, FrameReader, FRAME_HEADER, MAX_FRAME_LEN,
+};
 
 /// Record tag for a published transaction batch.
 pub const RECORD_BATCH: u8 = 0x01;
@@ -52,42 +57,10 @@ impl std::error::Error for CodecError {}
 
 type Result<T> = std::result::Result<T, CodecError>;
 
-// ---------------------------------------------------------------- crc32
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xedb8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-const CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC32 (IEEE 802.3) of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in data {
-        c = (c >> 8) ^ CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize];
-    }
-    !c
-}
-
 // ------------------------------------------------------------ primitives
 
-fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+/// Append an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         out.push((v as u8) | 0x80);
         v >>= 7;
@@ -95,12 +68,14 @@ fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     out.push(v as u8);
 }
 
-fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+/// Append a zigzag-encoded signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
     // zigzag: sign goes to bit 0 so small magnitudes stay short.
     put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_uvarint(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
@@ -127,6 +102,15 @@ impl<'a> Cursor<'a> {
         self.pos == self.buf.len()
     }
 
+    /// Every byte not yet consumed, consuming them all — for bodies whose
+    /// tail is delegated to another decoder (e.g. a wire message wrapping
+    /// a batch record).
+    pub fn remaining(&mut self) -> &'a [u8] {
+        let rest = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        rest
+    }
+
     fn fail<T>(&self, reason: impl Into<String>) -> Result<T> {
         Err(CodecError {
             offset: self.pos,
@@ -146,11 +130,13 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn uvarint(&mut self) -> Result<u64> {
+    /// Read an unsigned LEB128 varint.
+    pub fn uvarint(&mut self) -> Result<u64> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -169,12 +155,14 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn ivarint(&mut self) -> Result<i64> {
+    /// Read a zigzag-encoded signed varint.
+    pub fn ivarint(&mut self) -> Result<i64> {
         let z = self.uvarint()?;
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
-    fn str(&mut self) -> Result<&'a str> {
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str> {
         let len = self.uvarint()?;
         if len > self.buf.len() as u64 {
             return self.fail(format!("string length {len} exceeds buffer"));
@@ -320,12 +308,14 @@ fn get_update(c: &mut Cursor<'_>) -> Result<Update> {
 
 // ---------------------------------------------------------- transactions
 
-fn put_txn_id(out: &mut Vec<u8>, id: &TxnId) {
+/// Encode one transaction id (appended to `out`).
+pub fn put_txn_id(out: &mut Vec<u8>, id: &TxnId) {
     put_str(out, id.peer.name());
     put_uvarint(out, id.seq);
 }
 
-fn get_txn_id(c: &mut Cursor<'_>) -> Result<TxnId> {
+/// Decode one transaction id.
+pub fn get_txn_id(c: &mut Cursor<'_>) -> Result<TxnId> {
     let peer = c.str()?.to_owned();
     let seq = c.uvarint()?;
     Ok(TxnId::new(PeerId::new(peer), seq))
@@ -362,6 +352,37 @@ pub fn get_transaction(c: &mut Cursor<'_>) -> Result<Transaction> {
     Ok(Transaction::new(id, epoch, updates).with_antecedents(antecedents))
 }
 
+// --------------------------------------------------------------- cursors
+
+/// Encode a [`FetchCursor`] (appended to `out`): the archive position a
+/// paged exchange resumes from, stable across processes and the wire.
+pub fn put_cursor(out: &mut Vec<u8>, cursor: &FetchCursor) {
+    put_uvarint(out, cursor.epoch().value());
+    match cursor.bound() {
+        CursorBound::Start => out.push(0),
+        CursorBound::At(id) => {
+            out.push(1);
+            put_txn_id(out, id);
+        }
+        CursorBound::After(id) => {
+            out.push(2);
+            put_txn_id(out, id);
+        }
+    }
+}
+
+/// Decode a [`FetchCursor`].
+pub fn get_cursor(c: &mut Cursor<'_>) -> Result<FetchCursor> {
+    let epoch = Epoch::new(c.uvarint()?);
+    let bound = match c.u8()? {
+        0 => CursorBound::Start,
+        1 => CursorBound::At(get_txn_id(c)?),
+        2 => CursorBound::After(get_txn_id(c)?),
+        other => return c.fail(format!("unknown cursor bound tag {other}")),
+    };
+    Ok(FetchCursor::from_parts(epoch, bound))
+}
+
 // ----------------------------------------------------------- batch record
 
 /// Encode a publish batch record (the only WAL record type today).
@@ -395,142 +416,6 @@ pub fn decode_batch(payload: &[u8]) -> Result<(Epoch, Vec<Transaction>)> {
     Ok((epoch, txns))
 }
 
-// ----------------------------------------------------------------- frame
-
-/// Wrap a payload in a `[len][crc][payload]` frame.
-pub fn frame(payload: &[u8]) -> Vec<u8> {
-    assert!(
-        payload.len() as u64 <= u64::from(MAX_FRAME_LEN),
-        "oversized frame"
-    );
-    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// The outcome of reading one frame from a byte stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FrameRead {
-    /// A complete, checksum-valid frame payload of the given total
-    /// on-disk size (header + payload).
-    Ok {
-        /// The verified payload bytes.
-        payload: Vec<u8>,
-        /// Total bytes consumed from the stream.
-        size: usize,
-    },
-    /// The stream ends exactly here — a clean end.
-    Eof,
-    /// The stream ends mid-frame (short header or short payload): the
-    /// torn-tail signature of a crash during append.
-    Torn,
-    /// A complete frame whose checksum (or length prefix) is invalid.
-    Corrupt {
-        /// Why the frame was rejected.
-        reason: String,
-    },
-}
-
-/// Read the frame starting at `buf[offset..]` — a thin adapter over
-/// [`FrameReader`] so there is exactly one frame parser (the streaming
-/// one every production path uses).
-pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
-    let rest = &buf[offset.min(buf.len())..];
-    match FrameReader::new(rest, 0).next_frame() {
-        Ok((_, outcome)) => outcome,
-        Err(e) => FrameRead::Corrupt {
-            reason: format!("read error from in-memory buffer: {e}"),
-        },
-    }
-}
-
-/// Streaming frame iteration over any [`Read`](std::io::Read) source,
-/// holding one frame in memory at a time. This is what keeps recovery and
-/// compaction memory bounded by the largest *frame*, not the file.
-pub struct FrameReader<R> {
-    inner: R,
-    offset: u64,
-}
-
-impl<R: std::io::Read> FrameReader<R> {
-    /// Wrap a reader positioned at a frame boundary (`base_offset` is that
-    /// position's byte offset within the file, for error reporting).
-    pub fn new(inner: R, base_offset: u64) -> Self {
-        FrameReader {
-            inner,
-            offset: base_offset,
-        }
-    }
-
-    /// Byte offset of the next frame header.
-    pub fn offset(&self) -> u64 {
-        self.offset
-    }
-
-    /// Read the next frame. Returns the frame's starting offset alongside
-    /// the outcome; I/O errors other than clean EOF surface as `Err`.
-    pub fn next_frame(&mut self) -> std::io::Result<(u64, FrameRead)> {
-        let start = self.offset;
-        let mut header = [0u8; FRAME_HEADER];
-        match read_exact_or_eof(&mut self.inner, &mut header)? {
-            0 => return Ok((start, FrameRead::Eof)),
-            n if n < FRAME_HEADER => return Ok((start, FrameRead::Torn)),
-            _ => {}
-        }
-        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-        if len > MAX_FRAME_LEN {
-            return Ok((
-                start,
-                FrameRead::Corrupt {
-                    reason: format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
-                },
-            ));
-        }
-        let mut payload = vec![0u8; len as usize];
-        let got = read_exact_or_eof(&mut self.inner, &mut payload)?;
-        if got < payload.len() {
-            return Ok((start, FrameRead::Torn));
-        }
-        let actual = crc32(&payload);
-        if actual != crc {
-            return Ok((
-                start,
-                FrameRead::Corrupt {
-                    reason: format!(
-                        "checksum mismatch: stored {crc:#010x}, computed {actual:#010x}"
-                    ),
-                },
-            ));
-        }
-        self.offset = start + (FRAME_HEADER + payload.len()) as u64;
-        Ok((
-            start,
-            FrameRead::Ok {
-                size: FRAME_HEADER + payload.len(),
-                payload,
-            },
-        ))
-    }
-}
-
-/// Fill `buf` as far as the stream allows; returns bytes read (< len only
-/// at end of stream).
-fn read_exact_or_eof<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(filled)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,17 +435,6 @@ mod tests {
             TxnId::new(PeerId::new("Beijing"), 1),
             TxnId::new(PeerId::new("Crete"), 9),
         ])
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        // Standard IEEE CRC32 check values.
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414f_a339
-        );
     }
 
     #[test]
@@ -617,81 +491,25 @@ mod tests {
     }
 
     #[test]
-    fn frame_roundtrip_and_torn_detection() {
-        let payload = encode_batch(Epoch::new(1), &[sample_txn()]);
-        let framed = frame(&payload);
-        match read_frame(&framed, 0) {
-            FrameRead::Ok { payload: p, size } => {
-                assert_eq!(p, payload);
-                assert_eq!(size, framed.len());
-            }
-            other => panic!("{other:?}"),
+    fn cursor_roundtrip() {
+        let id = TxnId::new(PeerId::new("Alaska"), 7);
+        for cursor in [
+            FetchCursor::at_epoch(Epoch::zero()),
+            FetchCursor::at_epoch(Epoch::new(42)),
+            FetchCursor::at_txn(Epoch::new(3), id.clone()),
+            FetchCursor::after_txn(Epoch::new(3), id),
+        ] {
+            let mut buf = Vec::new();
+            put_cursor(&mut buf, &cursor);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(get_cursor(&mut c).unwrap(), cursor);
+            assert!(c.is_empty());
         }
-        assert_eq!(read_frame(&framed, framed.len()), FrameRead::Eof);
-        // Every strict prefix is torn, never corrupt or ok.
-        for cut in 1..framed.len() {
-            assert_eq!(
-                read_frame(&framed[..cut], 0),
-                FrameRead::Torn,
-                "prefix of {cut} bytes"
-            );
-        }
-    }
-
-    #[test]
-    fn frame_flips_are_corrupt() {
-        let framed = frame(&encode_batch(Epoch::new(1), &[sample_txn()]));
-        // Flip each payload byte: checksum must catch it.
-        for i in FRAME_HEADER..framed.len() {
-            let mut bad = framed.clone();
-            bad[i] ^= 0x40;
-            assert!(
-                matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }),
-                "flipped byte {i}"
-            );
-        }
-        // A corrupted stored-crc is also caught.
-        let mut bad = framed.clone();
-        bad[5] ^= 0x01;
-        assert!(matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }));
-        // An absurd length prefix is rejected before allocating.
-        let mut bad = framed;
-        bad[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(read_frame(&bad, 0), FrameRead::Corrupt { .. }));
-    }
-
-    #[test]
-    fn frame_reader_streams_and_classifies() {
-        let a = frame(b"first");
-        let b = frame(b"second");
-        let mut bytes = a.clone();
-        bytes.extend_from_slice(&b);
-        let mut r = FrameReader::new(&bytes[..], 0);
-        match r.next_frame().unwrap() {
-            (0, FrameRead::Ok { payload, .. }) => assert_eq!(payload, b"first"),
-            other => panic!("{other:?}"),
-        }
-        match r.next_frame().unwrap() {
-            (off, FrameRead::Ok { payload, .. }) => {
-                assert_eq!(off, a.len() as u64);
-                assert_eq!(payload, b"second");
-            }
-            other => panic!("{other:?}"),
-        }
-        assert!(matches!(r.next_frame().unwrap(), (_, FrameRead::Eof)));
-        // Torn: stream cut mid-payload.
-        let cut = &bytes[..a.len() + 9];
-        let mut r = FrameReader::new(cut, 0);
-        assert!(matches!(r.next_frame().unwrap(), (0, FrameRead::Ok { .. })));
-        assert!(matches!(r.next_frame().unwrap(), (_, FrameRead::Torn)));
-        // Corrupt: flipped byte.
-        let mut bad = frame(b"x");
-        bad[8] ^= 1;
-        let mut r = FrameReader::new(&bad[..], 0);
-        assert!(matches!(
-            r.next_frame().unwrap(),
-            (0, FrameRead::Corrupt { .. })
-        ));
+        // An unknown bound tag is an error, not a panic.
+        let mut bad = Vec::new();
+        put_uvarint(&mut bad, 1);
+        bad.push(9);
+        assert!(get_cursor(&mut Cursor::new(&bad)).is_err());
     }
 
     #[test]

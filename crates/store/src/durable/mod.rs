@@ -334,14 +334,14 @@ impl DurableStore {
         for &seq in inner.wal.sealed_segments() {
             let path = self.dir.join(segment::segment_file_name(seq));
             let file = fs::File::open(&path).map_err(|e| segment::io_err("open", &path, &e))?;
-            let mut reader = codec::FrameReader::new(std::io::BufReader::new(file), 0);
+            let mut reader = crate::frame::FrameReader::new(std::io::BufReader::new(file), 0);
             loop {
                 let (offset, outcome) = reader
                     .next_frame()
                     .map_err(|e| segment::io_err("read", &path, &e))?;
                 let payload = match outcome {
-                    codec::FrameRead::Ok { payload, .. } => payload,
-                    codec::FrameRead::Eof => break,
+                    crate::frame::FrameRead::Ok { payload, .. } => payload,
+                    crate::frame::FrameRead::Eof => break,
                     other => {
                         return Err(StoreError::Corrupt {
                             path: path.display().to_string(),

@@ -10,8 +10,8 @@
 //! under `SyncPolicy::Always`, and under weaker policies was explicitly
 //! unfenced).
 
-use super::codec::{FrameRead, FrameReader};
 use crate::api::StoreError;
+use crate::frame::{FrameRead, FrameReader};
 use std::fs;
 use std::io::{BufReader, Write as _};
 use std::path::{Path, PathBuf};
@@ -244,7 +244,7 @@ pub fn sync_dir(dir: &Path) -> crate::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::durable::codec::frame;
+    use crate::frame::frame;
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -9,9 +9,10 @@
 //! header frame (magic, version, watermark, batch count) followed by one
 //! batch frame per publish batch, in original publish order.
 
-use super::codec::{decode_batch, encode_batch, frame, FrameRead, FrameReader};
+use super::codec::{decode_batch, encode_batch};
 use super::segment::io_err;
 use crate::api::StoreError;
+use crate::frame::{frame, FrameRead, FrameReader};
 use orchestra_updates::{Epoch, Transaction};
 use std::fs;
 use std::io::{BufReader, Seek as _, SeekFrom, Write as _};

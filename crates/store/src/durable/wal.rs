@@ -6,11 +6,12 @@
 //! torn final frame, recovery truncates it, and the archive reopens with
 //! exactly the durable prefix of whole batches.
 
-use super::codec::{decode_batch, encode_batch, frame, FrameRead, FrameReader, MAX_FRAME_LEN};
+use super::codec::{decode_batch, encode_batch};
 use super::segment::{
     list_segments, scan_segment, segment_file_name, truncate_segment, ActiveSegment,
 };
 use crate::api::StoreError;
+use crate::frame::{frame, FrameRead, FrameReader, MAX_FRAME_LEN};
 use orchestra_updates::{Epoch, Transaction};
 use std::fs;
 use std::path::{Path, PathBuf};

@@ -40,11 +40,13 @@
 
 pub mod api;
 pub mod durable;
+pub mod frame;
 pub mod memory;
 pub mod replicated;
 
 pub use api::{
-    pages, FetchCursor, FetchPage, Pages, StoreError, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT,
+    pages, CursorBound, FetchCursor, FetchPage, Pages, StoreError, StoreStats, UpdateStore,
+    DEFAULT_PAGE_LIMIT,
 };
 pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, SyncPolicy};
 pub use memory::InMemoryStore;

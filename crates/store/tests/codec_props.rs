@@ -4,9 +4,9 @@
 //! decode successfully.
 
 use orchestra_relational::{Tuple, Value};
-use orchestra_store::durable::codec::{
-    crc32, decode_batch, encode_batch, frame, read_frame, FrameRead,
-};
+use orchestra_store::durable::codec::{decode_batch, encode_batch, get_cursor, put_cursor, Cursor};
+use orchestra_store::frame::{crc32, frame, read_frame, FrameRead};
+use orchestra_store::{CursorBound, FetchCursor};
 use orchestra_updates::{Epoch, PeerId, Transaction, TxnId, Update};
 use proptest::prelude::*;
 
@@ -53,8 +53,35 @@ fn txn_strategy() -> impl Strategy<Value = Transaction> {
         })
 }
 
+fn cursor_strategy() -> impl Strategy<Value = FetchCursor> {
+    (0u64..10_000, 0u8..3, txn_id_strategy()).prop_map(|(epoch, tag, id)| {
+        let bound = match tag {
+            0 => CursorBound::Start,
+            1 => CursorBound::At(id),
+            _ => CursorBound::After(id),
+        };
+        FetchCursor::from_parts(Epoch::new(epoch), bound)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any cursor survives encode → decode → encode byte-identically —
+    /// the stability a resume position needs to cross the wire (and a
+    /// process restart) unchanged.
+    #[test]
+    fn cursor_roundtrips_byte_identically(cursor in cursor_strategy()) {
+        let mut first = Vec::new();
+        put_cursor(&mut first, &cursor);
+        let mut c = Cursor::new(&first);
+        let decoded = get_cursor(&mut c).unwrap();
+        prop_assert!(c.is_empty(), "trailing bytes after cursor");
+        prop_assert_eq!(&decoded, &cursor);
+        let mut second = Vec::new();
+        put_cursor(&mut second, &decoded);
+        prop_assert_eq!(first, second);
+    }
 
     /// Any batch survives the encode → frame → read_frame → decode path
     /// bit-exactly.
