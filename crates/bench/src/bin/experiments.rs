@@ -15,17 +15,17 @@
 //!     e10 --connect peer-a:7654                                         # E10 vs a real peer
 //! ```
 //!
-//! With `--json-dir`, experiments E1/E4/E7/E8 additionally write
-//! machine-readable `BENCH_e1.json` / `BENCH_e4.json` / `BENCH_e7.json` /
-//! `BENCH_e8.json` (tuples/sec, semi-naive rounds, rule firings, paged
-//! fetch + availability counters, and a peak-RSS proxy); `--smoke`
-//! shrinks the workloads for CI, `--variant <tag>` labels the run (e.g.
-//! `baseline` vs `interned`).
+//! With `--json-dir`, experiments E1/E4/E7/E8/E10/E11 additionally write
+//! machine-readable `BENCH_*.json` (tuples/sec, semi-naive rounds, rule
+//! firings, paged fetch + availability counters, thread-scaling speedups
+//! and stats-parity flags, and a peak-RSS proxy); `--smoke` shrinks the
+//! workloads for CI, `--variant <tag>` labels the run (e.g. `baseline`
+//! vs `interned`).
 
 use orchestra_bench::json::{BenchReport, Json};
 use orchestra_bench::*;
 use orchestra_core::demo;
-use orchestra_datalog::{DeletionAlgorithm, EngineStats};
+use orchestra_datalog::{DeletionAlgorithm, Engine, EngineStats, EvalOptions};
 use orchestra_net::{PeerServer, RemoteOptions, RemoteStore};
 use orchestra_provenance::{Boolean, Counting, Semiring, Tropical};
 use orchestra_reconcile::{Reconciler, TrustPolicy};
@@ -141,6 +141,9 @@ fn main() {
     }
     if opts.want("e10") {
         e10_network(&opts);
+    }
+    if opts.want("e11") {
+        e11_threads(&opts);
     }
 }
 
@@ -1185,5 +1188,159 @@ pub fn e10_network(opts: &Opts) -> BenchReport {
     report.summary_extra("store_unavailable", total_unavail);
     report.summary_extra("round_trips", total_round_trips);
     opts.emit(&report);
+    report
+}
+
+/// E11 — shard-parallel thread scaling: propagate two workloads at
+/// 1/2/4/8 evaluation threads over hash-partitioned relations:
+///
+/// * `tc` — transitive closure of a dense random graph. Recursion- and
+///   provenance-heavy: every firing is a distinct derivation record, so
+///   the deterministic sequential merge is a large fraction of the round
+///   and scaling is modest by design (the price of byte-identical
+///   provenance at any thread count).
+/// * `tri` — the triangle query over a denser graph. Probe-bound: the
+///   join phase scans two-hop candidates in parallel while firings stay
+///   rare, so scaling tracks the host's cores.
+///
+/// The same code path runs at every thread count — `threads = 1` is the
+/// inline arm, not a second engine — so the experiment also pins **stats
+/// parity**: firings, derivations, rounds, probes, and the fixpoint are
+/// identical at any thread count; only wall-clock differs. Speedups are
+/// naturally ceilinged by `host_parallelism` (recorded in the summary).
+pub fn e11_threads(opts: &Opts) -> BenchReport {
+    println!("── E11: shard-parallel propagate, thread scaling ──");
+    println!(
+        "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12} {:>9} {:>9}",
+        "workload",
+        "threads",
+        "shards",
+        "tuples",
+        "propagate ms",
+        "tuples/s",
+        "speedup",
+        "stats=1t"
+    );
+    let mut report = BenchReport::new("e11", &opts.variant, opts.smoke);
+    let (shards, iters) = if opts.smoke {
+        (8usize, 1usize)
+    } else {
+        (16, 5)
+    };
+    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let workloads: Vec<(&'static str, _, _, Vec<_>)> = {
+        let (tc_db, tc_rules, tc_edges) = if opts.smoke {
+            tc_parts(64, 320, 11)
+        } else {
+            tc_parts(240, 1500, 11)
+        };
+        let (tri_db, tri_rules, tri_edges) = if opts.smoke {
+            triangle_parts(120, 1800, 13)
+        } else {
+            triangle_parts(640, 14000, 13)
+        };
+        vec![
+            ("tc", tc_db, tc_rules, tc_edges),
+            ("tri", tri_db, tri_rules, tri_edges),
+        ]
+    };
+    let mut best_tps = 0f64;
+    let mut parity = true;
+    // threads → best speedup across workloads.
+    let mut speedups: std::collections::BTreeMap<usize, f64> = Default::default();
+    for (name, db, rules, edges) in &workloads {
+        let mut baseline: Option<(f64, EngineStats, usize)> = None;
+        for &threads in thread_counts {
+            let eval = EvalOptions {
+                threads,
+                shards,
+                ..EvalOptions::default()
+            };
+            // Best of `iters` fresh runs (results are deterministic; only
+            // wall-clock is noisy).
+            let mut best = std::time::Duration::MAX;
+            let mut total = 0usize;
+            let mut stats = EngineStats::default();
+            for _ in 0..iters {
+                let mut engine =
+                    Engine::with_options(db.clone(), rules.clone(), true, eval).unwrap();
+                for t in edges {
+                    engine.insert_base("edge", t.clone()).unwrap();
+                }
+                let (_, dt) = timed(|| engine.propagate().unwrap());
+                best = best.min(dt);
+                total = engine.total_tuples();
+                // Count alive tuples through the borrowing per-shard
+                // scan — the read path reconcile/bench consumers use.
+                let scanned: usize = ["edge", "path", "tri"]
+                    .iter()
+                    .map(|r| engine.scan(r).count())
+                    .sum();
+                assert_eq!(scanned, total);
+                stats = engine.stats();
+            }
+            let secs = best.as_secs_f64().max(1e-9);
+            let tps = total as f64 / secs;
+            let (t1_tps, stats_match) = match &baseline {
+                None => {
+                    baseline = Some((tps, stats, total));
+                    (tps, true)
+                }
+                Some((t1, s1, tot1)) => {
+                    assert_eq!(total, *tot1, "fixpoint differs across thread counts");
+                    (*t1, stats == *s1)
+                }
+            };
+            parity &= stats_match;
+            let speedup = tps / t1_tps.max(1e-9);
+            let entry = speedups.entry(threads).or_insert(0.0);
+            *entry = entry.max(speedup);
+            best_tps = best_tps.max(tps);
+            println!(
+                "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12.0} {:>9.2} {:>9}",
+                name,
+                threads,
+                shards,
+                total,
+                ms(best),
+                tps,
+                speedup,
+                stats_match
+            );
+            report.row([
+                ("workload", Json::from(*name)),
+                ("threads", Json::from(threads)),
+                ("shards", Json::from(shards)),
+                ("tuples", Json::from(total)),
+                ("propagate_ms", Json::from(best.as_secs_f64() * 1e3)),
+                ("tuples_per_sec", Json::from(tps)),
+                ("speedup_vs_1t", Json::from(speedup)),
+                ("stats_match_1t", Json::from(stats_match)),
+                ("firings", Json::from(stats.firings)),
+                ("rounds", Json::from(stats.rounds)),
+            ]);
+            report.rounds = report.rounds.max(stats.rounds);
+            report.firings = report.firings.max(stats.firings);
+        }
+    }
+    report.tuples_per_sec = best_tps;
+    report.summary_extra("shards", shards);
+    report.summary_extra("stats_parity", parity);
+    for (t, s) in &speedups {
+        match t {
+            2 => report.summary_extra("speedup_2t", *s),
+            4 => report.summary_extra("speedup_4t", *s),
+            8 => report.summary_extra("speedup_8t", *s),
+            _ => {}
+        }
+    }
+    report.summary_extra(
+        "host_parallelism",
+        std::thread::available_parallelism().map_or(1usize, |n| n.get()),
+    );
+    report.summary_extra("store_pages", 0u64);
+    report.summary_extra("store_unavailable", 0u64);
+    opts.emit(&report);
+    println!();
     report
 }

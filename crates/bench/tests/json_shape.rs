@@ -1,8 +1,10 @@
 //! CI smoke: run the experiment harness on a reduced workload and
 //! validate the shape of the emitted `BENCH_*.json` files, including the
-//! pagination/availability counters added with the paged exchange and
-//! the E10 loopback-network counters (round trips, wire-visible gaps,
-//! transport failures mapped to `Unavailable`).
+//! pagination/availability counters added with the paged exchange, the
+//! E10 loopback-network counters (round trips, wire-visible gaps,
+//! transport failures mapped to `Unavailable`), and the E11
+//! thread-scaling report (per-thread-count rows, shard count, and the
+//! stats-parity fields the shard-parallel engine must pin).
 
 use orchestra_bench::json::{validate_report_shape, Json};
 use std::process::Command;
@@ -19,6 +21,7 @@ fn smoke_run_emits_valid_bench_json() {
             "e7",
             "e8",
             "e10",
+            "e11",
             "--smoke",
             "--variant",
             "ci-smoke",
@@ -34,7 +37,7 @@ fn smoke_run_emits_valid_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    for exp in ["e1", "e4", "e7", "e8", "e10"] {
+    for exp in ["e1", "e4", "e7", "e8", "e10", "e11"] {
         let path = dir.join(format!("BENCH_{exp}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
@@ -99,6 +102,50 @@ fn smoke_run_emits_valid_bench_json() {
                 for row in doc.get("rows").unwrap().as_arr().unwrap() {
                     let row_pages = row.get("pages").unwrap().as_f64().unwrap();
                     assert!(row_pages > 0.0, "{exp}: row without pages");
+                }
+            }
+            // E11 drives the engine directly at several thread counts:
+            // every row must carry its thread/shard configuration and
+            // pin stats parity with the single-thread run; the summary
+            // must report the speedup and host-parallelism fields.
+            "e11" => {
+                assert_eq!(pages, 0.0, "{exp}: unexpected store traffic");
+                assert_eq!(unavailable, 0.0, "{exp}: unexpected store gaps");
+                assert_eq!(
+                    summary.get("stats_parity"),
+                    Some(&Json::Bool(true)),
+                    "{exp}: thread counts disagreed on engine stats"
+                );
+                let shards = summary.get("shards").unwrap().as_f64().unwrap();
+                assert!(shards >= 4.0, "{exp}: needs ≥ 4 shards, got {shards}");
+                let host = summary.get("host_parallelism").unwrap().as_f64().unwrap();
+                assert!(host >= 1.0, "{exp}: bad host_parallelism {host}");
+                for key in ["speedup_2t", "speedup_4t", "speedup_8t"] {
+                    let s = summary
+                        .get(key)
+                        .unwrap_or_else(|| panic!("{exp}: summary missing `{key}`"))
+                        .as_f64()
+                        .unwrap();
+                    assert!(s > 0.0, "{exp}: {key} = {s}");
+                }
+                let rows = doc.get("rows").unwrap().as_arr().unwrap();
+                assert!(rows.len() >= 8, "{exp}: expected ≥ 2 workloads × 4 rows");
+                for row in rows {
+                    let threads = row.get("threads").unwrap().as_f64().unwrap();
+                    assert!(threads >= 1.0, "{exp}: row without threads");
+                    assert!(
+                        row.get("shards").unwrap().as_f64().unwrap() >= 4.0,
+                        "{exp}: row without shards"
+                    );
+                    assert_eq!(
+                        row.get("stats_match_1t"),
+                        Some(&Json::Bool(true)),
+                        "{exp}: stats parity broken at {threads} threads"
+                    );
+                    assert!(
+                        row.get("tuples_per_sec").unwrap().as_f64().unwrap() > 0.0,
+                        "{exp}: zero-throughput row"
+                    );
                 }
             }
             // E4/E7 drive engine/reconciler directly: present but zero.

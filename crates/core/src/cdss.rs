@@ -4,9 +4,9 @@ use crate::error::CoreError;
 use crate::mapping::qualified_schema;
 use crate::peer::Peer;
 use crate::Result;
-use orchestra_datalog::{Engine, Rule, Tgd};
+use orchestra_datalog::{Engine, EvalOptions, Rule, Tgd};
 use orchestra_reconcile::{ReconcileOutcome, ResolveOutcome, TrustPolicy};
-use orchestra_relational::{DatabaseSchema, Tuple};
+use orchestra_relational::{DatabaseSchema, Tuple, WorkerPool};
 use orchestra_store::{
     CursorBound, FetchCursor, InMemoryStore, StoreError, StoreStats, UpdateStore,
     DEFAULT_PAGE_LIMIT,
@@ -21,12 +21,21 @@ pub struct ExchangeOptions {
     /// loops page by page, so its peak memory is bounded by this limit
     /// regardless of how much history the peer has missed.
     pub page_limit: usize,
+    /// Override the peer's translation-engine evaluation thread count
+    /// before this exchange runs (`None` = leave it as built). The
+    /// override sticks on the peer — set it once per peer, or on every
+    /// exchange, interchangeably. Results are identical at any thread
+    /// count (the engine's 1-vs-N parity guarantee); only wall-clock
+    /// changes. System-wide defaults belong on
+    /// [`CdssBuilder::eval_threads`] or `ORCHESTRA_EVAL_THREADS`.
+    pub eval_threads: Option<usize>,
 }
 
 impl Default for ExchangeOptions {
     fn default() -> Self {
         ExchangeOptions {
             page_limit: DEFAULT_PAGE_LIMIT,
+            eval_threads: None,
         }
     }
 }
@@ -109,6 +118,7 @@ pub struct CdssStats {
 pub struct CdssBuilder {
     peers: Vec<(PeerId, DatabaseSchema, TrustPolicy)>,
     mappings: Vec<Tgd>,
+    eval: EvalOptions,
 }
 
 impl CdssBuilder {
@@ -127,6 +137,23 @@ impl CdssBuilder {
     /// Add a schema mapping (over qualified `"Peer.Relation"` names).
     pub fn mapping(mut self, tgd: Tgd) -> Self {
         self.mappings.push(tgd);
+        self
+    }
+
+    /// Set the evaluation thread count for every peer's translation
+    /// engine (default: `ORCHESTRA_EVAL_THREADS`, falling back to the
+    /// machine's available parallelism). With more than one thread, all
+    /// peer engines share **one** worker pool — exchanges run one peer
+    /// at a time, so a per-peer pool would only multiply idle threads.
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval.threads = threads.max(1);
+        self
+    }
+
+    /// Set all evaluation tunables (threads, shards, parallel threshold)
+    /// for every peer's translation engine.
+    pub fn eval_options(mut self, eval: EvalOptions) -> Self {
+        self.eval = eval;
         self
     }
 
@@ -184,10 +211,19 @@ impl CdssBuilder {
             rules.extend(tgd.compile()?);
         }
         // One incremental engine per peer (peers see different prefixes of
-        // the published history).
+        // the published history), all sharing one **lazy** worker-pool
+        // slot — a CDSS exchanges for one peer at a time, so per-peer
+        // pools would only park threads, and workloads that never cross
+        // the parallel threshold spawn none at all.
+        let pool_slot = (self.eval.threads > 1)
+            .then(|| std::sync::Arc::new(std::sync::OnceLock::<std::sync::Arc<WorkerPool>>::new()));
         let mut peers = BTreeMap::new();
         for (id, schema, policy) in self.peers {
-            let engine = Engine::new(combined.clone(), rules.clone())?;
+            let mut engine =
+                Engine::with_options(combined.clone(), rules.clone(), true, self.eval)?;
+            if let Some(slot) = &pool_slot {
+                engine.set_shared_pool_slot(std::sync::Arc::clone(slot));
+            }
             if peers.contains_key(&id) {
                 return Err(CoreError::DuplicatePeer(id.name().to_string()));
             }
@@ -420,6 +456,12 @@ impl Cdss {
         opts: ExchangeOptions,
     ) -> Result<ReconcileReport> {
         let page_limit = opts.page_limit.max(1);
+        if let Some(threads) = opts.eval_threads {
+            // Thread the option through to the peer's translation engine
+            // (sticky; results are thread-count-invariant by the engine's
+            // parity guarantee).
+            self.peer_mut(peer_id)?.engine.set_threads(threads);
+        }
         let (prev_last_epoch, prev_resume, mut cursor) = {
             let peer = self.peer(peer_id)?;
             let cursor = peer
@@ -1020,6 +1062,64 @@ mod tests {
         let txns = vec![txn("A", 1, 1, &[("B", 1)]), txn("B", 1, 1, &[("A", 1)])];
         let ordered = causal_order(txns);
         assert_eq!(ordered.len(), 2);
+    }
+
+    #[test]
+    fn eval_threads_plumb_through_builder_and_exchange() {
+        let schema = DatabaseSchema::new("kv")
+            .with_relation(
+                RelationSchema::from_parts_keyed(
+                    "R",
+                    &[("k", ValueType::Int), ("v", ValueType::Int)],
+                    &["k"],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut cdss = Cdss::builder()
+            .peer(
+                "A",
+                schema.clone(),
+                orchestra_reconcile::TrustPolicy::open(1),
+            )
+            .peer("B", schema, orchestra_reconcile::TrustPolicy::open(1))
+            .identity("A", "B")
+            .unwrap()
+            .eval_threads(2)
+            .build()
+            .unwrap();
+        let a = PeerId::new("A");
+        let b = PeerId::new("B");
+        assert_eq!(cdss.peer(&a).unwrap().engine_threads(), 2);
+        {
+            let inst = cdss.peer_mut(&a).unwrap().instance_mut();
+            for k in 0..16i64 {
+                inst.insert("R", tuple![k, k]).unwrap();
+            }
+        }
+        cdss.publish(&a).unwrap().unwrap();
+        // Per-exchange override: sticky on the peer's engine.
+        let report = cdss
+            .reconcile_with(
+                &b,
+                ExchangeOptions {
+                    eval_threads: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.outcome.accepted.len(), 1);
+        assert_eq!(cdss.peer(&b).unwrap().engine_threads(), 1);
+        assert_eq!(cdss.peer(&a).unwrap().engine_threads(), 2, "A untouched");
+        assert_eq!(
+            cdss.peer(&b)
+                .unwrap()
+                .instance()
+                .relation("R")
+                .unwrap()
+                .len(),
+            16
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub use cdss::{
 };
 pub use error::CoreError;
 pub use mapping::{identity_mappings, qualified_schema, qualify};
+pub use orchestra_datalog::EvalOptions;
 pub use peer::Peer;
 
 /// Crate-wide result alias.

@@ -47,6 +47,36 @@
 //!   through [`ValueInterner::intern_skolem`], one hash probe over
 //!   `(function, arg syms)` once a null has been invented before.
 //!
+//! ## Sharded, shard-parallel evaluation
+//!
+//! Relations are stored as [`ShardedRel`]s: hash-partitioned into a fixed
+//! number of shards on the relation's **partition columns** (the probe
+//! column set the compiled plans use most — its dominant join/index key),
+//! with per-shard insertion-ordered tuple tables and per-shard `[Sym]`
+//! probe tables. A probe that covers the partition columns touches one
+//! shard; others fan out in shard order.
+//!
+//! Each semi-naive round proceeds in three phases:
+//!
+//! 1. **Plan (sequential).** The pending delta is split into per-shard
+//!    frontiers; any missing indexes are built.
+//! 2. **Join (parallel).** One task per `(relation, rule, delta position,
+//!    shard)` runs the plan interpreter over that shard's frontier against
+//!    an immutable snapshot of the round's database. Tasks are pure reads
+//!    — the interner, node table, and provenance graph are untouched —
+//!    and stage their rule firings (with Skolem heads unresolved) plus
+//!    per-task counters in private buffers. With `threads > 1` and a
+//!    large enough frontier, tasks run on a reusable [`WorkerPool`];
+//!    otherwise they run inline on the calling thread — **the single-thread
+//!    path is `threads = 1` of the same code**, not a second engine.
+//! 3. **Merge (sequential).** Task buffers are drained in the fixed task
+//!    order — never completion order — resolving Skolem heads, interning
+//!    nodes, recording derivations, applying inserts, and appending the
+//!    change log. Every mutation therefore happens in an order that is a
+//!    pure function of the input, which makes the provenance graph,
+//!    `NodeId` assignment, and [`Engine::drain_changes`] order identical
+//!    at any thread count (pinned by the `engine_parity_props` suite).
+//!
 //! Symbols are process-local (insertion-ordered); everything that leaves
 //! the engine — the change log, [`Engine::relation_tuples`], provenance
 //! resolution — is translated back to `Value` tuples, and durable layers
@@ -59,7 +89,10 @@ use crate::node::{NodeId, NodeTable, RelId};
 use crate::provgraph::{Derivation, ProvGraph};
 use crate::Result;
 use orchestra_provenance::Polynomial;
-use orchestra_relational::{CmpOp, DatabaseSchema, Sym, SymTuple, Tuple, ValueInterner};
+use orchestra_relational::{
+    default_threads, CmpOp, DatabaseSchema, Job, ShardedRel, Sym, SymTuple, Tuple, Value,
+    ValueInterner, WorkerPool, DEFAULT_SHARDS,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -98,6 +131,11 @@ pub struct Change {
 }
 
 /// Aggregate counters, for the experiment harness.
+///
+/// Under parallel evaluation every counter stays **lost-update-safe**:
+/// workers count into private per-task buffers that the merge phase folds
+/// in at each round's barrier, so counts are identical at any thread
+/// count (no racing increments, no atomics on the hot path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Semi-naive rounds executed.
@@ -122,9 +160,6 @@ pub struct EngineStats {
     pub skolem_fast_path: u64,
 }
 
-/// One stored relation: alive tuples plus incrementally maintained hash
-/// indexes on demand. Keys are interned symbols throughout, so membership
-/// and probes hash a few machine words.
 impl std::ops::AddAssign for EngineStats {
     fn add_assign(&mut self, o: EngineStats) {
         self.rounds += o.rounds;
@@ -140,80 +175,33 @@ impl std::ops::AddAssign for EngineStats {
     }
 }
 
-/// One secondary index: fixed-width symbol key → posting list.
-type SymIndex = HashMap<Box<[Sym]>, Vec<SymTuple>>;
+/// Default minimum round size (delta tuples) before a round's join phase
+/// is dispatched to the worker pool: smaller rounds run inline — identical
+/// results, none of the wakeup overhead.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1024;
 
-#[derive(Debug, Clone, Default)]
-struct RelData {
-    tuples: HashMap<SymTuple, NodeId>,
-    /// column set → (fixed-width symbol key → tuples). Maintained through
-    /// inserts and removals; emptied buckets are dropped eagerly so churny
-    /// delete/reinsert workloads cannot grow the index without bound.
-    indexes: HashMap<Box<[usize]>, SymIndex>,
+/// Evaluation tunables: worker threads, shard count, and the parallel
+/// dispatch threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Concurrent evaluation lanes (helper threads + the calling thread).
+    /// `1` disables the pool entirely; results are identical either way.
+    pub threads: usize,
+    /// Fixed shard count for every relation's [`ShardedRel`].
+    pub shards: usize,
+    /// Minimum delta tuples in a round before going parallel.
+    pub parallel_threshold: usize,
 }
 
-impl RelData {
-    fn contains(&self, t: &SymTuple) -> bool {
-        self.tuples.contains_key(t)
-    }
-
-    fn key_of(t: &SymTuple, cols: &[usize]) -> Box<[Sym]> {
-        cols.iter().map(|&c| t[c]).collect()
-    }
-
-    fn insert(&mut self, t: SymTuple, node: NodeId) {
-        for (cols, idx) in self.indexes.iter_mut() {
-            idx.entry(Self::key_of(&t, cols))
-                .or_default()
-                .push(t.clone());
+impl Default for EvalOptions {
+    /// Threads default to `ORCHESTRA_EVAL_THREADS` (or the machine's
+    /// available parallelism), shards to [`DEFAULT_SHARDS`].
+    fn default() -> Self {
+        EvalOptions {
+            threads: default_threads(),
+            shards: DEFAULT_SHARDS,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
-        self.tuples.insert(t, node);
-    }
-
-    fn remove(&mut self, t: &SymTuple) -> Option<NodeId> {
-        let node = self.tuples.remove(t)?;
-        for (cols, idx) in self.indexes.iter_mut() {
-            let key = Self::key_of(t, cols);
-            if let Some(list) = idx.get_mut(&key) {
-                if let Some(pos) = list.iter().position(|x| x == t) {
-                    list.swap_remove(pos);
-                }
-                // Drop emptied buckets: leaving them behind leaks one map
-                // entry per distinct key ever deleted.
-                if list.is_empty() {
-                    idx.remove(&key);
-                }
-            }
-        }
-        Some(node)
-    }
-
-    fn ensure_index(&mut self, cols: &[usize], stats: &mut EngineStats) {
-        if !self.indexes.contains_key(cols) {
-            stats.index_builds += 1;
-            let mut idx = SymIndex::new();
-            for t in self.tuples.keys() {
-                idx.entry(Self::key_of(t, cols))
-                    .or_default()
-                    .push(t.clone());
-            }
-            self.indexes.insert(Box::from(cols), idx);
-        }
-    }
-
-    fn probe(&self, cols: &[usize], key: &[Sym]) -> &[SymTuple] {
-        self.indexes
-            .get(cols)
-            .and_then(|idx| idx.get(key))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
-    }
-
-    /// Number of live buckets across all indexes (test hook for the
-    /// empty-bucket regression).
-    #[cfg(test)]
-    fn index_buckets(&self) -> usize {
-        self.indexes.values().map(HashMap::len).sum()
     }
 }
 
@@ -271,6 +259,12 @@ enum Source {
     Probe {
         cols: Box<[usize]>,
         key: Box<[KeySrc]>,
+        /// When the probe covers the relation's partition columns:
+        /// `part[i]` is the offset of the i-th partition column inside
+        /// `cols`/`key`, so the probe targets a single shard. `None` ⇒
+        /// fan out across shards. Filled in by
+        /// [`Engine::annotate_plans`] once partitions are chosen.
+        part: Option<Box<[usize]>>,
     },
 }
 
@@ -412,6 +406,7 @@ impl JoinPlan {
                 Source::Probe {
                     cols: probe_cols.into(),
                     key: key.into(),
+                    part: None,
                 }
             };
             let filters: Vec<usize> = rule
@@ -438,40 +433,80 @@ impl JoinPlan {
 
 // ---------------------------------------------------------- plan executor
 
-/// The plan interpreter. Shared references (`'a`) point into the engine's
-/// rule/plan/data storage; the mutable references are the disjoint engine
-/// fields the leaf needs (interning heads, recording nodes, counters).
-struct Exec<'a, 'b> {
+/// One staged rule firing, produced by the (possibly parallel) join phase
+/// and finalized by the sequential merge phase. Skolem head positions are
+/// left as [`Sym::NONE`] with their argument symbols staged alongside, so
+/// the join phase never mutates the interner.
+///
+/// Everything resolvable against the round's immutable snapshot is
+/// resolved **in the worker**: body node ids (every body tuple is alive
+/// or a delta tuple, so it was interned when it first appeared), the
+/// derivation's dedup fingerprint, and the head's snapshot node/liveness.
+/// The merge phase then touches a hash table only for genuinely new
+/// state, which keeps the sequential fraction of a round small.
+struct Firing {
+    /// The head tuple; `Sym::NONE` at Skolem positions.
+    head: SymTuple,
+    /// `(head column, argument symbols)` for each Skolem head slot.
+    skolems: Vec<(u32, Vec<Sym>)>,
+    /// The head's node id as of the round snapshot (`None` when the head
+    /// was not alive then — it may still get interned by an earlier task
+    /// of the same round's merge).
+    head_node: Option<NodeId>,
+    /// Node ids of the matched body tuples, in rule-body order
+    /// (derivation identity depends on the order).
+    body_nodes: Vec<NodeId>,
+    /// Precomputed `(rule, body)` dedup fingerprint.
+    fp: u64,
+}
+
+/// Everything one join task hands back to the merge phase: staged firings
+/// plus the task's private counters (merged at the round barrier).
+#[derive(Default)]
+struct TaskOut {
+    firings: Vec<Firing>,
+    probes: u64,
+}
+
+/// The plan interpreter. **Read-only** over the engine: it borrows the
+/// sharded data, the rule/plan storage, and the interner immutably, so
+/// any number of `Exec`s can run concurrently over disjoint delta shards.
+/// All effects are staged into `results`/`probes`.
+struct Exec<'a> {
     rule: &'a CompiledRule,
     plan: &'a JoinPlan,
-    data: &'a [RelData],
+    data: &'a [ShardedRel<NodeId>],
     delta: Option<&'a [SymTuple]>,
-    interner: &'b mut ValueInterner,
-    nodes: &'b mut NodeTable,
-    stats: &'b mut EngineStats,
+    interner: &'a ValueInterner,
+    nodes: &'a NodeTable,
     bindings: Vec<Sym>,
     body_tuples: Vec<Option<&'a SymTuple>>,
     /// One reusable probe-key buffer per step: steady-state probing
     /// allocates nothing.
     key_bufs: Vec<Vec<Sym>>,
-    results: Vec<(SymTuple, Vec<NodeId>)>,
+    /// Reusable posting-list buffers for probes that fan out across
+    /// shards (non-covering column sets).
+    slice_bufs: Vec<Vec<&'a [SymTuple]>>,
+    probes: u64,
+    results: Vec<Firing>,
 }
 
-impl<'a, 'b> Exec<'a, 'b> {
+impl<'a> Exec<'a> {
     #[allow(clippy::too_many_arguments)]
     fn new(
         rule: &'a CompiledRule,
         plan: &'a JoinPlan,
-        data: &'a [RelData],
+        data: &'a [ShardedRel<NodeId>],
         delta: Option<&'a [SymTuple]>,
-        interner: &'b mut ValueInterner,
-        nodes: &'b mut NodeTable,
-        stats: &'b mut EngineStats,
+        interner: &'a ValueInterner,
+        nodes: &'a NodeTable,
         bindings: Vec<Sym>,
     ) -> Self {
         Exec {
             body_tuples: vec![None; rule.body.len()],
             key_bufs: vec![Vec::new(); plan.steps.len()],
+            slice_bufs: vec![Vec::new(); plan.steps.len()],
+            probes: 0,
             results: Vec::new(),
             rule,
             plan,
@@ -479,7 +514,6 @@ impl<'a, 'b> Exec<'a, 'b> {
             delta,
             interner,
             nodes,
-            stats,
             bindings,
         }
     }
@@ -506,10 +540,10 @@ impl<'a, 'b> Exec<'a, 'b> {
             }
             Source::Scan => {
                 let rd = &data[self.rule.body[sp.atom].rel.index()];
-                self.scan_candidates(si, sp, rd.tuples.keys());
+                self.scan_candidates(si, sp, rd.iter_tuples());
             }
-            Source::Probe { cols, key } => {
-                self.stats.index_probes += 1;
+            Source::Probe { cols, key, part } => {
+                self.probes += 1;
                 let mut buf = std::mem::take(&mut self.key_bufs[si]);
                 buf.clear();
                 for src in key.iter() {
@@ -518,9 +552,26 @@ impl<'a, 'b> Exec<'a, 'b> {
                         KeySrc::Var(v) => self.bindings[*v],
                     });
                 }
-                let cands = data[self.rule.body[sp.atom].rel.index()].probe(cols, &buf);
-                self.key_bufs[si] = buf;
-                self.scan_candidates(si, sp, cands.iter());
+                let rd = &data[self.rule.body[sp.atom].rel.index()];
+                match part {
+                    Some(positions) => {
+                        // Covering probe: one shard owns every match.
+                        let shard = rd.shard_for_key(positions, &buf);
+                        let cands = rd.probe_shard(shard, cols, &buf);
+                        self.key_bufs[si] = buf;
+                        self.scan_candidates(si, sp, cands.iter());
+                    }
+                    None => {
+                        // Fan out: collect per-shard posting lists, then
+                        // iterate them in shard order (deterministic).
+                        let mut slices = std::mem::take(&mut self.slice_bufs[si]);
+                        slices.clear();
+                        rd.probe_slices_into(cols, &buf, &mut slices);
+                        self.key_bufs[si] = buf;
+                        self.scan_candidates(si, sp, slices.iter().flat_map(|s| s.iter()));
+                        self.slice_bufs[si] = slices;
+                    }
+                }
             }
         }
     }
@@ -572,51 +623,153 @@ impl<'a, 'b> Exec<'a, 'b> {
         }
     }
 
-    fn filter_ok(&mut self, fi: usize) -> bool {
+    fn filter_ok(&self, fi: usize) -> bool {
         let f = &self.rule.filters[fi];
-        let l = self.slot_sym(&f.left);
-        let r = self.slot_sym(&f.right);
-        match f.op {
-            // Interning is injective: symbol equality is value equality.
-            CmpOp::Eq => l == r,
-            CmpOp::Ne => l != r,
-            op => op.apply(self.interner.resolve(l), self.interner.resolve(r)),
-        }
-    }
-
-    fn slot_sym(&mut self, slot: &'a Slot) -> Sym {
-        match slot {
-            Slot::Var(v) => self.bindings[*v],
-            Slot::Const(s) => *s,
-            Slot::Skolem { function, args } => {
-                let arg_syms: Vec<Sym> = args.iter().map(|a| self.slot_sym(a)).collect();
-                self.interner.intern_skolem(function, &arg_syms)
+        match (self.slot_sym(&f.left), self.slot_sym(&f.right)) {
+            (Some(l), Some(r)) => match f.op {
+                // Interning is injective: symbol equality is value equality.
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+                op => op.apply(self.interner.resolve(l), self.interner.resolve(r)),
+            },
+            // A filter mentioning a Skolem term (hand-built rules only —
+            // tgd compilation never does this): compare structurally by
+            // value, which needs no interner mutation.
+            _ => {
+                let l = self.slot_value(&f.left);
+                let r = self.slot_value(&f.right);
+                f.op.apply(&l, &r)
             }
         }
     }
 
-    /// All atoms bound: instantiate the head and intern the body nodes (in
-    /// original rule-body order — derivation identity depends on it).
+    /// The symbol of a slot under the current bindings; `None` for Skolem
+    /// slots (their null may not have been interned yet).
+    fn slot_sym(&self, slot: &Slot) -> Option<Sym> {
+        match slot {
+            Slot::Var(v) => Some(self.bindings[*v]),
+            Slot::Const(s) => Some(*s),
+            Slot::Skolem { .. } => None,
+        }
+    }
+
+    /// The value of a slot under the current bindings, constructing
+    /// labeled nulls structurally (read-only fallback for filters).
+    fn slot_value(&self, slot: &Slot) -> Value {
+        match slot {
+            Slot::Var(v) => self.interner.resolve(self.bindings[*v]).clone(),
+            Slot::Const(s) => self.interner.resolve(*s).clone(),
+            Slot::Skolem { function, args } => Value::skolem(
+                Arc::clone(function),
+                args.iter().map(|a| self.slot_value(a)).collect(),
+            ),
+        }
+    }
+
+    /// All atoms bound: stage the head (Skolem slots deferred), resolve
+    /// the body node ids in original rule-body order (derivation identity
+    /// depends on it), and precompute the dedup fingerprint — all against
+    /// the round's immutable snapshot.
     fn emit(&mut self) {
         let rule = self.rule;
+        let mut skolems: Vec<(u32, Vec<Sym>)> = Vec::new();
         let head: SymTuple = rule
             .head
             .slots
             .iter()
-            .map(|s| {
-                let sym = self.slot_sym(s);
-                debug_assert!(!sym.is_none(), "unbound head slot");
-                sym
+            .enumerate()
+            .map(|(ci, s)| match s {
+                Slot::Var(v) => {
+                    let sym = self.bindings[*v];
+                    debug_assert!(!sym.is_none(), "unbound head slot");
+                    sym
+                }
+                Slot::Const(c) => *c,
+                Slot::Skolem { args, .. } => {
+                    let arg_syms: Vec<Sym> = args
+                        .iter()
+                        .map(|a| self.slot_sym(a).expect("skolem args are vars/constants"))
+                        .collect();
+                    skolems.push((ci as u32, arg_syms));
+                    Sym::NONE
+                }
             })
             .collect();
         let body_nodes: Vec<NodeId> = (0..rule.body.len())
             .map(|i| {
                 let t = self.body_tuples[i].expect("bound");
-                self.nodes.intern(rule.body[i].rel, t)
+                // Every candidate is either alive (interned on insert) or
+                // a delta tuple (interned at `insert_base` / the merge
+                // that produced it) — so the lookup cannot miss.
+                self.nodes
+                    .get(rule.body[i].rel, t)
+                    .expect("body tuple interned")
             })
             .collect();
-        self.results.push((head, body_nodes));
+        let fp = crate::provgraph::derivation_fingerprint(&rule.id, &body_nodes);
+        // One probe answers both "does the head already have a node" and
+        // "is it alive" as of the snapshot (dead-but-interned heads read
+        // as None — the merge intern then hits the table, same result).
+        let head_node = if skolems.is_empty() {
+            self.data[rule.head.rel.index()].get(&head)
+        } else {
+            None
+        };
+        self.results.push(Firing {
+            head,
+            skolems,
+            head_node,
+            body_nodes,
+            fp,
+        });
     }
+}
+
+/// Run one join task: evaluate `plan` for `rule` over `delta` against an
+/// immutable database snapshot. Pure — safe to run on any thread.
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    rule: &CompiledRule,
+    plan: &JoinPlan,
+    data: &[ShardedRel<NodeId>],
+    interner: &ValueInterner,
+    nodes: &NodeTable,
+    delta: Option<&[SymTuple]>,
+    bindings: Vec<Sym>,
+) -> TaskOut {
+    if plan.impossible {
+        return TaskOut::default();
+    }
+    let mut exec = Exec::new(rule, plan, data, delta, interner, nodes, bindings);
+    exec.run();
+    TaskOut {
+        firings: exec.results,
+        probes: exec.probes,
+    }
+}
+
+/// Finalize a staged head: intern any deferred Skolem nulls (sequential —
+/// this is the merge phase's exclusive right to mutate the interner).
+fn resolve_head(interner: &mut ValueInterner, rule: &CompiledRule, firing: &Firing) -> SymTuple {
+    if firing.skolems.is_empty() {
+        return firing.head.clone();
+    }
+    let mut syms: Vec<Sym> = firing.head.syms().to_vec();
+    for (ci, args) in &firing.skolems {
+        let Slot::Skolem { function, .. } = &rule.head.slots[*ci as usize] else {
+            unreachable!("staged skolem at a non-skolem head slot")
+        };
+        syms[*ci as usize] = interner.intern_skolem(function, args);
+    }
+    SymTuple::new(syms)
+}
+
+/// One join task of a round: rule × delta position × delta shard.
+struct TaskSpec {
+    ri: u32,
+    ai: u32,
+    rel: u32,
+    shard: u32,
 }
 
 // ----------------------------------------------------------------- engine
@@ -636,8 +789,8 @@ pub struct Engine {
     rel_ids: HashMap<Arc<str>, RelId>,
     nodes: NodeTable,
     graph: ProvGraph,
-    /// Indexed by RelId.
-    data: Vec<RelData>,
+    /// Indexed by RelId: hash-partitioned storage with per-shard indexes.
+    data: Vec<ShardedRel<NodeId>>,
     /// Tuples inserted but not yet propagated.
     pending: Vec<(RelId, SymTuple)>,
     changes: Vec<Change>,
@@ -645,6 +798,16 @@ pub struct Engine {
     /// When false, derivations are not recorded (ablation baseline for
     /// experiment E5). Provenance-based deletion then falls back to DRed.
     track_provenance: bool,
+    opts: EvalOptions,
+    /// Lazily created; shared between cloned engines (and across a CDSS's
+    /// peer engines) via `Arc`.
+    pool: Option<Arc<WorkerPool>>,
+    /// A lazily-initialized pool slot shared with sibling engines (a CDSS
+    /// hands every peer engine the same slot): the first engine to
+    /// actually dispatch a parallel round creates the pool, siblings
+    /// reuse it, and nothing spawns threads for workloads that never
+    /// cross the parallel threshold.
+    shared_pool: Option<Arc<std::sync::OnceLock<Arc<WorkerPool>>>>,
 }
 
 impl Engine {
@@ -663,14 +826,31 @@ impl Engine {
         rules: Vec<Rule>,
         track_provenance: bool,
     ) -> Result<Engine> {
+        Self::with_options(schema, rules, track_provenance, EvalOptions::default())
+    }
+
+    /// Build an engine with explicit evaluation tunables (thread count,
+    /// shard count, parallel threshold).
+    pub fn with_options(
+        schema: DatabaseSchema,
+        rules: Vec<Rule>,
+        track_provenance: bool,
+        opts: EvalOptions,
+    ) -> Result<Engine> {
+        let opts = EvalOptions {
+            threads: opts.threads.max(1),
+            shards: opts.shards.max(1),
+            parallel_threshold: opts.parallel_threshold,
+        };
         let mut rel_names: Vec<Arc<str>> = Vec::new();
         let mut rel_ids: HashMap<Arc<str>, RelId> = HashMap::new();
+        let mut arities: Vec<usize> = Vec::new();
         for r in schema.relations() {
             let id = RelId(rel_names.len() as u32);
             rel_names.push(r.name_arc());
             rel_ids.insert(r.name_arc(), id);
+            arities.push(r.arity());
         }
-        let data = vec![RelData::default(); rel_names.len()];
         let mut interner = ValueInterner::new();
         let mut compiled = Vec::with_capacity(rules.len());
         let mut plans = Vec::with_capacity(rules.len());
@@ -683,6 +863,15 @@ impl Engine {
             plans.push(Self::build_plans(&c));
             compiled.push(c);
         }
+        // Pick each relation's partition columns from the compiled plans
+        // (most-probed column set), then annotate every probe step with
+        // its single-shard target where the probe covers them.
+        let partitions = Self::choose_partitions(&arities, &compiled, &plans);
+        Self::annotate_plans(&compiled, &mut plans, &partitions);
+        let data = partitions
+            .iter()
+            .map(|cols| ShardedRel::new(opts.shards, cols.clone()))
+            .collect();
         Ok(Engine {
             schema,
             rules: compiled,
@@ -698,7 +887,71 @@ impl Engine {
             changes: Vec::new(),
             stats: EngineStats::default(),
             track_provenance,
+            opts,
+            pool: None,
+            shared_pool: None,
         })
+    }
+
+    /// Choose each relation's partition columns: the probe column set the
+    /// compiled **delta** plans use most often (those run every round;
+    /// head-seeded plans only serve DRed re-derivation and count as a
+    /// fallback). Ties break on the lexicographically smallest set —
+    /// deterministic. Relations never probed partition on the whole tuple.
+    fn choose_partitions(
+        arities: &[usize],
+        rules: &[CompiledRule],
+        plans: &[RulePlans],
+    ) -> Vec<Vec<usize>> {
+        let mut delta_counts: Vec<HashMap<Box<[usize]>, usize>> =
+            vec![HashMap::new(); arities.len()];
+        let mut seeded_counts: Vec<HashMap<Box<[usize]>, usize>> =
+            vec![HashMap::new(); arities.len()];
+        for (ri, rp) in plans.iter().enumerate() {
+            let tally = |plan: &JoinPlan, counts: &mut Vec<HashMap<Box<[usize]>, usize>>| {
+                for sp in &plan.steps {
+                    if let Source::Probe { cols, .. } = &sp.source {
+                        let rel = rules[ri].body[sp.atom].rel.index();
+                        *counts[rel].entry(cols.clone()).or_insert(0) += 1;
+                    }
+                }
+            };
+            for plan in &rp.delta {
+                tally(plan, &mut delta_counts);
+            }
+            tally(&rp.seeded, &mut seeded_counts);
+        }
+        let pick = |m: &HashMap<Box<[usize]>, usize>| -> Option<Vec<usize>> {
+            let mut entries: Vec<(&Box<[usize]>, &usize)> = m.iter().collect();
+            entries.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            entries.first().map(|(cols, _)| cols.to_vec())
+        };
+        (0..arities.len())
+            .map(|rel| {
+                pick(&delta_counts[rel])
+                    .or_else(|| pick(&seeded_counts[rel]))
+                    .unwrap_or_else(|| (0..arities[rel]).collect())
+            })
+            .collect()
+    }
+
+    /// Mark every probe step whose column set covers the target
+    /// relation's partition columns with the key positions of those
+    /// columns, so execution routes it to a single shard.
+    fn annotate_plans(rules: &[CompiledRule], plans: &mut [RulePlans], partitions: &[Vec<usize>]) {
+        for (ri, rp) in plans.iter_mut().enumerate() {
+            for plan in rp.delta.iter_mut().chain(std::iter::once(&mut rp.seeded)) {
+                for sp in &mut plan.steps {
+                    if let Source::Probe { cols, part, .. } = &mut sp.source {
+                        let rel = rules[ri].body[sp.atom].rel.index();
+                        *part = partitions[rel]
+                            .iter()
+                            .map(|pc| cols.iter().position(|c| c == pc))
+                            .collect();
+                    }
+                }
+            }
+        }
     }
 
     /// Compile every join plan a rule can need: one per delta position
@@ -855,6 +1108,66 @@ impl Engine {
         s
     }
 
+    /// The engine's evaluation tunables.
+    pub fn eval_options(&self) -> EvalOptions {
+        self.opts
+    }
+
+    /// The evaluation thread count.
+    pub fn threads(&self) -> usize {
+        self.opts.threads
+    }
+
+    /// Change the evaluation thread count. Results are identical at any
+    /// value (see module docs); only wall-clock changes. A mismatched
+    /// lazily created pool is dropped and rebuilt on next use.
+    pub fn set_threads(&mut self, threads: usize) {
+        let t = threads.max(1);
+        if t != self.opts.threads {
+            self.opts.threads = t;
+            self.pool = None;
+        }
+    }
+
+    /// The per-relation shard count.
+    pub fn shards(&self) -> usize {
+        self.opts.shards
+    }
+
+    /// Share a worker pool with this engine (e.g. one pool across all of
+    /// a CDSS's peer engines). Sets the thread count to the pool's size.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.opts.threads = pool.size();
+        self.pool = Some(pool);
+    }
+
+    /// Share a **lazy** pool slot with this engine: the pool is spawned
+    /// only when some sharing engine first dispatches a parallel round.
+    /// An engine whose thread count no longer matches the slot's pool
+    /// falls back to a private pool; setting it back re-attaches.
+    pub fn set_shared_pool_slot(&mut self, slot: Arc<std::sync::OnceLock<Arc<WorkerPool>>>) {
+        self.shared_pool = Some(slot);
+    }
+
+    fn ensure_pool(&mut self) -> Arc<WorkerPool> {
+        if let Some(p) = &self.pool {
+            if p.size() == self.opts.threads {
+                return Arc::clone(p);
+            }
+        }
+        if let Some(slot) = &self.shared_pool {
+            let p = slot.get_or_init(|| Arc::new(WorkerPool::new(self.opts.threads)));
+            if p.size() == self.opts.threads {
+                let p = Arc::clone(p);
+                self.pool = Some(Arc::clone(&p));
+                return p;
+            }
+        }
+        let p = Arc::new(WorkerPool::new(self.opts.threads));
+        self.pool = Some(Arc::clone(&p));
+        p
+    }
+
     /// The dense id of a relation, if known.
     pub fn rel_id(&self, relation: &str) -> Option<RelId> {
         self.rel_ids.get(relation).copied()
@@ -890,28 +1203,40 @@ impl Engine {
     /// Number of alive tuples in a relation.
     pub fn relation_len(&self, relation: &str) -> usize {
         self.rel_id(relation)
-            .map_or(0, |r| self.data[r.index()].tuples.len())
+            .map_or(0, |r| self.data[r.index()].len())
     }
 
-    /// Alive tuples of a relation, sorted (deterministic).
+    /// Borrowing per-shard scan of a relation's alive tuples: interned
+    /// tuples with their node ids, in the shards' deterministic sequence
+    /// order (a pure function of the engine's mutation history — not
+    /// insertion order once deletions happened), with **no** per-call
+    /// materialization. Unknown relations yield nothing.
+    pub fn scan<'e>(&'e self, relation: &str) -> impl Iterator<Item = (&'e SymTuple, NodeId)> + 'e {
+        self.rel_id(relation)
+            .into_iter()
+            .flat_map(move |r| self.data[r.index()].iter().map(|(t, n)| (t, *n)))
+    }
+
+    /// Like [`scan`](Engine::scan), resolving each tuple back to values
+    /// lazily (one tuple in flight at a time — reconcile/bench read paths
+    /// use this instead of cloning whole relations).
+    pub fn scan_resolved<'e>(&'e self, relation: &str) -> impl Iterator<Item = Tuple> + 'e {
+        self.scan(relation)
+            .map(move |(st, _)| self.interner.resolve_tuple(st))
+    }
+
+    /// Alive tuples of a relation, sorted (deterministic). Thin compat
+    /// wrapper over [`scan_resolved`](Engine::scan_resolved) — prefer the
+    /// iterators where a full sorted clone is not needed.
     pub fn relation_tuples(&self, relation: &str) -> Vec<Tuple> {
-        let mut out: Vec<Tuple> = self
-            .rel_id(relation)
-            .map(|r| {
-                self.data[r.index()]
-                    .tuples
-                    .keys()
-                    .map(|st| self.interner.resolve_tuple(st))
-                    .collect()
-            })
-            .unwrap_or_default();
+        let mut out: Vec<Tuple> = self.scan_resolved(relation).collect();
         out.sort();
         out
     }
 
     /// Total alive tuples across relations.
     pub fn total_tuples(&self) -> usize {
-        self.data.iter().map(|r| r.tuples.len()).sum()
+        self.data.iter().map(ShardedRel::len).sum()
     }
 
     /// Drain the change log.
@@ -936,8 +1261,7 @@ impl Engine {
         }
         self.graph.add_base(node);
         let rd = &mut self.data[rel.index()];
-        if !rd.contains(&st) {
-            rd.insert(st.clone(), node);
+        if rd.insert_if_absent(st.clone(), node) {
             self.stats.tuples_added += 1;
             self.changes.push(Change {
                 relation: Arc::clone(&self.rel_names[rel.index()]),
@@ -952,53 +1276,203 @@ impl Engine {
 
     /// Run semi-naive propagation from the pending delta to fixpoint.
     /// Returns the number of newly derived tuples.
+    ///
+    /// Each round joins the delta against an immutable snapshot of the
+    /// round's database — shard-parallel when `threads > 1` and the
+    /// round is big enough — then merges the staged firings in a fixed
+    /// order (see the module docs): the fixpoint, provenance graph,
+    /// node ids, change order, and stats are identical at any thread
+    /// count.
     pub fn propagate(&mut self) -> Result<usize> {
         let mut delta = std::mem::take(&mut self.pending);
         let mut new_tuples = 0usize;
         let n_rels = self.rel_names.len();
+        let shards = self.opts.shards;
         while !delta.is_empty() {
             self.stats.rounds += 1;
-            // Group the delta by relation id — deterministic order (unlike
-            // hash-map grouping) and O(1) dispatch to the using rules.
+            // Group the delta by dense rel id, in arrival order.
             let mut by_rel: Vec<Vec<SymTuple>> = vec![Vec::new(); n_rels];
+            let mut total = 0usize;
             for (r, t) in delta.drain(..) {
                 by_rel[r.index()].push(t);
+                total += 1;
             }
-            let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
-            for (rel, tuples) in by_rel.iter().enumerate() {
+            // Per-(relation, shard) delta frontiers — but only when the
+            // round is big enough that splitting can pay: below the
+            // threshold each relation keeps one frontier (and one task
+            // per using rule), so tiny per-transaction rounds carry no
+            // per-shard task overhead. The decision depends only on the
+            // round's size — never on the thread count — so grouping,
+            // task order, and therefore every downstream mutation stay
+            // identical at any `threads` setting.
+            let sharded = shards > 1 && total >= self.opts.parallel_threshold;
+            let mut frontiers: Vec<Vec<Vec<SymTuple>>> = vec![Vec::new(); n_rels];
+            for (rel, tuples) in by_rel.into_iter().enumerate() {
                 if tuples.is_empty() {
                     continue;
                 }
-                for k in 0..self.rules_by_body[rel].len() {
-                    let (ri, ai) = self.rules_by_body[rel][k];
-                    let firings = self.join_rule(ri as usize, ai as usize, tuples);
-                    for (head_st, body_nodes) in firings {
-                        self.stats.firings += 1;
-                        let head_rel = self.rules[ri as usize].head.rel;
-                        let head_node = self.nodes.intern(head_rel, &head_st);
-                        if self.track_provenance {
-                            let fresh_deriv = self.graph.add_derivation(Derivation {
-                                rule: Arc::clone(&self.rules[ri as usize].id),
-                                head: head_node,
-                                body: body_nodes,
-                            });
-                            if fresh_deriv {
-                                self.stats.derivations += 1;
+                if sharded {
+                    let fr = &mut frontiers[rel];
+                    fr.resize(shards, Vec::new());
+                    for t in tuples {
+                        let s = self.data[rel].shard_of(&t);
+                        fr[s].push(t);
+                    }
+                } else {
+                    frontiers[rel] = vec![tuples];
+                }
+            }
+            // Sequential pre-phase: build any missing indexes so the join
+            // phase only reads, and lay out the round's task list in its
+            // fixed (relation, rule, shard) merge order.
+            let mut tasks: Vec<TaskSpec> = Vec::new();
+            {
+                let Engine {
+                    rules,
+                    plans,
+                    rules_by_body,
+                    data,
+                    stats,
+                    ..
+                } = self;
+                for (rel, fr) in frontiers.iter().enumerate() {
+                    if fr.is_empty() {
+                        continue;
+                    }
+                    for &(ri, ai) in &rules_by_body[rel] {
+                        let plan = &plans[ri as usize].delta[ai as usize];
+                        for sp in &plan.steps {
+                            if let Source::Probe { cols, .. } = &sp.source {
+                                let target = rules[ri as usize].body[sp.atom].rel.index();
+                                if data[target].ensure_index(cols) {
+                                    stats.index_builds += 1;
+                                }
                             }
                         }
-                        let rd = &mut self.data[head_rel.index()];
-                        if !rd.contains(&head_st) {
-                            rd.insert(head_st.clone(), head_node);
-                            self.stats.tuples_added += 1;
-                            new_tuples += 1;
-                            self.changes.push(Change {
-                                relation: Arc::clone(&self.rel_names[head_rel.index()]),
-                                tuple: self.interner.resolve_tuple(&head_st),
-                                kind: ChangeKind::Added,
-                                node: head_node,
-                            });
-                            next_delta.push((head_rel, head_st));
+                        for (s, tuples) in fr.iter().enumerate() {
+                            if !tuples.is_empty() {
+                                tasks.push(TaskSpec {
+                                    ri,
+                                    ai,
+                                    rel: rel as u32,
+                                    shard: s as u32,
+                                });
+                            }
                         }
+                    }
+                }
+            }
+            // Join phase: run every task against the round snapshot.
+            let parallel =
+                self.opts.threads > 1 && tasks.len() > 1 && total >= self.opts.parallel_threshold;
+            let pool = if parallel {
+                Some(self.ensure_pool())
+            } else {
+                None
+            };
+            let mut outs: Vec<Option<TaskOut>> = Vec::new();
+            outs.resize_with(tasks.len(), || None);
+            {
+                let Engine {
+                    rules,
+                    plans,
+                    data,
+                    interner,
+                    nodes,
+                    ..
+                } = &*self;
+                let run_one = |spec: &TaskSpec| -> TaskOut {
+                    let rule = &rules[spec.ri as usize];
+                    run_task(
+                        rule,
+                        &plans[spec.ri as usize].delta[spec.ai as usize],
+                        data,
+                        interner,
+                        nodes,
+                        Some(&frontiers[spec.rel as usize][spec.shard as usize]),
+                        vec![Sym::NONE; rule.num_vars],
+                    )
+                };
+                match pool {
+                    Some(pool) => {
+                        let jobs: Vec<Job<'_>> = outs
+                            .iter_mut()
+                            .zip(&tasks)
+                            .map(|(slot, spec)| {
+                                Box::new(move || {
+                                    *slot = Some(run_one(spec));
+                                }) as Job<'_>
+                            })
+                            .collect();
+                        pool.run(jobs);
+                    }
+                    None => {
+                        for (slot, spec) in outs.iter_mut().zip(&tasks) {
+                            *slot = Some(run_one(spec));
+                        }
+                    }
+                }
+            }
+            // Merge phase: drain task buffers in task order — NodeId
+            // assignment, provenance recording, inserts, and the change
+            // log replay identically at any thread count.
+            let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
+            let track = self.track_provenance;
+            let Engine {
+                rules,
+                interner,
+                nodes,
+                graph,
+                data,
+                stats,
+                changes,
+                rel_names,
+                ..
+            } = self;
+            for (spec, out) in tasks.iter().zip(outs) {
+                let out = out.expect("join task executed");
+                stats.index_probes += out.probes;
+                let rule = &rules[spec.ri as usize];
+                let head_rel = rule.head.rel;
+                for firing in out.firings {
+                    stats.firings += 1;
+                    // A head alive at the round snapshot needs no insert
+                    // (propagation is insert-only) and no interning — the
+                    // worker already resolved its node.
+                    let (head_node, head_st) = match firing.head_node {
+                        Some(n) => (n, None),
+                        None => {
+                            let st = resolve_head(interner, rule, &firing);
+                            (nodes.intern(head_rel, &st), Some(st))
+                        }
+                    };
+                    if track {
+                        let fresh_deriv = graph.add_derivation_fp(
+                            Derivation {
+                                rule: Arc::clone(&rule.id),
+                                head: head_node,
+                                body: firing.body_nodes,
+                            },
+                            firing.fp,
+                        );
+                        if fresh_deriv {
+                            stats.derivations += 1;
+                        }
+                    }
+                    let Some(head_st) = head_st else {
+                        continue; // Was alive at snapshot: nothing to add.
+                    };
+                    let rd = &mut data[head_rel.index()];
+                    if rd.insert_if_absent(head_st.clone(), head_node) {
+                        stats.tuples_added += 1;
+                        new_tuples += 1;
+                        changes.push(Change {
+                            relation: Arc::clone(&rel_names[head_rel.index()]),
+                            tuple: interner.resolve_tuple(&head_st),
+                            kind: ChangeKind::Added,
+                            node: head_node,
+                        });
+                        next_delta.push((head_rel, head_st));
                     }
                 }
             }
@@ -1009,9 +1483,9 @@ impl Engine {
 
     /// Join one rule's body with a delta restriction at one atom position,
     /// using the plan cached at compile time. Returns
-    /// `(head tuple, body node ids)` per firing. (Full, unseeded rule
-    /// evaluation has no caller; head-constrained evaluation goes through
-    /// [`join_rule_with_head_filter`](Engine::join_rule_with_head_filter).)
+    /// `(head tuple, body node ids)` per firing — the sequential wrapper
+    /// around the same plan interpreter the parallel rounds use (DRed's
+    /// over-deletion closure runs through here).
     ///
     /// Delta tuples need not be present in `data` (DRed's over-deletion
     /// joins deltas that have already been removed).
@@ -1039,22 +1513,28 @@ impl Engine {
         // slices with no further mutation of `data`.
         for sp in &plan.steps {
             if let Source::Probe { cols, .. } = &sp.source {
-                data[rule.body[sp.atom].rel.index()].ensure_index(cols, stats);
+                if data[rule.body[sp.atom].rel.index()].ensure_index(cols) {
+                    stats.index_builds += 1;
+                }
             }
         }
-        let bindings = vec![Sym::NONE; rule.num_vars];
-        let mut exec = Exec::new(
+        let out = run_task(
             rule,
             plan,
             data,
-            Some(delta),
             interner,
             nodes,
-            stats,
-            bindings,
+            Some(delta),
+            vec![Sym::NONE; rule.num_vars],
         );
-        exec.run();
-        exec.results
+        stats.index_probes += out.probes;
+        out.firings
+            .into_iter()
+            .map(|f| {
+                let head = resolve_head(interner, rule, &f);
+                (head, f.body_nodes)
+            })
+            .collect()
     }
 
     /// Remove a base tuple and propagate the deletion with the chosen
@@ -1141,12 +1621,16 @@ impl Engine {
                 }
             }
         }
-        // Kill affected-but-underivable nodes.
-        let dead: Vec<NodeId> = affected
+        // Kill affected-but-underivable nodes, in node-id order: the
+        // affected set iterates in per-instance hash order, but the change
+        // log must replay identically across engines (the thread-count
+        // parity property compares it verbatim).
+        let mut dead: Vec<NodeId> = affected
             .iter()
             .copied()
             .filter(|a| !derivable.contains(a) && self.is_alive(*a))
             .collect();
+        dead.sort_unstable();
         self.remove_nodes(&dead);
     }
 
@@ -1154,7 +1638,7 @@ impl Engine {
         let Some((rel, tuple)) = self.nodes.resolve(node) else {
             return false;
         };
-        self.data[rel.index()].tuples.get(tuple) == Some(&node)
+        self.data[rel.index()].get(tuple) == Some(node)
     }
 
     fn remove_nodes(&mut self, dead: &[NodeId]) {
@@ -1206,7 +1690,7 @@ impl Engine {
                 let firings = self.join_rule(ri as usize, ai as usize, &delta);
                 for (head_tuple, _) in firings {
                     let head_rel = self.rules[ri as usize].head.rel;
-                    let Some(&node) = self.data[head_rel.index()].tuples.get(&head_tuple) else {
+                    let Some(node) = self.data[head_rel.index()].get(&head_tuple) else {
                         continue;
                     };
                     if over_set.insert(node) {
@@ -1311,12 +1795,16 @@ impl Engine {
         }
         for sp in &plan.steps {
             if let Source::Probe { cols, .. } = &sp.source {
-                data[rule.body[sp.atom].rel.index()].ensure_index(cols, stats);
+                if data[rule.body[sp.atom].rel.index()].ensure_index(cols) {
+                    stats.index_builds += 1;
+                }
             }
         }
-        let mut exec = Exec::new(rule, plan, data, None, interner, nodes, stats, bindings);
-        exec.run();
-        exec.results.iter().any(|(h, _)| h == target)
+        let out = run_task(rule, plan, data, interner, nodes, None, bindings);
+        stats.index_probes += out.probes;
+        out.firings
+            .iter()
+            .any(|f| resolve_head(interner, rule, f) == *target)
     }
 
     /// The provenance polynomial of an alive tuple (over simple proofs).
@@ -1348,9 +1836,8 @@ mod tests {
         db
     }
 
-    fn edge_path_engine() -> Engine {
+    fn edge_path_rules() -> Vec<Rule> {
         // path(x,y) :- edge(x,y).  path(x,z) :- edge(x,y), path(y,z).
-        let db = schema(&[("edge", 2), ("path", 2)]);
         let r1 = Rule::new(
             "base",
             Atom::vars("path", &["x", "y"]),
@@ -1368,7 +1855,12 @@ mod tests {
             vec![],
         )
         .unwrap();
-        Engine::new(db, vec![r1, r2]).unwrap()
+        vec![r1, r2]
+    }
+
+    fn edge_path_engine() -> Engine {
+        let db = schema(&[("edge", 2), ("path", 2)]);
+        Engine::new(db, edge_path_rules()).unwrap()
     }
 
     #[test]
@@ -1741,25 +2233,7 @@ mod tests {
     #[test]
     fn no_provenance_mode_matches_data_but_skips_graph() {
         let db = schema(&[("edge", 2), ("path", 2)]);
-        let rules = vec![
-            Rule::new(
-                "base",
-                Atom::vars("path", &["x", "y"]),
-                vec![Atom::vars("edge", &["x", "y"])],
-                vec![],
-            )
-            .unwrap(),
-            Rule::new(
-                "step",
-                Atom::vars("path", &["x", "z"]),
-                vec![
-                    Atom::vars("edge", &["x", "y"]),
-                    Atom::vars("path", &["y", "z"]),
-                ],
-                vec![],
-            )
-            .unwrap(),
-        ];
+        let rules = edge_path_rules();
         let mut with = Engine::with_provenance(db.clone(), rules.clone(), true).unwrap();
         let mut without = Engine::with_provenance(db, rules, false).unwrap();
         for e in [tuple!["a", "b"], tuple!["b", "c"], tuple!["c", "d"]] {
@@ -1829,9 +2303,9 @@ mod tests {
 
     #[test]
     fn churny_delete_reinsert_does_not_leak_index_buckets() {
-        // Regression: RelData::remove used to leave empty Vec buckets in
-        // every secondary index, so delete/reinsert churn over a moving
-        // key range grew memory without bound.
+        // Regression: removal used to leave empty Vec buckets in every
+        // secondary index, so delete/reinsert churn over a moving key
+        // range grew memory without bound.
         let mut e = edge_path_engine();
         // Warm the index via the recursive rule.
         e.insert_base("edge", tuple!["seed", "seed2"]).unwrap();
@@ -1846,7 +2320,7 @@ mod tests {
         }
         let edge_rel = e.rel_id("edge").unwrap();
         let path_rel = e.rel_id("path").unwrap();
-        let live = e.data[edge_rel.index()].tuples.len() + e.data[path_rel.index()].tuples.len();
+        let live = e.data[edge_rel.index()].len() + e.data[path_rel.index()].len();
         let buckets =
             e.data[edge_rel.index()].index_buckets() + e.data[path_rel.index()].index_buckets();
         // Every live bucket holds at least one live tuple; emptied buckets
@@ -1889,5 +2363,171 @@ mod tests {
         batch.propagate().unwrap();
         assert_eq!(inc.relation_tuples("path"), batch.relation_tuples("path"));
         assert_eq!(inc.total_tuples(), batch.total_tuples());
+    }
+
+    // ------------------------------------------------ sharded / parallel
+
+    /// Build the transitive-closure engine with explicit eval options and
+    /// load a dense-ish random graph.
+    fn tc_engine_with(threads: usize) -> Engine {
+        let db = schema(&[("edge", 2), ("path", 2)]);
+        let opts = EvalOptions {
+            threads,
+            shards: 8,
+            // Force the parallel dispatch path even for tiny rounds so
+            // the test exercises pool scheduling, not just the inline arm.
+            parallel_threshold: 0,
+        };
+        let mut e = Engine::with_options(db, edge_path_rules(), true, opts).unwrap();
+        for i in 0..48i64 {
+            let a = format!("n{}", i % 13);
+            let b = format!("n{}", (i * 5 + 1) % 13);
+            e.insert_base("edge", tuple![a, b]).unwrap();
+        }
+        e
+    }
+
+    /// Everything observable about an engine after a run, in comparable
+    /// form: change log (with node ids), sorted data, stats, and the full
+    /// derivation list in recording order.
+    fn observables(e: &mut Engine) -> (Vec<Change>, Vec<Tuple>, EngineStats, Vec<Derivation>) {
+        let changes = e.drain_changes();
+        let mut tuples = e.relation_tuples("path");
+        tuples.extend(e.relation_tuples("edge"));
+        let derivs: Vec<Derivation> = e.graph().derivations().cloned().collect();
+        (changes, tuples, e.stats(), derivs)
+    }
+
+    #[test]
+    fn parallel_evaluation_is_byte_identical_to_single_thread() {
+        let mut one = tc_engine_with(1);
+        one.propagate().unwrap();
+        let base = observables(&mut one);
+        for threads in [2usize, 4, 8] {
+            let mut n = tc_engine_with(threads);
+            n.propagate().unwrap();
+            let got = observables(&mut n);
+            assert_eq!(got.0, base.0, "change log differs at {threads} threads");
+            assert_eq!(got.1, base.1, "fixpoint differs at {threads} threads");
+            assert_eq!(got.2, base.2, "stats differ at {threads} threads");
+            assert_eq!(got.3, base.3, "derivations differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_deletions_replay_identically() {
+        let run = |threads: usize| {
+            let mut e = tc_engine_with(threads);
+            e.propagate().unwrap();
+            e.drain_changes();
+            for i in [0i64, 3, 7] {
+                let a = format!("n{}", i % 13);
+                let b = format!("n{}", (i * 5 + 1) % 13);
+                e.remove_base("edge", &tuple![a, b], DeletionAlgorithm::ProvenanceBased)
+                    .unwrap();
+            }
+            observables(&mut e)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn skolem_heads_resolve_identically_across_threads() {
+        let run = |threads: usize| {
+            let db = schema(&[("OPS", 3), ("O", 2), ("S", 3)]);
+            let m = Tgd::new(
+                "MC->A",
+                vec![Atom::vars("OPS", &["org", "prot", "seq"])],
+                vec![
+                    Atom::new(
+                        "O",
+                        vec![
+                            Term::var("org"),
+                            Term::skolem("oid", vec![Term::var("org")]),
+                        ],
+                    ),
+                    Atom::new(
+                        "S",
+                        vec![
+                            Term::skolem("oid", vec![Term::var("org")]),
+                            Term::var("prot"),
+                            Term::var("seq"),
+                        ],
+                    ),
+                ],
+            )
+            .unwrap();
+            let opts = EvalOptions {
+                threads,
+                shards: 4,
+                parallel_threshold: 0,
+            };
+            let mut e = Engine::with_options(db, m.compile().unwrap(), true, opts).unwrap();
+            for i in 0..24i64 {
+                e.insert_base(
+                    "OPS",
+                    tuple![format!("org{}", i % 5), format!("p{i}"), format!("s{i}")],
+                )
+                .unwrap();
+            }
+            e.propagate().unwrap();
+            (
+                e.drain_changes(),
+                e.relation_tuples("O"),
+                e.relation_tuples("S"),
+                e.stats(),
+            )
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn scan_is_a_borrowing_view_of_relation_tuples() {
+        let mut e = edge_path_engine();
+        for i in 0..12 {
+            e.insert_base("edge", tuple![format!("n{i}"), format!("n{}", i + 1)])
+                .unwrap();
+        }
+        e.propagate().unwrap();
+        assert_eq!(e.scan("path").count(), e.relation_len("path"));
+        let mut via_scan: Vec<Tuple> = e.scan_resolved("path").collect();
+        via_scan.sort();
+        assert_eq!(via_scan, e.relation_tuples("path"));
+        // Node ids surfaced by scan match the node table.
+        for (st, node) in e.scan("edge") {
+            let t = e.interner().resolve_tuple(st);
+            assert_eq!(e.node_id("edge", &t), Some(node));
+        }
+        assert_eq!(e.scan("nope").count(), 0);
+    }
+
+    #[test]
+    fn partition_columns_follow_the_probed_key() {
+        // path is probed on column 0 (by the recursive rule), edge on
+        // column 1 (delta at path): the chosen partitions must make those
+        // probes single-shard.
+        let e = edge_path_engine();
+        let path = e.rel_id("path").unwrap();
+        let edge = e.rel_id("edge").unwrap();
+        assert_eq!(e.data[path.index()].part_cols(), &[0]);
+        assert_eq!(e.data[edge.index()].part_cols(), &[1]);
+    }
+
+    #[test]
+    fn thread_count_is_tunable_at_runtime() {
+        let mut e = tc_engine_with(1);
+        assert_eq!(e.threads(), 1);
+        e.set_threads(3);
+        assert_eq!(e.threads(), 3);
+        e.propagate().unwrap();
+        e.set_threads(0); // clamped
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.shards(), 8);
+        // A shared pool pins the thread count to the pool size.
+        e.set_worker_pool(Arc::new(WorkerPool::new(2)));
+        assert_eq!(e.threads(), 2);
+        e.insert_base("edge", tuple!["x", "y"]).unwrap();
+        e.propagate().unwrap();
+        assert!(e.contains("path", &tuple!["x", "y"]));
     }
 }

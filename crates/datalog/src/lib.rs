@@ -40,7 +40,10 @@ pub mod query;
 pub mod tgd;
 
 pub use ast::{Atom, Filter, Rule, RuleId, Term};
-pub use engine::{Change, ChangeKind, DeletionAlgorithm, Engine, EngineStats};
+pub use engine::{
+    Change, ChangeKind, DeletionAlgorithm, Engine, EngineStats, EvalOptions,
+    DEFAULT_PARALLEL_THRESHOLD,
+};
 pub use error::DatalogError;
 pub use node::{NodeId, NodeTable, RelId};
 pub use provgraph::{Derivation, ProvGraph};

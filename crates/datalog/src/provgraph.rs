@@ -43,12 +43,19 @@ pub struct ProvGraph {
     base: BTreeSet<NodeId>,
 }
 
-fn fingerprint(d: &Derivation) -> u64 {
+/// The dedup fingerprint of a derivation's `(rule, body)` — pure, so the
+/// engine's parallel join phase can precompute it off the merge thread.
+pub fn derivation_fingerprint(rule: &RuleId, body: &[NodeId]) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    d.rule.hash(&mut h);
-    d.body.hash(&mut h);
+    rule.hash(&mut h);
+    // Matches `Vec<NodeId>`'s Hash (length prefix + elements).
+    body.hash(&mut h);
     h.finish()
+}
+
+fn fingerprint(d: &Derivation) -> u64 {
+    derivation_fingerprint(&d.rule, &d.body)
 }
 
 fn push_adj(adj: &mut Vec<Vec<u32>>, node: NodeId, idx: u32) {
@@ -87,7 +94,17 @@ impl ProvGraph {
 
     /// Record a derivation (deduplicated). Returns `true` if new.
     pub fn add_derivation(&mut self, d: Derivation) -> bool {
-        let fp = (d.head, fingerprint(&d));
+        let fp = fingerprint(&d);
+        self.add_derivation_fp(d, fp)
+    }
+
+    /// [`add_derivation`](Self::add_derivation) with the `(rule, body)`
+    /// fingerprint precomputed (see [`derivation_fingerprint`]) — the
+    /// engine's merge phase passes fingerprints its parallel workers
+    /// already hashed.
+    pub fn add_derivation_fp(&mut self, d: Derivation, fp: u64) -> bool {
+        debug_assert_eq!(fp, fingerprint(&d), "mismatched precomputed fingerprint");
+        let fp = (d.head, fp);
         if self.seen.contains(&fp) {
             // Possible duplicate — confirm structurally (collisions on the
             // fingerprint must not drop genuine derivations).
@@ -128,6 +145,14 @@ impl ProvGraph {
     /// Total number of derivation records.
     pub fn num_derivations(&self) -> usize {
         self.derivations.len()
+    }
+
+    /// All derivation records, in recording order. The engine's merge
+    /// phase records derivations in a deterministic order, so this
+    /// sequence is comparable across engines (the thread-count parity
+    /// suite diffs it verbatim).
+    pub fn derivations(&self) -> impl Iterator<Item = &Derivation> {
+        self.derivations.iter()
     }
 
     /// Well-founded derivability: the least set containing the (alive) base

@@ -9,10 +9,14 @@
 //! * itself under different insertion orders (incremental vs batch),
 //!   which also exercises plan-cache reuse across delta positions;
 //! * both deletion algorithms (provenance-based and DRed) against full
-//!   recomputation from the surviving base facts.
+//!   recomputation from the surviving base facts;
+//! * itself under different **thread counts** (1 vs 2 vs 8) — the
+//!   shard-parallel evaluation must replay byte-identically: same
+//!   provenance-graph edges and recording order, same `NodeId`
+//!   assignment, same change-log order, same stats.
 
 use orchestra_datalog::{Atom, Term};
-use orchestra_datalog::{DeletionAlgorithm, Engine, Rule};
+use orchestra_datalog::{DeletionAlgorithm, Engine, EvalOptions, Rule};
 use orchestra_relational::{CmpOp, DatabaseSchema, RelationSchema, Tuple, Value, ValueType};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -218,8 +222,10 @@ fn naive_join(
 }
 
 fn engine_database(e: &Engine) -> Database {
+    // The borrowing per-shard scan, not `relation_tuples`: exercises the
+    // same read path the reconcile/bench layers use.
     RELS.iter()
-        .map(|(r, _)| (*r, e.relation_tuples(r).into_iter().collect()))
+        .map(|(r, _)| (*r, e.scan_resolved(r).collect()))
         .collect()
 }
 
@@ -229,8 +235,10 @@ fn engine_database(e: &Engine) -> Database {
 fn resolved_lineages(e: &Engine) -> BTreeMap<(String, Tuple), BTreeSet<(String, Tuple)>> {
     let mut out = BTreeMap::new();
     for (rel, _) in RELS {
-        for t in e.relation_tuples(rel) {
-            let node = e.node_id(rel, &t).expect("alive tuple has a node");
+        // `scan` surfaces each tuple's node directly — no per-tuple
+        // `node_id` lookup needed.
+        for (st, node) in e.scan(rel) {
+            let t = e.interner().resolve_tuple(st);
             let lineage = e
                 .graph()
                 .lineage(node)
@@ -298,6 +306,72 @@ proptest! {
 
         prop_assert_eq!(engine_database(&inc), engine_database(&batch));
         prop_assert_eq!(resolved_lineages(&inc), resolved_lineages(&batch));
+    }
+
+    /// Thread-count parity: a random program evaluated over a random
+    /// base-fact interleaving (batched propagates, so rounds are big
+    /// enough to shard) replays **identically** at 1, 2, and 8 threads —
+    /// same provenance-graph edges in the same recording order, same
+    /// `NodeId` assignment, same `drain_changes` order, same stats.
+    /// The parallel dispatch threshold is forced to 0 so every round
+    /// actually takes the worker-pool path.
+    #[test]
+    fn thread_count_is_observationally_invisible(
+        seed in 0u64..1_000_000,
+        n_rules in 1usize..5,
+        n_facts in 0usize..30,
+        n_batches in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rules = random_program(&mut rng, n_rules);
+        let facts = random_facts(&mut rng, n_facts);
+        // Random deletion victims interleaved after the last batch.
+        let victims: Vec<(&'static str, Tuple)> = facts
+            .iter()
+            .filter(|_| rng.random_range(0..100u32) < 25)
+            .cloned()
+            .collect();
+
+        let run = |threads: usize| {
+            let opts = EvalOptions {
+                threads,
+                shards: 8,
+                parallel_threshold: 0,
+            };
+            let mut e = Engine::with_options(schema(), rules.clone(), true, opts).unwrap();
+            // Same interleaving for every thread count: insert in
+            // `n_batches` chunks with a propagate after each.
+            let chunk = facts.len().max(1).div_ceil(n_batches);
+            for batch in facts.chunks(chunk) {
+                for (rel, t) in batch {
+                    e.insert_base(rel, t.clone()).unwrap();
+                }
+                e.propagate().unwrap();
+            }
+            for (rel, t) in &victims {
+                e.remove_base(rel, t, DeletionAlgorithm::ProvenanceBased)
+                    .unwrap();
+            }
+            let changes = e.drain_changes();
+            let derivs: Vec<_> = e.graph().derivations().cloned().collect();
+            let nodes: Vec<_> = (0..e.nodes().len() as u32)
+                .map(|i| {
+                    let (rel, t) = e.resolve_node(orchestra_datalog::NodeId(i)).unwrap();
+                    (rel.to_string(), t)
+                })
+                .collect();
+            (changes, derivs, nodes, e.stats(), engine_database(&e))
+        };
+
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let got = run(threads);
+            prop_assert_eq!(&got.0, &base.0, "change order @ {} threads", threads);
+            prop_assert_eq!(&got.1, &base.1, "derivations @ {} threads", threads);
+            prop_assert_eq!(&got.2, &base.2, "node ids @ {} threads", threads);
+            prop_assert_eq!(&got.3, &base.3, "stats @ {} threads", threads);
+            prop_assert_eq!(&got.4, &base.4, "fixpoint @ {} threads", threads);
+        }
     }
 
     /// Both deletion-propagation algorithms agree with each other and

@@ -1,0 +1,304 @@
+//! A reusable `std::thread` worker pool for shard-parallel evaluation.
+//!
+//! crates.io is unreachable from the build environment, so instead of
+//! rayon this module hand-rolls the one primitive the engine needs: run a
+//! batch of borrowed closures to completion across a fixed set of
+//! threads, with the **caller participating** as one of the workers.
+//!
+//! A [`WorkerPool`] of size `n` spawns `n - 1` helper threads once and
+//! parks them between batches; [`WorkerPool::run`] pushes the batch onto a
+//! shared queue, works the queue from the calling thread until the batch
+//! drains, then blocks until every job has *finished* (not merely been
+//! popped). Because `run` never returns before the last job completes, it
+//! can safely execute closures that borrow the caller's stack — the
+//! lifetime erasure below is sound by that barrier.
+//!
+//! Panics inside a job are caught on the executing thread and re-raised
+//! from `run`, so a failing parallel task fails the evaluation loudly
+//! instead of poisoning a worker.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of parallel work. Borrows are allowed (`'a`): the pool
+/// guarantees the job has finished before [`WorkerPool::run`] returns.
+pub type Job<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+type ErasedJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion state of one `run` batch.
+struct Batch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Batch {
+    fn new(n: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    /// Execute one job of this batch, recording panics and signalling the
+    /// batch when the last job finishes.
+    fn execute(&self, job: ErasedJob) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if result.is_err() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut left = self.remaining.lock().expect("batch lock");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct QueueState {
+    jobs: VecDeque<(ErasedJob, Arc<Batch>)>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of reusable worker threads (see module docs).
+///
+/// The pool's *size* counts the calling thread: `WorkerPool::new(4)`
+/// spawns three helpers and `run` supplies the fourth lane itself, so an
+/// engine configured for `n` threads uses exactly `n` cores at peak.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool executing up to `size` jobs concurrently (`size - 1` helper
+    /// threads plus the caller). `size` is clamped to at least 1; a pool
+    /// of size 1 spawns nothing and `run` degenerates to a plain loop.
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (1..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orchestra-eval-{i}"))
+                    .spawn(move || helper_loop(&shared))
+                    .expect("spawn eval worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            size,
+        }
+    }
+
+    /// Number of concurrent lanes (helpers + the caller).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run every job to completion, using the helper threads plus the
+    /// calling thread. Returns only after the **last** job has finished;
+    /// re-raises the first panic observed in any job.
+    pub fn run(&self, jobs: Vec<Job<'_>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let batch = Batch::new(jobs.len());
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            for job in jobs {
+                // SAFETY: `run` blocks below until `batch.remaining == 0`,
+                // i.e. until every erased job has returned. The borrows
+                // inside the job therefore strictly outlive its execution.
+                let erased: ErasedJob = unsafe { std::mem::transmute::<Job<'_>, ErasedJob>(job) };
+                q.jobs.push_back((erased, Arc::clone(&batch)));
+            }
+        }
+        self.shared.available.notify_all();
+        // Work the queue from this thread until nothing is left to pop,
+        // then wait for in-flight jobs on other threads to finish.
+        loop {
+            let popped = {
+                let mut q = self.shared.queue.lock().expect("queue lock");
+                q.jobs.pop_front()
+            };
+            match popped {
+                Some((job, b)) => b.execute(job),
+                None => break,
+            }
+        }
+        let mut left = batch.remaining.lock().expect("batch lock");
+        while *left > 0 {
+            left = batch.done.wait(left).expect("batch wait");
+        }
+        drop(left);
+        if batch.panicked.load(Ordering::SeqCst) {
+            panic!("a parallel evaluation task panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.available.wait(q).expect("queue wait");
+            }
+        };
+        match job {
+            Some((job, batch)) => batch.execute(job),
+            None => return,
+        }
+    }
+}
+
+/// The default evaluation thread count: `ORCHESTRA_EVAL_THREADS` when set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ORCHESTRA_EVAL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Job<'_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Job<'_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let mut slots: Vec<u64> = vec![0; 4];
+        {
+            let chunks: Vec<&[u64]> = data.chunks(25).collect();
+            let jobs: Vec<Job<'_>> = slots
+                .iter_mut()
+                .zip(chunks)
+                .map(|(slot, chunk)| {
+                    Box::new(move || {
+                        *slot = chunk.iter().sum();
+                    }) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(slots.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn pool_of_one_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.size(), 1);
+        let mut hit = false;
+        pool.run(vec![Box::new(|| {
+            hit = true;
+        })]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let jobs: Vec<Job<'_>> = (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }) as Job<'_>
+                })
+                .collect();
+            pool.run(jobs);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 80);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(vec![Box::new(|| panic!("boom")) as Job<'_>]);
+        }));
+        assert!(caught.is_err());
+        // The pool still works after a panicked batch.
+        let counter = AtomicUsize::new(0);
+        pool.run(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }) as Job<'_>]);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

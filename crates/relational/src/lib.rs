@@ -25,8 +25,14 @@
 //! * [`ValueInterner`] / [`Sym`] / [`SymTuple`] — dense `u32` symbols for
 //!   values, the representation the datalog engine's join pipeline runs on
 //!   (integer equality/hashing, fixed-width index keys).
+//! * [`ShardedRel`] — hash-partitioned, insertion-ordered relation shards
+//!   with per-shard `[Sym]` probe tables, the storage the shard-parallel
+//!   evaluation engine runs on.
+//! * [`WorkerPool`] ([`exec`]) — the reusable `std::thread` pool that
+//!   executes shard tasks (crates.io is unreachable, so no rayon).
 
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod instance;
 pub mod intern;
@@ -34,16 +40,19 @@ pub mod io;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod shard;
 pub mod tuple;
 pub mod value;
 
 pub use error::RelationalError;
+pub use exec::{default_threads, Job, WorkerPool};
 pub use expr::Expr;
 pub use instance::Instance;
 pub use intern::{InternerStats, Sym, SymTuple, ValueInterner};
 pub use predicate::{CmpOp, Predicate};
 pub use relation::Relation;
 pub use schema::{ColumnDef, DatabaseSchema, RelationSchema};
+pub use shard::{ShardedRel, DEFAULT_SHARDS};
 pub use tuple::Tuple;
 pub use value::{SkolemValue, Value, ValueType};
 

@@ -1,0 +1,449 @@
+//! Hash-partitioned relation storage for the parallel evaluation engine.
+//!
+//! A [`ShardedRel`] splits one relation's tuples into a **fixed** number
+//! of shards by a deterministic hash of the relation's *partition
+//! columns* (its dominant join/index key, chosen by the engine from the
+//! compiled join plans). Each shard owns
+//!
+//! * a **sequence-ordered** tuple table (`Vec` + position map): scan
+//!   order is a pure function of the mutation sequence (appends go to
+//!   the back; a removal swaps the last tuple into the hole), so two
+//!   instances fed the same mutations iterate identically — unlike
+//!   `HashMap` iteration with its per-instance seed — which is what
+//!   lets an N-thread evaluation replay byte-identically to a
+//!   single-threaded one;
+//! * its own secondary **probe tables** (fixed-width `[Sym]` key →
+//!   posting list), maintained incrementally through inserts/removals
+//!   exactly like the pre-sharding engine index.
+//!
+//! A probe whose bound columns **cover** the partition columns touches a
+//! single shard (the common case — the partition columns *are* the most
+//! probed key); any other probe fans out across shards in shard order.
+//! Shard routing uses a seedless FNV-1a over the `u32` symbols, so two
+//! engines fed the same interning sequence place every tuple identically.
+
+use crate::intern::{Sym, SymTuple};
+use std::collections::HashMap;
+
+/// Default shard count for partitioned relations.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One secondary index: fixed-width symbol key → posting list.
+type SymIndex = HashMap<Box<[Sym]>, Vec<SymTuple>>;
+
+/// Deterministic, seedless FNV-1a over symbol words.
+#[inline]
+fn fnv1a(syms: impl Iterator<Item = Sym>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in syms {
+        h = (h ^ u64::from(s.0)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug, Clone)]
+struct Shard<P> {
+    /// Tuple → index into `order`.
+    pos: HashMap<SymTuple, u32>,
+    /// Live tuples with their payloads, in sequence order: appends at
+    /// the back, removals swap the last tuple into the hole — the order
+    /// is a pure function of the mutation sequence.
+    order: Vec<(SymTuple, P)>,
+}
+
+impl<P: Copy> Shard<P> {
+    fn empty() -> Shard<P> {
+        Shard {
+            pos: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+fn key_of(t: &SymTuple, cols: &[usize]) -> Box<[Sym]> {
+    cols.iter().map(|&c| t[c]).collect()
+}
+
+/// One relation, hash-partitioned into a fixed number of shards (see
+/// module docs). `P` is the per-tuple payload (the engine stores the
+/// tuple's provenance node id).
+#[derive(Debug, Clone)]
+pub struct ShardedRel<P> {
+    /// Partition columns; empty ⇒ partition on the whole tuple.
+    part_cols: Box<[usize]>,
+    shards: Vec<Shard<P>>,
+    /// Secondary indexes, keyed by column set **once per relation** (a
+    /// fan-out probe hashes `cols` once, not once per shard): each entry
+    /// holds one `[Sym]`-keyed posting map per shard. Emptied buckets
+    /// are dropped eagerly so churny delete/reinsert workloads cannot
+    /// grow an index without bound.
+    indexes: HashMap<Box<[usize]>, Vec<SymIndex>>,
+}
+
+impl<P: Copy> ShardedRel<P> {
+    /// An empty relation with `shards` partitions, hash-split on
+    /// `part_cols` (empty ⇒ the whole tuple).
+    pub fn new(shards: usize, part_cols: Vec<usize>) -> ShardedRel<P> {
+        let shards = shards.max(1);
+        ShardedRel {
+            part_cols: part_cols.into(),
+            shards: (0..shards).map(|_| Shard::empty()).collect(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partition columns (empty ⇒ whole tuple).
+    pub fn part_cols(&self) -> &[usize] {
+        &self.part_cols
+    }
+
+    /// The shard a tuple belongs to.
+    #[inline]
+    pub fn shard_of(&self, t: &SymTuple) -> usize {
+        let h = if self.part_cols.is_empty() {
+            fnv1a(t.syms().iter().copied())
+        } else {
+            fnv1a(self.part_cols.iter().map(|&c| t[c]))
+        };
+        (h as usize) % self.shards.len()
+    }
+
+    /// The shard that owns any tuple whose partition columns carry the
+    /// symbols `key[positions[i]]` — `positions[i]` is the offset of the
+    /// i-th partition column inside a probe key. Only meaningful when the
+    /// probe covers the partition columns (the caller establishes that).
+    #[inline]
+    pub fn shard_for_key(&self, positions: &[usize], key: &[Sym]) -> usize {
+        let h = fnv1a(positions.iter().map(|&p| key[p]));
+        (h as usize) % self.shards.len()
+    }
+
+    /// Total live tuples across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.order.len()).sum()
+    }
+
+    /// True iff no shard holds a tuple.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.order.is_empty())
+    }
+
+    /// True iff the tuple is present.
+    pub fn contains(&self, t: &SymTuple) -> bool {
+        self.shards[self.shard_of(t)].pos.contains_key(t)
+    }
+
+    /// The payload stored with a tuple, if present.
+    pub fn get(&self, t: &SymTuple) -> Option<P> {
+        let s = &self.shards[self.shard_of(t)];
+        s.pos.get(t).map(|&p| s.order[p as usize].1)
+    }
+
+    /// Insert a tuple with its payload (idempotent: re-inserting updates
+    /// the payload without duplicating index entries).
+    pub fn insert(&mut self, t: SymTuple, payload: P) {
+        let si = self.shard_of(&t);
+        let shard = &mut self.shards[si];
+        if let Some(&p) = shard.pos.get(&t) {
+            shard.order[p as usize].1 = payload;
+            return;
+        }
+        self.insert_fresh(si, t, payload);
+    }
+
+    /// Insert unless present (the present tuple keeps its payload).
+    /// Returns `true` when the tuple was newly inserted — one shard
+    /// routing and one membership probe, where a `contains` + `insert`
+    /// pair would pay both twice (the engine's merge-phase hot path).
+    pub fn insert_if_absent(&mut self, t: SymTuple, payload: P) -> bool {
+        let si = self.shard_of(&t);
+        if self.shards[si].pos.contains_key(&t) {
+            return false;
+        }
+        self.insert_fresh(si, t, payload);
+        true
+    }
+
+    /// The not-present arm of the inserts: index maintenance + append.
+    fn insert_fresh(&mut self, si: usize, t: SymTuple, payload: P) {
+        for (cols, per_shard) in self.indexes.iter_mut() {
+            per_shard[si]
+                .entry(key_of(&t, cols))
+                .or_default()
+                .push(t.clone());
+        }
+        let shard = &mut self.shards[si];
+        let p = u32::try_from(shard.order.len()).expect("shard overflow");
+        shard.pos.insert(t.clone(), p);
+        shard.order.push((t, payload));
+    }
+
+    /// Remove a tuple, returning its payload if it was present.
+    pub fn remove(&mut self, t: &SymTuple) -> Option<P> {
+        let si = self.shard_of(t);
+        let shard = &mut self.shards[si];
+        let p = shard.pos.remove(t)? as usize;
+        let (_, payload) = shard.order.swap_remove(p);
+        if let Some((moved, _)) = shard.order.get(p) {
+            *shard.pos.get_mut(moved).expect("moved tuple indexed") = p as u32;
+        }
+        for (cols, per_shard) in self.indexes.iter_mut() {
+            let idx = &mut per_shard[si];
+            let key = key_of(t, cols);
+            if let Some(list) = idx.get_mut(&key) {
+                if let Some(i) = list.iter().position(|x| x == t) {
+                    list.swap_remove(i);
+                }
+                if list.is_empty() {
+                    idx.remove(&key);
+                }
+            }
+        }
+        Some(payload)
+    }
+
+    /// Build the secondary index on `cols` (per shard) if missing.
+    /// Returns `true` when the index was newly built.
+    pub fn ensure_index(&mut self, cols: &[usize]) -> bool {
+        if self.indexes.contains_key(cols) {
+            return false;
+        }
+        let mut per_shard: Vec<SymIndex> = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let mut idx = SymIndex::new();
+            for (t, _) in &s.order {
+                idx.entry(key_of(t, cols)).or_default().push(t.clone());
+            }
+            per_shard.push(idx);
+        }
+        self.indexes.insert(Box::from(cols), per_shard);
+        true
+    }
+
+    /// Probe one shard's index. Missing index or key ⇒ empty. The result
+    /// borrows only the relation (`'s`), not the probe key, so callers can
+    /// reuse their key buffer while iterating the posting list.
+    #[inline]
+    pub fn probe_shard<'s>(&'s self, shard: usize, cols: &[usize], key: &[Sym]) -> &'s [SymTuple] {
+        self.indexes
+            .get(cols)
+            .and_then(|per_shard| per_shard[shard].get(key))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Probe every shard's index in shard order, appending the non-empty
+    /// posting lists to `out` (used when the probe's bound columns do not
+    /// cover the partition columns, so no single shard can answer). The
+    /// column set is hashed once; only the per-shard key lookups repeat.
+    pub fn probe_slices_into<'s>(
+        &'s self,
+        cols: &[usize],
+        key: &[Sym],
+        out: &mut Vec<&'s [SymTuple]>,
+    ) {
+        let Some(per_shard) = self.indexes.get(cols) else {
+            return;
+        };
+        for idx in per_shard {
+            if let Some(list) = idx.get(key) {
+                if !list.is_empty() {
+                    out.push(list.as_slice());
+                }
+            }
+        }
+    }
+
+    /// Iterate all live tuples in shard-major sequence order (**not**
+    /// insertion order once anything was removed — removal swaps the
+    /// last tuple into the hole). Given the same mutation sequence, two
+    /// instances iterate identically — the determinism the parallel
+    /// engine's replay parity rests on.
+    pub fn iter(&self) -> impl Iterator<Item = (&SymTuple, &P)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.order.iter().map(|(t, p)| (t, p)))
+    }
+
+    /// Iterate all live tuples (without payloads) in shard-major
+    /// sequence order (see [`iter`](Self::iter)).
+    pub fn iter_tuples(&self) -> impl Iterator<Item = &SymTuple> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.order.iter().map(|(t, _)| t))
+    }
+
+    /// Iterate one shard's live tuples in sequence order (see
+    /// [`iter`](Self::iter)).
+    pub fn iter_shard(&self, shard: usize) -> impl Iterator<Item = (&SymTuple, &P)> {
+        self.shards[shard].order.iter().map(|(t, p)| (t, p))
+    }
+
+    /// Number of live buckets across all shards' indexes (introspection
+    /// hook for the empty-bucket leak regression test).
+    pub fn index_buckets(&self) -> usize {
+        self.indexes
+            .values()
+            .flat_map(|per_shard| per_shard.iter())
+            .map(HashMap::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::ValueInterner;
+    use crate::value::Value;
+
+    fn st(i: &mut ValueInterner, vals: &[i64]) -> SymTuple {
+        let t: crate::Tuple = vals.iter().map(|&v| Value::Int(v)).collect();
+        i.intern_tuple(&t)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+        let a = st(&mut i, &[1, 10]);
+        let b = st(&mut i, &[2, 20]);
+        r.insert(a.clone(), 7);
+        r.insert(b.clone(), 8);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&a));
+        assert_eq!(r.get(&a), Some(7));
+        assert_eq!(r.remove(&a), Some(7));
+        assert_eq!(r.remove(&a), None);
+        assert!(!r.contains(&a));
+        assert_eq!(r.get(&b), Some(8));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_index_duplicates() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+        let a = st(&mut i, &[1, 10]);
+        r.ensure_index(&[0]);
+        r.insert(a.clone(), 1);
+        r.insert(a.clone(), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&a), Some(2));
+        let s = r.shard_of(&a);
+        let key = [a[0]];
+        assert_eq!(r.probe_shard(s, &[0], &key).len(), 1);
+    }
+
+    #[test]
+    fn covering_probe_hits_single_shard() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(8, vec![0]);
+        for k in 0..50i64 {
+            let t = st(&mut i, &[k, k * 2]);
+            r.insert(t, k as u32);
+        }
+        r.ensure_index(&[0]);
+        for k in 0..50i64 {
+            let t = st(&mut i, &[k, k * 2]);
+            let key = [t[0]];
+            // Partition col 0 sits at position 0 of the probe key.
+            let shard = r.shard_for_key(&[0], &key);
+            assert_eq!(shard, r.shard_of(&t));
+            let hits = r.probe_shard(shard, &[0], &key);
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0], t);
+        }
+    }
+
+    #[test]
+    fn non_covering_probe_fans_out() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(8, vec![0]);
+        // Many keys, same second column.
+        let common = 99i64;
+        for k in 0..40i64 {
+            r.insert(st(&mut i, &[k, common]), 0);
+        }
+        r.insert(st(&mut i, &[1000, 7]), 0);
+        r.ensure_index(&[1]);
+        let c = st(&mut i, &[0, common]);
+        let key = [c[1]];
+        let mut slices: Vec<&[SymTuple]> = Vec::new();
+        r.probe_slices_into(&[1], &key, &mut slices);
+        let hits: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(hits, 40);
+    }
+
+    #[test]
+    fn iteration_is_shard_major_sequence_order_and_deterministic() {
+        let mut i = ValueInterner::new();
+        let build = |i: &mut ValueInterner| {
+            let mut r: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+            for k in 0..30i64 {
+                r.insert(st(i, &[k, 0]), k as u32);
+            }
+            r.remove(&st(i, &[7, 0]));
+            r.remove(&st(i, &[23, 0]));
+            r.insert(st(i, &[7, 0]), 77);
+            r
+        };
+        let a = build(&mut i);
+        let b = build(&mut i);
+        let seq_a: Vec<(SymTuple, u32)> = a.iter().map(|(t, p)| (t.clone(), *p)).collect();
+        let seq_b: Vec<(SymTuple, u32)> = b.iter().map(|(t, p)| (t.clone(), *p)).collect();
+        assert_eq!(seq_a, seq_b, "same mutations ⇒ same iteration order");
+        assert_eq!(a.len(), 29);
+    }
+
+    #[test]
+    fn per_shard_iteration_covers_everything_once() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+        for k in 0..25i64 {
+            r.insert(st(&mut i, &[k, 1]), 0);
+        }
+        let total: usize = (0..r.shard_count()).map(|s| r.iter_shard(s).count()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(r.iter().count(), 25);
+    }
+
+    #[test]
+    fn removal_drops_empty_index_buckets() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(2, vec![0]);
+        r.ensure_index(&[0]);
+        for k in 0..20i64 {
+            r.insert(st(&mut i, &[k, 0]), 0);
+        }
+        for k in 0..20i64 {
+            r.remove(&st(&mut i, &[k, 0]));
+        }
+        assert_eq!(r.index_buckets(), 0, "no leaked empty buckets");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn whole_tuple_partition_when_no_part_cols() {
+        let mut i = ValueInterner::new();
+        let mut r: ShardedRel<u32> = ShardedRel::new(4, vec![]);
+        for k in 0..10i64 {
+            r.insert(st(&mut i, &[k]), 0);
+        }
+        assert_eq!(r.len(), 10);
+        let spread: usize = (0..4).filter(|&s| r.iter_shard(s).count() > 0).count();
+        assert!(spread >= 2, "tuples spread across shards");
+    }
+
+    #[test]
+    fn ensure_index_reports_first_build_only() {
+        let mut r: ShardedRel<u32> = ShardedRel::new(2, vec![0]);
+        assert!(r.ensure_index(&[1]));
+        assert!(!r.ensure_index(&[1]));
+        assert!(r.ensure_index(&[0, 1]));
+    }
+}

@@ -252,7 +252,13 @@ fn server_killed_mid_exchange_restart_resumes_at_gap_without_duplicates() {
     let b = PeerId::new("B");
 
     let first: ReconcileReport = site_b
-        .reconcile_with(&b, ExchangeOptions { page_limit: 2 })
+        .reconcile_with(
+            &b,
+            ExchangeOptions {
+                page_limit: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert!(first.unreachable, "outage reported, not errored");
     assert_eq!(first.pages, 3, "three pages landed before the cut");
@@ -267,7 +273,13 @@ fn server_killed_mid_exchange_restart_resumes_at_gap_without_duplicates() {
 
     // While down: polls degrade gracefully, state stays frozen.
     let down = site_b
-        .reconcile_with(&b, ExchangeOptions { page_limit: 2 })
+        .reconcile_with(
+            &b,
+            ExchangeOptions {
+                page_limit: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert!(down.unreachable);
     assert_eq!(down.fetched, 0);
@@ -279,7 +291,13 @@ fn server_killed_mid_exchange_restart_resumes_at_gap_without_duplicates() {
     // transaction exactly once.
     let server = PeerServer::bind(addr, backend).unwrap();
     let second = site_b
-        .reconcile_with(&b, ExchangeOptions { page_limit: 2 })
+        .reconcile_with(
+            &b,
+            ExchangeOptions {
+                page_limit: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
     assert!(!second.unreachable);
     assert_eq!(second.blocked_on, None);
