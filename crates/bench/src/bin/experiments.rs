@@ -15,12 +15,15 @@
 //!     e10 --connect peer-a:7654                                         # E10 vs a real peer
 //! ```
 //!
-//! With `--json-dir`, experiments E1/E4/E7/E8/E10/E11 additionally write
-//! machine-readable `BENCH_*.json` (tuples/sec, semi-naive rounds, rule
-//! firings, paged fetch + availability counters, thread-scaling speedups
-//! and stats-parity flags, and a peak-RSS proxy); `--smoke` shrinks the
-//! workloads for CI, `--variant <tag>` labels the run (e.g. `baseline`
-//! vs `interned`).
+//! With `--json-dir`, experiments E1/E4/E7/E8/E10/E11/E12 additionally
+//! write machine-readable `BENCH_*.json` (tuples/sec, semi-naive rounds,
+//! rule firings, paged fetch + availability counters, thread-scaling
+//! speedups and stats-parity flags, mesh-cluster convergence latency +
+//! bytes shipped, and a peak-RSS proxy); `--smoke` shrinks the workloads
+//! for CI, `--variant <tag>` labels the run (e.g. `baseline` vs
+//! `interned`). E12 spawns child OS processes of this same binary (a
+//! hidden `--e12-child` mode) to run the gossiping mesh across real
+//! process boundaries.
 
 use orchestra_bench::json::{BenchReport, Json};
 use orchestra_bench::*;
@@ -102,6 +105,15 @@ impl Opts {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Hidden child mode: one process of the E12 mesh cluster, driven by
+    // the parent over stdin/stdout. Checked before option parsing so the
+    // positional child arguments never collide with experiment names.
+    if args.first().map(String::as_str) == Some("--e12-child") {
+        orchestra_bench::mesh_cluster::e12_child_main(&args[1..]);
+        return;
+    }
+
     let opts = Opts::parse(&args);
 
     if let Some(addr) = &opts.bind {
@@ -144,6 +156,10 @@ fn main() {
     }
     if opts.want("e11") {
         e11_threads(&opts);
+    }
+    if opts.want("e12") {
+        let report = orchestra_bench::mesh_cluster::e12_mesh_cluster(opts.smoke, &opts.variant);
+        opts.emit(&report);
     }
 }
 
@@ -1023,7 +1039,7 @@ pub fn e10_network(opts: &Opts) -> BenchReport {
         let remote =
             RemoteStore::connect_with(addr.as_str(), client_opts).expect("connect to archive");
         // One probe serves both the epoch base and the scan start.
-        let (_, latest, _) = remote.probe().expect("probe archive");
+        let (_, latest, _, _) = remote.probe().expect("probe archive");
         let epoch_base = latest.map_or(0, |e| e.value());
         let batches = make_txns(epoch_base + li as u64);
         let scan_from = latest.unwrap_or_else(Epoch::zero);

@@ -5,6 +5,7 @@
 //! index). Everything is deterministic given a seed.
 
 pub mod json;
+pub mod mesh_cluster;
 pub mod workloads;
 
 pub use workloads::*;

@@ -2,9 +2,12 @@
 //! validate the shape of the emitted `BENCH_*.json` files, including the
 //! pagination/availability counters added with the paged exchange, the
 //! E10 loopback-network counters (round trips, wire-visible gaps,
-//! transport failures mapped to `Unavailable`), and the E11
-//! thread-scaling report (per-thread-count rows, shard count, and the
-//! stats-parity fields the shard-parallel engine must pin).
+//! transport failures mapped to `Unavailable`), the E11 thread-scaling
+//! report (per-thread-count rows, shard count, and the stats-parity
+//! fields the shard-parallel engine must pin), and the E12 mesh-cluster
+//! report (OS-process count, simulated peers, churn evidence,
+//! convergence flags, per-node server counters, and the
+//! interest-vs-full shipped-bytes comparison).
 
 use orchestra_bench::json::{validate_report_shape, Json};
 use std::process::Command;
@@ -22,6 +25,7 @@ fn smoke_run_emits_valid_bench_json() {
             "e8",
             "e10",
             "e11",
+            "e12",
             "--smoke",
             "--variant",
             "ci-smoke",
@@ -37,7 +41,7 @@ fn smoke_run_emits_valid_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    for exp in ["e1", "e4", "e7", "e8", "e10", "e11"] {
+    for exp in ["e1", "e4", "e7", "e8", "e10", "e11", "e12"] {
         let path = dir.join(format!("BENCH_{exp}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
@@ -147,6 +151,64 @@ fn smoke_run_emits_valid_bench_json() {
                         "{exp}: zero-throughput row"
                     );
                 }
+            }
+            // E12 gossips across real OS processes: the run must span
+            // ≥ 4 processes and ≥ 8 simulated peers, observe the churn
+            // (dead-neighbor failures while a process was down), compact
+            // every archival store, converge in every phase, and show
+            // interest-based nodes shipping strictly fewer bytes than
+            // full-replication nodes. Every row carries the served-side
+            // per-message-type counters (the v2 PROBE surface).
+            "e12" => {
+                assert!(pages > 0.0, "{exp}: no pull pages recorded");
+                assert_eq!(unavailable, 0.0, "{exp}: unexpected store gaps");
+                let s = |key: &str| {
+                    summary
+                        .get(key)
+                        .unwrap_or_else(|| panic!("{exp}: summary missing `{key}`"))
+                        .as_f64()
+                        .unwrap()
+                };
+                assert!(s("processes") >= 4.0, "{exp}: needs ≥ 4 OS processes");
+                assert!(s("sim_peers") >= 8.0, "{exp}: needs ≥ 8 simulated peers");
+                assert_eq!(
+                    summary.get("converged"),
+                    Some(&Json::Bool(true)),
+                    "{exp}: cluster failed to converge"
+                );
+                assert!(s("churn_failures") > 0.0, "{exp}: churn left no trace");
+                assert!(
+                    s("compactions") >= 4.0,
+                    "{exp}: archival stores not compacted"
+                );
+                assert!(
+                    s("bytes_recv_interest_avg") < s("bytes_recv_full_avg"),
+                    "{exp}: interest-based nodes must ship less than full replication"
+                );
+                let rows = doc.get("rows").unwrap().as_arr().unwrap();
+                assert!(rows.len() >= 8, "{exp}: expected a row per mesh node");
+                let mut modes = std::collections::BTreeSet::new();
+                for row in rows {
+                    modes.insert(row.get("mode").unwrap().as_str().unwrap().to_string());
+                    assert!(
+                        row.get("archive_len").unwrap().as_f64().unwrap() > 0.0,
+                        "{exp}: empty archive after convergence"
+                    );
+                    for key in ["served_digests", "served_pulls", "served_subscriptions"] {
+                        assert!(
+                            row.get(key)
+                                .unwrap_or_else(|| panic!("{exp}: row missing `{key}`"))
+                                .as_f64()
+                                .is_some(),
+                            "{exp}: non-numeric `{key}`"
+                        );
+                    }
+                }
+                assert_eq!(
+                    modes.into_iter().collect::<Vec<_>>(),
+                    ["full", "interest"],
+                    "{exp}: both replication modes must be present"
+                );
             }
             // E4/E7 drive engine/reconciler directly: present but zero.
             _ => {

@@ -13,6 +13,7 @@ use orchestra_store::{
 };
 use orchestra_updates::{Epoch, LogicalClock, PeerId, Transaction, TxnId, Update};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Tunables for one update exchange ([`Cdss::reconcile_with`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +194,13 @@ impl CdssBuilder {
 
     /// Build with a caller-provided store (e.g. the simulated DHT).
     pub fn build_with_store(self, store: Box<dyn UpdateStore>) -> Result<Cdss> {
+        self.build_with_shared(Arc::from(store))
+    }
+
+    /// Build with a store the caller keeps a handle on — what a gossiping
+    /// node needs: the mesh layer serves and merges the same archive this
+    /// CDSS reconciles from.
+    pub fn build_with_shared(self, store: Arc<dyn UpdateStore>) -> Result<Cdss> {
         if self.peers.is_empty() {
             return Err(CoreError::Config("a CDSS needs at least one peer".into()));
         }
@@ -251,7 +259,7 @@ impl CdssBuilder {
 pub struct Cdss {
     peers: BTreeMap<PeerId, Peer>,
     mappings: Vec<Tgd>,
-    store: Box<dyn UpdateStore>,
+    store: Arc<dyn UpdateStore>,
     clock: LogicalClock,
     published_txns: u64,
 }
@@ -289,6 +297,82 @@ impl Cdss {
     /// The shared update store.
     pub fn store(&self) -> &dyn UpdateStore {
         &*self.store
+    }
+
+    /// A second handle on the update store — for serving it over the
+    /// network or merging gossip into it while this CDSS keeps
+    /// reconciling from it.
+    pub fn shared_store(&self) -> Arc<dyn UpdateStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Tell the CDSS that transactions spanning `[min_epoch, max_epoch]`
+    /// were merged into the archive *behind its back* (an anti-entropy
+    /// absorb). Reconciliation assumes the archive only grows past each
+    /// peer's frontier; an absorb can backfill epochs a cursor already
+    /// passed, so every peer whose frontier is beyond `min_epoch` is
+    /// rewound to scan from there again — the `ingested` set makes the
+    /// rescan skip everything already applied, so nothing is applied
+    /// twice. The clock also observes `max_epoch`: later publishes must
+    /// land past everything archived.
+    pub fn note_absorbed(&mut self, min_epoch: Epoch, max_epoch: Epoch) {
+        self.clock.observe(max_epoch);
+        let backfill = FetchCursor::at_epoch(min_epoch);
+        for peer in self.peers.values_mut() {
+            let frontier = peer
+                .resume
+                .clone()
+                .unwrap_or_else(|| FetchCursor::after_epoch(peer.last_epoch));
+            let rewound = min_cursor(frontier.clone(), backfill.clone());
+            if rewound != frontier {
+                peer.resume = Some(rewound);
+                // Held-back ids and the scanned high-water describe the
+                // pre-absorb scan; the rescan re-derives both.
+                peer.held.clear();
+                peer.scanned_hw = None;
+            }
+        }
+    }
+
+    /// The relations this CDSS's peers need history for, as
+    /// owner-qualified `"Peer.Relation"` names: every local relation of
+    /// every peer, closed backwards over the mapping program — if a
+    /// mapping derives into a relation we need, everything its body reads
+    /// is needed too, transitively. A mesh node uses this as its interest
+    /// set: updates to any other relation can never reach any local
+    /// instance here, so there is no reason to store or ship them.
+    pub fn interest_set(&self) -> Vec<String> {
+        self.interest_set_for(&self.peer_ids())
+            .expect("own peer ids are known")
+    }
+
+    /// [`interest_set`](Cdss::interest_set) restricted to a subset of
+    /// peers — what a mesh node *hosting* only some of the declared
+    /// peers needs: the schema and mapping program are global knowledge,
+    /// but only the hosted peers' instances live here.
+    pub fn interest_set_for(&self, peers: &[PeerId]) -> Result<Vec<String>> {
+        let mut need: BTreeSet<String> = BTreeSet::new();
+        for id in peers {
+            let peer = self.peer(id)?;
+            need.extend(
+                peer.schema()
+                    .relations()
+                    .map(|r| crate::mapping::qualify(id, r.name())),
+            );
+        }
+        loop {
+            let mut grew = false;
+            for tgd in &self.mappings {
+                if tgd.head.iter().any(|h| need.contains(h.relation.as_ref())) {
+                    for atom in &tgd.body {
+                        grew |= need.insert(atom.relation.to_string());
+                    }
+                }
+            }
+            if !grew {
+                return Ok(need.into_iter().collect());
+            }
+        }
     }
 
     /// The current logical epoch.

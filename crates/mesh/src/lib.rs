@@ -1,0 +1,61 @@
+//! # orchestra-mesh
+//!
+//! Epidemic anti-entropy for the CDSS: peers converge on the published
+//! history by **gossiping digests and pulling only what they miss**, with
+//! **interest-based partial replication** so nobody stores or ships
+//! history no local mapping can ever read.
+//!
+//! The paper assumes the published transactions live in "a peer-to-peer
+//! distributed database" every participant can reach. `orchestra-net`
+//! (PR 4) gave one peer's archive a socket; this crate makes *many* such
+//! archives behave like one. Each [`MeshNode`] wraps a
+//! [`Cdss`](orchestra_core::Cdss) whose update store it also serves over
+//! TCP, keeps a membership list of neighbor addresses, and runs
+//! **anti-entropy rounds**:
+//!
+//! 1. pick a few random neighbors (deterministic under a seed),
+//! 2. fetch each neighbor's [`StoreDigest`](orchestra_store::StoreDigest)
+//!    — per-source sequence high-waters and per-relation transaction
+//!    counts, no payloads,
+//! 3. decide from the digest whether the neighbor holds anything new,
+//! 4. pull missing history page by page (`PullPages`), resuming frozen
+//!    cursors across node failures exactly like the PR 3 reconcile loop,
+//! 5. merge the pages into the local archive
+//!    ([`UpdateStore::absorb`](orchestra_store::UpdateStore::absorb) —
+//!    idempotent, out-of-epoch-order safe) and tell the local CDSS the
+//!    archive grew behind its back
+//!    ([`Cdss::note_absorbed`](orchestra_core::Cdss::note_absorbed)).
+//!
+//! ## Interest sets
+//!
+//! A node's interest set is the backward closure of its peers' relations
+//! over the mapping program
+//! ([`Cdss::interest_set`](orchestra_core::Cdss::interest_set)): exactly
+//! the owner-qualified relations whose updates could reach some local
+//! instance through a chain of mappings. Pulls send this set and the
+//! server ships only matching transactions — every other scanned
+//! position returns as a compact *skipped id*, which keeps the puller's
+//! per-source contiguity bookkeeping exact (see below) without paying
+//! for payloads.
+//!
+//! ## Why the bookkeeping is sound
+//!
+//! Publishers stamp dense per-source sequences (1, 2, 3, …) aligned with
+//! epoch order, so any `(epoch, id)` scan yields each source's positions
+//! in increasing sequence order. A node advances its **considered
+//! floor** for source `P` from `c` to `c'` only after witnessing every
+//! position in `(c, c']` during one neighbor scan — as a shipped
+//! payload, a skipped id, or not at all (which freezes the floor). Below
+//! the floor, everything is either stored locally or outside the node's
+//! interest; the floor is therefore safe to send as the `have` vector on
+//! later pulls, and anything overshipped anyway is deduplicated by the
+//! local absorb. Per-neighbor *drained digests* (the digest recorded
+//! when a scan ran to the end) keep rounds terminating even against
+//! neighbors whose extra history the node can never absorb.
+
+pub mod node;
+
+pub use node::{InterestMode, MeshNode, MeshOptions, MeshStats, RoundReport};
+
+/// Crate-wide result alias (mesh operations surface store errors).
+pub type Result<T> = std::result::Result<T, orchestra_store::StoreError>;

@@ -12,9 +12,9 @@
 //!
 //! [`PeerServer`]: crate::PeerServer
 
-use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use crate::proto::{PullPage, Request, Response, ServerCounters, PROTOCOL_VERSION};
 use orchestra_store::frame::{frame, FrameRead, FrameReader};
-use orchestra_store::{FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
+use orchestra_store::{FetchCursor, FetchPage, StoreDigest, StoreError, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::Mutex;
 use std::io::Write;
@@ -102,11 +102,18 @@ pub struct RemoteStore {
     opts: RemoteOptions,
     pool: Mutex<Vec<TcpStream>>,
     net: AtomicNetStats,
+    /// The protocol version the server answered at the last completed
+    /// handshake (0 until a dial succeeds). Talking to a v1 server, the
+    /// v2-only calls fail fast client-side instead of burning a round
+    /// trip on a guaranteed `ERR`.
+    negotiated: AtomicU64,
 }
 
 impl RemoteStore {
-    /// Attach to a server, verifying it speaks protocol v1 with one
-    /// eager dial (fails fast on a wrong address or incompatible peer).
+    /// Attach to a server, completing one eager version handshake (fails
+    /// fast on a wrong address or incompatible peer). Servers answering
+    /// any version from 1 through [`PROTOCOL_VERSION`] are accepted; the
+    /// negotiated version gates the v2-only calls.
     pub fn connect(addr: impl std::net::ToSocketAddrs + std::fmt::Display) -> crate::Result<Self> {
         RemoteStore::connect_with(addr, RemoteOptions::default())
     }
@@ -150,6 +157,7 @@ impl RemoteStore {
             opts,
             pool: Mutex::new(Vec::new()),
             net: AtomicNetStats::default(),
+            negotiated: AtomicU64::new(0),
         })
     }
 
@@ -189,7 +197,10 @@ impl RemoteStore {
                     version: PROTOCOL_VERSION,
                 },
             ) {
-                Ok(Response::HelloOk { version: 1 }) => return Ok(stream),
+                Ok(Response::HelloOk { version }) if (1..=PROTOCOL_VERSION).contains(&version) => {
+                    self.negotiated.store(version, Ordering::Relaxed);
+                    return Ok(stream);
+                }
                 Ok(Response::HelloOk { version }) => {
                     return Err(StoreError::InvalidConfig(format!(
                         "server `{}` negotiated unsupported protocol version {version}",
@@ -304,17 +315,96 @@ impl RemoteStore {
         Err(last.unwrap_or_else(|| self.transport_failure(format_args!("no attempt made"))))
     }
 
-    /// Archive metadata in one round trip: `(len, latest_epoch, stats)`
-    /// — what [`UpdateStore::len`], [`UpdateStore::latest_epoch`], and
-    /// [`UpdateStore::stats`] each report, without paying three RPCs.
-    pub fn probe(&self) -> crate::Result<(u64, Option<Epoch>, StoreStats)> {
+    /// Archive metadata in one round trip: `(len, latest_epoch, stats,
+    /// server)` — what [`UpdateStore::len`], [`UpdateStore::latest_epoch`],
+    /// and [`UpdateStore::stats`] each report, without paying three RPCs.
+    /// The last element carries the server's per-message-type counters on
+    /// v2 connections and is `None` against a v1 server.
+    pub fn probe(&self) -> crate::Result<(u64, Option<Epoch>, StoreStats, Option<ServerCounters>)> {
         let request = Request::Probe;
         match self.call(&request)? {
             Response::ProbeOk {
                 len,
                 latest_epoch,
                 stats,
-            } => Ok((len, latest_epoch, stats)),
+                server,
+            } => Ok((len, latest_epoch, stats, server)),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    /// The version the server answered at the last completed handshake
+    /// (0 until any operation has dialed successfully).
+    pub fn negotiated_version(&self) -> u64 {
+        self.negotiated.load(Ordering::Relaxed)
+    }
+
+    /// Fail fast client-side when a v2-only call targets a v1 server —
+    /// the server would answer the same `InvalidConfig`, one round trip
+    /// later. A cold store (version 0, nothing dialed yet) passes: the
+    /// call's own dial performs the handshake first.
+    fn need_v2(&self, what: &str) -> crate::Result<()> {
+        match self.negotiated_version() {
+            0 | 2.. => Ok(()),
+            v => Err(StoreError::InvalidConfig(format!(
+                "request `{what}` needs protocol version 2 but server `{}` \
+                 negotiated {v}",
+                self.addr_label
+            ))),
+        }
+    }
+
+    /// The server archive's anti-entropy digest — epoch high-water,
+    /// per-source sequence high-waters, per-relation transaction counts —
+    /// in one round trip. Protocol v2.
+    pub fn digest(&self) -> crate::Result<StoreDigest> {
+        self.need_v2("digest")?;
+        let request = Request::Digest;
+        match self.call(&request)? {
+            Response::DigestOk(digest) => Ok(digest),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    /// Register `peer`'s interest set (owner-qualified `Peer.Relation`
+    /// names) with the server, so its operator can see who replicates
+    /// what. Re-subscribing replaces the previous set. Protocol v2.
+    pub fn subscribe(&self, peer: &str, interest: Vec<String>) -> crate::Result<()> {
+        self.need_v2("subscribe")?;
+        let request = Request::Subscribe {
+            peer: peer.to_string(),
+            interest,
+        };
+        match self.call(&request)? {
+            Response::SubscribeOk => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    /// One anti-entropy page: the server scans `limit` positions from
+    /// `cursor` and ships only transactions matching `interest` (empty =
+    /// everything) whose sequence exceeds the puller's `have` floor for
+    /// that source; every other scanned position comes back as a skipped
+    /// id so per-source prefix bookkeeping stays exact. Protocol v2.
+    pub fn pull_pages(
+        &self,
+        cursor: &FetchCursor,
+        limit: u64,
+        interest: &[String],
+        have: &[(String, u64)],
+    ) -> crate::Result<PullPage> {
+        self.need_v2("pull_pages")?;
+        let request = Request::PullPages {
+            cursor: cursor.clone(),
+            limit,
+            interest: interest.to_vec(),
+            have: have.to_vec(),
+        };
+        match self.call(&request)? {
+            Response::Pages(page) => Ok(page),
             Response::Err(e) => Err(e),
             other => Err(self.unexpected(&request, other)),
         }
@@ -386,16 +476,20 @@ impl UpdateStore for RemoteStore {
 
     fn len(&self) -> usize {
         // Unreachable archive: nothing observable.
-        self.probe().map_or(0, |(len, _, _)| len as usize)
+        self.probe().map_or(0, |(len, ..)| len as usize)
     }
 
     fn latest_epoch(&self) -> Option<Epoch> {
-        self.probe().ok().and_then(|(_, latest, _)| latest)
+        self.probe().ok().and_then(|(_, latest, ..)| latest)
     }
 
     fn stats(&self) -> StoreStats {
         self.probe()
-            .map_or_else(|_| StoreStats::default(), |(_, _, stats)| stats)
+            .map_or_else(|_| StoreStats::default(), |(_, _, stats, _)| stats)
+    }
+
+    fn digest(&self) -> orchestra_store::Result<StoreDigest> {
+        RemoteStore::digest(self)
     }
 }
 

@@ -47,7 +47,9 @@ pub mod proto;
 pub mod server;
 
 pub use client::{NetStats, RemoteOptions, RemoteStore};
-pub use proto::{Request, Response, MAGIC, PROTOCOL_VERSION};
+pub use proto::{
+    required_version, PullPage, Request, Response, ServerCounters, MAGIC, PROTOCOL_VERSION,
+};
 pub use server::{PeerServer, ServerOptions, ServerStats};
 
 /// Crate-wide result alias (network operations surface store errors).

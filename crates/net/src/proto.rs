@@ -9,19 +9,27 @@
 //! for the full layout.
 //!
 //! ```text
-//! request  := HELLO      magic:u32le version:uvarint
-//!           | PUBLISH    batch                  (the WAL batch record)
-//!           | FETCH_PAGE cursor limit:uvarint
-//!           | FETCH      txn_id
+//! request  := HELLO       magic:u32le version:uvarint
+//!           | PUBLISH     batch                  (the WAL batch record)
+//!           | FETCH_PAGE  cursor limit:uvarint
+//!           | FETCH       txn_id
 //!           | PROBE
-//! response := HELLO_OK   version:uvarint
+//!           | DIGEST                                                (v2)
+//!           | SUBSCRIBE   peer:str n:uvarint str*                   (v2)
+//!           | PULL_PAGES  cursor limit:uvarint                      (v2)
+//!                         ni:uvarint str* nh:uvarint (peer:str hw:uvarint)*
+//! response := HELLO_OK    version:uvarint
 //!           | PUBLISH_OK
-//!           | PAGE       n:uvarint txn* u:uvarint (epoch:uvarint txn_id)*
-//!                        has_next:u8 [cursor]
-//!           | TXN        present:u8 [txn]
-//!           | PROBE_OK   len:uvarint has_latest:u8 [epoch:uvarint]
-//!                        stats:7×uvarint
-//!           | ERR        code:u8 fields…        (see `StoreError` table)
+//!           | PAGE        n:uvarint txn* u:uvarint (epoch:uvarint txn_id)*
+//!                         has_next:u8 [cursor]
+//!           | TXN         present:u8 [txn]
+//!           | PROBE_OK    len:uvarint has_latest:u8 [epoch:uvarint]
+//!                         stats:7×uvarint [server:3×uvarint]        (v2)
+//!           | DIGEST_OK   digest                                    (v2)
+//!           | SUBSCRIBE_OK                                          (v2)
+//!           | PAGES       n:uvarint txn* k:uvarint txn_id*          (v2)
+//!                         u:uvarint (epoch:uvarint txn_id)* has_next:u8 [cursor]
+//!           | ERR         code:u8 fields…        (see `StoreError` table)
 //! ```
 //!
 //! [`UpdateStore`]: orchestra_store::UpdateStore
@@ -30,12 +38,21 @@ use orchestra_store::durable::codec::{
     decode_batch, encode_batch, get_cursor, get_transaction, get_txn_id, put_cursor, put_str,
     put_transaction, put_txn_id, put_uvarint, CodecError, Cursor,
 };
-use orchestra_store::{FetchCursor, FetchPage, StoreError, StoreStats};
+use orchestra_store::{
+    FetchCursor, FetchPage, RelationDigest, StoreDigest, StoreError, StoreStats,
+};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 
-/// Protocol version spoken by this build. Version 1 is the only version;
-/// the HELLO exchange exists so future versions can negotiate down.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version spoken by this build.
+///
+/// * **v1** — the `UpdateStore` surface: `PUBLISH`/`FETCH_PAGE`/`FETCH`/
+///   `PROBE`.
+/// * **v2** — adds the mesh anti-entropy surface: `DIGEST`, `SUBSCRIBE`,
+///   `PULL_PAGES`, and server per-message-type counters appended to
+///   `PROBE_OK`. A v2 server still serves v1 clients byte-identically (the
+///   negotiated version is tracked per connection); a connection that
+///   negotiated v1 and then sends a v2 opcode gets a clean `ERR`.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Magic prefix of a HELLO payload: `"ORCN"` little-endian. A server
 /// reading anything else as its first frame is talking to something that
@@ -48,13 +65,28 @@ const OP_PUBLISH: u8 = 0x02;
 const OP_FETCH_PAGE: u8 = 0x03;
 const OP_FETCH: u8 = 0x04;
 const OP_PROBE: u8 = 0x05;
+const OP_DIGEST: u8 = 0x06;
+const OP_SUBSCRIBE: u8 = 0x07;
+const OP_PULL_PAGES: u8 = 0x08;
 // Response opcodes (high bit set).
 const OP_HELLO_OK: u8 = 0x81;
 const OP_PUBLISH_OK: u8 = 0x82;
 const OP_PAGE: u8 = 0x83;
 const OP_TXN: u8 = 0x84;
 const OP_PROBE_OK: u8 = 0x85;
+const OP_DIGEST_OK: u8 = 0x86;
+const OP_SUBSCRIBE_OK: u8 = 0x87;
+const OP_PAGES: u8 = 0x88;
 const OP_ERR: u8 = 0xee;
+
+/// The protocol version a request needs: v2 opcodes on a v1-negotiated
+/// connection are rejected by the server with a clean `ERR`.
+pub fn required_version(req: &Request) -> u64 {
+    match req {
+        Request::Digest | Request::Subscribe { .. } | Request::PullPages { .. } => 2,
+        _ => 1,
+    }
+}
 
 type Result<T> = std::result::Result<T, CodecError>;
 
@@ -88,6 +120,68 @@ pub enum Request {
     /// Archive metadata: length, latest epoch, counters — serves `len`,
     /// `latest_epoch`, and `stats` in one round trip.
     Probe,
+    /// The archive's [`StoreDigest`] — the anti-entropy advertisement
+    /// (v2, mirrors `UpdateStore::digest`).
+    Digest,
+    /// Register this connection's peer as a mesh subscriber with its
+    /// interest set (v2). Owner-qualified relation names; an empty
+    /// interest means full replication.
+    Subscribe {
+        /// The subscribing mesh peer's name.
+        peer: String,
+        /// Owner-qualified relations the peer maps from.
+        interest: Vec<String>,
+    },
+    /// One *filtered* page of the archive (v2): scan like `FETCH_PAGE`
+    /// but ship only transactions matching `interest` whose sequence is
+    /// beyond the puller's `have` floor — everything else comes back as
+    /// skipped ids so the puller can advance its prefix bookkeeping
+    /// without paying for payloads it holds or never wants.
+    PullPages {
+        /// Resume position.
+        cursor: FetchCursor,
+        /// Maximum positions to scan.
+        limit: u64,
+        /// Owner-qualified relations to ship (empty = ship everything).
+        interest: Vec<String>,
+        /// Per-source prefix floors: transactions with `seq <= hw` for
+        /// their publisher are skipped, not shipped.
+        have: Vec<(String, u64)>,
+    },
+}
+
+/// The body of a v2 `PAGES` response: one interest/have-filtered page.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PullPage {
+    /// Shipped transactions (matched interest, beyond the have floor).
+    pub txns: Vec<Transaction>,
+    /// Scanned positions deliberately *not* shipped (filtered by interest
+    /// or covered by the have floor), in scan order. Publishers stamp
+    /// dense sequences, so these ids let the puller keep per-source
+    /// prefix-completeness bookkeeping exact.
+    pub skipped: Vec<TxnId>,
+    /// Scanned positions whose payloads were unreachable server-side.
+    pub unavailable: Vec<(Epoch, TxnId)>,
+    /// Cursor for the next page, or `None` at end of archive.
+    pub next_cursor: Option<FetchCursor>,
+}
+
+impl PullPage {
+    /// Positions scanned by this page.
+    pub fn scanned(&self) -> usize {
+        self.txns.len() + self.skipped.len() + self.unavailable.len()
+    }
+}
+
+/// Per-message-type counters a v2 server appends to `PROBE_OK`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerCounters {
+    /// `DIGEST` requests served.
+    pub digests_served: u64,
+    /// `PULL_PAGES` requests served.
+    pub pull_pages: u64,
+    /// `SUBSCRIBE` registrations accepted.
+    pub subscriptions: u64,
 }
 
 /// A server → client message.
@@ -112,7 +206,17 @@ pub enum Response {
         latest_epoch: Option<Epoch>,
         /// The remote store's counters.
         stats: StoreStats,
+        /// The server's per-message-type counters — appended on v2
+        /// connections only, so a v1 `PROBE_OK` stays byte-identical to
+        /// what v1 servers produced.
+        server: Option<ServerCounters>,
     },
+    /// The archive's digest (v2).
+    DigestOk(StoreDigest),
+    /// Subscription registered (v2).
+    SubscribeOk,
+    /// One filtered anti-entropy page (v2).
+    Pages(PullPage),
     /// The operation failed on the server; carries the full
     /// [`StoreError`] so the client surfaces exactly what a local
     /// backend would have returned.
@@ -145,6 +249,34 @@ impl Request {
                 put_txn_id(&mut out, id);
             }
             Request::Probe => out.push(OP_PROBE),
+            Request::Digest => out.push(OP_DIGEST),
+            Request::Subscribe { peer, interest } => {
+                out.push(OP_SUBSCRIBE);
+                put_str(&mut out, peer);
+                put_uvarint(&mut out, interest.len() as u64);
+                for r in interest {
+                    put_str(&mut out, r);
+                }
+            }
+            Request::PullPages {
+                cursor,
+                limit,
+                interest,
+                have,
+            } => {
+                out.push(OP_PULL_PAGES);
+                put_cursor(&mut out, cursor);
+                put_uvarint(&mut out, *limit);
+                put_uvarint(&mut out, interest.len() as u64);
+                for r in interest {
+                    put_str(&mut out, r);
+                }
+                put_uvarint(&mut out, have.len() as u64);
+                for (peer, hw) in have {
+                    put_str(&mut out, peer);
+                    put_uvarint(&mut out, *hw);
+                }
+            }
         }
         out
     }
@@ -175,6 +307,37 @@ impl Request {
                 id: get_txn_id(&mut c)?,
             },
             OP_PROBE => Request::Probe,
+            OP_DIGEST => Request::Digest,
+            OP_SUBSCRIBE => {
+                let peer = c.str()?.to_owned();
+                let n = c.uvarint()? as usize;
+                let mut interest = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    interest.push(c.str()?.to_owned());
+                }
+                Request::Subscribe { peer, interest }
+            }
+            OP_PULL_PAGES => {
+                let cursor = get_cursor(&mut c)?;
+                let limit = c.uvarint()?;
+                let n = c.uvarint()? as usize;
+                let mut interest = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    interest.push(c.str()?.to_owned());
+                }
+                let h = c.uvarint()? as usize;
+                let mut have = Vec::with_capacity(h.min(65_536));
+                for _ in 0..h {
+                    let peer = c.str()?.to_owned();
+                    have.push((peer, c.uvarint()?));
+                }
+                Request::PullPages {
+                    cursor,
+                    limit,
+                    interest,
+                    have,
+                }
+            }
             other => return fail(&c, format!("unknown request opcode {other:#04x}")),
         };
         finish(c, req)
@@ -188,6 +351,9 @@ impl Request {
             Request::FetchPage { .. } => "fetch_page",
             Request::Fetch { .. } => "fetch",
             Request::Probe => "probe",
+            Request::Digest => "digest",
+            Request::Subscribe { .. } => "subscribe",
+            Request::PullPages { .. } => "pull_pages",
         }
     }
 }
@@ -235,6 +401,7 @@ impl Response {
                 len,
                 latest_epoch,
                 stats,
+                server,
             } => {
                 out.push(OP_PROBE_OK);
                 put_uvarint(&mut out, *len);
@@ -255,6 +422,42 @@ impl Response {
                     stats.degraded,
                 ] {
                     put_uvarint(&mut out, n);
+                }
+                // v2 appends the server counters; a v1 response body ends
+                // here, byte-identical to what v1 servers produced (v1
+                // decoders reject trailing bytes).
+                if let Some(sc) = server {
+                    for n in [sc.digests_served, sc.pull_pages, sc.subscriptions] {
+                        put_uvarint(&mut out, n);
+                    }
+                }
+            }
+            Response::DigestOk(d) => {
+                out.push(OP_DIGEST_OK);
+                put_digest(&mut out, d);
+            }
+            Response::SubscribeOk => out.push(OP_SUBSCRIBE_OK),
+            Response::Pages(page) => {
+                out.push(OP_PAGES);
+                put_uvarint(&mut out, page.txns.len() as u64);
+                for t in &page.txns {
+                    put_transaction(&mut out, t);
+                }
+                put_uvarint(&mut out, page.skipped.len() as u64);
+                for id in &page.skipped {
+                    put_txn_id(&mut out, id);
+                }
+                put_uvarint(&mut out, page.unavailable.len() as u64);
+                for (ep, id) in &page.unavailable {
+                    put_uvarint(&mut out, ep.value());
+                    put_txn_id(&mut out, id);
+                }
+                match &page.next_cursor {
+                    Some(cursor) => {
+                        out.push(1);
+                        put_cursor(&mut out, cursor);
+                    }
+                    None => out.push(0),
                 }
             }
             Response::Err(e) => {
@@ -318,11 +521,54 @@ impl Response {
                     unavailable: c.uvarint()?,
                     degraded: c.uvarint()?,
                 };
+                // A v1 body ends at the store stats; a v2 body appends the
+                // server's per-message-type counters.
+                let server = if c.is_empty() {
+                    None
+                } else {
+                    Some(ServerCounters {
+                        digests_served: c.uvarint()?,
+                        pull_pages: c.uvarint()?,
+                        subscriptions: c.uvarint()?,
+                    })
+                };
                 Response::ProbeOk {
                     len,
                     latest_epoch,
                     stats,
+                    server,
                 }
+            }
+            OP_DIGEST_OK => Response::DigestOk(get_digest(&mut c)?),
+            OP_SUBSCRIBE_OK => Response::SubscribeOk,
+            OP_PAGES => {
+                let n = c.uvarint()? as usize;
+                let mut txns = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    txns.push(get_transaction(&mut c)?);
+                }
+                let k = c.uvarint()? as usize;
+                let mut skipped = Vec::with_capacity(k.min(65_536));
+                for _ in 0..k {
+                    skipped.push(get_txn_id(&mut c)?);
+                }
+                let u = c.uvarint()? as usize;
+                let mut unavailable = Vec::with_capacity(u.min(65_536));
+                for _ in 0..u {
+                    let ep = Epoch::new(c.uvarint()?);
+                    unavailable.push((ep, get_txn_id(&mut c)?));
+                }
+                let next_cursor = match c.u8()? {
+                    0 => None,
+                    1 => Some(get_cursor(&mut c)?),
+                    other => return fail(&c, format!("bad next-cursor flag {other}")),
+                };
+                Response::Pages(PullPage {
+                    txns,
+                    skipped,
+                    unavailable,
+                    next_cursor,
+                })
             }
             OP_ERR => Response::Err(get_store_error(&mut c)?),
             other => return fail(&c, format!("unknown response opcode {other:#04x}")),
@@ -402,6 +648,73 @@ fn get_store_error(c: &mut Cursor<'_>) -> Result<StoreError> {
     })
 }
 
+// digest := len:uvarint has_latest:u8 [epoch:uvarint]
+//           ns:uvarint (source:str hw:uvarint)*
+//           nr:uvarint (name:str has_latest:u8 [epoch:uvarint] txns:uvarint)*
+fn put_digest(out: &mut Vec<u8>, d: &StoreDigest) {
+    put_uvarint(out, d.len);
+    put_opt_epoch(out, d.latest_epoch);
+    put_uvarint(out, d.sources.len() as u64);
+    for (source, hw) in &d.sources {
+        put_str(out, source);
+        put_uvarint(out, *hw);
+    }
+    put_uvarint(out, d.relations.len() as u64);
+    for (name, r) in &d.relations {
+        put_str(out, name);
+        put_opt_epoch(out, r.latest_epoch);
+        put_uvarint(out, r.txns);
+    }
+}
+
+fn get_digest(c: &mut Cursor<'_>) -> Result<StoreDigest> {
+    let len = c.uvarint()?;
+    let latest_epoch = get_opt_epoch(c)?;
+    let ns = c.uvarint()? as usize;
+    let mut sources = std::collections::BTreeMap::new();
+    for _ in 0..ns {
+        let source = c.str()?.to_owned();
+        sources.insert(source, c.uvarint()?);
+    }
+    let nr = c.uvarint()? as usize;
+    let mut relations = std::collections::BTreeMap::new();
+    for _ in 0..nr {
+        let name = c.str()?.to_owned();
+        let latest_epoch = get_opt_epoch(c)?;
+        relations.insert(
+            name,
+            RelationDigest {
+                latest_epoch,
+                txns: c.uvarint()?,
+            },
+        );
+    }
+    Ok(StoreDigest {
+        len,
+        latest_epoch,
+        sources,
+        relations,
+    })
+}
+
+fn put_opt_epoch(out: &mut Vec<u8>, e: Option<Epoch>) {
+    match e {
+        Some(ep) => {
+            out.push(1);
+            put_uvarint(out, ep.value());
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_epoch(c: &mut Cursor<'_>) -> Result<Option<Epoch>> {
+    match c.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Epoch::new(c.uvarint()?))),
+        other => fail(c, format!("bad epoch-present flag {other}")),
+    }
+}
+
 // --------------------------------------------------------------- helpers
 
 fn take4(c: &mut Cursor<'_>) -> Result<[u8; 4]> {
@@ -468,11 +781,55 @@ mod tests {
                 id: TxnId::new(PeerId::new("A"), 5),
             },
             Request::Probe,
+            Request::Digest,
+            Request::Subscribe {
+                peer: "Alaska".into(),
+                interest: vec!["Beijing.Entry".into(), "Paris.Entry".into()],
+            },
+            Request::Subscribe {
+                peer: "full".into(),
+                interest: vec![],
+            },
+            Request::PullPages {
+                cursor: FetchCursor::after_txn(Epoch::new(4), TxnId::new(PeerId::new("B"), 2)),
+                limit: 256,
+                interest: vec!["Alaska.R".into()],
+                have: vec![("Alaska".into(), 7), ("Beijing".into(), 0)],
+            },
+            Request::PullPages {
+                cursor: FetchCursor::at_epoch(Epoch::zero()),
+                limit: 1,
+                interest: vec![],
+                have: vec![],
+            },
         ];
         for req in reqs {
             let bytes = req.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), req, "{}", req.label());
         }
+    }
+
+    #[test]
+    fn required_versions() {
+        assert_eq!(required_version(&Request::Probe), 1);
+        assert_eq!(required_version(&Request::Hello { version: 2 }), 1);
+        assert_eq!(required_version(&Request::Digest), 2);
+        assert_eq!(
+            required_version(&Request::Subscribe {
+                peer: "p".into(),
+                interest: vec![]
+            }),
+            2
+        );
+        assert_eq!(
+            required_version(&Request::PullPages {
+                cursor: FetchCursor::at_epoch(Epoch::zero()),
+                limit: 1,
+                interest: vec![],
+                have: vec![],
+            }),
+            2
+        );
     }
 
     #[test]
@@ -505,17 +862,61 @@ mod tests {
                     unavailable: 6,
                     degraded: 7,
                 },
+                server: None,
             },
             Response::ProbeOk {
                 len: 0,
                 latest_epoch: None,
                 stats: StoreStats::default(),
+                server: Some(ServerCounters {
+                    digests_served: 11,
+                    pull_pages: 22,
+                    subscriptions: 33,
+                }),
             },
+            Response::DigestOk(sample_digest()),
+            Response::DigestOk(StoreDigest::default()),
+            Response::SubscribeOk,
+            Response::Pages(PullPage {
+                txns: vec![sample_txn(3)],
+                skipped: vec![
+                    TxnId::new(PeerId::new("A"), 1),
+                    TxnId::new(PeerId::new("C"), 4),
+                ],
+                unavailable: vec![(Epoch::new(2), TxnId::new(PeerId::new("B"), 9))],
+                next_cursor: Some(FetchCursor::after_txn(
+                    Epoch::new(3),
+                    TxnId::new(PeerId::new("Alaska"), 3),
+                )),
+            }),
+            Response::Pages(PullPage::default()),
         ];
         for resp in resps {
             let bytes = resp.encode();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    fn sample_digest() -> StoreDigest {
+        let mut d = StoreDigest::default();
+        d.observe(&sample_txn(1));
+        d.observe(&sample_txn(2));
+        d.observe_position(Epoch::new(5), &TxnId::new(PeerId::new("Ghost"), 3));
+        d
+    }
+
+    #[test]
+    fn v1_probe_ok_layout_is_unchanged() {
+        // A ProbeOk without server counters must encode to the exact v1
+        // body: opcode, len, epoch flag, 7 stat uvarints — nothing else.
+        let bytes = Response::ProbeOk {
+            len: 1,
+            latest_epoch: None,
+            stats: StoreStats::default(),
+            server: None,
+        }
+        .encode();
+        assert_eq!(bytes.len(), 1 + 1 + 1 + 7);
     }
 
     #[test]

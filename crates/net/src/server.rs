@@ -10,10 +10,13 @@
 //! started arriving must complete within `read_timeout`, and quiet
 //! connections are reaped after `idle_timeout`.
 
-use crate::proto::{Request, Response, PROTOCOL_VERSION};
+use crate::proto::{
+    required_version, PullPage, Request, Response, ServerCounters, PROTOCOL_VERSION,
+};
 use orchestra_store::frame::{crc32, frame, FRAME_HEADER, MAX_FRAME_LEN};
 use orchestra_store::{StoreError, UpdateStore};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -60,6 +63,23 @@ pub struct ServerStats {
     /// Connections dropped for protocol violations (bad magic, corrupt
     /// frames, mid-frame stalls).
     pub protocol_errors: u64,
+    /// `DIGEST` requests served (v2).
+    pub digests_served: u64,
+    /// `PULL_PAGES` requests served (v2).
+    pub pull_pages: u64,
+    /// `SUBSCRIBE` registrations accepted (v2).
+    pub subscriptions: u64,
+}
+
+impl ServerStats {
+    /// The v2 per-message-type counters appended to `PROBE_OK`.
+    pub fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            digests_served: self.digests_served,
+            pull_pages: self.pull_pages,
+            subscriptions: self.subscriptions,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -68,6 +88,9 @@ struct AtomicServerStats {
     requests: AtomicU64,
     errors: AtomicU64,
     protocol_errors: AtomicU64,
+    digests_served: AtomicU64,
+    pull_pages: AtomicU64,
+    subscriptions: AtomicU64,
 }
 
 impl AtomicServerStats {
@@ -77,6 +100,9 @@ impl AtomicServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            digests_served: self.digests_served.load(Ordering::Relaxed),
+            pull_pages: self.pull_pages.load(Ordering::Relaxed),
+            subscriptions: self.subscriptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -91,6 +117,7 @@ pub struct PeerServer {
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<AtomicServerStats>,
+    subscriptions: Arc<Mutex<BTreeMap<String, Vec<String>>>>,
 }
 
 impl PeerServer {
@@ -110,6 +137,7 @@ impl PeerServer {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(AtomicServerStats::default());
+        let subscriptions = Arc::new(Mutex::new(BTreeMap::new()));
         let (tx, rx) = mpsc::channel::<Conn>();
         let rx = Arc::new(Mutex::new(rx));
 
@@ -120,6 +148,7 @@ impl PeerServer {
             let store = Arc::clone(&store);
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
+            let subscriptions = Arc::clone(&subscriptions);
             workers.push(std::thread::spawn(move || loop {
                 // Hold the receiver lock only while waiting for the next
                 // connection; serve it with the lock released. The wait
@@ -132,7 +161,14 @@ impl PeerServer {
                 };
                 match conn {
                     Ok(mut conn) => {
-                        match serve_turn(&mut conn, &*store, &shutdown, opts, &stats) {
+                        match serve_turn(
+                            &mut conn,
+                            &*store,
+                            &shutdown,
+                            opts,
+                            &stats,
+                            &subscriptions,
+                        ) {
                             // Quiet but healthy: hand the connection back
                             // to the queue so this worker can serve
                             // someone else.
@@ -176,6 +212,7 @@ impl PeerServer {
                             .send(Conn {
                                 stream,
                                 greeted: false,
+                                version: 0,
                                 idle_since: Instant::now(),
                             })
                             .is_err()
@@ -199,6 +236,7 @@ impl PeerServer {
             acceptor: Some(acceptor),
             workers,
             stats,
+            subscriptions,
         })
     }
 
@@ -210,6 +248,13 @@ impl PeerServer {
     /// Counters snapshot.
     pub fn stats(&self) -> ServerStats {
         self.stats.snapshot()
+    }
+
+    /// The mesh subscribers registered on this server (peer name →
+    /// interest set; an empty interest means full replication). Last
+    /// registration per peer wins.
+    pub fn subscribers(&self) -> BTreeMap<String, Vec<String>> {
+        self.subscriptions.lock().clone()
     }
 
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
@@ -254,6 +299,9 @@ struct Conn {
     stream: TcpStream,
     /// HELLO completed — until then only a handshake is accepted.
     greeted: bool,
+    /// The version negotiated at HELLO (0 before the handshake): v2
+    /// opcodes on a v1 connection are answered with a clean `ERR`.
+    version: u64,
     /// When this connection last did useful work (for idle reaping).
     idle_since: Instant,
 }
@@ -279,6 +327,7 @@ fn serve_turn(
     shutdown: &AtomicBool,
     opts: ServerOptions,
     stats: &AtomicServerStats,
+    subscriptions: &Mutex<BTreeMap<String, Vec<String>>>,
 ) -> Turn {
     for _ in 0..REQUESTS_PER_TURN {
         // Phase 1: wait one tick for the first byte of the next frame.
@@ -324,6 +373,7 @@ fn serve_turn(
                         return Turn::Close;
                     }
                     conn.greeted = true;
+                    conn.version = negotiated;
                 }
                 Ok(Request::Hello { version }) => {
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -351,7 +401,18 @@ fn serve_turn(
             }
         } else {
             let response = match Request::decode(&payload) {
-                Ok(req) => execute(store, req),
+                Ok(req) if required_version(&req) > conn.version => {
+                    // A v2 opcode on a connection that negotiated v1: the
+                    // request decoded fine, the *negotiation* forbids it.
+                    Response::Err(StoreError::InvalidConfig(format!(
+                        "request `{}` needs protocol version {} but this \
+                         connection negotiated {}",
+                        req.label(),
+                        required_version(&req),
+                        conn.version
+                    )))
+                }
+                Ok(req) => execute(store, req, conn.version, stats, subscriptions),
                 Err(e) => Response::Err(StoreError::Corrupt {
                     path: "<wire>".into(),
                     offset: e.offset as u64,
@@ -419,12 +480,17 @@ fn recv_started_frame(
 }
 
 /// Run one request against the backing store.
-fn execute(store: &dyn UpdateStore, req: Request) -> Response {
+fn execute(
+    store: &dyn UpdateStore,
+    req: Request,
+    version: u64,
+    stats: &AtomicServerStats,
+    subscriptions: &Mutex<BTreeMap<String, Vec<String>>>,
+) -> Response {
     match req {
-        // A second hello on an established connection is harmless.
-        Request::Hello { .. } => Response::HelloOk {
-            version: PROTOCOL_VERSION,
-        },
+        // A second hello on an established connection is harmless; the
+        // version negotiated at the first one stays in force.
+        Request::Hello { .. } => Response::HelloOk { version },
         Request::Publish { epoch, txns } => match store.publish(epoch, txns) {
             Ok(()) => Response::PublishOk,
             Err(e) => Response::Err(e),
@@ -443,8 +509,85 @@ fn execute(store: &dyn UpdateStore, req: Request) -> Response {
             len: store.len() as u64,
             latest_epoch: store.latest_epoch(),
             stats: store.stats(),
+            // v1 clients reject trailing bytes, so the counters are
+            // appended only on connections that negotiated v2.
+            server: (version >= 2).then(|| ServerCounters {
+                digests_served: stats.digests_served.load(Ordering::Relaxed),
+                pull_pages: stats.pull_pages.load(Ordering::Relaxed),
+                subscriptions: stats.subscriptions.load(Ordering::Relaxed),
+            }),
         },
+        Request::Digest => {
+            stats.digests_served.fetch_add(1, Ordering::Relaxed);
+            match store.digest() {
+                Ok(d) => Response::DigestOk(d),
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Subscribe { peer, interest } => {
+            stats.subscriptions.fetch_add(1, Ordering::Relaxed);
+            subscriptions.lock().insert(peer, interest);
+            Response::SubscribeOk
+        }
+        Request::PullPages {
+            cursor,
+            limit,
+            interest,
+            have,
+        } => {
+            stats.pull_pages.fetch_add(1, Ordering::Relaxed);
+            match store.fetch_page(&cursor, limit.min(usize::MAX as u64) as usize) {
+                Ok(page) => Response::Pages(filter_pull_page(page, &interest, &have)),
+                Err(e) => Response::Err(e),
+            }
+        }
     }
+}
+
+/// Apply a puller's interest set and per-source have floors to a scanned
+/// page: matching transactions beyond the floor ship whole; everything
+/// else scanned comes back as a skipped id so the puller's per-source
+/// prefix bookkeeping stays exact without paying for payloads.
+fn filter_pull_page(
+    page: orchestra_store::FetchPage,
+    interest: &[String],
+    have: &[(String, u64)],
+) -> PullPage {
+    let floor = |peer: &str| -> u64 {
+        have.iter()
+            .find(|(p, _)| p == peer)
+            .map(|(_, hw)| *hw)
+            .unwrap_or(0)
+    };
+    let mut out = PullPage {
+        next_cursor: page.next_cursor,
+        unavailable: page.unavailable,
+        ..PullPage::default()
+    };
+    for t in page.txns {
+        let held = t.id.seq <= floor(t.id.peer.name());
+        let wanted = interest.is_empty()
+            || t.updates.iter().any(|u| {
+                interest
+                    .iter()
+                    .any(|r| qualified_matches(r, t.id.peer.name(), u.relation()))
+            });
+        if held || !wanted {
+            out.skipped.push(t.id);
+        } else {
+            out.txns.push(t);
+        }
+    }
+    out
+}
+
+/// Does the owner-qualified interest entry `pattern`
+/// (`<publisher>.<relation>`) name this update?
+fn qualified_matches(pattern: &str, publisher: &str, relation: &str) -> bool {
+    pattern
+        .strip_prefix(publisher)
+        .and_then(|rest| rest.strip_prefix('.'))
+        .is_some_and(|rel| rel == relation)
 }
 
 fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {

@@ -275,6 +275,146 @@ fn graceful_shutdown_finishes_in_flight_requests() {
 }
 
 #[test]
+fn v2_anti_entropy_exchange_over_loopback() {
+    use orchestra_net::PullPage;
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+    assert_eq!(remote.negotiated_version(), 2);
+
+    remote
+        .publish(Epoch::new(1), vec![txn("A", 1), txn("B", 1)])
+        .unwrap();
+    remote.publish(Epoch::new(2), vec![txn("A", 2)]).unwrap();
+
+    // The digest summarizes the archive without shipping payloads.
+    let d = remote.digest().unwrap();
+    assert_eq!(d.len, 3);
+    assert_eq!(d.latest_epoch, Some(Epoch::new(2)));
+    assert_eq!(d.source_hw("A"), 2);
+    assert_eq!(d.source_hw("B"), 1);
+    assert_eq!(d.relation_txns("A.R"), 2);
+    assert_eq!(d.relation_txns("B.R"), 1);
+
+    // Interest registration lands in the server's registry.
+    remote.subscribe("alaska", vec!["A.R".to_string()]).unwrap();
+    assert_eq!(server.subscribers()["alaska"], vec!["A.R".to_string()]);
+
+    // Interest-filtered pull: B's positions come back as skipped ids in
+    // scan order, so the puller's prefix bookkeeping stays exact.
+    let page = remote
+        .pull_pages(
+            &FetchCursor::at_epoch(Epoch::zero()),
+            16,
+            &["A.R".to_string()],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(page.txns.len(), 2);
+    assert!(page.txns.iter().all(|t| t.id.peer.name() == "A"));
+    assert_eq!(page.skipped, vec![TxnId::new(PeerId::new("B"), 1)]);
+    assert!(page.unavailable.is_empty());
+    assert!(page.next_cursor.is_none());
+
+    // A have floor turns the puller's already-held prefix into skips too.
+    let page = remote
+        .pull_pages(
+            &FetchCursor::at_epoch(Epoch::zero()),
+            16,
+            &[],
+            &[("A".to_string(), 1)],
+        )
+        .unwrap();
+    let shipped: Vec<_> = page.txns.iter().map(|t| t.id.clone()).collect();
+    assert_eq!(
+        shipped,
+        vec![
+            TxnId::new(PeerId::new("B"), 1),
+            TxnId::new(PeerId::new("A"), 2)
+        ]
+    );
+    assert_eq!(page.skipped, vec![TxnId::new(PeerId::new("A"), 1)]);
+
+    // An empty scan window is an empty page, not an error.
+    let empty = remote
+        .pull_pages(&FetchCursor::after_epoch(Epoch::new(2)), 16, &[], &[])
+        .unwrap();
+    assert_eq!(empty, PullPage::default());
+
+    // The per-message-type counters ride back on the v2 probe.
+    let (len, _, _, counters) = remote.probe().unwrap();
+    assert_eq!(len, 3);
+    let c = counters.expect("v2 probe carries server counters");
+    assert_eq!(c.digests_served, 1);
+    assert_eq!(c.pull_pages, 3);
+    assert_eq!(c.subscriptions, 1);
+    server.shutdown();
+}
+
+/// An old (v1) client must never see undecodable bytes from a v2 server:
+/// v2 opcodes on a v1-negotiated connection answer a clean `ERR`, the
+/// connection keeps serving v1 traffic, and `PROBE_OK` keeps its exact
+/// v1 byte layout (no trailing counters).
+#[test]
+fn v1_negotiated_connection_gets_clean_err_for_v2_opcodes() {
+    use orchestra_net::{Request, Response};
+    use orchestra_store::frame::{frame, FrameRead, FrameReader};
+    use std::io::Write;
+
+    fn raw_call(stream: &mut std::net::TcpStream, req: &Request) -> Response {
+        stream.write_all(&frame(&req.encode())).unwrap();
+        match FrameReader::new(&mut *stream, 0).next_frame().unwrap() {
+            (_, FrameRead::Ok { payload, .. }) => Response::decode(&payload).unwrap(),
+            (_, other) => panic!("no response frame: {other:?}"),
+        }
+    }
+
+    let backend = Arc::new(InMemoryStore::new());
+    backend.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    match raw_call(&mut raw, &Request::Hello { version: 1 }) {
+        Response::HelloOk { version } => assert_eq!(version, 1, "server downgrades to v1"),
+        other => panic!("unexpected hello response: {other:?}"),
+    }
+
+    for req in [
+        Request::Digest,
+        Request::Subscribe {
+            peer: "old".to_string(),
+            interest: Vec::new(),
+        },
+        Request::PullPages {
+            cursor: FetchCursor::at_epoch(Epoch::zero()),
+            limit: 8,
+            interest: Vec::new(),
+            have: Vec::new(),
+        },
+    ] {
+        match raw_call(&mut raw, &req) {
+            Response::Err(StoreError::InvalidConfig(msg)) => {
+                assert!(msg.contains("version 2"), "{msg}");
+            }
+            other => panic!("expected a clean ERR, got {other:?}"),
+        }
+    }
+
+    // The connection was not poisoned, and the v1 probe body carries no
+    // trailing counters a v1 decoder would reject.
+    match raw_call(&mut raw, &Request::Probe) {
+        Response::ProbeOk { len, server: c, .. } => {
+            assert_eq!(len, 1);
+            assert!(c.is_none(), "v1 connection got v2 probe bytes");
+        }
+        other => panic!("unexpected probe response: {other:?}"),
+    }
+    assert_eq!(server.stats().protocol_errors, 0, "no frame-level errors");
+    server.shutdown();
+}
+
+#[test]
 fn garbage_speaking_client_is_rejected_not_served() {
     use std::io::{Read, Write};
     let backend = Arc::new(InMemoryStore::new());

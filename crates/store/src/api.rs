@@ -156,6 +156,92 @@ impl AtomicStats {
     }
 }
 
+/// Per-relation slice of a [`StoreDigest`]. Relations are keyed by their
+/// *owner-qualified* name `<publisher>.<relation>` (the publisher is the
+/// transaction's `id.peer`), so two peers' same-named relations digest
+/// independently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RelationDigest {
+    /// Latest epoch with archived transactions touching this relation.
+    pub latest_epoch: Option<Epoch>,
+    /// Archived transactions touching this relation.
+    ///
+    /// Because every publisher stamps a dense, monotonically increasing
+    /// sequence and the archive scan order `(epoch, id)` preserves it,
+    /// the set of a publisher's transactions touching one relation held
+    /// by any honest node is a *prefix* of that subsequence — so two
+    /// nodes interested in the relation can compare counts directly: the
+    /// larger count strictly contains the smaller.
+    pub txns: u64,
+}
+
+/// A compact, comparable summary of an archive — what a mesh peer
+/// advertises to its neighbors so anti-entropy rounds can decide *whether*
+/// and *what* to pull without shipping history.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreDigest {
+    /// Archived transactions (reachable or not).
+    pub len: u64,
+    /// The newest archived epoch, if any.
+    pub latest_epoch: Option<Epoch>,
+    /// Per-publisher high-water marks: the largest archived sequence
+    /// number per source peer. Sequences are dense (1, 2, 3, …) per
+    /// publisher, which makes prefix-completeness checkable from marks.
+    pub sources: BTreeMap<String, u64>,
+    /// Per owner-qualified relation (`<publisher>.<relation>`) summaries.
+    pub relations: BTreeMap<String, RelationDigest>,
+}
+
+impl StoreDigest {
+    /// Fold one archived transaction (with its payload) into the digest.
+    /// Each relation the transaction touches is credited once, however
+    /// many of its updates land there — `txns` counts transactions.
+    pub fn observe(&mut self, txn: &Transaction) {
+        self.observe_position(txn.epoch, &txn.id);
+        let touched: std::collections::BTreeSet<String> = txn
+            .updates
+            .iter()
+            .map(|u| format!("{}.{}", txn.id.peer.name(), u.relation()))
+            .collect();
+        for key in touched {
+            let r = self.relations.entry(key).or_default();
+            r.latest_epoch = Some(r.latest_epoch.map_or(txn.epoch, |e| e.max(txn.epoch)));
+            r.txns += 1;
+        }
+    }
+
+    /// Fold an archived *position* whose payload is unreachable: it still
+    /// counts toward `len`, `latest_epoch` and the source high-water mark
+    /// (the id is archived), but no relation is credited.
+    pub fn observe_position(&mut self, epoch: Epoch, id: &TxnId) {
+        self.len += 1;
+        self.latest_epoch = Some(self.latest_epoch.map_or(epoch, |e| e.max(epoch)));
+        let hw = self.sources.entry(id.peer.name().to_string()).or_default();
+        *hw = (*hw).max(id.seq);
+    }
+
+    /// The high-water sequence archived for `source` (0 when unseen).
+    pub fn source_hw(&self, source: &str) -> u64 {
+        self.sources.get(source).copied().unwrap_or(0)
+    }
+
+    /// Transactions archived for the owner-qualified `relation` (0 when
+    /// unseen).
+    pub fn relation_txns(&self, relation: &str) -> u64 {
+        self.relations.get(relation).map_or(0, |r| r.txns)
+    }
+}
+
+/// What [`UpdateStore::absorb`] did with an anti-entropy batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbsorbReport {
+    /// Transactions newly archived by this call.
+    pub absorbed: u64,
+    /// Transactions skipped because their id was already archived (or
+    /// repeated within the batch) — the idempotent-merge case.
+    pub duplicates: u64,
+}
+
 /// Where a cursor stands inside its epoch. Public so codecs (the durable
 /// archive's on-disk format, the network wire protocol) can give cursors
 /// a stable binary representation without this module knowing about
@@ -377,6 +463,48 @@ pub trait UpdateStore: Send + Sync {
 
     /// Counters snapshot.
     fn stats(&self) -> StoreStats;
+
+    /// Summarize the whole archive as a [`StoreDigest`] — the
+    /// advertisement a mesh peer gossips to its neighbors.
+    ///
+    /// The default implementation pages the archive front to back (and
+    /// therefore counts toward the fetch/page counters); backends with an
+    /// epoch index override it with a scan that never clones payloads.
+    fn digest(&self) -> crate::Result<StoreDigest> {
+        let mut d = StoreDigest::default();
+        for page in pages(
+            self,
+            FetchCursor::at_epoch(Epoch::zero()),
+            DEFAULT_PAGE_LIMIT,
+        ) {
+            let page = page?;
+            for t in &page.txns {
+                d.observe(t);
+            }
+            for (e, id) in &page.unavailable {
+                d.observe_position(*e, id);
+            }
+        }
+        Ok(d)
+    }
+
+    /// Merge anti-entropy transactions into the archive, keeping the
+    /// epochs their publishers stamped. Unlike [`publish`], `absorb` is
+    /// **idempotent** (already-archived ids are silently skipped, so
+    /// re-pulling an overlapping page is harmless) and **not epoch
+    /// monotone** (a gossip pull from a second neighbor can legitimately
+    /// carry history older than the newest local epoch — it lands behind
+    /// existing cursors, which is why mesh consumers rewind after a
+    /// backfill; see `orchestra-mesh`).
+    ///
+    /// Not every backend supports it: the default returns
+    /// [`StoreError::InvalidConfig`]. [`publish`]: UpdateStore::publish
+    fn absorb(&self, txns: Vec<Transaction>) -> crate::Result<AbsorbReport> {
+        let _ = txns;
+        Err(StoreError::InvalidConfig(
+            "this backend does not support anti-entropy absorb".into(),
+        ))
+    }
 }
 
 /// Iterate a store's pages from `cursor`: the loop every caller of

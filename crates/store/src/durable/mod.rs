@@ -38,7 +38,7 @@ pub use wal::SyncPolicy;
 use crate::api::{
     check_batch_ids, check_epoch_monotone, collect_page, index_epoch_ids, AtomicStats,
 };
-use crate::api::{FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
+use crate::api::{AbsorbReport, FetchCursor, FetchPage, StoreError, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::RwLock;
 use snapshot::{list_snapshots, snapshot_file_name};
@@ -503,6 +503,48 @@ impl UpdateStore for DurableStore {
             }
         }
         Ok(())
+    }
+
+    fn absorb(&self, txns: Vec<Transaction>) -> crate::Result<AbsorbReport> {
+        let mut inner = self.inner.write();
+        let mut report = AbsorbReport::default();
+        // Group fresh transactions by the epoch their publisher stamped;
+        // each group becomes one WAL batch record — recovery and
+        // compaction replay batches by their recorded epoch, so neither
+        // cares that gossip merges arrive out of epoch order.
+        let mut groups: BTreeMap<Epoch, Vec<Transaction>> = BTreeMap::new();
+        let mut incoming: std::collections::BTreeSet<TxnId> = std::collections::BTreeSet::new();
+        for t in txns {
+            if inner.index.contains_key(&t.id) || !incoming.insert(t.id.clone()) {
+                report.duplicates += 1;
+                continue;
+            }
+            report.absorbed += 1;
+            groups.entry(t.epoch).or_default().push(t);
+        }
+        for (epoch, batch) in groups {
+            // Durability first, exactly like `publish`.
+            let (seg, offset) = inner.wal.append_batch(epoch, &batch)?;
+            let Inner {
+                index,
+                by_epoch,
+                cache,
+                ..
+            } = &mut *inner;
+            index_batch(
+                index,
+                by_epoch,
+                cache,
+                self.opts.cache,
+                FileRef::Segment(seg),
+                offset,
+                epoch,
+                batch,
+            );
+            inner.batches_since_compact += 1;
+        }
+        self.stats.add_published(report.absorbed);
+        Ok(report)
     }
 
     fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage> {

@@ -45,8 +45,8 @@ pub mod memory;
 pub mod replicated;
 
 pub use api::{
-    pages, CursorBound, FetchCursor, FetchPage, Pages, StoreError, StoreStats, UpdateStore,
-    DEFAULT_PAGE_LIMIT,
+    pages, AbsorbReport, CursorBound, FetchCursor, FetchPage, Pages, RelationDigest, StoreDigest,
+    StoreError, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT,
 };
 pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, SyncPolicy};
 pub use memory::InMemoryStore;

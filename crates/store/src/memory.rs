@@ -3,7 +3,7 @@
 use crate::api::{
     check_batch_ids, check_epoch_monotone, collect_page, index_epoch_ids, AtomicStats,
 };
-use crate::api::{FetchCursor, FetchPage, StoreStats, UpdateStore};
+use crate::api::{AbsorbReport, FetchCursor, FetchPage, StoreDigest, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -86,6 +86,43 @@ impl UpdateStore for InMemoryStore {
 
     fn stats(&self) -> StoreStats {
         self.stats.snapshot()
+    }
+
+    fn digest(&self) -> crate::Result<StoreDigest> {
+        // Walk the epoch index under one read lock, observing payloads in
+        // place — no page materialization, no transaction clones.
+        let inner = self.inner.read();
+        let mut d = StoreDigest::default();
+        for (_, ids) in inner.by_epoch.iter() {
+            for id in ids {
+                d.observe(&inner.by_id[id]);
+            }
+        }
+        Ok(d)
+    }
+
+    fn absorb(&self, txns: Vec<Transaction>) -> crate::Result<AbsorbReport> {
+        let mut inner = self.inner.write();
+        let mut report = AbsorbReport::default();
+        let mut per_epoch: BTreeMap<Epoch, Vec<TxnId>> = BTreeMap::new();
+        for t in txns {
+            // Keep the epoch the publisher stamped — an anti-entropy
+            // merge preserves the global (epoch, id) order even when it
+            // arrives out of epoch order.
+            match inner.by_id.entry(t.id.clone()) {
+                std::collections::hash_map::Entry::Occupied(_) => report.duplicates += 1,
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    per_epoch.entry(t.epoch).or_default().push(t.id.clone());
+                    v.insert(t);
+                    report.absorbed += 1;
+                }
+            }
+        }
+        for (epoch, ids) in per_epoch {
+            index_epoch_ids(&mut inner.by_epoch, epoch, ids);
+        }
+        self.stats.add_published(report.absorbed);
+        Ok(report)
     }
 }
 
@@ -184,6 +221,79 @@ mod tests {
     fn empty_fetch() {
         let s = InMemoryStore::new();
         assert!(s.fetch_since(Epoch::zero()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn digest_summarizes_sources_and_relations() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(1), vec![txn("A", 1), txn("B", 1)])
+            .unwrap();
+        s.publish(Epoch::new(3), vec![txn("A", 2)]).unwrap();
+        let d = s.digest().unwrap();
+        assert_eq!(d.len, 3);
+        assert_eq!(d.latest_epoch, Some(Epoch::new(3)));
+        assert_eq!(d.source_hw("A"), 2);
+        assert_eq!(d.source_hw("B"), 1);
+        assert_eq!(d.source_hw("Z"), 0);
+        assert_eq!(d.relation_txns("A.R"), 2);
+        assert_eq!(d.relation_txns("B.R"), 1);
+        assert_eq!(
+            d.relations["A.R"].latest_epoch,
+            Some(Epoch::new(3)),
+            "relation epoch tracks the newest touch"
+        );
+        // The efficient override agrees with the trait's page-walk default.
+        struct ViaDefault<'a>(&'a InMemoryStore);
+        impl UpdateStore for ViaDefault<'_> {
+            fn publish(&self, e: Epoch, t: Vec<Transaction>) -> crate::Result<()> {
+                self.0.publish(e, t)
+            }
+            fn fetch_page(&self, c: &FetchCursor, l: usize) -> crate::Result<FetchPage> {
+                self.0.fetch_page(c, l)
+            }
+            fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
+                self.0.fetch(id)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn latest_epoch(&self) -> Option<Epoch> {
+                self.0.latest_epoch()
+            }
+            fn stats(&self) -> StoreStats {
+                self.0.stats()
+            }
+        }
+        assert_eq!(ViaDefault(&s).digest().unwrap(), d);
+    }
+
+    #[test]
+    fn absorb_merges_out_of_order_epochs_and_dedups() {
+        let s = InMemoryStore::new();
+        s.publish(Epoch::new(5), vec![txn("A", 1)]).unwrap();
+        // A gossip pull carrying older history plus an overlap.
+        let mut old = txn("B", 1);
+        old.epoch = Epoch::new(2);
+        let mut dup = txn("A", 1);
+        dup.epoch = Epoch::new(5);
+        let mut newer = txn("B", 2);
+        newer.epoch = Epoch::new(7);
+        let r = s
+            .absorb(vec![old.clone(), dup, newer.clone(), old.clone()])
+            .unwrap();
+        assert_eq!(r.absorbed, 2);
+        assert_eq!(r.duplicates, 2);
+        assert_eq!(s.len(), 3);
+        // The merged archive scans in global (epoch, id) order.
+        let all = s.fetch_since(Epoch::zero()).unwrap();
+        let order: Vec<u64> = all.iter().map(|t| t.epoch.value()).collect();
+        assert_eq!(order, vec![2, 5, 7]);
+        assert_eq!(all[0].id, old.id);
+        // publish stays epoch-monotone even after an absorb backfill.
+        assert!(matches!(
+            s.publish(Epoch::new(3), vec![txn("C", 1)]),
+            Err(StoreError::StaleEpoch { .. })
+        ));
     }
 
     #[test]

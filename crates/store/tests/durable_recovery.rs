@@ -394,3 +394,48 @@ fn fetch_page_cursor_resumes_across_restart() {
         fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+/// Anti-entropy absorb writes WAL batches with the epochs their
+/// publishers stamped — possibly *behind* the newest local epoch. The
+/// merged order must survive a reopen and a compaction, and re-absorbing
+/// the same transactions must stay idempotent across restarts.
+#[test]
+fn absorbed_out_of_order_epochs_survive_reopen_and_compaction() {
+    let dir = fresh_dir("absorb");
+    let scan_epochs = |store: &DurableStore| -> Vec<u64> {
+        store
+            .fetch_since(Epoch::zero())
+            .unwrap()
+            .iter()
+            .map(|t| t.epoch.value())
+            .collect()
+    };
+    {
+        let store = DurableStore::open_with(&dir, tiny_segments()).unwrap();
+        store.publish(Epoch::new(6), vec![txn("A", 1)]).unwrap();
+        // Gossip backfill: older epochs land behind the local frontier.
+        let mut b1 = txn("B", 1);
+        b1.epoch = Epoch::new(2);
+        let mut b2 = txn("B", 2);
+        b2.epoch = Epoch::new(9);
+        let r = store.absorb(vec![b1, b2, txn("A", 1)]).unwrap();
+        assert_eq!((r.absorbed, r.duplicates), (2, 1));
+        assert_eq!(scan_epochs(&store), vec![2, 6, 9]);
+    }
+    // Reopen replays the WAL: same merged order, still idempotent.
+    {
+        let store = DurableStore::open_with(&dir, tiny_segments()).unwrap();
+        assert_eq!(scan_epochs(&store), vec![2, 6, 9]);
+        let mut again = txn("B", 1);
+        again.epoch = Epoch::new(2);
+        let r = store.absorb(vec![again]).unwrap();
+        assert_eq!((r.absorbed, r.duplicates), (0, 1));
+        store.compact().unwrap();
+        assert_eq!(scan_epochs(&store), vec![2, 6, 9]);
+    }
+    // And once more after the compaction rewrote every file.
+    let store = DurableStore::open_with(&dir, tiny_segments()).unwrap();
+    assert_eq!(scan_epochs(&store), vec![2, 6, 9]);
+    assert_eq!(store.len(), 3);
+    fs::remove_dir_all(&dir).unwrap();
+}

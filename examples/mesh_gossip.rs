@@ -1,0 +1,130 @@
+//! A two-terminal gossiping mesh: run one process per peer and watch
+//! anti-entropy pull published history across the wire.
+//!
+//! Terminal 1 — peer A publishes a few rows and serves its archive:
+//! ```text
+//! cargo run --example mesh_gossip -- --host A --bind 127.0.0.1:7801 --publish 3
+//! ```
+//!
+//! Terminal 2 — peer B joins A, pulls what it misses, and reconciles
+//! its instance through the `A.R → B.R` mapping:
+//! ```text
+//! cargo run --example mesh_gossip -- --host B --bind 127.0.0.1:7802 \
+//!     --join 127.0.0.1:7801
+//! ```
+//!
+//! Both sides keep gossiping for `--watch` seconds (default 20), so you
+//! can start more peers, publish from either end (`--publish` works on
+//! B too — gossip is symmetric), or kill and restart one side and watch
+//! the frozen cursor resume. Every node also *serves* its archive, so a
+//! third terminal can `--join` either of the first two.
+
+use orchestra_datalog::{Atom, Tgd};
+use orchestra_mesh::{InterestMode, MeshNode, MeshOptions};
+use orchestra_reconcile::TrustPolicy;
+use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
+use orchestra_updates::{PeerId, Update};
+use std::time::{Duration, Instant};
+
+fn schema() -> DatabaseSchema {
+    DatabaseSchema::new("kv")
+        .with_relation(
+            RelationSchema::from_parts_keyed(
+                "R",
+                &[("k", ValueType::Int), ("v", ValueType::Int)],
+                &["k"],
+            )
+            .unwrap(),
+        )
+        .unwrap()
+}
+
+/// The shared picture both processes declare: peers A and B, and a
+/// mapping copying A's `R` into B's.
+fn cdss() -> orchestra_core::Cdss {
+    orchestra_core::Cdss::builder()
+        .peer("A", schema(), TrustPolicy::open(1))
+        .peer("B", schema(), TrustPolicy::open(1))
+        .mapping(
+            Tgd::new(
+                "MA->B/R",
+                vec![Atom::vars("A.R", &["k", "v"])],
+                vec![Atom::vars("B.R", &["k", "v"])],
+            )
+            .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut host = "A".to_string();
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut joins: Vec<String> = Vec::new();
+    let mut publish = 0u64;
+    let mut watch = 20u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag needs a value");
+        match a.as_str() {
+            "--host" => host = val(),
+            "--bind" => bind = val(),
+            "--join" => joins.push(val()),
+            "--publish" => publish = val().parse()?,
+            "--watch" => watch = val().parse()?,
+            other => panic!("unknown flag {other} (see the example header)"),
+        }
+    }
+
+    let peer = PeerId::new(host.as_str());
+    let mut node = MeshNode::start_hosting(
+        host.clone(),
+        cdss(),
+        vec![peer.clone()],
+        bind.as_str(),
+        MeshOptions {
+            fanout: 2,
+            interest: InterestMode::Everything,
+            ..MeshOptions::default()
+        },
+    )?;
+    println!("{host}: serving archive at {}", node.addr());
+    for addr in joins {
+        node.join(addr.as_str())?;
+        println!("{host}: joined {addr}");
+    }
+
+    for i in 0..publish {
+        let id = node.cdss_mut().publish_transaction(
+            &peer,
+            vec![Update::insert("R", tuple![i as i64, watch as i64])],
+        )?;
+        println!("{host}: published {id}");
+    }
+
+    // Gossip until the watch window closes, reporting whenever the
+    // archive or the hosted instance grows.
+    let deadline = Instant::now() + Duration::from_secs(watch);
+    let mut last_len = usize::MAX;
+    while Instant::now() < deadline {
+        let (round, _recon) = node.converge_step()?;
+        let len = node.cdss().store().len();
+        if len != last_len {
+            let rows = node
+                .cdss()
+                .peer(&peer)?
+                .instance()
+                .relation("R")
+                .map(|r| r.len())
+                .unwrap_or(0);
+            println!(
+                "{host}: archive {len} txns (+{} this round), instance R has {rows} rows",
+                round.absorbed
+            );
+            last_len = len;
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+    println!("{host}: done");
+    Ok(())
+}

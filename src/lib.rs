@@ -11,11 +11,15 @@
 //! * [`orchestra_datalog`] — mapping/chase engine
 //! * [`orchestra_updates`] — updates, transactions, dependency graphs
 //! * [`orchestra_store`] — the (simulated) P2P update archive
+//! * [`orchestra_net`] — wire protocol + peer server/client
+//! * [`orchestra_mesh`] — epidemic anti-entropy across mesh nodes
 //! * [`orchestra_reconcile`] — trust + reconciliation
 //! * [`orchestra_core`] — the CDSS itself
 
 pub use orchestra_core as core;
 pub use orchestra_datalog as datalog;
+pub use orchestra_mesh as mesh;
+pub use orchestra_net as net;
 pub use orchestra_provenance as provenance;
 pub use orchestra_reconcile as reconcile;
 pub use orchestra_relational as relational;
