@@ -15,7 +15,7 @@
 //!     e10 --connect peer-a:7654                                         # E10 vs a real peer
 //! ```
 //!
-//! With `--json-dir`, experiments E1/E4/E7/E8/E10/E11/E12 additionally
+//! With `--json-dir`, experiments E1/E4/E7/E8/E10/E11/E12/E13 additionally
 //! write machine-readable `BENCH_*.json` (tuples/sec, semi-naive rounds,
 //! rule firings, paged fetch + availability counters, thread-scaling
 //! speedups and stats-parity flags, mesh-cluster convergence latency +
@@ -159,6 +159,10 @@ fn main() {
     }
     if opts.want("e12") {
         let report = orchestra_bench::mesh_cluster::e12_mesh_cluster(opts.smoke, &opts.variant);
+        opts.emit(&report);
+    }
+    if opts.want("e13") {
+        let report = orchestra_bench::fault_cluster::e13_fault_cluster(opts.smoke, &opts.variant);
         opts.emit(&report);
     }
 }

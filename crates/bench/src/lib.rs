@@ -4,6 +4,7 @@
 //! One module per experiment family (see DESIGN.md §3 for the experiment
 //! index). Everything is deterministic given a seed.
 
+pub mod fault_cluster;
 pub mod json;
 pub mod mesh_cluster;
 pub mod workloads;

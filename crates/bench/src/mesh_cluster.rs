@@ -149,6 +149,14 @@ fn cluster_remote_opts() -> RemoteOptions {
         write_timeout: Duration::from_secs(10),
         pool_capacity: 2,
         retries: 0,
+        // Hardened transport: short equal-jitter backoff between retries
+        // (inert while `retries: 0`) and a per-endpoint circuit breaker
+        // so a dead child fast-fails instead of eating a connect timeout
+        // on every gossip round.
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(100),
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(200),
     }
 }
 

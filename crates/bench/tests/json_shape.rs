@@ -7,7 +7,9 @@
 //! fields the shard-parallel engine must pin), and the E12 mesh-cluster
 //! report (OS-process count, simulated peers, churn evidence,
 //! convergence flags, per-node server counters, and the
-//! interest-vs-full shipped-bytes comparison).
+//! interest-vs-full shipped-bytes comparison), and the E13
+//! fault-injection report (faults injected at every layer, quarantined
+//! == healed, zero duplicate applies, full convergence).
 
 use orchestra_bench::json::{validate_report_shape, Json};
 use std::process::Command;
@@ -26,6 +28,7 @@ fn smoke_run_emits_valid_bench_json() {
             "e10",
             "e11",
             "e12",
+            "e13",
             "--smoke",
             "--variant",
             "ci-smoke",
@@ -41,7 +44,7 @@ fn smoke_run_emits_valid_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    for exp in ["e1", "e4", "e7", "e8", "e10", "e11", "e12"] {
+    for exp in ["e1", "e4", "e7", "e8", "e10", "e11", "e12", "e13"] {
         let path = dir.join(format!("BENCH_{exp}.json"));
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
@@ -209,6 +212,54 @@ fn smoke_run_emits_valid_bench_json() {
                     ["full", "interest"],
                     "{exp}: both replication modes must be present"
                 );
+            }
+            // E13 injects deterministic faults at every layer and
+            // must come out whole: faults actually fired, every
+            // quarantined position healed from the mesh, the breaker
+            // tripped against the dead node, no transaction applied
+            // twice, and the cluster fully converged.
+            "e13" => {
+                assert!(pages > 0.0, "{exp}: no pull pages recorded");
+                let s = |key: &str| {
+                    summary
+                        .get(key)
+                        .unwrap_or_else(|| panic!("{exp}: summary missing `{key}`"))
+                        .as_f64()
+                        .unwrap()
+                };
+                assert!(s("faults_injected") > 0.0, "{exp}: no faults injected");
+                assert!(s("quarantined") > 0.0, "{exp}: bit rot left no quarantine");
+                assert_eq!(
+                    s("healed"),
+                    s("quarantined"),
+                    "{exp}: not every quarantined position healed"
+                );
+                assert_eq!(s("duplicate_applies"), 0.0, "{exp}: duplicate applies");
+                assert!(s("breaker_opened") > 0.0, "{exp}: breaker never opened");
+                assert_eq!(
+                    summary.get("converged"),
+                    Some(&Json::Bool(true)),
+                    "{exp}: cluster failed to converge"
+                );
+                for row in doc.get("rows").unwrap().as_arr().unwrap() {
+                    for key in [
+                        "len",
+                        "healed",
+                        "backoff_waits",
+                        "breaker_opened",
+                        "served_corrupt_frames",
+                        "served_timed_out_conns",
+                        "duplicate_applies",
+                    ] {
+                        assert!(
+                            row.get(key)
+                                .unwrap_or_else(|| panic!("{exp}: row missing `{key}`"))
+                                .as_f64()
+                                .is_some(),
+                            "{exp}: non-numeric `{key}`"
+                        );
+                    }
+                }
             }
             // E4/E7 drive engine/reconciler directly: present but zero.
             _ => {

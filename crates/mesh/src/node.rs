@@ -4,7 +4,7 @@
 use orchestra_core::{Cdss, CoreError, ReconcileReport};
 use orchestra_net::{PeerServer, PullPage, RemoteOptions, RemoteStore, ServerOptions};
 use orchestra_store::{FetchCursor, StoreDigest, StoreError, UpdateStore};
-use orchestra_updates::{Epoch, PeerId};
+use orchestra_updates::{Epoch, PeerId, TxnId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
@@ -73,6 +73,9 @@ pub struct MeshStats {
     pub neighbor_failures: u64,
     /// Interest registrations sent.
     pub subscriptions_sent: u64,
+    /// Locally quarantined positions repaired with bytes pulled from a
+    /// neighbor (re-indexed in place, not re-applied).
+    pub healed: u64,
 }
 
 /// What one [`MeshNode::run_round`] did.
@@ -86,6 +89,8 @@ pub struct RoundReport {
     pub absorbed: u64,
     /// Pulled transactions the archive already held.
     pub duplicates: u64,
+    /// Quarantined positions repaired from pulled bytes.
+    pub healed: u64,
 }
 
 /// A neighbor scan in progress: where to resume, and which sources this
@@ -133,6 +138,9 @@ pub struct MeshNode {
     own_sources: Vec<PeerId>,
     neighbors: Vec<Neighbor>,
     rng: StdRng,
+    /// The mixed (name-salted) seed the round RNG started from — logged
+    /// by harnesses so any run is replayable.
+    seed: u64,
     opts: MeshOptions,
     stats: MeshStats,
 }
@@ -190,6 +198,7 @@ impl MeshNode {
             own_sources,
             neighbors: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            seed,
             opts,
             stats: MeshStats::default(),
         })
@@ -198,6 +207,13 @@ impl MeshNode {
     /// This node's name on the mesh.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The effective neighbor-selection seed (the configured seed mixed
+    /// with the node name). Feeding it back through `MeshOptions::seed`
+    /// on a node with an empty name replays this node's round choices.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The address the node's archive is served on.
@@ -233,6 +249,27 @@ impl MeshNode {
     /// Gossip counters.
     pub fn stats(&self) -> MeshStats {
         self.stats
+    }
+
+    /// Transport counters summed across all neighbor links — the
+    /// backoff/breaker fields are how harnesses prove the hardened
+    /// client actually engaged under injected faults.
+    pub fn net_stats(&self) -> orchestra_net::NetStats {
+        self.neighbors
+            .iter()
+            .fold(orchestra_net::NetStats::default(), |mut acc, n| {
+                let ns = n.remote.net_stats();
+                acc.round_trips += ns.round_trips;
+                acc.connects += ns.connects;
+                acc.transport_errors += ns.transport_errors;
+                acc.unavailable_mapped += ns.unavailable_mapped;
+                acc.bytes_sent += ns.bytes_sent;
+                acc.bytes_received += ns.bytes_received;
+                acc.backoff_waits += ns.backoff_waits;
+                acc.breaker_opened += ns.breaker_opened;
+                acc.breaker_fast_fails += ns.breaker_fast_fails;
+                acc
+            })
     }
 
     /// Total frame bytes (sent, received) across all neighbor links.
@@ -319,6 +356,16 @@ impl MeshNode {
                 *e = (*e).max(*f);
             }
         }
+        // A quarantined position is a local hole even though it once
+        // counted toward a floor: cap each source below its lowest
+        // quarantined sequence, so neighbors re-ship the payload instead
+        // of skipping it as already held.
+        for (_, id) in self.archive.quarantined() {
+            if let Some(f) = floors.get_mut(id.peer.name()) {
+                *f = (*f).min(id.seq.saturating_sub(1));
+            }
+        }
+        floors.retain(|_, f| *f > 0);
         floors.into_iter().collect()
     }
 
@@ -330,6 +377,14 @@ impl MeshNode {
         self.stats.rounds += 1;
         let mut report = RoundReport::default();
         let mut span: Option<(Epoch, Epoch)> = None;
+        // Quarantined positions gossip as gaps: the drained snapshots
+        // said "nothing new here", but a hole opened locally since, so
+        // every neighbor is worth re-scanning for the repair bytes.
+        if !self.archive.quarantined().is_empty() {
+            for n in &mut self.neighbors {
+                n.drained = None;
+            }
+        }
         for i in self.pick_neighbors() {
             report.contacted += 1;
             match self.exchange_with(i, &mut span, &mut report) {
@@ -400,6 +455,13 @@ impl MeshNode {
         span: &mut Option<(Epoch, Epoch)>,
         report: &mut RoundReport,
     ) -> std::result::Result<(), ExchangeFail> {
+        if orchestra_fault::check("mesh.exchange").is_some() {
+            // An injected round-boundary failure: the exchange degrades
+            // exactly like a neighbor that dropped off mid-round.
+            return Err(ExchangeFail::Neighbor(StoreError::Unavailable {
+                txn: format!("<{}: injected failpoint: exchange abandoned>", self.name),
+            }));
+        }
         if !self.neighbors[i].subscribed {
             self.neighbors[i]
                 .remote
@@ -438,13 +500,13 @@ impl MeshNode {
                 }
             };
             let have = self.considered();
-            let page = self.neighbors[i]
+            let mut page = self.neighbors[i]
                 .remote
                 .pull_pages(&cursor, self.opts.page_limit, &self.interest, &have)
                 .map_err(ExchangeFail::Neighbor)?;
             self.stats.pulls += 1;
             self.stats.skipped_positions += page.skipped.len() as u64;
-            self.witness(i, &page);
+            let shipped: Vec<TxnId> = page.txns.iter().map(|t| t.id.clone()).collect();
             if !page.txns.is_empty() {
                 let (mut lo, mut hi) = (Epoch::zero(), Epoch::zero());
                 for (k, t) in page.txns.iter().enumerate() {
@@ -457,12 +519,17 @@ impl MeshNode {
                 }
                 let merged = self
                     .archive
-                    .absorb(page.txns)
+                    .absorb(std::mem::take(&mut page.txns))
                     .map_err(ExchangeFail::Local)?;
                 self.stats.txns_absorbed += merged.absorbed;
                 self.stats.duplicates += merged.duplicates;
+                self.stats.healed += merged.healed;
                 report.absorbed += merged.absorbed;
                 report.duplicates += merged.duplicates;
+                report.healed += merged.healed;
+                // Healed positions deliberately stay out of the rewind
+                // span: their bytes were applied before the quarantine,
+                // so a re-apply would double-count them.
                 if merged.absorbed > 0 {
                     *span = match span.take() {
                         None => Some((lo, hi)),
@@ -470,6 +537,12 @@ impl MeshNode {
                     };
                 }
             }
+            // Witness the page only now that its payloads are durably
+            // absorbed: advancing a floor before `absorb` succeeds
+            // would — on a failed append/fsync — tell every neighbor we
+            // hold positions we never stored, and the `have`-floor
+            // handshake would then skip them forever.
+            self.witness(i, &shipped, &page);
             match page.next_cursor {
                 Some(next) => {
                     if let Some(scan) = &mut self.neighbors[i].scan {
@@ -523,15 +596,15 @@ impl MeshNode {
     /// order), so a floor advances exactly while `floor + 1` keeps
     /// getting witnessed; a hole or an unavailable position breaks that
     /// source for the rest of the scan.
-    fn witness(&mut self, i: usize, page: &PullPage) {
+    fn witness(&mut self, i: usize, shipped: &[TxnId], page: &PullPage) {
         let n = &mut self.neighbors[i];
         let Some(scan) = &mut n.scan else { return };
         let mut events: BTreeMap<String, Vec<(u64, bool)>> = BTreeMap::new();
-        for t in &page.txns {
+        for id in shipped {
             events
-                .entry(t.id.peer.name().to_string())
+                .entry(id.peer.name().to_string())
                 .or_default()
-                .push((t.id.seq, true));
+                .push((id.seq, true));
         }
         for id in &page.skipped {
             events

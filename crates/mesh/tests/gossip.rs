@@ -82,6 +82,7 @@ fn fast_remote() -> RemoteOptions {
         write_timeout: Duration::from_secs(5),
         pool_capacity: 2,
         retries: 0,
+        ..RemoteOptions::default()
     }
 }
 
@@ -459,4 +460,113 @@ fn dead_neighbor_freezes_cursor_and_resumes_clean() {
     // A healthy mesh keeps converging end to end.
     let step: Result<_, CoreError> = a.converge_step();
     assert!(step.is_ok(), "{step:?}");
+}
+
+/// Self-healing over the mesh: bit rot in a node's durable archive is
+/// quarantined by the scrubber, gossiped as a gap, and repaired with
+/// checksum-verified bytes pulled from a neighbor — without a single
+/// transaction being re-applied to any peer instance.
+#[test]
+fn quarantined_positions_heal_from_a_neighbor_without_reapplying() {
+    use orchestra_store::durable::segment::{list_segments, segment_file_name};
+    use orchestra_store::{DurableOptions, DurableStore, StoreError};
+
+    let dir = std::env::temp_dir().join(format!("orchestra-mesh-heal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = Arc::new(
+        DurableStore::open_with(
+            &dir,
+            DurableOptions {
+                segment_max_bytes: 64, // Seal a segment per publish.
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let a_cdss = Cdss::builder()
+        .peer("A", schema(), TrustPolicy::open(1))
+        .peer("B", schema(), TrustPolicy::open(1))
+        .peer("C", schema(), TrustPolicy::open(1))
+        .mapping(copy_r("A", "B"))
+        .mapping(copy_r("B", "C"))
+        .build_with_shared(durable.clone())
+        .unwrap();
+    let mut a = MeshNode::start_hosting(
+        "A",
+        a_cdss,
+        vec![PeerId::new("A")],
+        "127.0.0.1:0",
+        mesh_opts(11, InterestMode::Everything),
+    )
+    .unwrap();
+    let mut b = node("B", 1, 12, InterestMode::Everything);
+    a.join(b.addr().to_string()).unwrap();
+    b.join(a.addr().to_string()).unwrap();
+
+    let pa = PeerId::new("A");
+    for k in 0..6i64 {
+        a.cdss_mut()
+            .publish_transaction(&pa, vec![Update::insert("R", tuple![k, k])])
+            .unwrap();
+    }
+    a.cdss_mut().reconcile(&pa).unwrap();
+    for _ in 0..4 {
+        b.run_round().unwrap();
+        if b.cdss().store().len() == 6 {
+            break;
+        }
+    }
+    assert_eq!(b.cdss().store().len(), 6, "B replicated A's history");
+
+    // Bit rot in A's first sealed segment; the scrub quarantines the
+    // affected positions instead of erroring.
+    let first = dir.join(segment_file_name(
+        *list_segments(&dir).unwrap().first().unwrap(),
+    ));
+    let mut bytes = std::fs::read(&first).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&first, &bytes).unwrap();
+    let scrub = durable.scrub().unwrap();
+    assert!(scrub.quarantined > 0, "{scrub:?}");
+    let holes = durable.quarantined();
+    assert_eq!(holes.len(), scrub.quarantined);
+    let (_, gap) = holes[0].clone();
+    assert!(matches!(
+        durable.fetch(&gap),
+        Err(StoreError::Unavailable { .. })
+    ));
+
+    // Gossip treats the quarantined positions as gaps and splices the
+    // repair bytes back in — re-indexed, not re-absorbed.
+    let mut healed = 0u64;
+    for _ in 0..4 {
+        let report = a.run_round().unwrap();
+        healed += report.healed;
+        assert_eq!(report.absorbed, 0, "nothing new absorbed: {report:?}");
+        if durable.quarantined().is_empty() {
+            break;
+        }
+    }
+    assert_eq!(healed as usize, holes.len(), "every hole healed");
+    assert!(durable.quarantined().is_empty());
+    assert_eq!(a.stats().healed, healed);
+    assert_eq!(durable.fetch(&gap).unwrap().unwrap().id, gap);
+    assert_eq!(
+        archive_ids(a.cdss().store()),
+        archive_ids(b.cdss().store()),
+        "archives converged after the repair"
+    );
+
+    // Zero duplicate applies: the healed positions never left the epoch
+    // scan order, so reconciliation has nothing new to accept.
+    for _ in 0..2 {
+        let report = a.cdss_mut().reconcile(&pa).unwrap();
+        assert!(
+            report.outcome.accepted.is_empty(),
+            "healed bytes re-applied: {:?}",
+            report.outcome.accepted
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

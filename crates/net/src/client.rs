@@ -13,7 +13,7 @@
 //! [`PeerServer`]: crate::PeerServer
 
 use crate::proto::{PullPage, Request, Response, ServerCounters, PROTOCOL_VERSION};
-use orchestra_store::frame::{frame, FrameRead, FrameReader};
+use orchestra_store::frame::{frame, FrameRead, FrameReader, FRAME_HEADER};
 use orchestra_store::{FetchCursor, FetchPage, StoreDigest, StoreError, StoreStats, UpdateStore};
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use parking_lot::Mutex;
@@ -36,6 +36,26 @@ pub struct RemoteOptions {
     /// Extra attempts on a fresh connection after a transport failure
     /// (absorbs a flaky link or a server restart between requests).
     pub retries: usize,
+    /// First retry backoff; each further retry doubles it, capped at
+    /// [`backoff_max`](RemoteOptions::backoff_max), with deterministic
+    /// jitter derived from the dialed address (two clients hammering the
+    /// same dead peer desynchronize replayably). Zero disables backoff —
+    /// the default, so existing callers keep their immediate-retry
+    /// latency.
+    pub backoff_base: Duration,
+    /// Upper bound on one backoff wait.
+    pub backoff_max: Duration,
+    /// Consecutive exhausted operations (all retries failed at the
+    /// transport level) that trip the per-endpoint circuit breaker open.
+    /// While open, calls fast-fail as `Unavailable` without touching the
+    /// socket; after [`breaker_cooldown`](RemoteOptions::breaker_cooldown)
+    /// one half-open probe call is admitted — success closes the breaker,
+    /// failure re-arms the cooldown. Zero disables the breaker (the
+    /// default).
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before admitting a
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RemoteOptions {
@@ -46,6 +66,10 @@ impl Default for RemoteOptions {
             write_timeout: Duration::from_secs(10),
             pool_capacity: 4,
             retries: 1,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::from_millis(500),
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -67,6 +91,13 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Frame payload bytes received.
     pub bytes_received: u64,
+    /// Retry attempts that slept an exponential-backoff wait first.
+    pub backoff_waits: u64,
+    /// Times the circuit breaker tripped from closed to open.
+    pub breaker_opened: u64,
+    /// Calls rejected without touching the socket because the breaker
+    /// was open and cooling down.
+    pub breaker_fast_fails: u64,
 }
 
 #[derive(Debug, Default)]
@@ -77,6 +108,9 @@ struct AtomicNetStats {
     unavailable_mapped: AtomicU64,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    backoff_waits: AtomicU64,
+    breaker_opened: AtomicU64,
+    breaker_fast_fails: AtomicU64,
 }
 
 impl AtomicNetStats {
@@ -88,8 +122,29 @@ impl AtomicNetStats {
             unavailable_mapped: self.unavailable_mapped.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            backoff_waits: self.backoff_waits.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Observable circuit-breaker state (see [`RemoteStore::breaker_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls fast-fail; a half-open probe is admitted after the cooldown.
+    Open,
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    /// Consecutive exhausted operations since the last transport success.
+    consecutive: u32,
+    /// When the breaker tripped (or the last half-open probe was
+    /// admitted); `None` while closed.
+    opened_at: Option<std::time::Instant>,
 }
 
 /// An [`UpdateStore`] whose archive lives behind a [`PeerServer`] on the
@@ -102,6 +157,7 @@ pub struct RemoteStore {
     opts: RemoteOptions,
     pool: Mutex<Vec<TcpStream>>,
     net: AtomicNetStats,
+    breaker: Mutex<BreakerInner>,
     /// The protocol version the server answered at the last completed
     /// handshake (0 until a dial succeeds). Talking to a v1 server, the
     /// v2-only calls fail fast client-side instead of burning a round
@@ -157,6 +213,7 @@ impl RemoteStore {
             opts,
             pool: Mutex::new(Vec::new()),
             net: AtomicNetStats::default(),
+            breaker: Mutex::new(BreakerInner::default()),
             negotiated: AtomicU64::new(0),
         })
     }
@@ -246,7 +303,28 @@ impl RemoteStore {
     /// One framed request/response exchange on an established connection.
     /// Any failure is a transport failure (the caller drops the stream).
     fn roundtrip(&self, stream: &mut TcpStream, request: &Request) -> Result<Response, StoreError> {
-        let framed = frame(&request.encode());
+        let mut framed = frame(&request.encode());
+        match orchestra_fault::check("net.client.send") {
+            Some(orchestra_fault::Action::Flip) => {
+                // Corrupt one payload byte after the checksum was
+                // computed: the server must drop the frame (and count it
+                // as a corrupt frame, not a stall).
+                let payload_len = framed.len() - FRAME_HEADER;
+                let idx =
+                    FRAME_HEADER + orchestra_fault::draw("net.client.send") as usize % payload_len;
+                framed[idx] ^= 0x01;
+            }
+            Some(orchestra_fault::Action::Cut) => {
+                // Ship half the frame, then fail: the server sees a
+                // connection cut mid-frame.
+                let cut = framed.len() / 2;
+                let _ = stream.write_all(&framed[..cut]);
+                let _ = stream.flush();
+                return Err(self.transport_failure(format_args!("injected failpoint: send cut")));
+            }
+            Some(_) => return Err(self.transport_failure(format_args!("injected failpoint: send"))),
+            None => {}
+        }
         stream
             .write_all(&framed)
             .and_then(|()| stream.flush())
@@ -254,6 +332,12 @@ impl RemoteStore {
         self.net
             .bytes_sent
             .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        if orchestra_fault::check("net.client.recv").is_some() {
+            // Abandon the response in flight: to this client the exchange
+            // failed, to the server it completed — the asymmetry retries
+            // and the publish witness-check must absorb.
+            return Err(self.transport_failure(format_args!("injected failpoint: recv")));
+        }
         let payload = match FrameReader::new(&mut *stream, 0).next_frame() {
             Ok((_, FrameRead::Ok { payload, size })) => {
                 self.net
@@ -267,7 +351,7 @@ impl RemoteStore {
             Ok((_, FrameRead::Torn)) => {
                 return Err(self.transport_failure(format_args!("connection cut mid-response")))
             }
-            Ok((_, FrameRead::Corrupt { reason })) => {
+            Ok((_, FrameRead::Corrupt { reason, .. })) => {
                 return Err(self.transport_failure(format_args!("corrupt response frame: {reason}")))
             }
             Err(e) => return Err(self.transport_failure(format_args!("receive failed: {e}"))),
@@ -278,11 +362,88 @@ impl RemoteStore {
         Ok(response)
     }
 
+    /// Gate a call on the circuit breaker: fast-fail while it is open and
+    /// cooling down, admit one half-open probe once the cooldown passed.
+    fn breaker_admit(&self) -> Result<(), StoreError> {
+        if self.opts.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut b = self.breaker.lock();
+        if let Some(opened) = b.opened_at {
+            if opened.elapsed() < self.opts.breaker_cooldown {
+                self.net.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::Unavailable {
+                    txn: format!("<remote {}: circuit breaker open>", self.addr_label),
+                });
+            }
+            // Half-open: this call is the probe. Re-arm the clock so
+            // concurrent calls keep fast-failing while it is in flight;
+            // its success clears `opened_at`, its failure leaves the
+            // re-armed cooldown in force.
+            b.opened_at = Some(std::time::Instant::now());
+        }
+        Ok(())
+    }
+
+    /// A transport-level success: the endpoint is healthy, close the
+    /// breaker.
+    fn breaker_success(&self) {
+        if self.opts.breaker_threshold == 0 {
+            return;
+        }
+        let mut b = self.breaker.lock();
+        b.consecutive = 0;
+        b.opened_at = None;
+    }
+
+    /// An operation exhausted its retries at the transport level.
+    fn breaker_failure(&self) {
+        if self.opts.breaker_threshold == 0 {
+            return;
+        }
+        let mut b = self.breaker.lock();
+        b.consecutive += 1;
+        if b.consecutive >= self.opts.breaker_threshold && b.opened_at.is_none() {
+            b.opened_at = Some(std::time::Instant::now());
+            self.net.breaker_opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The breaker's current position (always [`BreakerState::Closed`]
+    /// when `breaker_threshold` is 0).
+    pub fn breaker_state(&self) -> BreakerState {
+        if self.breaker.lock().opened_at.is_some() {
+            BreakerState::Open
+        } else {
+            BreakerState::Closed
+        }
+    }
+
+    /// Sleep before retry `attempt` (1-based): exponential in the attempt
+    /// number, capped at `backoff_max`, with deterministic jitter keyed
+    /// off the dialed address and the process-lifetime wait count — two
+    /// clients hammering the same dead peer desynchronize replayably.
+    fn backoff_wait(&self, attempt: usize) {
+        if self.opts.backoff_base.is_zero() {
+            return;
+        }
+        let n = self.net.backoff_waits.fetch_add(1, Ordering::Relaxed);
+        let exp = self
+            .opts
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16) as u32);
+        let capped = exp.min(self.opts.backoff_max);
+        let half = capped.as_nanos() as u64 / 2;
+        let jitter = splitmix64(fnv1a(self.addr_label.as_bytes()) ^ n) % (half + 1);
+        std::thread::sleep(Duration::from_nanos(half + jitter));
+    }
+
     /// Issue one request, transparently retrying transport failures on a
     /// fresh connection. Application-level errors (carried in
     /// [`Response::Err`]) are returned as-is by the callers and keep the
     /// connection pooled — the server keeps it open too.
     fn call(&self, request: &Request) -> Result<Response, StoreError> {
+        self.breaker_admit()?;
         // A pooled connection may have been closed by the server's idle
         // reaper or a restart between requests; its failure is not
         // authoritative, so it costs none of the configured retries.
@@ -292,16 +453,21 @@ impl RemoteStore {
         if let Some(mut conn) = pooled {
             if let Ok(resp) = self.roundtrip(&mut conn, request) {
                 self.checkin(conn);
+                self.breaker_success();
                 return Ok(resp);
             }
             // Stale pooled stream (dropped): fall through to fresh dials.
         }
         let mut last: Option<StoreError> = None;
-        for _ in 0..=self.opts.retries {
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                self.backoff_wait(attempt);
+            }
             match self.dial() {
                 Ok(mut conn) => match self.roundtrip(&mut conn, request) {
                     Ok(resp) => {
                         self.checkin(conn);
+                        self.breaker_success();
                         return Ok(resp);
                     }
                     Err(e) => last = Some(e),
@@ -311,6 +477,7 @@ impl RemoteStore {
                 Err(e) => last = Some(e),
             }
         }
+        self.breaker_failure();
         self.net.unavailable_mapped.fetch_add(1, Ordering::Relaxed);
         Err(last.unwrap_or_else(|| self.transport_failure(format_args!("no attempt made"))))
     }
@@ -491,6 +658,24 @@ impl UpdateStore for RemoteStore {
     fn digest(&self) -> orchestra_store::Result<StoreDigest> {
         RemoteStore::digest(self)
     }
+}
+
+/// FNV-1a over `bytes` — seeds the backoff jitter from the address.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64: one cheap, well-mixed step from seed to draw.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl std::fmt::Debug for RemoteStore {

@@ -46,7 +46,7 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{NetStats, RemoteOptions, RemoteStore};
+pub use client::{BreakerState, NetStats, RemoteOptions, RemoteStore};
 pub use proto::{
     required_version, PullPage, Request, Response, ServerCounters, MAGIC, PROTOCOL_VERSION,
 };

@@ -24,7 +24,7 @@
 //!                         has_next:u8 [cursor]
 //!           | TXN         present:u8 [txn]
 //!           | PROBE_OK    len:uvarint has_latest:u8 [epoch:uvarint]
-//!                         stats:7×uvarint [server:3×uvarint]        (v2)
+//!                         stats:7×uvarint [server:5×uvarint]        (v2)
 //!           | DIGEST_OK   digest                                    (v2)
 //!           | SUBSCRIBE_OK                                          (v2)
 //!           | PAGES       n:uvarint txn* k:uvarint txn_id*          (v2)
@@ -182,6 +182,13 @@ pub struct ServerCounters {
     pub pull_pages: u64,
     /// `SUBSCRIBE` registrations accepted.
     pub subscriptions: u64,
+    /// Inbound frames dropped for a checksum mismatch or an oversized
+    /// length prefix — bit rot on the wire, visible to the operator so a
+    /// flaky link can be told apart from a slow one.
+    pub corrupt_frames: u64,
+    /// Connections closed because a frame stalled mid-transfer past the
+    /// server's read timeout.
+    pub timed_out_conns: u64,
 }
 
 /// A server → client message.
@@ -427,7 +434,13 @@ impl Response {
                 // here, byte-identical to what v1 servers produced (v1
                 // decoders reject trailing bytes).
                 if let Some(sc) = server {
-                    for n in [sc.digests_served, sc.pull_pages, sc.subscriptions] {
+                    for n in [
+                        sc.digests_served,
+                        sc.pull_pages,
+                        sc.subscriptions,
+                        sc.corrupt_frames,
+                        sc.timed_out_conns,
+                    ] {
                         put_uvarint(&mut out, n);
                     }
                 }
@@ -526,11 +539,19 @@ impl Response {
                 let server = if c.is_empty() {
                     None
                 } else {
-                    Some(ServerCounters {
+                    let mut sc = ServerCounters {
                         digests_served: c.uvarint()?,
                         pull_pages: c.uvarint()?,
                         subscriptions: c.uvarint()?,
-                    })
+                        ..ServerCounters::default()
+                    };
+                    // Early v2 servers appended only the three counters
+                    // above; the breaker-visible pair is optional.
+                    if !c.is_empty() {
+                        sc.corrupt_frames = c.uvarint()?;
+                        sc.timed_out_conns = c.uvarint()?;
+                    }
+                    Some(sc)
                 };
                 Response::ProbeOk {
                     len,
@@ -872,6 +893,8 @@ mod tests {
                     digests_served: 11,
                     pull_pages: 22,
                     subscriptions: 33,
+                    corrupt_frames: 44,
+                    timed_out_conns: 55,
                 }),
             },
             Response::DigestOk(sample_digest()),
@@ -917,6 +940,37 @@ mod tests {
         }
         .encode();
         assert_eq!(bytes.len(), 1 + 1 + 1 + 7);
+    }
+
+    #[test]
+    fn legacy_three_counter_probe_ok_decodes() {
+        // A v2 server predating the breaker-visible counters appended
+        // only three uvarints; the pair added later must decode as zero.
+        let mut bytes = Response::ProbeOk {
+            len: 1,
+            latest_epoch: None,
+            stats: StoreStats::default(),
+            server: None,
+        }
+        .encode();
+        bytes.extend_from_slice(&[11, 22, 33]);
+        match Response::decode(&bytes).unwrap() {
+            Response::ProbeOk {
+                server: Some(sc), ..
+            } => {
+                assert_eq!(
+                    sc,
+                    ServerCounters {
+                        digests_served: 11,
+                        pull_pages: 22,
+                        subscriptions: 33,
+                        corrupt_frames: 0,
+                        timed_out_conns: 0,
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -69,6 +69,13 @@ pub struct ServerStats {
     pub pull_pages: u64,
     /// `SUBSCRIBE` registrations accepted (v2).
     pub subscriptions: u64,
+    /// Inbound frames dropped for a checksum mismatch or an oversized
+    /// length prefix — a flipped bit on the wire, not a stall. A subset
+    /// of `protocol_errors`.
+    pub corrupt_frames: u64,
+    /// Connections closed because a frame stalled mid-transfer past
+    /// `read_timeout`. A subset of `protocol_errors`.
+    pub timed_out_conns: u64,
 }
 
 impl ServerStats {
@@ -78,6 +85,8 @@ impl ServerStats {
             digests_served: self.digests_served,
             pull_pages: self.pull_pages,
             subscriptions: self.subscriptions,
+            corrupt_frames: self.corrupt_frames,
+            timed_out_conns: self.timed_out_conns,
         }
     }
 }
@@ -91,6 +100,8 @@ struct AtomicServerStats {
     digests_served: AtomicU64,
     pull_pages: AtomicU64,
     subscriptions: AtomicU64,
+    corrupt_frames: AtomicU64,
+    timed_out_conns: AtomicU64,
 }
 
 impl AtomicServerStats {
@@ -103,6 +114,8 @@ impl AtomicServerStats {
             digests_served: self.digests_served.load(Ordering::Relaxed),
             pull_pages: self.pull_pages.load(Ordering::Relaxed),
             subscriptions: self.subscriptions.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            timed_out_conns: self.timed_out_conns.load(Ordering::Relaxed),
         }
     }
 }
@@ -349,8 +362,18 @@ fn serve_turn(
         // Phase 2: the frame started — it must now complete within
         // `read_timeout`, or the peer is stalling mid-frame.
         let payload = match recv_started_frame(&mut conn.stream, first[0], &opts) {
-            Some(p) => p,
-            None => {
+            FrameRecv::Ok(p) => p,
+            FrameRecv::Corrupt => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                return Turn::Close;
+            }
+            FrameRecv::TimedOut => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                stats.timed_out_conns.fetch_add(1, Ordering::Relaxed);
+                return Turn::Close;
+            }
+            FrameRecv::Cut => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 return Turn::Close;
             }
@@ -436,15 +459,24 @@ fn serve_turn(
     Turn::Keep // Busy connection: requeue for fairness.
 }
 
+/// How reading a started frame ended — the distinction feeds the
+/// breaker-visible counters on `PROBE_OK` (all non-`Ok` outcomes also
+/// count as protocol errors and close the connection).
+enum FrameRecv {
+    /// Checksum-verified payload.
+    Ok(Vec<u8>),
+    /// The bytes arrived but were wrong: checksum mismatch or an
+    /// implausible length prefix — bit rot, not a stall.
+    Corrupt,
+    /// The frame stalled mid-transfer past `read_timeout`.
+    TimedOut,
+    /// The connection was cut (EOF or hard I/O error) mid-frame.
+    Cut,
+}
+
 /// Finish reading a frame whose first byte already arrived: the rest of
 /// the header and the payload must complete within `read_timeout`.
-/// Returns the checksum-verified payload, or `None` on any violation
-/// (stall, cut, oversized length, checksum mismatch).
-fn recv_started_frame(
-    stream: &mut TcpStream,
-    first_byte: u8,
-    opts: &ServerOptions,
-) -> Option<Vec<u8>> {
+fn recv_started_frame(stream: &mut TcpStream, first_byte: u8, opts: &ServerOptions) -> FrameRecv {
     let mut header = [0u8; FRAME_HEADER];
     header[0] = first_byte;
     match read_exact_polled(
@@ -455,12 +487,13 @@ fn recv_started_frame(
         false,
     ) {
         PolledRead::Done => {}
-        _ => return None, // Cut or stalled mid-header.
+        PolledRead::TimedOut => return FrameRecv::TimedOut,
+        _ => return FrameRecv::Cut, // Cut mid-header.
     }
     let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if len > MAX_FRAME_LEN {
-        return None;
+        return FrameRecv::Corrupt;
     }
     let mut payload = vec![0u8; len as usize];
     match read_exact_polled(
@@ -471,12 +504,13 @@ fn recv_started_frame(
         false,
     ) {
         PolledRead::Done => {}
-        _ => return None, // Cut or stalled mid-payload.
+        PolledRead::TimedOut => return FrameRecv::TimedOut,
+        _ => return FrameRecv::Cut, // Cut mid-payload.
     }
     if crc32(&payload) != crc {
-        return None;
+        return FrameRecv::Corrupt;
     }
-    Some(payload)
+    FrameRecv::Ok(payload)
 }
 
 /// Run one request against the backing store.
@@ -515,6 +549,8 @@ fn execute(
                 digests_served: stats.digests_served.load(Ordering::Relaxed),
                 pull_pages: stats.pull_pages.load(Ordering::Relaxed),
                 subscriptions: stats.subscriptions.load(Ordering::Relaxed),
+                corrupt_frames: stats.corrupt_frames.load(Ordering::Relaxed),
+                timed_out_conns: stats.timed_out_conns.load(Ordering::Relaxed),
             }),
         },
         Request::Digest => {
@@ -591,7 +627,27 @@ fn qualified_matches(pattern: &str, publisher: &str, relation: &str) -> bool {
 }
 
 fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let framed = frame(&response.encode());
+    let mut framed = frame(&response.encode());
+    match orchestra_fault::check("net.server.send") {
+        Some(orchestra_fault::Action::Flip) => {
+            // Corrupt one payload byte after the checksum was computed:
+            // the client's frame reader must reject it.
+            let payload_len = framed.len() - FRAME_HEADER;
+            let idx =
+                FRAME_HEADER + orchestra_fault::draw("net.server.send") as usize % payload_len;
+            framed[idx] ^= 0x01;
+        }
+        Some(orchestra_fault::Action::Cut) => {
+            // Ship half the frame, then fail: the client sees a torn
+            // response and the connection closes.
+            let cut = framed.len() / 2;
+            let _ = stream.write_all(&framed[..cut]);
+            let _ = stream.flush();
+            return Err(std::io::Error::other("injected failpoint: send cut"));
+        }
+        Some(_) => return Err(std::io::Error::other("injected failpoint: send failed")),
+        None => {}
+    }
     stream.write_all(&framed)?;
     stream.flush()
 }

@@ -26,6 +26,7 @@ fn fast_opts() -> RemoteOptions {
         write_timeout: Duration::from_secs(5),
         pool_capacity: 2,
         retries: 1,
+        ..RemoteOptions::default()
     }
 }
 
@@ -348,6 +349,142 @@ fn v2_anti_entropy_exchange_over_loopback() {
     assert_eq!(c.digests_served, 1);
     assert_eq!(c.pull_pages, 3);
     assert_eq!(c.subscriptions, 1);
+    server.shutdown();
+}
+
+/// The per-endpoint circuit breaker: consecutive exhausted operations
+/// trip it open, open means fast-fail without touching the socket, and
+/// a half-open probe after the cooldown closes it again once the server
+/// is back.
+#[test]
+fn circuit_breaker_opens_fast_fails_and_recovers() {
+    use orchestra_net::BreakerState;
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend.clone()).unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+
+    let opts = RemoteOptions {
+        connect_timeout: Duration::from_millis(200),
+        retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(100),
+        ..fast_opts()
+    };
+    let remote = RemoteStore::lazy_with(addr, opts).unwrap();
+
+    // Two exhausted operations against the dead endpoint trip the
+    // breaker...
+    for _ in 0..2 {
+        assert!(remote.fetch(&TxnId::new(PeerId::new("A"), 1)).is_err());
+    }
+    assert_eq!(remote.breaker_state(), BreakerState::Open);
+    let connects_when_open = remote.net_stats().connects;
+
+    // ...and while it cools down, calls fail without dialing.
+    let err = remote.fetch(&TxnId::new(PeerId::new("A"), 1));
+    assert!(
+        matches!(err, Err(StoreError::Unavailable { .. })),
+        "{err:?}"
+    );
+    let net = remote.net_stats();
+    assert_eq!(net.breaker_opened, 1, "{net:?}");
+    assert!(net.breaker_fast_fails >= 1, "{net:?}");
+    assert_eq!(net.connects, connects_when_open, "open breaker dialed");
+
+    // Server returns; after the cooldown the half-open probe succeeds
+    // and the breaker closes.
+    let server = PeerServer::bind(addr, backend.clone()).unwrap();
+    backend.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(remote
+        .fetch(&TxnId::new(PeerId::new("A"), 1))
+        .unwrap()
+        .is_some());
+    assert_eq!(remote.breaker_state(), BreakerState::Closed);
+    server.shutdown();
+}
+
+#[test]
+fn retries_against_a_dead_endpoint_back_off() {
+    let server = PeerServer::bind("127.0.0.1:0", Arc::new(InMemoryStore::new())).unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+
+    let opts = RemoteOptions {
+        connect_timeout: Duration::from_millis(200),
+        retries: 2,
+        backoff_base: Duration::from_millis(1),
+        ..fast_opts()
+    };
+    let remote = RemoteStore::lazy_with(addr, opts).unwrap();
+    assert!(remote.fetch(&TxnId::new(PeerId::new("A"), 1)).is_err());
+    let net = remote.net_stats();
+    assert_eq!(net.backoff_waits, 2, "one wait per retry attempt: {net:?}");
+}
+
+/// Injected wire corruption: a client failpoint flips one payload byte
+/// after the checksum is computed; the server must reject the frame,
+/// count it as corrupt (not a stall), and the client's retries recover.
+#[test]
+fn injected_corrupt_frames_are_counted_and_retried_through() {
+    let backend = Arc::new(InMemoryStore::new());
+    backend.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+
+    {
+        let _fp = orchestra_fault::scoped("net.client.send=flip@1x2", 7);
+        // Injection 1 corrupts the pooled-connection attempt, injection 2
+        // corrupts the retry's HELLO; the second fresh dial goes clean.
+        assert!(remote
+            .fetch(&TxnId::new(PeerId::new("A"), 1))
+            .unwrap()
+            .is_some());
+        assert_eq!(orchestra_fault::injected_total(), 2);
+    }
+
+    let (_, _, _, counters) = remote.probe().unwrap();
+    let c = counters.expect("v2 probe carries server counters");
+    assert_eq!(c.corrupt_frames, 2, "{c:?}");
+    let stats = server.stats();
+    assert_eq!(stats.corrupt_frames, 2, "{stats:?}");
+    assert!(stats.protocol_errors >= 2, "{stats:?}");
+    server.shutdown();
+}
+
+/// A frame that starts and then stalls past `read_timeout` closes the
+/// connection and is counted as a timeout, distinct from corruption.
+#[test]
+fn stalled_mid_frame_connection_counts_as_timed_out() {
+    use std::io::Write;
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind_with(
+        "127.0.0.1:0",
+        backend,
+        ServerOptions {
+            read_timeout: Duration::from_millis(100),
+            ..ServerOptions::default()
+        },
+    )
+    .unwrap();
+
+    // One byte of a frame header, then silence.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    raw.write_all(&[0x07]).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        if stats.timed_out_conns >= 1 {
+            assert_eq!(stats.corrupt_frames, 0, "{stats:?}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stall never counted: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
     server.shutdown();
 }
 

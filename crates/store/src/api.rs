@@ -240,6 +240,13 @@ pub struct AbsorbReport {
     /// Transactions skipped because their id was already archived (or
     /// repeated within the batch) — the idempotent-merge case.
     pub duplicates: u64,
+    /// Quarantined positions whose payloads this batch restored (durable
+    /// store only): the id was already archived but its frame had been
+    /// scrubbed out as corrupt, so the incoming copy re-materializes it.
+    /// Healed transactions are neither `absorbed` (the position was
+    /// already counted) nor `duplicates` (the payload was genuinely
+    /// needed).
+    pub healed: u64,
 }
 
 /// Where a cursor stands inside its epoch. Public so codecs (the durable
@@ -504,6 +511,14 @@ pub trait UpdateStore: Send + Sync {
         Err(StoreError::InvalidConfig(
             "this backend does not support anti-entropy absorb".into(),
         ))
+    }
+
+    /// Archived positions whose payloads were quarantined as corrupt, in
+    /// `(epoch, txn id)` order — the gaps a mesh node asks its neighbors
+    /// to re-fill. Backends without local storage (and therefore without
+    /// bit-rot) report none.
+    fn quarantined(&self) -> Vec<(Epoch, TxnId)> {
+        Vec::new()
     }
 }
 

@@ -102,6 +102,26 @@ pub struct DurableStats {
     /// Auto-compactions that failed (the triggering publishes still
     /// succeeded; see [`DurableStore::last_compaction_error`]).
     pub failed_compactions: u64,
+    /// Corrupt frames skipped — at open (their ids are unknown and simply
+    /// absent) or during compaction streaming.
+    pub corrupt_frames_skipped: u64,
+    /// Archived positions currently quarantined by [`DurableStore::scrub`]:
+    /// the id is known but its payload was corrupt on disk, awaiting a
+    /// healthy copy from a mesh neighbor.
+    pub quarantined: u64,
+    /// Quarantined positions healed by [`UpdateStore::absorb`] since open.
+    pub healed: u64,
+}
+
+/// What one [`DurableStore::scrub`] pass found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Files (segments + snapshot) whose frames were verified.
+    pub files_scanned: usize,
+    /// Corrupt frames found in this pass.
+    pub corrupt_frames: usize,
+    /// Transactions newly moved to quarantine by this pass.
+    pub quarantined: usize,
 }
 
 /// Where one transaction's batch frame lives on disk.
@@ -128,6 +148,11 @@ struct Inner {
     by_epoch: BTreeMap<Epoch, Vec<TxnId>>,
     /// Decoded-transaction tier (populated only in [`CacheMode::Cached`]).
     cache: HashMap<TxnId, Transaction>,
+    /// Archived positions whose on-disk frame failed its checksum: the id
+    /// stays listed in `by_epoch` (pages report it unavailable) but has
+    /// no `index` location and no cache entry until `absorb` re-delivers
+    /// a healthy copy from a neighbor.
+    quarantined: HashMap<TxnId, Epoch>,
     snapshot_watermark: Option<u64>,
     batches_since_compact: u64,
     last_compact_error: Option<StoreError>,
@@ -220,8 +245,8 @@ impl DurableStore {
             snapshot_watermark: watermark,
             recovered_txns,
             torn_bytes_truncated: recovery.torn_bytes_truncated,
-            compactions: 0,
-            failed_compactions: 0,
+            corrupt_frames_skipped: recovery.corrupt_frames_skipped,
+            ..DurableStats::default()
         };
         Ok(DurableStore {
             dir,
@@ -231,6 +256,7 @@ impl DurableStore {
                 index,
                 by_epoch,
                 cache,
+                quarantined: HashMap::new(),
                 snapshot_watermark: watermark,
                 batches_since_compact: 0,
                 last_compact_error: None,
@@ -258,8 +284,96 @@ impl DurableStore {
             segments: inner.wal.segment_count(),
             active_segment_bytes: inner.wal.active_len(),
             snapshot_watermark: inner.snapshot_watermark,
+            quarantined: inner.quarantined.len() as u64,
             ..inner.dstats
         }
+    }
+
+    /// Verify every frame in every live archive file (sealed segments,
+    /// the active segment, and the current snapshot) against its
+    /// checksum, and **quarantine** the transactions of any frame that
+    /// fails: their locations leave the index (and cache — a healthy RAM
+    /// copy must not mask rotten durable bytes), but the positions stay
+    /// listed so paged scans report them [`FetchPage::unavailable`]
+    /// rather than silently shrinking history. A mesh node treats those
+    /// positions as gossip gaps and re-pulls them from neighbors, healing
+    /// them through [`UpdateStore::absorb`].
+    pub fn scrub(&self) -> crate::Result<ScrubReport> {
+        let mut inner = self.inner.write();
+        let mut report = ScrubReport::default();
+
+        // Every file the index can point into, with its FileRef.
+        let mut files: Vec<FileRef> = Vec::new();
+        if let Some(w) = inner.snapshot_watermark {
+            files.push(FileRef::Snapshot(w));
+        }
+        files.extend(
+            inner
+                .wal
+                .sealed_segments()
+                .iter()
+                .map(|&s| FileRef::Segment(s)),
+        );
+        files.push(FileRef::Segment(inner.wal.active_seq()));
+
+        // Collect each file's corrupt byte regions. The active segment
+        // may legitimately end mid-frame only under relaxed sync policies
+        // mid-crash; at scrub time (a live, consistent store) every frame
+        // should be complete, so no torn-tail allowance anywhere — an
+        // incomplete tail frame simply becomes a corrupt region and its
+        // batch is quarantined.
+        let mut regions: Vec<(FileRef, segment::CorruptRegion)> = Vec::new();
+        for &file in &files {
+            let path = self.file_path(file);
+            if !path.exists() {
+                continue; // an empty active segment may not exist yet
+            }
+            let scan = segment::scan_segment_lossy(&path, false)?;
+            report.files_scanned += 1;
+            report.corrupt_frames += scan.corrupt.len();
+            regions.extend(scan.corrupt.into_iter().map(|r| (file, r)));
+        }
+        if regions.is_empty() {
+            return Ok(report);
+        }
+
+        // Quarantine every indexed transaction whose frame lies in a
+        // corrupt region (open-ended regions swallow the whole suffix).
+        let hit = |loc: &Location| {
+            regions.iter().any(|(file, r)| {
+                loc.file == *file
+                    && match r.len {
+                        Some(len) => loc.offset >= r.offset && loc.offset < r.offset + len,
+                        None => loc.offset >= r.offset,
+                    }
+            })
+        };
+        let ids: Vec<TxnId> = inner
+            .index
+            .iter()
+            .filter(|(_, loc)| hit(loc))
+            .map(|(id, _)| id.clone())
+            .collect();
+        let id_set: std::collections::HashSet<&TxnId> = ids.iter().collect();
+        let mut epochs: HashMap<TxnId, Epoch> = HashMap::new();
+        for (&epoch, list) in &inner.by_epoch {
+            for id in list {
+                if id_set.contains(id) {
+                    epochs.insert(id.clone(), epoch);
+                }
+            }
+        }
+        for id in ids {
+            let epoch = epochs
+                .get(&id)
+                .copied()
+                .expect("indexed ids are listed in by_epoch");
+            inner.index.remove(&id);
+            inner.cache.remove(&id);
+            inner.quarantined.insert(id, epoch);
+            report.quarantined += 1;
+        }
+        Ok(report)
     }
 
     /// Force all appended batches to stable storage (a no-op under
@@ -331,31 +445,39 @@ impl DurableStore {
                 copy_batch(&mut writer, &mut repoints, b.epoch, &b.txns)
             })?;
         }
+        let mut corrupt_skipped = 0u64;
         for &seq in inner.wal.sealed_segments() {
             let path = self.dir.join(segment::segment_file_name(seq));
             let file = fs::File::open(&path).map_err(|e| segment::io_err("open", &path, &e))?;
             let mut reader = crate::frame::FrameReader::new(std::io::BufReader::new(file), 0);
             loop {
-                let (offset, outcome) = reader
+                let (_, outcome) = reader
                     .next_frame()
                     .map_err(|e| segment::io_err("read", &path, &e))?;
                 let payload = match outcome {
                     crate::frame::FrameRead::Ok { payload, .. } => payload,
                     crate::frame::FrameRead::Eof => break,
-                    other => {
-                        return Err(StoreError::Corrupt {
-                            path: path.display().to_string(),
-                            offset,
-                            reason: format!("sealed segment frame invalid: {other:?}"),
-                        })
+                    // A scrubbed-out (quarantined) or still-undetected
+                    // corrupt frame must not wedge compaction: skip it.
+                    // Its transactions either sit in quarantine (no
+                    // location — unaffected by the repoint) or are healed
+                    // copies living in *later* frames.
+                    crate::frame::FrameRead::Corrupt {
+                        resync: Some(_), ..
+                    } => {
+                        corrupt_skipped += 1;
+                        continue;
+                    }
+                    // Unframeable suffix: nothing further can be read.
+                    _ => {
+                        corrupt_skipped += 1;
+                        break;
                     }
                 };
-                let (epoch, txns) =
-                    codec::decode_batch(&payload).map_err(|e| StoreError::Corrupt {
-                        path: path.display().to_string(),
-                        offset,
-                        reason: format!("undecodable batch record: {e}"),
-                    })?;
+                let Ok((epoch, txns)) = codec::decode_batch(&payload) else {
+                    corrupt_skipped += 1;
+                    continue;
+                };
                 copy_batch(&mut writer, &mut repoints, epoch, &txns)?;
             }
         }
@@ -372,6 +494,7 @@ impl DurableStore {
         let old_watermark = inner.snapshot_watermark.replace(covered);
         inner.batches_since_compact = 0;
         inner.dstats.compactions += 1;
+        inner.dstats.corrupt_frames_skipped += corrupt_skipped;
 
         // Cleanup of now-covered files. The compaction has already
         // succeeded, so a cleanup failure must not be reported as a
@@ -436,6 +559,12 @@ fn index_batch(
     }
     let mut ids = Vec::with_capacity(txns.len());
     for (i, t) in txns.into_iter().enumerate() {
+        // First indexed location wins. A failed-fsync retry can land the
+        // same batch in two on-disk frames; recovery must list the
+        // position exactly once or paged scans would apply it twice.
+        if index.contains_key(&t.id) {
+            continue;
+        }
         index.insert(
             t.id.clone(),
             Location {
@@ -458,7 +587,12 @@ impl UpdateStore for DurableStore {
             return Ok(()); // Vacuous: nothing a cursor could miss.
         }
         let mut inner = self.inner.write();
-        check_batch_ids(&txns, |id| inner.index.contains_key(id))?;
+        // Quarantined ids are still *archived* (their position exists);
+        // re-publishing one must be rejected like any duplicate — only
+        // `absorb` may re-deliver the payload (as a heal).
+        check_batch_ids(&txns, |id| {
+            inner.index.contains_key(id) || inner.quarantined.contains_key(id)
+        })?;
         check_epoch_monotone(epoch, inner.by_epoch.keys().next_back().copied())?;
         let mut stamped = txns;
         for t in &mut stamped {
@@ -511,12 +645,27 @@ impl UpdateStore for DurableStore {
         // Group fresh transactions by the epoch their publisher stamped;
         // each group becomes one WAL batch record — recovery and
         // compaction replay batches by their recorded epoch, so neither
-        // cares that gossip merges arrive out of epoch order.
+        // cares that gossip merges arrive out of epoch order. Healing
+        // re-deliveries for quarantined positions are kept apart: their
+        // ids already sit in `by_epoch`, so they must be re-indexed
+        // without re-listing the position.
         let mut groups: BTreeMap<Epoch, Vec<Transaction>> = BTreeMap::new();
+        let mut heals: BTreeMap<Epoch, Vec<Transaction>> = BTreeMap::new();
         let mut incoming: std::collections::BTreeSet<TxnId> = std::collections::BTreeSet::new();
         for t in txns {
             if inner.index.contains_key(&t.id) || !incoming.insert(t.id.clone()) {
                 report.duplicates += 1;
+                continue;
+            }
+            if let Some(&epoch) = inner.quarantined.get(&t.id) {
+                if t.epoch == epoch {
+                    report.healed += 1;
+                    heals.entry(epoch).or_default().push(t);
+                } else {
+                    // Same id, different epoch: not the transaction the
+                    // archive listed. Refuse the splice.
+                    report.duplicates += 1;
+                }
                 continue;
             }
             report.absorbed += 1;
@@ -543,8 +692,45 @@ impl UpdateStore for DurableStore {
             );
             inner.batches_since_compact += 1;
         }
+        for (epoch, batch) in heals {
+            // The healthy copy is appended like fresh history (the old
+            // corrupt frame stays where it is and is dropped by the next
+            // compaction), but the position is NOT re-listed in
+            // `by_epoch` — it never left. Zero duplicate applies: a
+            // cursor that already passed the position saw it as
+            // unavailable, and rewinding consumers skip already-applied
+            // ids by id.
+            let (seg, offset) = inner.wal.append_batch(epoch, &batch)?;
+            for (i, t) in batch.into_iter().enumerate() {
+                inner.quarantined.remove(&t.id);
+                inner.index.insert(
+                    t.id.clone(),
+                    Location {
+                        file: FileRef::Segment(seg),
+                        offset,
+                        index: i as u32,
+                    },
+                );
+                if self.opts.cache == CacheMode::Cached {
+                    inner.cache.insert(t.id.clone(), t);
+                }
+            }
+            inner.batches_since_compact += 1;
+        }
+        inner.dstats.healed += report.healed;
         self.stats.add_published(report.absorbed);
         Ok(report)
+    }
+
+    fn quarantined(&self) -> Vec<(Epoch, TxnId)> {
+        let inner = self.inner.read();
+        let mut out: Vec<(Epoch, TxnId)> = inner
+            .quarantined
+            .iter()
+            .map(|(id, &e)| (e, id.clone()))
+            .collect();
+        out.sort();
+        out
     }
 
     fn fetch_page(&self, cursor: &FetchCursor, limit: usize) -> crate::Result<FetchPage> {
@@ -557,9 +743,18 @@ impl UpdateStore for DurableStore {
         // frame once, not once per transaction.
         let mut frame_cache: HashMap<(FileRef, u64), Vec<Transaction>> = HashMap::new();
         let mut txns = Vec::with_capacity(positions.len());
-        for (_, id) in &positions {
+        let mut unavailable = Vec::new();
+        for (epoch, id) in &positions {
             if let Some(t) = inner.cache.get(id) {
                 txns.push(t.clone());
+                continue;
+            }
+            if inner.quarantined.contains_key(id) {
+                // The position is archived but its frame was scrubbed out
+                // as corrupt: report it like a dead replica so partial
+                // progress (frozen cursors) degrades gracefully instead
+                // of the page erroring.
+                unavailable.push((*epoch, id.clone()));
                 continue;
             }
             let loc = *inner.index.get(id).expect("by_epoch ids are indexed");
@@ -579,16 +774,23 @@ impl UpdateStore for DurableStore {
             txns.push(t.clone());
         }
         self.stats.add_fetched(txns.len() as u64);
+        self.stats.add_unavailable(unavailable.len() as u64);
         self.stats.add_pages(1);
         Ok(FetchPage {
             txns,
-            unavailable: Vec::new(),
+            unavailable,
             next_cursor,
         })
     }
 
     fn fetch(&self, id: &TxnId) -> crate::Result<Option<Transaction>> {
         let inner = self.inner.read();
+        if inner.quarantined.contains_key(id) {
+            self.stats.add_misses(1);
+            return Err(StoreError::Unavailable {
+                txn: id.to_string(),
+            });
+        }
         let got = self.load_txn(&inner, id)?;
         if got.is_some() {
             self.stats.add_fetched(1);
@@ -597,7 +799,10 @@ impl UpdateStore for DurableStore {
     }
 
     fn len(&self) -> usize {
-        self.inner.read().index.len()
+        // Quarantined positions are still archived (their ids are
+        // listed); only their payloads are awaiting repair.
+        let inner = self.inner.read();
+        inner.index.len() + inner.quarantined.len()
     }
 
     fn latest_epoch(&self) -> Option<Epoch> {

@@ -59,6 +59,20 @@ pub struct ScannedFrame {
     pub payload: Vec<u8>,
 }
 
+/// A contiguous stretch of a file a lossy scan could not validate.
+#[derive(Debug, Clone)]
+pub struct CorruptRegion {
+    /// Byte offset where the bad frame begins.
+    pub offset: u64,
+    /// Bytes the region spans, when the frame structure was still
+    /// parseable (a checksum mismatch). `None` means the region extends
+    /// to end of file: the length prefix itself was implausible, so
+    /// nothing past `offset` can be framed.
+    pub len: Option<u64>,
+    /// What was wrong.
+    pub reason: String,
+}
+
 /// The outcome of scanning one segment file.
 #[derive(Debug)]
 pub struct SegmentScan {
@@ -69,6 +83,9 @@ pub struct SegmentScan {
     /// Bytes past `valid_len` that form a torn frame (zero on a clean
     /// scan).
     pub torn_bytes: u64,
+    /// Corrupt frames skipped over (lossy scans only; a strict scan
+    /// errors on the first one instead).
+    pub corrupt: Vec<CorruptRegion>,
 }
 
 /// Scan the segment at `path`.
@@ -78,12 +95,36 @@ pub struct SegmentScan {
 /// instead of failing the scan. Checksum-invalid *complete* frames are
 /// always an error — sealed data does not bit-rot silently.
 pub fn scan_segment(path: &Path, allow_torn_tail: bool) -> crate::Result<SegmentScan> {
+    let scan = scan_segment_lossy(path, allow_torn_tail)?;
+    if let Some(region) = scan.corrupt.first() {
+        return Err(StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset: region.offset,
+            reason: region.reason.clone(),
+        });
+    }
+    Ok(scan)
+}
+
+/// Scan the segment at `path`, **skipping over** corrupt frames instead
+/// of failing: each one is reported in [`SegmentScan::corrupt`] and the
+/// scan resynchronizes at the next frame boundary (the length prefix
+/// locates it even when the payload is rotten). When the length prefix
+/// itself is implausible — or a non-tail torn frame appears — nothing
+/// past that point can be framed, so the remainder of the file becomes
+/// one open-ended corrupt region.
+///
+/// `allow_torn_tail` retains its strict-scan meaning: a trailing partial
+/// frame on the active segment is crash residue (`torn_bytes`), not
+/// corruption.
+pub fn scan_segment_lossy(path: &Path, allow_torn_tail: bool) -> crate::Result<SegmentScan> {
     let file_len = fs::metadata(path)
         .map_err(|e| io_err("stat", path, &e))?
         .len();
     let file = fs::File::open(path).map_err(|e| io_err("open", path, &e))?;
     let mut reader = FrameReader::new(BufReader::new(file), 0);
     let mut frames = Vec::new();
+    let mut corrupt = Vec::new();
     loop {
         let (offset, outcome) = reader.next_frame().map_err(|e| io_err("read", path, &e))?;
         match outcome {
@@ -95,6 +136,7 @@ pub fn scan_segment(path: &Path, allow_torn_tail: bool) -> crate::Result<Segment
                     frames,
                     valid_len: offset,
                     torn_bytes: 0,
+                    corrupt,
                 });
             }
             FrameRead::Torn if allow_torn_tail => {
@@ -102,21 +144,39 @@ pub fn scan_segment(path: &Path, allow_torn_tail: bool) -> crate::Result<Segment
                     frames,
                     valid_len: offset,
                     torn_bytes: file_len - offset,
+                    corrupt,
                 });
             }
             FrameRead::Torn => {
-                return Err(StoreError::Corrupt {
-                    path: path.display().to_string(),
+                corrupt.push(CorruptRegion {
                     offset,
+                    len: None,
                     reason: "sealed segment ends mid-frame".into(),
                 });
+                return Ok(SegmentScan {
+                    frames,
+                    valid_len: offset,
+                    torn_bytes: 0,
+                    corrupt,
+                });
             }
-            FrameRead::Corrupt { reason } => {
-                return Err(StoreError::Corrupt {
-                    path: path.display().to_string(),
+            FrameRead::Corrupt { reason, resync } => {
+                let open_ended = resync.is_none();
+                corrupt.push(CorruptRegion {
                     offset,
+                    len: resync,
                     reason,
                 });
+                if open_ended {
+                    return Ok(SegmentScan {
+                        frames,
+                        valid_len: offset,
+                        torn_bytes: 0,
+                        corrupt,
+                    });
+                }
+                // resync = Some(_): the reader already advanced past the
+                // bad frame; keep scanning.
             }
         }
     }
@@ -202,6 +262,22 @@ impl ActiveSegment {
             });
         }
         let offset = self.len;
+        // Failpoint `store.wal.append`: `err` fails before any byte lands
+        // (clean); `torn` lands a partial frame and then exercises the
+        // same rollback path a real short write takes.
+        match orchestra_fault::check("store.wal.append") {
+            Some(orchestra_fault::Action::Torn) => {
+                let cut = framed.len() / 2;
+                let _ = self.file.write_all(&framed[..cut]);
+                let err = injected_err("append", &self.path);
+                if self.file.set_len(offset).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(err);
+            }
+            Some(_) => return Err(injected_err("append", &self.path)),
+            None => {}
+        }
         if let Err(e) = self.file.write_all(framed) {
             let err = io_err("append", &self.path, &e);
             if self.file.set_len(offset).is_err() {
@@ -215,9 +291,25 @@ impl ActiveSegment {
 
     /// Flush file data (and metadata) to stable storage.
     pub fn sync(&mut self) -> crate::Result<()> {
+        // Failpoint `store.wal.fsync`: the appended bytes ARE on the file
+        // (only the durability barrier "failed"), which is exactly the
+        // dangerous half-state a real fsync failure leaves behind — a
+        // retried publish re-appends the frame, and recovery must
+        // deduplicate it (first indexed location wins).
+        if orchestra_fault::check("store.wal.fsync").is_some() {
+            return Err(injected_err("fsync", &self.path));
+        }
         self.file
             .sync_all()
             .map_err(|e| io_err("fsync", &self.path, &e))
+    }
+}
+
+pub(super) fn injected_err(op: &str, path: &Path) -> StoreError {
+    StoreError::Io {
+        op: op.to_string(),
+        path: path.display().to_string(),
+        message: "injected failpoint".into(),
     }
 }
 

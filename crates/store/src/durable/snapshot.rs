@@ -149,6 +149,11 @@ impl SnapshotWriter {
     /// Append one batch; returns the frame offset it will have in the
     /// finished snapshot.
     pub fn append_batch(&mut self, epoch: Epoch, txns: &[Transaction]) -> crate::Result<u64> {
+        // Failpoint `store.snapshot.write`: the tmp file is abandoned and
+        // swept at the next open; the previous snapshot stays published.
+        if orchestra_fault::check("store.snapshot.write").is_some() {
+            return Err(super::segment::injected_err("write", &self.tmp_path));
+        }
         let framed = frame(&encode_batch(epoch, txns));
         self.file
             .write_all(&framed)
@@ -162,6 +167,11 @@ impl SnapshotWriter {
     /// Patch the final batch count into the header, fsync, and atomically
     /// publish the snapshot.
     pub fn finish(mut self) -> crate::Result<()> {
+        // Failpoint `store.snapshot.finish`: fail just before the atomic
+        // rename — the worst possible moment, with the full file written.
+        if orchestra_fault::check("store.snapshot.finish").is_some() {
+            return Err(super::segment::injected_err("rename", &self.final_path));
+        }
         self.file
             .seek(SeekFrom::Start(0))
             .map_err(|e| io_err("seek", &self.tmp_path, &e))?;
@@ -215,7 +225,7 @@ pub fn stream_snapshot(
             FrameRead::Ok { payload, .. } => Ok((offset, Some(payload))),
             FrameRead::Eof => Ok((offset, None)),
             FrameRead::Torn => Err(corrupt(offset, "snapshot ends mid-frame".into())),
-            FrameRead::Corrupt { reason } => Err(corrupt(offset, reason)),
+            FrameRead::Corrupt { reason, .. } => Err(corrupt(offset, reason)),
         }
     };
 

@@ -8,7 +8,7 @@
 
 use super::codec::{decode_batch, encode_batch};
 use super::segment::{
-    list_segments, scan_segment, segment_file_name, truncate_segment, ActiveSegment,
+    list_segments, scan_segment_lossy, segment_file_name, truncate_segment, ActiveSegment,
 };
 use crate::api::StoreError;
 use crate::frame::{frame, FrameRead, FrameReader, MAX_FRAME_LEN};
@@ -54,6 +54,11 @@ pub struct WalRecovery {
     pub torn_bytes_truncated: u64,
     /// Live segments scanned.
     pub segments_scanned: usize,
+    /// Corrupt frames (checksum-invalid or undecodable) skipped during
+    /// recovery. Their transactions are simply absent from the reopened
+    /// archive — a mesh peer's anti-entropy refills them — rather than
+    /// failing the whole open.
+    pub corrupt_frames_skipped: u64,
 }
 
 /// The append-only segmented log.
@@ -74,8 +79,13 @@ impl Wal {
     /// deleted here).
     ///
     /// The highest-numbered segment may end in a torn frame, which is
-    /// truncated away; an invalid frame anywhere else is corruption and
-    /// fails the open.
+    /// truncated away. A checksum-invalid frame anywhere is **skipped**
+    /// (and counted in [`WalRecovery::corrupt_frames_skipped`]) rather
+    /// than failing the open: no single rotten frame holds the rest of
+    /// the archive hostage, and the missing history is re-pullable from
+    /// mesh neighbors. When corruption makes a suffix of the *active*
+    /// segment unframeable, that suffix is truncated so later appends
+    /// land at a verified boundary.
     pub fn open(
         dir: &Path,
         watermark: Option<u64>,
@@ -102,17 +112,29 @@ impl Wal {
         for (i, &seq) in live.iter().enumerate() {
             let is_last = i + 1 == live.len();
             let path = dir.join(segment_file_name(seq));
-            let scan = scan_segment(&path, is_last)?;
-            if scan.torn_bytes > 0 {
+            let scan = scan_segment_lossy(&path, is_last)?;
+            recovery.corrupt_frames_skipped += scan.corrupt.len() as u64;
+            // An open-ended corrupt region (implausible length prefix, or
+            // a non-tail torn frame) makes everything after it
+            // unframeable. On the active segment, truncate that garbage
+            // away exactly like a torn tail, so appends resume at a
+            // verified frame boundary; on a sealed segment the suffix is
+            // simply lost (already counted above).
+            let unframeable_suffix = scan.corrupt.last().is_some_and(|r| r.len.is_none());
+            if scan.torn_bytes > 0 || (is_last && unframeable_suffix) {
+                let file_len = std::fs::metadata(&path)
+                    .map_err(|e| super::segment::io_err("stat", &path, &e))?
+                    .len();
                 truncate_segment(&path, scan.valid_len)?;
-                recovery.torn_bytes_truncated = scan.torn_bytes;
+                recovery.torn_bytes_truncated += file_len - scan.valid_len;
             }
             for f in scan.frames {
-                let (epoch, txns) = decode_batch(&f.payload).map_err(|e| StoreError::Corrupt {
-                    path: path.display().to_string(),
-                    offset: f.offset,
-                    reason: format!("undecodable batch record: {e}"),
-                })?;
+                let Ok((epoch, txns)) = decode_batch(&f.payload) else {
+                    // CRC-valid but undecodable: corrupt in a way the
+                    // checksum happens to cover. Same policy: skip it.
+                    recovery.corrupt_frames_skipped += 1;
+                    continue;
+                };
                 recovery.batches.push(RecoveredBatch {
                     segment: seq,
                     offset: f.offset,
@@ -182,6 +204,12 @@ impl Wal {
 
     /// Seal the active segment and start a new one.
     pub fn rotate(&mut self) -> crate::Result<u64> {
+        // Failpoint `store.wal.rotate`: fail before sealing — the active
+        // segment stays active and appendable, so a caller retry simply
+        // rotates later.
+        if orchestra_fault::check("store.wal.rotate").is_some() {
+            return Err(super::segment::injected_err("rotate", self.active.path()));
+        }
         self.active.sync()?;
         let sealed_seq = self.active.seq;
         self.sealed.push(sealed_seq);

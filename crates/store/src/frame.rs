@@ -89,6 +89,12 @@ pub enum FrameRead {
     Corrupt {
         /// Why the frame was rejected.
         reason: String,
+        /// Total bytes (header + payload) the frame spans when its
+        /// structure was still parseable — a lossy scanner can skip this
+        /// many bytes and resynchronize at the next frame boundary.
+        /// `None` when the length prefix itself is implausible: nothing
+        /// past this point can be scanned.
+        resync: Option<u64>,
     },
 }
 
@@ -101,6 +107,7 @@ pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
         Ok((_, outcome)) => outcome,
         Err(e) => FrameRead::Corrupt {
             reason: format!("read error from in-memory buffer: {e}"),
+            resync: None,
         },
     }
 }
@@ -146,6 +153,7 @@ impl<R: std::io::Read> FrameReader<R> {
                 start,
                 FrameRead::Corrupt {
                     reason: format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+                    resync: None,
                 },
             ));
         }
@@ -156,12 +164,17 @@ impl<R: std::io::Read> FrameReader<R> {
         }
         let actual = crc32(&payload);
         if actual != crc {
+            // The frame's structure parsed (the whole payload was read
+            // off the stream), only the content is bad: advance past it
+            // so a lossy caller can keep scanning subsequent frames.
+            self.offset = start + (FRAME_HEADER + payload.len()) as u64;
             return Ok((
                 start,
                 FrameRead::Corrupt {
                     reason: format!(
                         "checksum mismatch: stored {crc:#010x}, computed {actual:#010x}"
                     ),
+                    resync: Some((FRAME_HEADER + payload.len()) as u64),
                 },
             ));
         }

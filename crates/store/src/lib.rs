@@ -48,7 +48,7 @@ pub use api::{
     pages, AbsorbReport, CursorBound, FetchCursor, FetchPage, Pages, RelationDigest, StoreDigest,
     StoreError, StoreStats, UpdateStore, DEFAULT_PAGE_LIMIT,
 };
-pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, SyncPolicy};
+pub use durable::{CacheMode, DurableOptions, DurableStats, DurableStore, ScrubReport, SyncPolicy};
 pub use memory::InMemoryStore;
 pub use replicated::ReplicatedStore;
 

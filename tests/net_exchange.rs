@@ -31,6 +31,7 @@ fn fast_opts() -> RemoteOptions {
         write_timeout: Duration::from_secs(5),
         pool_capacity: 2,
         retries: 1,
+        ..RemoteOptions::default()
     }
 }
 
