@@ -1,0 +1,31 @@
+//! Per-file analysis context handed to each lint: the file entry, its
+//! token stream, structural index, and annotation table.
+
+use crate::files::FileEntry;
+use crate::findings::{AllowTable, Finding, LintId};
+use crate::lexer::Lexed;
+use crate::parse::Structure;
+
+/// One library file, lexed and indexed, ready for linting.
+pub struct ParsedFile<'a> {
+    pub entry: &'a FileEntry,
+    pub lexed: Lexed<'a>,
+    pub structure: Structure,
+    pub allows: AllowTable,
+}
+
+impl<'a> ParsedFile<'a> {
+    /// Is the token at `idx` test-only code (inside a `#[cfg(test)]`
+    /// module or a `#[test]` function)?
+    pub fn is_test_code(&self, idx: usize) -> bool {
+        if self.structure.in_test_span(idx) {
+            return true;
+        }
+        matches!(self.structure.enclosing_fn(idx), Some(f) if f.is_test)
+    }
+
+    /// Build a finding against this file.
+    pub fn finding(&self, lint: LintId, line: u32, message: impl Into<String>) -> Finding {
+        Finding::new(lint, &self.entry.rel_path, line, message)
+    }
+}

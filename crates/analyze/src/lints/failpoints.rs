@@ -1,0 +1,126 @@
+//! `failpoint` lint: conformance for `orchestra_fault` injection sites.
+//!
+//! The fault framework's value rests on site names being stable,
+//! unique handles: the env grammar addresses sites by string, the docs
+//! table is the operator's catalog, and an unexercised site is a fault
+//! path nobody has ever actually fired. Checks:
+//!
+//! 1. every `orchestra_fault::check("site")` string in library code is
+//!    unique across the workspace (two sites sharing a name would fire
+//!    on one rule indistinguishably);
+//! 2. every site is exercised somewhere: a test, the bench/experiment
+//!    harness (E13's fault storm), or a CI fault-matrix spec.
+//!
+//! Site ↔ docs-table sync lives in the `doc-drift` lint; this one owns
+//! the code-side invariants.
+
+use crate::context::ParsedFile;
+use crate::files::{FileKind, Workspace};
+use crate::findings::{Finding, LintId};
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// A failpoint site found in library code.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pub name: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// Extract all `orchestra_fault::check("…")` sites from parsed library
+/// files. Shared with the doc-drift lint.
+pub fn collect_sites(files: &[ParsedFile<'_>]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for pf in files {
+        let toks = &pf.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "check" {
+                continue;
+            }
+            // Match `orchestra_fault :: check ( "site" )` (or the
+            // `fault::check` alias after a `use … as fault`).
+            let is_fault_path = i >= 2
+                && toks[i - 1].text == "::"
+                && matches!(toks[i - 2].text, "orchestra_fault" | "fault");
+            if !is_fault_path || pf.is_test_code(i) {
+                continue;
+            }
+            if toks.get(i + 1).map(|n| n.text) != Some("(") {
+                continue;
+            }
+            let Some(lit) = toks.get(i + 2).filter(|n| n.kind == TokenKind::Str) else {
+                continue;
+            };
+            let name = lit.text.trim_matches('"').to_string();
+            sites.push(Site {
+                name,
+                file: pf.entry.rel_path.clone(),
+                line: t.line,
+            });
+        }
+    }
+    sites
+}
+
+pub fn run(ws: &Workspace, files: &[ParsedFile<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let sites = collect_sites(files);
+
+    // 1. Uniqueness.
+    let mut by_name: BTreeMap<&str, Vec<&Site>> = BTreeMap::new();
+    for s in &sites {
+        by_name.entry(&s.name).or_default().push(s);
+    }
+    for (name, occurrences) in &by_name {
+        for dup in &occurrences[1..] {
+            out.push(Finding::new(
+                LintId::Failpoint,
+                &dup.file,
+                dup.line,
+                format!(
+                    "failpoint site `{name}` is also registered at {}:{} — site names \
+                     must be unique so env rules address exactly one injection point",
+                    occurrences[0].file, occurrences[0].line
+                ),
+            ));
+        }
+    }
+
+    // 2. Exercised: the site string appears in test code, the bench
+    //    harness, or a CI workflow (fault-matrix spec).
+    for (name, occurrences) in &by_name {
+        // Plain substring: specs embed sites in rule strings
+        // (`"store.wal.fsync=err@1"`), so quote-delimited matching
+        // would miss them.
+        let in_tests = ws
+            .files
+            .iter()
+            .any(|f| matches!(f.kind, FileKind::Test | FileKind::Bench) && f.src.contains(name));
+        let in_inline_tests = files.iter().any(|pf| {
+            // A `#[cfg(test)]` module in the defining crate counts.
+            pf.lexed.tokens.iter().enumerate().any(|(i, t)| {
+                t.kind == TokenKind::Str && t.text.contains(name) && pf.is_test_code(i)
+            })
+        });
+        let in_ci = ws
+            .docs
+            .iter()
+            .filter(|d| d.rel_path.starts_with(".github/"))
+            .any(|d| d.src.contains(name));
+        if !(in_tests || in_inline_tests || in_ci) {
+            let s = occurrences[0];
+            out.push(Finding::new(
+                LintId::Failpoint,
+                &s.file,
+                s.line,
+                format!(
+                    "failpoint site `{name}` is never exercised — no test, bench \
+                     harness, or CI fault-matrix spec mentions it; an untested fault \
+                     path is an untested recovery path"
+                ),
+            ));
+        }
+    }
+    out
+}

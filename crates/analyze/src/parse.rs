@@ -1,0 +1,404 @@
+//! Light structural analysis over the token stream: function extents,
+//! enclosing `impl` type names, and `#[cfg(test)]` / `#[test]` regions.
+//!
+//! This is deliberately not a parser — it recovers exactly the shape
+//! the lints need (who owns this token? is it test code? what `Self`
+//! type is in scope?) from brace matching plus attribute tracking, and
+//! tolerates anything it does not understand by ignoring it.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::ops::Range;
+
+/// A `fn` item found in the file.
+#[derive(Debug)]
+pub struct Func {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *excluding* the outer braces.
+    /// Empty for bodyless trait-method declarations.
+    pub body: Range<usize>,
+    /// Token index of the `fn` keyword (signature start).
+    pub sig_start: usize,
+    /// True when the function is test-only: `#[test]`, `#[cfg(test)]`,
+    /// or lexically inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+    /// The `impl` type name this method lives in, if any.
+    pub impl_type: Option<String>,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    pub functions: Vec<Func>,
+    /// Token-index ranges covered by `#[cfg(test)]` modules.
+    pub test_spans: Vec<Range<usize>>,
+    /// For each token index of a `{`, the index of its matching `}`.
+    brace_match: Vec<(usize, usize)>,
+}
+
+impl Structure {
+    /// Is the token at `idx` inside a `#[cfg(test)]` module?
+    pub fn in_test_span(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&idx))
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&Func> {
+        self.functions
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.len())
+    }
+
+    /// Matching `}` index for the `{` at `open`.
+    pub fn close_of(&self, open: usize) -> Option<usize> {
+        self.brace_match
+            .iter()
+            .find(|(o, _)| *o == open)
+            .map(|(_, c)| *c)
+    }
+}
+
+/// Is this ident a keyword that can precede `(` without being a call?
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "fn"
+            | "pub"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "mod"
+            | "use"
+            | "where"
+            | "in"
+            | "as"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "dyn"
+            | "crate"
+            | "self"
+            | "Self"
+            | "super"
+            | "type"
+            | "extern"
+    )
+}
+
+/// Build the structural index for a lexed file.
+pub fn structure(lexed: &Lexed<'_>) -> Structure {
+    let toks = &lexed.tokens;
+    let mut st = Structure::default();
+
+    // Pass 1: brace matching.
+    let mut stack = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                stack.push(i);
+            } else if t.text == "}" {
+                if let Some(open) = stack.pop() {
+                    st.brace_match.push((open, i));
+                }
+            }
+        }
+    }
+    st.brace_match.sort_unstable();
+
+    // Pass 2: walk items. `pending_attr` accumulates the text of
+    // outer attributes since the last item token; impl/test scopes are
+    // tracked with (close_idx, payload) stacks.
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
+    let mut test_mod_stack: Vec<usize> = Vec::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while let Some(&(close, _)) = impl_stack.last() {
+            if i > close {
+                impl_stack.pop();
+            } else {
+                break;
+            }
+        }
+        while let Some(&close) = test_mod_stack.last() {
+            if i > close {
+                test_mod_stack.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.kind == TokenKind::Punct && t.text == "#" {
+            // Attribute: `#[ … ]` (outer) or `#![ … ]` (inner; skipped
+            // without recording).
+            let inner = matches!(toks.get(i + 1), Some(n) if n.text == "!");
+            let open = i + if inner { 2 } else { 1 };
+            if matches!(toks.get(open), Some(n) if n.text == "[") {
+                let mut depth = 0i32;
+                let mut j = open;
+                let mut text = String::new();
+                while j < toks.len() {
+                    match toks[j].text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        s => {
+                            if !text.is_empty() {
+                                text.push(' ');
+                            }
+                            text.push_str(s);
+                        }
+                    }
+                    j += 1;
+                }
+                if !inner {
+                    pending_attrs.push(text);
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            match t.text {
+                "fn" => {
+                    let attrs = std::mem::take(&mut pending_attrs);
+                    let name = match toks.get(i + 1) {
+                        Some(n) if n.kind == TokenKind::Ident => n.text.to_string(),
+                        _ => {
+                            i += 1;
+                            continue;
+                        }
+                    };
+                    // Find the body `{` or a trailing `;` at paren/
+                    // bracket depth 0 (array types in params carry `;`).
+                    let mut depth = 0i32;
+                    let mut j = i + 2;
+                    let mut body = 0..0;
+                    while j < toks.len() {
+                        match toks[j].text {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "{" if depth == 0 => {
+                                let close = st.close_of(j).unwrap_or(toks.len());
+                                body = (j + 1)..close;
+                                break;
+                            }
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let attr_test = attrs.iter().any(|a| attr_marks_test(a));
+                    st.functions.push(Func {
+                        name,
+                        line: t.line,
+                        sig_start: i,
+                        is_test: attr_test || !test_mod_stack.is_empty(),
+                        impl_type: impl_stack.iter().rev().find_map(|(_, n)| n.clone()),
+                        body: body.clone(),
+                    });
+                    // Continue scanning *inside* the body (nested fns,
+                    // nested impls) — just step past the signature.
+                    i = if body.start > 0 { body.start } else { j + 1 };
+                    continue;
+                }
+                "mod" => {
+                    let attrs = std::mem::take(&mut pending_attrs);
+                    let is_test_mod = attrs.iter().any(|a| attr_marks_test(a));
+                    // Find the `{` (inline mod) or `;` (file mod).
+                    let mut j = i + 1;
+                    while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].text == "{" {
+                        let close = st.close_of(j).unwrap_or(toks.len());
+                        if is_test_mod {
+                            st.test_spans.push(j..close + 1);
+                            test_mod_stack.push(close);
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                "impl" => {
+                    pending_attrs.clear();
+                    if let Some((name, open)) = parse_impl_header(toks, i) {
+                        if let Some(close) = st.close_of(open) {
+                            impl_stack.push((close, name));
+                        }
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                // Any other item keyword resets pending attributes so a
+                // `#[derive(..)] struct` does not leak onto a later fn.
+                "struct" | "enum" | "trait" | "use" | "static" | "const" | "type"
+                | "macro_rules" => {
+                    pending_attrs.clear();
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    st
+}
+
+/// Does this flattened attribute text mark test-only code?
+/// `test`, `cfg ( test )`, `cfg ( all ( test , … ) )` do;
+/// `cfg ( not ( test ) )` does not.
+fn attr_marks_test(attr: &str) -> bool {
+    let has_test = attr == "test"
+        || attr
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w == "test");
+    has_test && !attr.contains("not")
+}
+
+/// Parse `impl … {`: returns (type name, index of the opening brace).
+/// `impl<T> Foo<T>` → `Foo`; `impl Trait for Bar` → `Bar`;
+/// `impl Display for wal::Wal` → `Wal`.
+fn parse_impl_header(toks: &[Token<'_>], impl_idx: usize) -> Option<(Option<String>, usize)> {
+    let mut j = impl_idx + 1;
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "<<" => angle += 2,
+            ">>" => angle -= 2,
+            "{" if angle <= 0 => return Some((last_ident, j)),
+            ";" => return None, // `impl Trait for Type;` — not a block
+            "for" if angle <= 0 => last_ident = None,
+            "where" if angle <= 0 => {
+                // Type name is settled; scan on to the brace.
+                while j < toks.len() && toks[j].text != "{" {
+                    j += 1;
+                }
+                if j < toks.len() {
+                    return Some((last_ident, j));
+                }
+                return None;
+            }
+            _ => {
+                if t.kind == TokenKind::Ident && angle <= 0 && !is_keyword(t.text) {
+                    last_ident = Some(t.text.to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_with_impl_types() {
+        let src = r#"
+            impl<T: Clone> Holder<T> {
+                pub fn get(&self) -> T { self.0.clone() }
+            }
+            impl std::fmt::Display for Wal {
+                fn fmt(&self, f: &mut Formatter) -> Result { Ok(()) }
+            }
+            fn free(x: [u8; 4]) -> u8 { x[0] }
+        "#;
+        let l = lex(src);
+        let st = structure(&l);
+        assert_eq!(st.functions.len(), 3);
+        assert_eq!(st.functions[0].name, "get");
+        assert_eq!(st.functions[0].impl_type.as_deref(), Some("Holder"));
+        assert_eq!(st.functions[1].name, "fmt");
+        assert_eq!(st.functions[1].impl_type.as_deref(), Some("Wal"));
+        assert_eq!(st.functions[2].name, "free");
+        assert_eq!(st.functions[2].impl_type, None);
+        assert!(!st.functions[2].body.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns() {
+        let src = r#"
+            fn lib_code() {}
+            #[test]
+            fn standalone_test() {}
+            #[cfg(test)]
+            mod tests {
+                use super::*;
+                fn helper() {}
+                #[test]
+                fn inner() {}
+            }
+            fn after() {}
+        "#;
+        let l = lex(src);
+        let st = structure(&l);
+        let by_name = |n: &str| st.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib_code").is_test);
+        assert!(by_name("standalone_test").is_test);
+        assert!(by_name("helper").is_test, "fns in cfg(test) mods are test");
+        assert!(by_name("inner").is_test);
+        assert!(!by_name("after").is_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(not(test))] fn prod() {}";
+        let st = structure(&lex(src));
+        assert!(!st.functions[0].is_test);
+    }
+
+    #[test]
+    fn derive_attr_does_not_leak() {
+        let src = "#[derive(Debug)] struct S; fn f() {}";
+        let st = structure(&lex(src));
+        assert!(!st.functions[0].is_test);
+    }
+
+    #[test]
+    fn trait_method_without_body() {
+        let src = "trait T { fn req(&self); fn has(&self) { () } }";
+        let st = structure(&lex(src));
+        assert_eq!(st.functions.len(), 2);
+        assert!(st.functions[0].body.is_empty());
+        assert!(!st.functions[1].body.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_seen() {
+        let src = "fn outer() { fn inner() {} inner(); }";
+        let st = structure(&lex(src));
+        assert_eq!(st.functions.len(), 2);
+        let outer = st.functions.iter().find(|f| f.name == "outer").unwrap();
+        let inner = st.functions.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.body.contains(&inner.sig_start));
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: hash-order iteration inside a merge function. Mapped to a
+//! determinism-critical path (`crates/datalog/src/engine.rs`) by the
+//! harness.
+
+use std::collections::HashMap;
+
+pub struct Index {
+    buckets: HashMap<u64, Vec<u64>>,
+}
+
+impl Index {
+    pub fn merge_counts(&self) -> u64 {
+        let mut acc = 0;
+        for (_k, v) in self.buckets.iter() {
+            acc += v.len() as u64;
+        }
+        acc
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: hash iteration the determinism lint must accept — the
+//! statement chain ends in an order-insensitive reduction (`sum`) or
+//! an ordered collection (`BTreeMap`), and non-marker functions are
+//! out of scope entirely.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    buckets: HashMap<u64, Vec<u64>>,
+}
+
+impl Index {
+    pub fn merge_total(&self) -> u64 {
+        self.buckets.values().map(|v| v.len() as u64).sum()
+    }
+
+    pub fn snapshot_sorted(&self) -> BTreeMap<u64, usize> {
+        self.buckets.iter().map(|(k, v)| (*k, v.len())).collect::<BTreeMap<_, _>>()
+    }
+
+    pub fn peek(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: failpoint-conformance violations. `store.fix.write` is
+//! registered twice (uniqueness violation); `store.fix.orphan` has no
+//! exercise evidence anywhere; `store.fix.covered` is mentioned by the
+//! synthetic test file the harness pairs with this fixture.
+
+pub fn write_segment() {
+    orchestra_fault::check("store.fix.write");
+    orchestra_fault::check("store.fix.orphan");
+    orchestra_fault::check("store.fix.covered");
+}
+
+pub fn rotate_segment() {
+    orchestra_fault::check("store.fix.write");
+}

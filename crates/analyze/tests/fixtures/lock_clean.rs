@@ -1,0 +1,34 @@
+//! Fixture: lock usage the lint must NOT flag — consistent ordering,
+//! explicit `drop` before the next acquisition, and a chained
+//! temporary guard (`.lock().pop()`) whose re-lock is sequential, not
+//! nested.
+
+use crate::shim::Mutex;
+
+pub struct Pair {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+}
+
+impl Pair {
+    pub fn both(&self) -> usize {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        ga.len() + gb.len()
+    }
+
+    pub fn also_both(&self) -> usize {
+        let ga = self.a.lock();
+        let n = ga.len();
+        drop(ga);
+        let gb = self.b.lock();
+        n + gb.len()
+    }
+
+    pub fn chained(&self) -> Option<u32> {
+        let popped = self.a.lock().pop();
+        let mut ga = self.a.lock();
+        ga.push(7);
+        popped
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture: seeded lock-order violations.
+//!
+//! `forward` takes `a` then `b`; `backward` takes `b` then `a` — a
+//! two-lock cycle. `outer` calls `audit` while holding `a`, and
+//! `audit` re-locks `a` — a self-deadlock through a call edge.
+
+use crate::shim::Mutex;
+
+pub struct Node {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+}
+
+impl Node {
+    pub fn forward(&self) -> usize {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        ga.len() + gb.len()
+    }
+
+    pub fn backward(&self) -> usize {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        gb.len() + ga.len()
+    }
+
+    pub fn outer(&self) -> usize {
+        let ga = self.a.lock();
+        let n = self.audit();
+        drop(ga);
+        n
+    }
+
+    fn audit(&self) -> usize {
+        let ga = self.a.lock();
+        ga.len()
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: panic-freedom violations. Mapped into a byte-parsing path
+//! (`crates/store/src/durable/`) by the harness so the indexing check
+//! applies too. One violation carries a justifying annotation and must
+//! come back `allowed`, not unannotated; the test-module unwrap must
+//! not be flagged at all.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf[0];
+    let parsed: Option<u32> = None;
+    let v = parsed.unwrap();
+    let w: Result<u32, ()> = Ok(3);
+    let x = w.expect("always ok");
+    if buf.len() > 99 {
+        panic!("frame too long");
+    }
+    first as u32 + v + x
+}
+
+pub fn guarded() -> u32 {
+    let opt: Option<u32> = Some(1);
+    opt.unwrap() // analyze: allow(panic) -- seeded Some on the line above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(v.unwrap(), 2);
+    }
+}

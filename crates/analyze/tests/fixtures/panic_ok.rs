@@ -1,0 +1,8 @@
+//! Fixture: library code the panic lint must leave alone — error
+//! propagation, checked access, and defaulting instead of unwrapping.
+
+pub fn decode(buf: &[u8]) -> Result<u32, String> {
+    let first = buf.first().copied().ok_or_else(|| "empty".to_string())?;
+    let rest = buf.get(1..).unwrap_or(&[]);
+    Ok(first as u32 + rest.len() as u32)
+}

@@ -1,0 +1,5 @@
+//! Fixture: an unjustified `unsafe` block — no safety comment at all.
+
+pub fn read_word(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a justified `unsafe` block — the audit lint must accept
+//! the adjacent SAFETY comment.
+
+pub fn read_word(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned, and
+    // points into a live allocation for the duration of the call.
+    unsafe { *p }
+}

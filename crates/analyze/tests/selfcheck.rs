@@ -1,0 +1,26 @@
+//! The forcing function: the analyzer must run clean on the real
+//! workspace. Every deliberate deviation from a lint's rule needs an
+//! inline `// analyze: allow(..) -- reason`, so this test failing
+//! means either a genuine new violation or an undocumented waiver —
+//! both things a human should look at.
+
+use orchestra_analyze::Options;
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_no_unannotated_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        orchestra_analyze::analyze(&root, &Options::default()).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.unannotated(),
+        0,
+        "unannotated findings in the real workspace:\n{}",
+        report.render_text()
+    );
+}

@@ -343,6 +343,7 @@ impl Cdss {
     /// instance here, so there is no reason to store or ship them.
     pub fn interest_set(&self) -> Vec<String> {
         self.interest_set_for(&self.peer_ids())
+            // analyze: allow(panic) -- peer_ids() enumerates self.peers, so every id resolves
             .expect("own peer ids are known")
     }
 
@@ -431,6 +432,7 @@ impl Cdss {
     /// propagates, translates, and reconciles atomically).
     pub fn publish_transaction(&mut self, peer_id: &PeerId, updates: Vec<Update>) -> Result<TxnId> {
         let ids = self.publish_transactions(peer_id, vec![updates])?;
+        // analyze: allow(panic) -- publish_transactions returns one id per input batch and exactly one batch is passed
         Ok(ids.into_iter().next().expect("one txn"))
     }
 
@@ -490,7 +492,10 @@ impl Cdss {
         }
         self.store.publish(epoch, built.clone())?;
         self.published_txns += built.len() as u64;
-        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+        let peer = self
+            .peers
+            .get_mut(peer_id)
+            .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
         peer.published_snapshot = peer.instance.clone();
         Ok(built.into_iter().map(|t| t.id).collect())
     }
@@ -615,7 +620,10 @@ impl Cdss {
                 Err(e) => return Err(e.into()),
             };
             pages += 1;
-            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            let peer = self
+                .peers
+                .get_mut(peer_id)
+                .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
             match probe.unavailable.first() {
                 Some((ep, id)) if !peer.ingested.contains(id) => {
                     observe(&mut max_seen, *ep);
@@ -670,7 +678,10 @@ impl Cdss {
             if let Some(u) = page.unavailable.last() {
                 hw = Some(hw.map_or(u.clone(), |h| h.max(u.clone())));
             }
-            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            let peer = self
+                .peers
+                .get_mut(peer_id)
+                .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
             for (ep, id) in &page.unavailable {
                 observe(&mut max_seen, *ep);
                 if peer.ingested.contains(id) {
@@ -721,7 +732,10 @@ impl Cdss {
         // sticky — so instead the resume position below rewinds to cover
         // the parked transactions and they are re-fetched after the cut.
         if !parked.is_empty() && !unreachable {
-            let peer = self.peers.get_mut(peer_id).expect("peer exists");
+            let peer = self
+                .peers
+                .get_mut(peer_id)
+                .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
             let batch = std::mem::take(&mut parked);
             let r = process_page(peer, peer_id, batch, &mut held, None)?;
             candidates += r.candidates;
@@ -735,7 +749,10 @@ impl Cdss {
             outcome.deferred.extend(r.outcome.deferred);
         }
 
-        let peer = self.peers.get_mut(peer_id).expect("peer exists");
+        let peer = self
+            .peers
+            .get_mut(peer_id)
+            .ok_or_else(|| CoreError::UnknownPeer(peer_id.to_string()))?;
         // Where the next exchange must resume: the first payload gap if
         // one was found — rewound further to cover any parked forward
         // reference whose final pass never ran because the archive went
@@ -1067,6 +1084,7 @@ fn causal_order(txns: Vec<Transaction>) -> Vec<Transaction> {
     while let Some(id) = ready.pop_front() {
         if let Some(deps) = dependents.get(&id) {
             for d in deps.clone() {
+                // analyze: allow(panic) -- dependents and in_deg are built over the same key set in the loop above
                 let e = in_deg.get_mut(&d).expect("node");
                 *e -= 1;
                 if *e == 0 {

@@ -535,6 +535,7 @@ impl<'a> Exec<'a> {
         let data = self.data;
         match &sp.source {
             Source::Delta => {
+                // analyze: allow(panic) -- plan selection sets Source::Delta only when run_delta supplied one
                 let cands = self.delta.expect("delta plan executed without a delta");
                 self.scan_candidates(si, sp, cands.iter());
             }
@@ -688,6 +689,7 @@ impl<'a> Exec<'a> {
                 Slot::Skolem { args, .. } => {
                     let arg_syms: Vec<Sym> = args
                         .iter()
+                        // analyze: allow(panic) -- Tgd compilation rejects any skolem arg that is not a var or constant
                         .map(|a| self.slot_sym(a).expect("skolem args are vars/constants"))
                         .collect();
                     skolems.push((ci as u32, arg_syms));
@@ -697,12 +699,14 @@ impl<'a> Exec<'a> {
             .collect();
         let body_nodes: Vec<NodeId> = (0..rule.body.len())
             .map(|i| {
+                // analyze: allow(panic) -- a firing is only staged after every body atom matched, binding all slots
                 let t = self.body_tuples[i].expect("bound");
                 // Every candidate is either alive (interned on insert) or
                 // a delta tuple (interned at `insert_base` / the merge
                 // that produced it) — so the lookup cannot miss.
                 self.nodes
                     .get(rule.body[i].rel, t)
+                    // analyze: allow(panic) -- see comment above: candidates are interned on insert or merge
                     .expect("body tuple interned")
             })
             .collect();
@@ -757,6 +761,7 @@ fn resolve_head(interner: &mut ValueInterner, rule: &CompiledRule, firing: &Firi
     let mut syms: Vec<Sym> = firing.head.syms().to_vec();
     for (ci, args) in &firing.skolems {
         let Slot::Skolem { function, .. } = &rule.head.slots[*ci as usize] else {
+            // analyze: allow(panic) -- firing.skolems is built by iterating exactly the head's skolem slots
             unreachable!("staged skolem at a non-skolem head slot")
         };
         syms[*ci as usize] = interner.intern_skolem(function, args);
@@ -1027,6 +1032,7 @@ impl Engine {
                     args: args
                         .iter()
                         .map(|a| match a {
+                            // analyze: allow(panic) -- Tgd::new validates skolem args are flat before compilation
                             Term::Skolem { .. } => unreachable!("nested skolems rejected by Tgd"),
                             other => compile_term(other, var_ids, interner),
                         })
@@ -1430,6 +1436,7 @@ impl Engine {
                 ..
             } = self;
             for (spec, out) in tasks.iter().zip(outs) {
+                // analyze: allow(panic) -- the pool barrier completes every task before results are read
                 let out = out.expect("join task executed");
                 stats.index_probes += out.probes;
                 let rule = &rules[spec.ri as usize];

@@ -71,6 +71,7 @@ impl NodeTable {
         if let Some(&id) = self.by_rel[ri].get(tuple) {
             return id;
         }
+        // analyze: allow(panic) -- u32 node-id capacity (4B interned tuples) is an accepted engine limit
         let id = NodeId(u32::try_from(self.by_id.len()).expect("node table overflow"));
         self.by_id.push((rel, tuple.clone()));
         self.by_rel[ri].insert(tuple.clone(), id);

@@ -115,6 +115,7 @@ impl ProvGraph {
             }
         }
         self.seen.insert(fp);
+        // analyze: allow(panic) -- u32 derivation capacity (4B entries) is an accepted engine limit
         let idx = u32::try_from(self.derivations.len()).expect("derivation overflow");
         push_adj(&mut self.by_head, d.head, idx);
         for b in &d.body {

@@ -351,6 +351,7 @@ impl Drop for ScopeGuard {
 /// entry point; a typo should fail loudly).
 pub fn scoped(spec: &str, seed: u64) -> ScopeGuard {
     let lock = scope_lock().lock().unwrap_or_else(|p| p.into_inner());
+    // analyze: allow(panic) -- documented contract: a malformed spec in a test harness must fail loudly
     let cfg = parse(spec, seed).expect("valid failpoint spec");
     // Force env init first so `prev_state` reflects reality.
     let _ = active();

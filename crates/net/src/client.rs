@@ -312,12 +312,14 @@ impl RemoteStore {
                 let payload_len = framed.len() - FRAME_HEADER;
                 let idx =
                     FRAME_HEADER + orchestra_fault::draw("net.client.send") as usize % payload_len;
+                // analyze: allow(panic) -- idx = FRAME_HEADER + (draw % payload_len) < framed.len() by construction
                 framed[idx] ^= 0x01;
             }
             Some(orchestra_fault::Action::Cut) => {
                 // Ship half the frame, then fail: the server sees a
                 // connection cut mid-frame.
                 let cut = framed.len() / 2;
+                // analyze: allow(panic) -- cut = framed.len() / 2 is always in bounds
                 let _ = stream.write_all(&framed[..cut]);
                 let _ = stream.flush();
                 return Err(self.transport_failure(format_args!("injected failpoint: send cut")));

@@ -323,13 +323,16 @@ impl Reconciler {
     /// last-writer-wins per key. Returns (key → (writer, outcome)).
     fn group_writes(&mut self, group: &BTreeSet<TxnId>) -> Result<GroupWrites> {
         let mut out: GroupWrites = BTreeMap::new();
-        // Fast path: singleton groups (the common case) need no ordering.
+        // Fast path: singleton groups (the common case) need no
+        // ordering. An empty group falls through to the general path,
+        // which yields an empty write set.
         if group.len() == 1 {
-            let id = group.iter().next().expect("nonempty").clone();
-            for (key, outcome) in self.write_set_of(&id)?.iter() {
-                out.insert(key.clone(), (id.clone(), outcome.clone()));
+            if let Some(id) = group.iter().next().cloned() {
+                for (key, outcome) in self.write_set_of(&id)?.iter() {
+                    out.insert(key.clone(), (id.clone(), outcome.clone()));
+                }
+                return Ok(out);
             }
-            return Ok(out);
         }
         let order = subgraph_topo_order(&self.graph, group)?;
         for id in order {

@@ -51,7 +51,7 @@ impl Batch {
         if result.is_err() {
             self.panicked.store(true, Ordering::SeqCst);
         }
-        let mut left = self.remaining.lock().expect("batch lock");
+        let mut left = self.remaining.lock().expect("batch lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
         *left -= 1;
         if *left == 0 {
             self.done.notify_all();
@@ -107,6 +107,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("orchestra-eval-{i}"))
                     .spawn(move || helper_loop(&shared))
+                    // analyze: allow(panic) -- pool construction happens at startup; no spawn means no evaluator at all
                     .expect("spawn eval worker")
             })
             .collect();
@@ -131,7 +132,7 @@ impl WorkerPool {
         }
         let batch = Batch::new(jobs.len());
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = self.shared.queue.lock().expect("queue lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
             for job in jobs {
                 // SAFETY: `run` blocks below until `batch.remaining == 0`,
                 // i.e. until every erased job has returned. The borrows
@@ -145,7 +146,7 @@ impl WorkerPool {
         // then wait for in-flight jobs on other threads to finish.
         loop {
             let popped = {
-                let mut q = self.shared.queue.lock().expect("queue lock");
+                let mut q = self.shared.queue.lock().expect("queue lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
                 q.jobs.pop_front()
             };
             match popped {
@@ -153,12 +154,13 @@ impl WorkerPool {
                 None => break,
             }
         }
-        let mut left = batch.remaining.lock().expect("batch lock");
+        let mut left = batch.remaining.lock().expect("batch lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
         while *left > 0 {
-            left = batch.done.wait(left).expect("batch wait");
+            left = batch.done.wait(left).expect("batch wait"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
         }
         drop(left);
         if batch.panicked.load(Ordering::SeqCst) {
+            // analyze: allow(panic) -- deliberate: re-raises a worker panic on the caller's thread instead of losing it
             panic!("a parallel evaluation task panicked");
         }
     }
@@ -167,7 +169,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = self.shared.queue.lock().expect("queue lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
             q.shutdown = true;
         }
         self.shared.available.notify_all();
@@ -180,7 +182,7 @@ impl Drop for WorkerPool {
 fn helper_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = shared.queue.lock().expect("queue lock"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -188,7 +190,7 @@ fn helper_loop(shared: &Shared) {
                 if q.shutdown {
                     break None;
                 }
-                q = shared.available.wait(q).expect("queue wait");
+                q = shared.available.wait(q).expect("queue wait"); // analyze: allow(panic) -- a poisoned lock means a worker already panicked; unwinding propagates it
             }
         };
         match job {

@@ -178,6 +178,7 @@ impl<P: Copy> ShardedRel<P> {
                 .push(t.clone());
         }
         let shard = &mut self.shards[si];
+        // analyze: allow(panic) -- u32 per-shard capacity (4B tuples) is an accepted engine limit
         let p = u32::try_from(shard.order.len()).expect("shard overflow");
         shard.pos.insert(t.clone(), p);
         shard.order.push((t, payload));
@@ -190,6 +191,7 @@ impl<P: Copy> ShardedRel<P> {
         let p = shard.pos.remove(t)? as usize;
         let (_, payload) = shard.order.swap_remove(p);
         if let Some((moved, _)) = shard.order.get(p) {
+            // analyze: allow(panic) -- `order` and `pos` are mutated in lockstep; every stored tuple is indexed
             *shard.pos.get_mut(moved).expect("moved tuple indexed") = p as u32;
         }
         for (cols, per_shard) in self.indexes.iter_mut() {

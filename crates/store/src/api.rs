@@ -400,6 +400,7 @@ pub(crate) fn collect_page(
         }
     }
     let next = if more {
+        // analyze: allow(panic) -- `more` is only true when at least one element was pushed
         let (e, id) = out.last().expect("limit >= 1");
         Some(FetchCursor::after_txn(*e, id.clone()))
     } else {
@@ -603,13 +604,13 @@ pub(crate) fn index_epoch_ids(
             match (a.peek(), b.peek()) {
                 (Some(x), Some(y)) => {
                     if x <= y {
-                        merged.push(a.next().expect("peeked"));
+                        merged.push(a.next().expect("peeked")); // analyze: allow(panic) -- next() after a successful peek() on the same iterator cannot be None
                     } else {
-                        merged.push(b.next().expect("peeked"));
+                        merged.push(b.next().expect("peeked")); // analyze: allow(panic) -- next() after a successful peek() on the same iterator cannot be None
                     }
                 }
-                (Some(_), None) => merged.push(a.next().expect("peeked")),
-                (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                (Some(_), None) => merged.push(a.next().expect("peeked")), // analyze: allow(panic) -- next() after a successful peek() on the same iterator cannot be None
+                (None, Some(_)) => merged.push(b.next().expect("peeked")), // analyze: allow(panic) -- next() after a successful peek() on the same iterator cannot be None
                 (None, None) => break,
             }
         }

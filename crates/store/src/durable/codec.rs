@@ -106,6 +106,7 @@ impl<'a> Cursor<'a> {
     /// tail is delegated to another decoder (e.g. a wire message wrapping
     /// a batch record).
     pub fn remaining(&mut self) -> &'a [u8] {
+        // analyze: allow(panic) -- pos never exceeds buf.len(): take() bounds-checks every advance
         let rest = &self.buf[self.pos..];
         self.pos = self.buf.len();
         rest
@@ -125,6 +126,7 @@ impl<'a> Cursor<'a> {
                 self.buf.len() - self.pos
             ));
         }
+        // analyze: allow(panic) -- the length check directly above returns Err before this slice can overrun
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -230,6 +232,7 @@ fn get_value_at(c: &mut Cursor<'_>, depth: u32) -> Result<Value> {
         },
         2 => Ok(Value::Int(c.ivarint()?)),
         3 => {
+            // analyze: allow(panic) -- take(8) returned exactly 8 bytes; try_into is infallible here
             let bits = u64::from_le_bytes(c.take(8)?.try_into().expect("8 bytes"));
             Ok(Value::Double(f64::from_bits(bits)))
         }

@@ -97,16 +97,20 @@ fn parse_header(payload: &[u8], path: &Path) -> crate::Result<(u64, u64)> {
             payload.len()
         )));
     }
+    // analyze: allow(panic) -- header length checked (21 bytes) just above
     if &payload[0..4] != MAGIC {
         return Err(corrupt("bad snapshot magic".into()));
     }
+    // analyze: allow(panic) -- header length checked (21 bytes) just above
     if payload[4] != VERSION {
         return Err(corrupt(format!(
             "unsupported snapshot version {}",
-            payload[4]
+            payload[4] // analyze: allow(panic) -- header length checked (21 bytes) just above
         )));
     }
+    // analyze: allow(panic) -- 8-byte slice of the length-checked 21-byte header; try_into is infallible
     let covered = u64::from_le_bytes(payload[5..13].try_into().expect("8 bytes"));
+    // analyze: allow(panic) -- 8-byte slice of the length-checked 21-byte header; try_into is infallible
     let count = u64::from_le_bytes(payload[13..21].try_into().expect("8 bytes"));
     Ok((covered, count))
 }

@@ -36,7 +36,7 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = c;
+        table[i] = c; // analyze: allow(panic) -- i < 256 by the enclosing loop guard
         i += 1;
     }
     table
@@ -48,6 +48,7 @@ const CRC32_TABLE: [u32; 256] = crc32_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in data {
+        // analyze: allow(panic) -- index masked with & 0xff, always < 256
         c = (c >> 8) ^ CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize];
     }
     !c
@@ -102,7 +103,7 @@ pub enum FrameRead {
 /// [`FrameReader`] so there is exactly one frame parser (the streaming
 /// one every production path uses).
 pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
-    let rest = &buf[offset.min(buf.len())..];
+    let rest = &buf[offset.min(buf.len())..]; // analyze: allow(panic) -- offset clamped to buf.len()
     match FrameReader::new(rest, 0).next_frame() {
         Ok((_, outcome)) => outcome,
         Err(e) => FrameRead::Corrupt {
@@ -146,7 +147,9 @@ impl<R: std::io::Read> FrameReader<R> {
             n if n < FRAME_HEADER => return Ok((start, FrameRead::Torn)),
             _ => {}
         }
+        // analyze: allow(panic) -- 4-byte slices of the FRAME_HEADER buffer; try_into is infallible
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        // analyze: allow(panic) -- 4-byte slices of the FRAME_HEADER buffer; try_into is infallible
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         if len > MAX_FRAME_LEN {
             return Ok((
@@ -194,6 +197,7 @@ impl<R: std::io::Read> FrameReader<R> {
 fn read_exact_or_eof<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
+        // analyze: allow(panic) -- filled < buf.len() by the loop guard
         match r.read(&mut buf[filled..]) {
             Ok(0) => break,
             Ok(n) => filled += n,

@@ -148,6 +148,7 @@ impl DepGraph {
             out.push(id.clone());
             if let Some(deps) = self.dependents.get(id) {
                 for d in deps {
+                    // analyze: allow(panic) -- dependents edges only reference registered nodes
                     let deg = in_deg.get_mut(d).expect("dependent is a node");
                     *deg -= 1;
                     if *deg == 0 {
