@@ -76,7 +76,12 @@ pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
     files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
 
     let mut docs = Vec::new();
-    for rel in ["docs/wire-protocol.md", "docs/architecture.md", "README.md"] {
+    for rel in [
+        "docs/wire-protocol.md",
+        "docs/architecture.md",
+        "docs/observability.md",
+        "README.md",
+    ] {
         let p = root.join(rel);
         if p.is_file() {
             docs.push(DocFile {

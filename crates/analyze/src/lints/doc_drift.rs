@@ -12,6 +12,12 @@
 //!    listed (backtick-quoted, exact) in the site table of
 //!    `docs/architecture.md`, and every site-shaped name in that doc
 //!    exists in code.
+//! 4. **Metric names** — every `obs::counter!/gauge!/histogram!` name
+//!    registered in library code is cataloged (backtick-quoted) in
+//!    `docs/observability.md`, and every metric-kind table row in that
+//!    doc names a metric that exists in code. Rows with a `<…>`
+//!    placeholder (dynamic names like `fault.fired.<site>`) are
+//!    documentation-only and skipped in the reverse direction.
 //!
 //! Doc-side findings are anchored at the markdown line; code-side at
 //! the constant/site. Drift findings are fixable by definition, so
@@ -28,12 +34,14 @@ const PROTO: &str = "crates/net/src/proto.rs";
 const STORE_API: &str = "crates/store/src/api.rs";
 const WIRE_DOC: &str = "docs/wire-protocol.md";
 const ARCH_DOC: &str = "docs/architecture.md";
+const OBS_DOC: &str = "docs/observability.md";
 
 pub fn run(ws: &Workspace, files: &[ParsedFile<'_>]) -> Vec<Finding> {
     let mut out = Vec::new();
     out.extend(check_opcodes(ws, files));
     out.extend(check_counters(ws, files));
     out.extend(check_failpoint_table(ws, files));
+    out.extend(check_metrics(ws, files));
     out
 }
 
@@ -303,6 +311,108 @@ fn check_failpoint_table(ws: &Workspace, files: &[ParsedFile<'_>]) -> Vec<Findin
                     ),
                 ));
             }
+        }
+    }
+    out
+}
+
+/// A metric name registered in library code: `counter!("…")`,
+/// `gauge!("…")`, `histogram!("…")`, `time_histogram!("…")`, or the
+/// function-form registration `orchestra_obs::counter("…")` etc.
+/// Test code and `test.`-prefixed names are harness-local and exempt.
+fn collect_metric_names(files: &[ParsedFile<'_>]) -> Vec<(String, String, u32)> {
+    const KINDS: [&str; 4] = ["counter", "gauge", "histogram", "time_histogram"];
+    let mut out = Vec::new();
+    for pf in files {
+        let toks = &pf.lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !KINDS.contains(&t.text) || pf.is_test_code(i) {
+                continue;
+            }
+            // Macro form: `counter ! ( "name"` — possibly after an
+            // `orchestra_obs ::` path. Function form: the registration
+            // helpers, which require the `orchestra_obs ::` (or
+            // `obs ::`) path so unrelated functions never match.
+            let lit = if toks.get(i + 1).map(|n| n.text) == Some("!")
+                && toks.get(i + 2).map(|n| n.text) == Some("(")
+            {
+                toks.get(i + 3)
+            } else if toks.get(i + 1).map(|n| n.text) == Some("(")
+                && i >= 2
+                && toks[i - 1].text == "::"
+                && matches!(toks[i - 2].text, "orchestra_obs" | "obs")
+            {
+                toks.get(i + 2)
+            } else {
+                None
+            };
+            let Some(lit) = lit.filter(|n| n.kind == TokenKind::Str) else {
+                continue;
+            };
+            let name = lit.text.trim_matches('"').to_string();
+            if name.starts_with("test.") {
+                continue;
+            }
+            out.push((name, pf.entry.rel_path.clone(), t.line));
+        }
+    }
+    out
+}
+
+fn check_metrics(ws: &Workspace, files: &[ParsedFile<'_>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let names = collect_metric_names(files);
+    if names.is_empty() {
+        return out; // No instrumented code — nothing to catalog.
+    }
+    let Some(doc) = ws.doc(OBS_DOC) else {
+        out.push(Finding::new(
+            LintId::DocDrift,
+            &names[0].1,
+            names[0].2,
+            format!("`{OBS_DOC}` is missing — registered metrics must stay cataloged"),
+        ));
+        return out;
+    };
+    // Forward: every registered name appears backtick-quoted, exact.
+    for (name, file, line) in &names {
+        let quoted = format!("`{name}`");
+        if !doc.src.contains(&quoted) {
+            out.push(Finding::new(
+                LintId::DocDrift,
+                file,
+                *line,
+                format!(
+                    "metric `{name}` is not cataloged in {OBS_DOC} — add it to the \
+                     metric table (backtick-quoted, exact)"
+                ),
+            ));
+        }
+    }
+    // Reverse: every metric-kind row of the catalog table names a
+    // metric that exists in code. Only rows whose second cell is a
+    // metric kind are considered, so span names and prose stay exempt;
+    // `<…>` placeholder rows document dynamic names and are skipped.
+    let known: Vec<&str> = names.iter().map(|(n, _, _)| n.as_str()).collect();
+    for (idx, line) in doc.src.lines().enumerate() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 4 || !matches!(cells[2], "counter" | "gauge" | "histogram") {
+            continue;
+        }
+        let name = cells[1].trim_matches('`');
+        if name.is_empty() || name.contains('<') {
+            continue;
+        }
+        if !known.contains(&name) {
+            out.push(Finding::new(
+                LintId::DocDrift,
+                OBS_DOC,
+                idx as u32 + 1,
+                format!(
+                    "cataloged metric `{name}` is not registered anywhere in library \
+                     code — remove the row or fix the name"
+                ),
+            ));
         }
     }
     out

@@ -330,6 +330,64 @@ PROBE_OK carries `pings` as 1×uvarint.
     assert_eq!(r.total(), 0, "{}", r.render_text());
 }
 
+#[test]
+fn doc_drift_metric_catalog_both_directions() {
+    let lib = r#"
+pub fn hot() {
+    orchestra_obs::counter!("store.fix.cataloged", 1);
+    orchestra_obs::counter!("store.fix.uncataloged", 1);
+    orchestra_obs::time_histogram!("store.fix.lat_micros", ());
+}
+pub fn register() -> orchestra_obs::GaugeHandle {
+    orchestra_obs::gauge("store.fix.level")
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        orchestra_obs::counter!("store.fix.testonly", 1);
+        orchestra_obs::counter!("test.fix.harness", 1);
+    }
+}
+"#;
+    let obs_doc = "\
+## Metrics
+
+| name | kind | meaning |
+|------|------|---------|
+| `store.fix.cataloged` | counter | listed |
+| `store.fix.lat_micros` | histogram | listed |
+| `store.fix.level` | gauge | listed |
+| `store.fix.ghost` | counter | removed long ago |
+| `fault.fired.<site>` | counter | placeholder family, skipped |
+| `store.fix.roundspan` | span | span rows are exempt |
+";
+    let w = ws(
+        vec![entry("crates/store/src/fixture.rs", lib)],
+        vec![("docs/observability.md", obs_doc)],
+    );
+    let r = run(&w, &[LintId::DocDrift]);
+    let msgs: Vec<&str> = r.findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(r.total(), 2, "{}", r.render_text());
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("store.fix.uncataloged") && m.contains("not cataloged")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("store.fix.ghost") && m.contains("not registered")));
+}
+
+#[test]
+fn doc_drift_metrics_require_the_catalog_doc() {
+    let lib = r#"pub fn hot() { orchestra_obs::counter!("store.fix.orphan", 1); }"#;
+    let w = ws(vec![entry("crates/store/src/fixture.rs", lib)], vec![]);
+    let r = run(&w, &[LintId::DocDrift]);
+    assert_eq!(r.total(), 1, "{}", r.render_text());
+    assert!(r.findings[0]
+        .message
+        .contains("docs/observability.md` is missing"));
+}
+
 // ---- bad-annotation -----------------------------------------------------
 
 #[test]

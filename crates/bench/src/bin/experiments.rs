@@ -1207,6 +1207,7 @@ pub fn e10_network(opts: &Opts) -> BenchReport {
     report.summary_extra("store_pages", total_pages);
     report.summary_extra("store_unavailable", total_unavail);
     report.summary_extra("round_trips", total_round_trips);
+    report.summary_extra("obs", orchestra_bench::json::obs_block());
     opts.emit(&report);
     report
 }

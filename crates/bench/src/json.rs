@@ -441,6 +441,33 @@ impl BenchReport {
     }
 }
 
+/// The `obs` summary block for experiments that report instrumentation
+/// overhead (E10/E12): whether the metrics layer is compiled in, the
+/// registry's entry counts, and per-subsystem event totals. An A/B pair
+/// of runs (default build vs `--features orchestra-obs/off`) is compared
+/// by diffing this block next to `tuples_per_sec`.
+pub fn obs_block() -> Json {
+    let snap = orchestra_obs::snapshot();
+    let sum = |prefix: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, value)| *value)
+            .sum()
+    };
+    Json::obj([
+        ("enabled", Json::from(orchestra_obs::ENABLED)),
+        ("counters", Json::from(snap.counters.len())),
+        ("gauges", Json::from(snap.gauges.len())),
+        ("histograms", Json::from(snap.histograms.len())),
+        ("spans", Json::from(snap.spans.len())),
+        ("store_events", Json::from(sum("store."))),
+        ("net_events", Json::from(sum("net."))),
+        ("server_events", Json::from(sum("server."))),
+        ("engine_events", Json::from(sum("engine."))),
+    ])
+}
+
 /// Validate the `BENCH_*.json` shape. Returns the list of problems (empty
 /// when the document conforms). CI's smoke step runs a small workload and
 /// feeds the emitted files through this.
@@ -480,6 +507,18 @@ pub fn validate_report_shape(doc: &Json) -> Vec<String> {
             }
         }
         _ => errs.push("missing object field `summary`".into()),
+    }
+    // The `obs` block is optional (only E10/E12 emit it), but when
+    // present it must carry the A/B-comparison fields.
+    if let Some(obs) = doc.get("summary").and_then(|s| s.get("obs")) {
+        if !matches!(obs.get("enabled"), Some(Json::Bool(_))) {
+            errs.push("summary.obs missing bool `enabled`".into());
+        }
+        for key in ["counters", "gauges", "histograms", "spans"] {
+            if obs.get(key).and_then(Json::as_f64).is_none() {
+                errs.push(format!("summary.obs missing numeric `{key}`"));
+            }
+        }
     }
     errs
 }

@@ -31,7 +31,7 @@ use crate::json::{BenchReport, Json};
 use orchestra_core::Cdss;
 use orchestra_datalog::{Atom, Tgd};
 use orchestra_mesh::{InterestMode, MeshNode, MeshOptions};
-use orchestra_net::RemoteOptions;
+use orchestra_net::{RemoteOptions, RemoteStore};
 use orchestra_reconcile::TrustPolicy;
 use orchestra_relational::{tuple, DatabaseSchema, RelationSchema, ValueType};
 use orchestra_store::{DurableStore, UpdateStore};
@@ -695,6 +695,44 @@ pub fn e12_mesh_cluster(smoke: bool, variant: &str) -> BenchReport {
             ]);
         }
     }
+    // Wire-level cluster introspection: pull one registry snapshot per
+    // child process through the v2 METRICS opcode (every node of a
+    // process shares its process-global registry, so one poll per
+    // process avoids double counting). The polling itself exercises the
+    // parent-side net client, so the block's own `net_events` moves too.
+    let mut cluster_nodes_polled = 0u64;
+    let (mut cluster_pages_pulled, mut cluster_server_requests) = (0u64, 0u64);
+    for c in children.iter() {
+        let Some(addr) = c.addrs.values().next() else {
+            continue;
+        };
+        let snap = RemoteStore::connect_with(addr, cluster_remote_opts())
+            .and_then(|remote| remote.metrics());
+        let Ok(snap) = snap else { continue };
+        cluster_nodes_polled += 1;
+        for (name, value) in &snap.counters {
+            match name.as_str() {
+                "mesh.round.pages_pulled" => cluster_pages_pulled += value,
+                "server.requests" => cluster_server_requests += value,
+                _ => {}
+            }
+        }
+    }
+    let mut obs = crate::json::obs_block();
+    if let Json::Obj(fields) = &mut obs {
+        fields.insert(
+            "cluster_nodes_polled".into(),
+            Json::from(cluster_nodes_polled),
+        );
+        fields.insert(
+            "cluster_pages_pulled".into(),
+            Json::from(cluster_pages_pulled),
+        );
+        fields.insert(
+            "cluster_server_requests".into(),
+            Json::from(cluster_server_requests),
+        );
+    }
     for c in children.iter_mut() {
         c.send("STOP");
         assert_eq!(c.recv(), "BYE");
@@ -752,6 +790,7 @@ pub fn e12_mesh_cluster(smoke: bool, variant: &str) -> BenchReport {
     report.summary_extra("duplicate_txns", total_dups);
     report.summary_extra("store_pages", total_pulls);
     report.summary_extra("store_unavailable", 0u64);
+    report.summary_extra("obs", obs);
     assert!(
         report.to_json().get("summary").unwrap().get("converged") == Some(&Json::Bool(true)),
         "cluster failed to converge (initial={} churn={} rejoin={})",

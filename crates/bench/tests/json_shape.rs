@@ -110,6 +110,24 @@ fn smoke_run_emits_valid_bench_json() {
                     let row_pages = row.get("pages").unwrap().as_f64().unwrap();
                     assert!(row_pages > 0.0, "{exp}: row without pages");
                 }
+                // The overhead A/B block: a default build reports the
+                // registry enabled and the loopback traffic visible in it.
+                let obs = summary
+                    .get("obs")
+                    .unwrap_or_else(|| panic!("{exp}: summary missing `obs`"));
+                assert_eq!(
+                    obs.get("enabled"),
+                    Some(&Json::Bool(true)),
+                    "{exp}: default build must report obs enabled"
+                );
+                assert!(
+                    obs.get("counters").unwrap().as_f64().unwrap() > 0.0,
+                    "{exp}: empty obs registry after a loopback run"
+                );
+                assert!(
+                    obs.get("net_events").unwrap().as_f64().unwrap() > 0.0,
+                    "{exp}: loopback run recorded no net client events"
+                );
             }
             // E11 drives the engine directly at several thread counts:
             // every row must carry its thread/shard configuration and
@@ -211,6 +229,25 @@ fn smoke_run_emits_valid_bench_json() {
                     modes.into_iter().collect::<Vec<_>>(),
                     ["full", "interest"],
                     "{exp}: both replication modes must be present"
+                );
+                // The parent polls one METRICS snapshot per child
+                // process mid-shutdown: every process must answer, and
+                // the cluster-wide gossip counters must be visible.
+                let obs = summary
+                    .get("obs")
+                    .unwrap_or_else(|| panic!("{exp}: summary missing `obs`"));
+                assert_eq!(
+                    obs.get("enabled"),
+                    Some(&Json::Bool(true)),
+                    "{exp}: default build must report obs enabled"
+                );
+                assert!(
+                    obs.get("cluster_nodes_polled").unwrap().as_f64().unwrap() >= 4.0,
+                    "{exp}: METRICS poll reached fewer than 4 processes"
+                );
+                assert!(
+                    obs.get("cluster_pages_pulled").unwrap().as_f64().unwrap() > 0.0,
+                    "{exp}: no gossip pulls visible over METRICS"
                 );
             }
             // E13 injects deterministic faults at every layer and

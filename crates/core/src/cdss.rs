@@ -544,6 +544,9 @@ impl Cdss {
         peer_id: &PeerId,
         opts: ExchangeOptions,
     ) -> Result<ReconcileReport> {
+        // One trace per exchange: page spans below (and, through a
+        // RemoteStore backend, the serving peer's spans) share this id.
+        let _trace = orchestra_obs::trace_mint();
         let page_limit = opts.page_limit.max(1);
         if let Some(threads) = opts.eval_threads {
             // Thread the option through to the peer's translation engine
@@ -651,6 +654,11 @@ impl Cdss {
 
         let mut unreachable = false;
         loop {
+            let _page_span = orchestra_obs::span!(
+                "reconcile.page",
+                peer = peer_id,
+                epoch = self.clock.current()
+            );
             let page = match self.store.fetch_page(&cursor, page_limit) {
                 Ok(p) => p,
                 Err(StoreError::Unavailable { .. }) => {

@@ -800,6 +800,11 @@ pub struct Engine {
     pending: Vec<(RelId, SymTuple)>,
     changes: Vec<Change>,
     stats: EngineStats,
+    /// The slice of `stats` already exported to the `orchestra-obs`
+    /// registry: the hot loops keep their plain `&mut` increments (no
+    /// atomics per tuple), and [`obs_flush_stats`](Self::obs_flush_stats)
+    /// publishes the diff once per propagate/remove entry point.
+    mirrored: EngineStats,
     /// When false, derivations are not recorded (ablation baseline for
     /// experiment E5). Provenance-based deletion then falls back to DRed.
     track_provenance: bool,
@@ -891,6 +896,7 @@ impl Engine {
             pending: Vec::new(),
             changes: Vec::new(),
             stats: EngineStats::default(),
+            mirrored: EngineStats::default(),
             track_provenance,
             opts,
             pool: None,
@@ -1114,6 +1120,41 @@ impl Engine {
         s
     }
 
+    /// Publish the counters accumulated since the last flush to the
+    /// `orchestra-obs` registry as `engine.*` deltas. Called once per
+    /// propagate/deletion entry point — the hot loops never touch an
+    /// atomic, so counts stay identical at any thread count.
+    fn obs_flush_stats(&mut self) {
+        if !orchestra_obs::ENABLED {
+            return;
+        }
+        let d = self.stats();
+        let m = self.mirrored;
+        orchestra_obs::counter!("engine.rounds", d.rounds.saturating_sub(m.rounds));
+        orchestra_obs::counter!("engine.firings", d.firings.saturating_sub(m.firings));
+        orchestra_obs::counter!(
+            "engine.derivations",
+            d.derivations.saturating_sub(m.derivations)
+        );
+        orchestra_obs::counter!(
+            "engine.tuples_added",
+            d.tuples_added.saturating_sub(m.tuples_added)
+        );
+        orchestra_obs::counter!(
+            "engine.tuples_removed",
+            d.tuples_removed.saturating_sub(m.tuples_removed)
+        );
+        orchestra_obs::counter!(
+            "engine.index_builds",
+            d.index_builds.saturating_sub(m.index_builds)
+        );
+        orchestra_obs::counter!(
+            "engine.index_probes",
+            d.index_probes.saturating_sub(m.index_probes)
+        );
+        self.mirrored = d;
+    }
+
     /// The engine's evaluation tunables.
     pub fn eval_options(&self) -> EvalOptions {
         self.opts
@@ -1332,7 +1373,7 @@ impl Engine {
             // phase only reads, and lay out the round's task list in its
             // fixed (relation, rule, shard) merge order.
             let mut tasks: Vec<TaskSpec> = Vec::new();
-            {
+            orchestra_obs::time_histogram!("engine.round.plan_micros", {
                 let Engine {
                     rules,
                     plans,
@@ -1367,7 +1408,7 @@ impl Engine {
                         }
                     }
                 }
-            }
+            });
             // Join phase: run every task against the round snapshot.
             let parallel =
                 self.opts.threads > 1 && tasks.len() > 1 && total >= self.opts.parallel_threshold;
@@ -1378,7 +1419,7 @@ impl Engine {
             };
             let mut outs: Vec<Option<TaskOut>> = Vec::new();
             outs.resize_with(tasks.len(), || None);
-            {
+            orchestra_obs::time_histogram!("engine.round.join_micros", {
                 let Engine {
                     rules,
                     plans,
@@ -1418,73 +1459,76 @@ impl Engine {
                         }
                     }
                 }
-            }
+            });
             // Merge phase: drain task buffers in task order — NodeId
             // assignment, provenance recording, inserts, and the change
             // log replay identically at any thread count.
-            let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
-            let track = self.track_provenance;
-            let Engine {
-                rules,
-                interner,
-                nodes,
-                graph,
-                data,
-                stats,
-                changes,
-                rel_names,
-                ..
-            } = self;
-            for (spec, out) in tasks.iter().zip(outs) {
-                // analyze: allow(panic) -- the pool barrier completes every task before results are read
-                let out = out.expect("join task executed");
-                stats.index_probes += out.probes;
-                let rule = &rules[spec.ri as usize];
-                let head_rel = rule.head.rel;
-                for firing in out.firings {
-                    stats.firings += 1;
-                    // A head alive at the round snapshot needs no insert
-                    // (propagation is insert-only) and no interning — the
-                    // worker already resolved its node.
-                    let (head_node, head_st) = match firing.head_node {
-                        Some(n) => (n, None),
-                        None => {
-                            let st = resolve_head(interner, rule, &firing);
-                            (nodes.intern(head_rel, &st), Some(st))
+            delta = orchestra_obs::time_histogram!("engine.round.merge_micros", {
+                let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
+                let track = self.track_provenance;
+                let Engine {
+                    rules,
+                    interner,
+                    nodes,
+                    graph,
+                    data,
+                    stats,
+                    changes,
+                    rel_names,
+                    ..
+                } = self;
+                for (spec, out) in tasks.iter().zip(outs) {
+                    // analyze: allow(panic) -- the pool barrier completes every task before results are read
+                    let out = out.expect("join task executed");
+                    stats.index_probes += out.probes;
+                    let rule = &rules[spec.ri as usize];
+                    let head_rel = rule.head.rel;
+                    for firing in out.firings {
+                        stats.firings += 1;
+                        // A head alive at the round snapshot needs no insert
+                        // (propagation is insert-only) and no interning — the
+                        // worker already resolved its node.
+                        let (head_node, head_st) = match firing.head_node {
+                            Some(n) => (n, None),
+                            None => {
+                                let st = resolve_head(interner, rule, &firing);
+                                (nodes.intern(head_rel, &st), Some(st))
+                            }
+                        };
+                        if track {
+                            let fresh_deriv = graph.add_derivation_fp(
+                                Derivation {
+                                    rule: Arc::clone(&rule.id),
+                                    head: head_node,
+                                    body: firing.body_nodes,
+                                },
+                                firing.fp,
+                            );
+                            if fresh_deriv {
+                                stats.derivations += 1;
+                            }
                         }
-                    };
-                    if track {
-                        let fresh_deriv = graph.add_derivation_fp(
-                            Derivation {
-                                rule: Arc::clone(&rule.id),
-                                head: head_node,
-                                body: firing.body_nodes,
-                            },
-                            firing.fp,
-                        );
-                        if fresh_deriv {
-                            stats.derivations += 1;
+                        let Some(head_st) = head_st else {
+                            continue; // Was alive at snapshot: nothing to add.
+                        };
+                        let rd = &mut data[head_rel.index()];
+                        if rd.insert_if_absent(head_st.clone(), head_node) {
+                            stats.tuples_added += 1;
+                            new_tuples += 1;
+                            changes.push(Change {
+                                relation: Arc::clone(&rel_names[head_rel.index()]),
+                                tuple: interner.resolve_tuple(&head_st),
+                                kind: ChangeKind::Added,
+                                node: head_node,
+                            });
+                            next_delta.push((head_rel, head_st));
                         }
-                    }
-                    let Some(head_st) = head_st else {
-                        continue; // Was alive at snapshot: nothing to add.
-                    };
-                    let rd = &mut data[head_rel.index()];
-                    if rd.insert_if_absent(head_st.clone(), head_node) {
-                        stats.tuples_added += 1;
-                        new_tuples += 1;
-                        changes.push(Change {
-                            relation: Arc::clone(&rel_names[head_rel.index()]),
-                            tuple: interner.resolve_tuple(&head_st),
-                            kind: ChangeKind::Added,
-                            node: head_node,
-                        });
-                        next_delta.push((head_rel, head_st));
                     }
                 }
-            }
-            delta = next_delta;
+                next_delta
+            });
         }
+        self.obs_flush_stats();
         Ok(new_tuples)
     }
 
@@ -1572,6 +1616,7 @@ impl Engine {
             DeletionAlgorithm::ProvenanceBased => self.delete_provenance_based(node),
             DeletionAlgorithm::DRed => self.delete_dred(node),
         }
+        self.obs_flush_stats();
         Ok(true)
     }
 

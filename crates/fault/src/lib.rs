@@ -260,6 +260,10 @@ fn check_slow(site: &str) -> Option<Action> {
         }
     }
     rule.fired.fetch_add(1, Ordering::Relaxed);
+    // Mirror the firing into the observability registry so a cluster
+    // poll (METRICS) sees which failpoints actually fired, not just the
+    // in-process `report()`. Cold path: a firing already took a lock.
+    orchestra_obs::add_named(&format!("fault.fired.{}", rule.site), 1);
     Some(rule.action)
 }
 
@@ -428,6 +432,34 @@ mod tests {
             assert_eq!(check("a"), Some(Action::Err));
         }
         assert_eq!(check("a"), None, "guard dropped, config restored");
+    }
+
+    /// Every firing `report()` counts must also land in the
+    /// observability registry as `fault.fired.<site>` — that is what a
+    /// remote `METRICS` poll sees, so the two views must not drift.
+    #[test]
+    fn firings_mirror_into_the_obs_registry() {
+        let counter = |name: &str| {
+            orchestra_obs::snapshot()
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let before = counter("fault.fired.test.obs.mirror");
+        let _guard = scoped("test.obs.mirror=err@1x3", 0);
+        for _ in 0..5 {
+            let _ = check("test.obs.mirror");
+        }
+        let r = report();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].fired, 3, "count cap honored");
+        assert_eq!(
+            counter("fault.fired.test.obs.mirror"),
+            before + 3,
+            "registry mirror drifted from report()"
+        );
     }
 
     #[test]

@@ -375,6 +375,12 @@ impl MeshNode {
     /// (cursor frozen, counted) — only a *local* archive failure errors.
     pub fn run_round(&mut self) -> crate::Result<RoundReport> {
         self.stats.rounds += 1;
+        // One trace id per gossip round, propagated to every neighbor
+        // over HELLO/PULL_PAGES: the remote server adopts it while
+        // executing, so one cross-peer exchange stitches into one trace.
+        let _trace = orchestra_obs::trace_mint();
+        let _span =
+            orchestra_obs::span!("mesh.round", node = &self.name, round = self.stats.rounds);
         let mut report = RoundReport::default();
         let mut span: Option<(Epoch, Epoch)> = None;
         // Quarantined positions gossip as gaps: the drained snapshots
@@ -470,10 +476,13 @@ impl MeshNode {
             self.neighbors[i].subscribed = true;
             self.stats.subscriptions_sent += 1;
         }
-        let digest = self.neighbors[i]
-            .remote
-            .digest()
-            .map_err(ExchangeFail::Neighbor)?;
+        let digest = {
+            let _span = orchestra_obs::span!("mesh.digest", neighbor = i);
+            self.neighbors[i]
+                .remote
+                .digest()
+                .map_err(ExchangeFail::Neighbor)?
+        };
         self.stats.digests_fetched += 1;
 
         // A frozen mid-scan cursor always resumes; otherwise pull only
@@ -500,10 +509,14 @@ impl MeshNode {
                 }
             };
             let have = self.considered();
-            let mut page = self.neighbors[i]
-                .remote
-                .pull_pages(&cursor, self.opts.page_limit, &self.interest, &have)
-                .map_err(ExchangeFail::Neighbor)?;
+            let mut page = {
+                let _span = orchestra_obs::span!("mesh.pull", neighbor = i);
+                self.neighbors[i]
+                    .remote
+                    .pull_pages(&cursor, self.opts.page_limit, &self.interest, &have)
+                    .map_err(ExchangeFail::Neighbor)?
+            };
+            orchestra_obs::counter!("mesh.round.pages_pulled", 1);
             self.stats.pulls += 1;
             self.stats.skipped_positions += page.skipped.len() as u64;
             let shipped: Vec<TxnId> = page.txns.iter().map(|t| t.id.clone()).collect();
@@ -517,10 +530,13 @@ impl MeshNode {
                         hi = t.epoch;
                     }
                 }
-                let merged = self
-                    .archive
-                    .absorb(std::mem::take(&mut page.txns))
-                    .map_err(ExchangeFail::Local)?;
+                let merged = {
+                    let _span = orchestra_obs::span!("mesh.absorb", txns = page.txns.len());
+                    self.archive
+                        .absorb(std::mem::take(&mut page.txns))
+                        .map_err(ExchangeFail::Local)?
+                };
+                orchestra_obs::counter!("mesh.round.txns_absorbed", merged.absorbed);
                 self.stats.txns_absorbed += merged.absorbed;
                 self.stats.duplicates += merged.duplicates;
                 self.stats.healed += merged.healed;

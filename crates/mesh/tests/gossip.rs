@@ -570,3 +570,130 @@ fn quarantined_positions_heal_from_a_neighbor_without_reapplying() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// PR 9 acceptance: a three-node cluster answers `METRICS` over the
+/// wire mid-gossip, and a single propagated trace id reconstructs one
+/// cross-peer exchange end to end — B's round phases, A's serving-side
+/// page scan (recorded on A's server thread), and the durable WAL
+/// fsync of the page B absorbed.
+#[test]
+fn metrics_poll_and_one_trace_reconstruct_a_cross_peer_exchange() {
+    use orchestra_net::RemoteStore;
+    use orchestra_store::{DurableOptions, DurableStore};
+
+    let dir = std::env::temp_dir().join(format!("orchestra-mesh-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = Arc::new(DurableStore::open_with(&dir, DurableOptions::default()).unwrap());
+    // B's archive is durable, so absorbing A's history crosses the WAL
+    // and the traced exchange includes fsync spans.
+    let b_cdss = Cdss::builder()
+        .peer("A", schema(), TrustPolicy::open(1))
+        .peer("B", schema(), TrustPolicy::open(1))
+        .peer("C", schema(), TrustPolicy::open(1))
+        .mapping(copy_r("A", "B"))
+        .mapping(copy_r("B", "C"))
+        .build_with_shared(durable)
+        .unwrap();
+    let mut a = node("A", 1, 31, InterestMode::Everything);
+    let mut b = MeshNode::start_hosting(
+        "B",
+        b_cdss,
+        vec![PeerId::new("B")],
+        "127.0.0.1:0",
+        mesh_opts(32, InterestMode::Everything),
+    )
+    .unwrap();
+    let mut c = node("C", 1, 33, InterestMode::Everything);
+    a.join(b.addr().to_string()).unwrap();
+    b.join(a.addr().to_string()).unwrap();
+    b.join(c.addr().to_string()).unwrap();
+    c.join(b.addr().to_string()).unwrap();
+
+    let pa = PeerId::new("A");
+    for k in 0..5i64 {
+        a.cdss_mut()
+            .publish_transaction(&pa, vec![Update::insert("R", tuple![k, k])])
+            .unwrap();
+    }
+
+    // `run_round` executes on this thread, so every client-side span of
+    // the exchange shares this thread's ring. A marker span pins down
+    // which ring that is, since other tests' threads also record.
+    let my_thread = {
+        drop(orchestra_obs::span!("test.mesh.thread_marker"));
+        orchestra_obs::snapshot()
+            .spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "test.mesh.thread_marker")
+            .expect("marker span recorded")
+            .thread
+    };
+
+    let mut absorbed = false;
+    for _ in 0..6 {
+        if b.run_round().unwrap().absorbed > 0 {
+            absorbed = true;
+            break;
+        }
+    }
+    assert!(absorbed, "B never pulled A's history");
+
+    // Mid-gossip, every node answers METRICS over the wire (the nodes
+    // share this process's registry, but each reply crosses its own
+    // socket and exercises its own server).
+    for n in [&a, &b, &c] {
+        let remote = RemoteStore::connect_with(n.addr(), fast_remote()).unwrap();
+        let snap = remote.metrics().unwrap();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(name, v)| name == "mesh.round.pages_pulled" && *v > 0),
+            "node {} snapshot misses pull counters",
+            n.name()
+        );
+    }
+
+    // The newest round span on this thread is the absorbing round; its
+    // trace id stitches the whole exchange.
+    let snap = orchestra_obs::snapshot();
+    let round = snap
+        .spans
+        .iter()
+        .filter(|s| s.name == "mesh.round" && s.thread == my_thread && s.trace != 0)
+        .max_by_key(|s| s.seq)
+        .expect("B's round span recorded");
+    let trace = round.trace;
+    let in_trace: Vec<&str> = snap
+        .spans
+        .iter()
+        .filter(|s| s.trace == trace)
+        .map(|s| s.name.as_str())
+        .collect();
+    for phase in [
+        "mesh.round",
+        "mesh.digest",
+        "mesh.pull",
+        "server.pull_pages",
+        "store.absorb",
+        "store.wal.fsync",
+    ] {
+        assert!(
+            in_trace.contains(&phase),
+            "trace {trace:#x} misses `{phase}`: {in_trace:?}"
+        );
+    }
+    // The serving half really ran elsewhere: A's server thread adopted
+    // the id off the wire.
+    let served = snap
+        .spans
+        .iter()
+        .find(|s| s.trace == trace && s.name == "server.pull_pages")
+        .expect("serving span present");
+    assert_ne!(served.thread, round.thread, "pull served in-thread?");
+
+    let _ = a.shutdown();
+    let _ = b.shutdown();
+    let _ = c.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -100,31 +100,53 @@ pub struct NetStats {
     pub breaker_fast_fails: u64,
 }
 
-#[derive(Debug, Default)]
+/// Per-instance transport counters, each a handle onto the process-wide
+/// `orchestra-obs` registry entry of the same `net.*` name. The handle's
+/// own cell keeps [`NetStats`] per-store (the getter API is unchanged),
+/// while the registry aggregates across every instance's lifetime — so
+/// breaker open/close transitions survive a store being dropped and
+/// re-created, which a plain per-instance atomic silently forgot.
+#[derive(Debug)]
 struct AtomicNetStats {
-    round_trips: AtomicU64,
-    connects: AtomicU64,
-    transport_errors: AtomicU64,
-    unavailable_mapped: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    backoff_waits: AtomicU64,
-    breaker_opened: AtomicU64,
-    breaker_fast_fails: AtomicU64,
+    round_trips: orchestra_obs::CounterHandle,
+    connects: orchestra_obs::CounterHandle,
+    transport_errors: orchestra_obs::CounterHandle,
+    unavailable_mapped: orchestra_obs::CounterHandle,
+    bytes_sent: orchestra_obs::CounterHandle,
+    bytes_received: orchestra_obs::CounterHandle,
+    backoff_waits: orchestra_obs::CounterHandle,
+    breaker_opened: orchestra_obs::CounterHandle,
+    breaker_fast_fails: orchestra_obs::CounterHandle,
+}
+
+impl Default for AtomicNetStats {
+    fn default() -> Self {
+        AtomicNetStats {
+            round_trips: orchestra_obs::counter("net.round_trips"),
+            connects: orchestra_obs::counter("net.connects"),
+            transport_errors: orchestra_obs::counter("net.transport_errors"),
+            unavailable_mapped: orchestra_obs::counter("net.unavailable_mapped"),
+            bytes_sent: orchestra_obs::counter("net.bytes_sent"),
+            bytes_received: orchestra_obs::counter("net.bytes_received"),
+            backoff_waits: orchestra_obs::counter("net.backoff_waits"),
+            breaker_opened: orchestra_obs::counter("net.breaker.opened"),
+            breaker_fast_fails: orchestra_obs::counter("net.breaker.fast_fails"),
+        }
+    }
 }
 
 impl AtomicNetStats {
     fn snapshot(&self) -> NetStats {
         NetStats {
-            round_trips: self.round_trips.load(Ordering::Relaxed),
-            connects: self.connects.load(Ordering::Relaxed),
-            transport_errors: self.transport_errors.load(Ordering::Relaxed),
-            unavailable_mapped: self.unavailable_mapped.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            backoff_waits: self.backoff_waits.load(Ordering::Relaxed),
-            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
-            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            round_trips: self.round_trips.get(),
+            connects: self.connects.get(),
+            transport_errors: self.transport_errors.get(),
+            unavailable_mapped: self.unavailable_mapped.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            backoff_waits: self.backoff_waits.get(),
+            breaker_opened: self.breaker_opened.get(),
+            breaker_fast_fails: self.breaker_fast_fails.get(),
         }
     }
 }
@@ -158,6 +180,12 @@ pub struct RemoteStore {
     pool: Mutex<Vec<TcpStream>>,
     net: AtomicNetStats,
     breaker: Mutex<BreakerInner>,
+    /// `net.breaker.open` gauge: +1 on the closed→open transition only,
+    /// −1 on open→closed only — a half-open probe re-arming the cooldown
+    /// is *still open* and must not double-count. The handle lives on the
+    /// store, so a dropped store's contribution vanishes with it (its
+    /// breaker no longer exists, open or not).
+    breaker_open: orchestra_obs::GaugeHandle,
     /// The protocol version the server answered at the last completed
     /// handshake (0 until a dial succeeds). Talking to a v1 server, the
     /// v2-only calls fail fast client-side instead of burning a round
@@ -214,6 +242,7 @@ impl RemoteStore {
             pool: Mutex::new(Vec::new()),
             net: AtomicNetStats::default(),
             breaker: Mutex::new(BreakerInner::default()),
+            breaker_open: orchestra_obs::gauge("net.breaker.open"),
             negotiated: AtomicU64::new(0),
         })
     }
@@ -234,6 +263,15 @@ impl RemoteStore {
     /// and end the search; transport failures move on to the next
     /// address.
     fn dial(&self) -> Result<TcpStream, StoreError> {
+        let _span = orchestra_obs::span!("net.dial", addr = &self.addr_label);
+        // Propagate the active trace with the handshake — but only when a
+        // prior handshake proved the server speaks v2; a v1 decoder
+        // rejects the trailing bytes, and a first-ever dial cannot know.
+        let trace = if self.negotiated_version() >= 2 {
+            orchestra_obs::trace_current()
+        } else {
+            0
+        };
         let mut last: Option<StoreError> = None;
         for addr in &self.addrs {
             let stream = match TcpStream::connect_timeout(addr, self.opts.connect_timeout) {
@@ -243,7 +281,7 @@ impl RemoteStore {
                     continue;
                 }
             };
-            self.net.connects.fetch_add(1, Ordering::Relaxed);
+            self.net.connects.inc();
             let _ = stream.set_nodelay(true);
             let _ = stream.set_read_timeout(Some(self.opts.read_timeout));
             let _ = stream.set_write_timeout(Some(self.opts.write_timeout));
@@ -252,6 +290,7 @@ impl RemoteStore {
                 &mut stream,
                 &Request::Hello {
                     version: PROTOCOL_VERSION,
+                    trace,
                 },
             ) {
                 Ok(Response::HelloOk { version }) if (1..=PROTOCOL_VERSION).contains(&version) => {
@@ -294,7 +333,7 @@ impl RemoteStore {
     /// maps to. The reconcile loop treats this exactly like a payload
     /// with no alive replica: freeze the cursor, retry later.
     fn transport_failure(&self, what: std::fmt::Arguments<'_>) -> StoreError {
-        self.net.transport_errors.fetch_add(1, Ordering::Relaxed);
+        self.net.transport_errors.inc();
         StoreError::Unavailable {
             txn: format!("<remote {}: {what}>", self.addr_label),
         }
@@ -331,9 +370,7 @@ impl RemoteStore {
             .write_all(&framed)
             .and_then(|()| stream.flush())
             .map_err(|e| self.transport_failure(format_args!("send failed: {e}")))?;
-        self.net
-            .bytes_sent
-            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        self.net.bytes_sent.add(framed.len() as u64);
         if orchestra_fault::check("net.client.recv").is_some() {
             // Abandon the response in flight: to this client the exchange
             // failed, to the server it completed — the asymmetry retries
@@ -342,9 +379,7 @@ impl RemoteStore {
         }
         let payload = match FrameReader::new(&mut *stream, 0).next_frame() {
             Ok((_, FrameRead::Ok { payload, size })) => {
-                self.net
-                    .bytes_received
-                    .fetch_add(size as u64, Ordering::Relaxed);
+                self.net.bytes_received.add(size as u64);
                 payload
             }
             Ok((_, FrameRead::Eof)) => {
@@ -360,7 +395,7 @@ impl RemoteStore {
         };
         let response = Response::decode(&payload)
             .map_err(|e| self.transport_failure(format_args!("undecodable response: {e}")))?;
-        self.net.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.net.round_trips.inc();
         Ok(response)
     }
 
@@ -373,7 +408,7 @@ impl RemoteStore {
         let mut b = self.breaker.lock();
         if let Some(opened) = b.opened_at {
             if opened.elapsed() < self.opts.breaker_cooldown {
-                self.net.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                self.net.breaker_fast_fails.inc();
                 return Err(StoreError::Unavailable {
                     txn: format!("<remote {}: circuit breaker open>", self.addr_label),
                 });
@@ -395,7 +430,9 @@ impl RemoteStore {
         }
         let mut b = self.breaker.lock();
         b.consecutive = 0;
-        b.opened_at = None;
+        if b.opened_at.take().is_some() {
+            self.breaker_open.sub(1);
+        }
     }
 
     /// An operation exhausted its retries at the transport level.
@@ -407,7 +444,8 @@ impl RemoteStore {
         b.consecutive += 1;
         if b.consecutive >= self.opts.breaker_threshold && b.opened_at.is_none() {
             b.opened_at = Some(std::time::Instant::now());
-            self.net.breaker_opened.fetch_add(1, Ordering::Relaxed);
+            self.net.breaker_opened.inc();
+            self.breaker_open.add(1);
         }
     }
 
@@ -429,7 +467,10 @@ impl RemoteStore {
         if self.opts.backoff_base.is_zero() {
             return;
         }
-        let n = self.net.backoff_waits.fetch_add(1, Ordering::Relaxed);
+        // The pre-increment count seeds the jitter; reading then bumping
+        // is racy across threads, but jitter only has to desynchronize.
+        let n = self.net.backoff_waits.get();
+        self.net.backoff_waits.inc();
         let exp = self
             .opts
             .backoff_base
@@ -480,7 +521,7 @@ impl RemoteStore {
             }
         }
         self.breaker_failure();
-        self.net.unavailable_mapped.fetch_add(1, Ordering::Relaxed);
+        self.net.unavailable_mapped.inc();
         Err(last.unwrap_or_else(|| self.transport_failure(format_args!("no attempt made"))))
     }
 
@@ -571,9 +612,24 @@ impl RemoteStore {
             limit,
             interest: interest.to_vec(),
             have: have.to_vec(),
+            // v2-only request, so the active trace may always ride along.
+            trace: orchestra_obs::trace_current(),
         };
         match self.call(&request)? {
             Response::Pages(page) => Ok(page),
+            Response::Err(e) => Err(e),
+            other => Err(self.unexpected(&request, other)),
+        }
+    }
+
+    /// The server process's full observability snapshot — counters,
+    /// gauges, latency histograms, recent spans — in one round trip.
+    /// This is what `orchestra-top` polls per node. Protocol v2.
+    pub fn metrics(&self) -> crate::Result<orchestra_obs::ObsSnapshot> {
+        self.need_v2("metrics")?;
+        let request = Request::Metrics;
+        match self.call(&request)? {
+            Response::MetricsOk(snap) => Ok(snap),
             Response::Err(e) => Err(e),
             other => Err(self.unexpected(&request, other)),
         }

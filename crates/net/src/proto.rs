@@ -9,7 +9,7 @@
 //! for the full layout.
 //!
 //! ```text
-//! request  := HELLO       magic:u32le version:uvarint
+//! request  := HELLO       magic:u32le version:uvarint [trace:uvarint]
 //!           | PUBLISH     batch                  (the WAL batch record)
 //!           | FETCH_PAGE  cursor limit:uvarint
 //!           | FETCH       txn_id
@@ -18,6 +18,8 @@
 //!           | SUBSCRIBE   peer:str n:uvarint str*                   (v2)
 //!           | PULL_PAGES  cursor limit:uvarint                      (v2)
 //!                         ni:uvarint str* nh:uvarint (peer:str hw:uvarint)*
+//!                         [trace:uvarint]
+//!           | METRICS                                               (v2)
 //! response := HELLO_OK    version:uvarint
 //!           | PUBLISH_OK
 //!           | PAGE        n:uvarint txn* u:uvarint (epoch:uvarint txn_id)*
@@ -29,8 +31,16 @@
 //!           | SUBSCRIBE_OK                                          (v2)
 //!           | PAGES       n:uvarint txn* k:uvarint txn_id*          (v2)
 //!                         u:uvarint (epoch:uvarint txn_id)* has_next:u8 [cursor]
+//!           | METRICS_OK  obs-snapshot                              (v2)
 //!           | ERR         code:u8 fields…        (see `StoreError` table)
 //! ```
+//!
+//! `HELLO` and `PULL_PAGES` optionally carry a nonzero **trace id** as a
+//! trailing uvarint, so one cross-peer anti-entropy exchange stitches
+//! into a single trace (`docs/observability.md`). The tail is appended
+//! only when a trace is active *and* the connection is known to speak
+//! v2 — v1 decoders reject trailing bytes, exactly like the `PROBE_OK`
+//! server-counter tail.
 //!
 //! [`UpdateStore`]: orchestra_store::UpdateStore
 
@@ -68,6 +78,7 @@ const OP_PROBE: u8 = 0x05;
 const OP_DIGEST: u8 = 0x06;
 const OP_SUBSCRIBE: u8 = 0x07;
 const OP_PULL_PAGES: u8 = 0x08;
+const OP_METRICS: u8 = 0x09;
 // Response opcodes (high bit set).
 const OP_HELLO_OK: u8 = 0x81;
 const OP_PUBLISH_OK: u8 = 0x82;
@@ -77,13 +88,17 @@ const OP_PROBE_OK: u8 = 0x85;
 const OP_DIGEST_OK: u8 = 0x86;
 const OP_SUBSCRIBE_OK: u8 = 0x87;
 const OP_PAGES: u8 = 0x88;
+const OP_METRICS_OK: u8 = 0x89;
 const OP_ERR: u8 = 0xee;
 
 /// The protocol version a request needs: v2 opcodes on a v1-negotiated
 /// connection are rejected by the server with a clean `ERR`.
 pub fn required_version(req: &Request) -> u64 {
     match req {
-        Request::Digest | Request::Subscribe { .. } | Request::PullPages { .. } => 2,
+        Request::Digest
+        | Request::Subscribe { .. }
+        | Request::PullPages { .. }
+        | Request::Metrics => 2,
         _ => 1,
     }
 }
@@ -97,6 +112,10 @@ pub enum Request {
     Hello {
         /// The newest protocol version the client speaks.
         version: u64,
+        /// Active trace id, or 0 for none. Encoded as an optional tail
+        /// (only when nonzero), so a traceless HELLO stays byte-identical
+        /// to v1 — attach only when the server is known to speak v2.
+        trace: u64,
     },
     /// Archive a batch of transactions (mirrors `UpdateStore::publish`).
     Publish {
@@ -147,7 +166,15 @@ pub enum Request {
         /// Per-source prefix floors: transactions with `seq <= hw` for
         /// their publisher are skipped, not shipped.
         have: Vec<(String, u64)>,
+        /// Active trace id, or 0 for none (optional tail like HELLO's —
+        /// `PULL_PAGES` is v2-only, so a traced puller may always attach).
+        trace: u64,
     },
+    /// The server process's observability snapshot — every registered
+    /// counter, gauge, and latency histogram plus recent spans — so an
+    /// operator (or `orchestra-top`) can poll a whole cluster without
+    /// touching each box (v2).
+    Metrics,
 }
 
 /// The body of a v2 `PAGES` response: one interest/have-filtered page.
@@ -224,6 +251,8 @@ pub enum Response {
     SubscribeOk,
     /// One filtered anti-entropy page (v2).
     Pages(PullPage),
+    /// The server process's observability snapshot (v2).
+    MetricsOk(orchestra_obs::ObsSnapshot),
     /// The operation failed on the server; carries the full
     /// [`StoreError`] so the client surfaces exactly what a local
     /// backend would have returned.
@@ -235,10 +264,13 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
         match self {
-            Request::Hello { version } => {
+            Request::Hello { version, trace } => {
                 out.push(OP_HELLO);
                 out.extend_from_slice(&MAGIC.to_le_bytes());
                 put_uvarint(&mut out, *version);
+                if *trace != 0 {
+                    put_uvarint(&mut out, *trace);
+                }
             }
             Request::Publish { epoch, txns } => {
                 out.push(OP_PUBLISH);
@@ -270,6 +302,7 @@ impl Request {
                 limit,
                 interest,
                 have,
+                trace,
             } => {
                 out.push(OP_PULL_PAGES);
                 put_cursor(&mut out, cursor);
@@ -283,7 +316,11 @@ impl Request {
                     put_str(&mut out, peer);
                     put_uvarint(&mut out, *hw);
                 }
+                if *trace != 0 {
+                    put_uvarint(&mut out, *trace);
+                }
             }
+            Request::Metrics => out.push(OP_METRICS),
         }
         out
     }
@@ -300,6 +337,7 @@ impl Request {
                 }
                 Request::Hello {
                     version: c.uvarint()?,
+                    trace: get_opt_trace(&mut c)?,
                 }
             }
             OP_PUBLISH => {
@@ -343,8 +381,10 @@ impl Request {
                     limit,
                     interest,
                     have,
+                    trace: get_opt_trace(&mut c)?,
                 }
             }
+            OP_METRICS => Request::Metrics,
             other => return fail(&c, format!("unknown request opcode {other:#04x}")),
         };
         finish(c, req)
@@ -361,6 +401,15 @@ impl Request {
             Request::Digest => "digest",
             Request::Subscribe { .. } => "subscribe",
             Request::PullPages { .. } => "pull_pages",
+            Request::Metrics => "metrics",
+        }
+    }
+
+    /// The trace id this request propagates (0 = none).
+    pub fn trace(&self) -> u64 {
+        match self {
+            Request::Hello { trace, .. } | Request::PullPages { trace, .. } => *trace,
+            _ => 0,
         }
     }
 }
@@ -472,6 +521,10 @@ impl Response {
                     }
                     None => out.push(0),
                 }
+            }
+            Response::MetricsOk(snap) => {
+                out.push(OP_METRICS_OK);
+                put_obs_snapshot(&mut out, snap);
             }
             Response::Err(e) => {
                 out.push(OP_ERR);
@@ -591,6 +644,7 @@ impl Response {
                     next_cursor,
                 })
             }
+            OP_METRICS_OK => Response::MetricsOk(get_obs_snapshot(&mut c)?),
             OP_ERR => Response::Err(get_store_error(&mut c)?),
             other => return fail(&c, format!("unknown response opcode {other:#04x}")),
         };
@@ -736,6 +790,130 @@ fn get_opt_epoch(c: &mut Cursor<'_>) -> Result<Option<Epoch>> {
     }
 }
 
+/// The optional trailing trace id on `HELLO` / `PULL_PAGES`: present iff
+/// bytes remain (mirrors the `PROBE_OK` server-counter tail).
+fn get_opt_trace(c: &mut Cursor<'_>) -> Result<u64> {
+    if c.is_empty() {
+        Ok(0)
+    } else {
+        c.uvarint()
+    }
+}
+
+// obs-snapshot := nc:uvarint (name:str v:uvarint)*
+//                 ng:uvarint (name:str v:zigzag-uvarint)*
+//                 nh:uvarint (name:str count:uvarint sum:uvarint
+//                             nb:uvarint bucket:uvarint*)*
+//                 ns:uvarint (name:str trace:uvarint start:uvarint
+//                             dur:uvarint thread:uvarint seq:uvarint
+//                             na:uvarint (k:str v:str)*)*
+fn put_obs_snapshot(out: &mut Vec<u8>, snap: &orchestra_obs::ObsSnapshot) {
+    put_uvarint(out, snap.counters.len() as u64);
+    for (name, v) in &snap.counters {
+        put_str(out, name);
+        put_uvarint(out, *v);
+    }
+    put_uvarint(out, snap.gauges.len() as u64);
+    for (name, v) in &snap.gauges {
+        put_str(out, name);
+        put_uvarint(out, zigzag(*v));
+    }
+    put_uvarint(out, snap.histograms.len() as u64);
+    for h in &snap.histograms {
+        put_str(out, &h.name);
+        put_uvarint(out, h.count);
+        put_uvarint(out, h.sum);
+        put_uvarint(out, h.buckets.len() as u64);
+        for b in &h.buckets {
+            put_uvarint(out, *b);
+        }
+    }
+    put_uvarint(out, snap.spans.len() as u64);
+    for s in &snap.spans {
+        put_str(out, &s.name);
+        put_uvarint(out, s.trace);
+        put_uvarint(out, s.start_us);
+        put_uvarint(out, s.dur_us);
+        put_uvarint(out, s.thread);
+        put_uvarint(out, s.seq);
+        put_uvarint(out, s.attrs.len() as u64);
+        for (k, v) in &s.attrs {
+            put_str(out, k);
+            put_str(out, v);
+        }
+    }
+}
+
+fn get_obs_snapshot(c: &mut Cursor<'_>) -> Result<orchestra_obs::ObsSnapshot> {
+    let mut snap = orchestra_obs::ObsSnapshot::default();
+    let nc = c.uvarint()? as usize;
+    snap.counters.reserve(nc.min(65_536));
+    for _ in 0..nc {
+        let name = c.str()?.to_owned();
+        snap.counters.push((name, c.uvarint()?));
+    }
+    let ng = c.uvarint()? as usize;
+    snap.gauges.reserve(ng.min(65_536));
+    for _ in 0..ng {
+        let name = c.str()?.to_owned();
+        snap.gauges.push((name, unzigzag(c.uvarint()?)));
+    }
+    let nh = c.uvarint()? as usize;
+    snap.histograms.reserve(nh.min(65_536));
+    for _ in 0..nh {
+        let name = c.str()?.to_owned();
+        let count = c.uvarint()?;
+        let sum = c.uvarint()?;
+        let nb = c.uvarint()? as usize;
+        let mut buckets = Vec::with_capacity(nb.min(65_536));
+        for _ in 0..nb {
+            buckets.push(c.uvarint()?);
+        }
+        snap.histograms.push(orchestra_obs::HistogramSnapshot {
+            name,
+            count,
+            sum,
+            buckets,
+        });
+    }
+    let ns = c.uvarint()? as usize;
+    snap.spans.reserve(ns.min(65_536));
+    for _ in 0..ns {
+        let name = c.str()?.to_owned();
+        let trace = c.uvarint()?;
+        let start_us = c.uvarint()?;
+        let dur_us = c.uvarint()?;
+        let thread = c.uvarint()?;
+        let seq = c.uvarint()?;
+        let na = c.uvarint()? as usize;
+        let mut attrs = Vec::with_capacity(na.min(65_536));
+        for _ in 0..na {
+            let k = c.str()?.to_owned();
+            attrs.push((k, c.str()?.to_owned()));
+        }
+        snap.spans.push(orchestra_obs::SpanSnapshot {
+            name,
+            trace,
+            start_us,
+            dur_us,
+            thread,
+            seq,
+            attrs,
+        });
+    }
+    Ok(snap)
+}
+
+/// Zigzag-map a signed gauge value onto the uvarint domain (small
+/// magnitudes of either sign stay short on the wire).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
 // --------------------------------------------------------------- helpers
 
 fn take4(c: &mut Cursor<'_>) -> Result<[u8; 4]> {
@@ -789,6 +967,11 @@ mod tests {
         let reqs = [
             Request::Hello {
                 version: PROTOCOL_VERSION,
+                trace: 0,
+            },
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                trace: 0x00c0_ffee_1234_5678,
             },
             Request::Publish {
                 epoch: Epoch::new(7),
@@ -816,13 +999,16 @@ mod tests {
                 limit: 256,
                 interest: vec!["Alaska.R".into()],
                 have: vec![("Alaska".into(), 7), ("Beijing".into(), 0)],
+                trace: 0xdead_beef,
             },
             Request::PullPages {
                 cursor: FetchCursor::at_epoch(Epoch::zero()),
                 limit: 1,
                 interest: vec![],
                 have: vec![],
+                trace: 0,
             },
+            Request::Metrics,
         ];
         for req in reqs {
             let bytes = req.encode();
@@ -833,8 +1019,15 @@ mod tests {
     #[test]
     fn required_versions() {
         assert_eq!(required_version(&Request::Probe), 1);
-        assert_eq!(required_version(&Request::Hello { version: 2 }), 1);
+        assert_eq!(
+            required_version(&Request::Hello {
+                version: 2,
+                trace: 0
+            }),
+            1
+        );
         assert_eq!(required_version(&Request::Digest), 2);
+        assert_eq!(required_version(&Request::Metrics), 2);
         assert_eq!(
             required_version(&Request::Subscribe {
                 peer: "p".into(),
@@ -848,8 +1041,30 @@ mod tests {
                 limit: 1,
                 interest: vec![],
                 have: vec![],
+                trace: 0,
             }),
             2
+        );
+    }
+
+    #[test]
+    fn traceless_requests_stay_v1_byte_identical() {
+        // HELLO without a trace must encode to the exact v1 body —
+        // opcode, magic, one version uvarint — so old decoders (which
+        // reject trailing bytes) still accept it.
+        let hello = Request::Hello {
+            version: 1,
+            trace: 0,
+        }
+        .encode();
+        assert_eq!(hello.len(), 1 + 4 + 1);
+        // And a v1-era body (no tail) decodes with trace = 0.
+        assert_eq!(
+            Request::decode(&hello).unwrap(),
+            Request::Hello {
+                version: 1,
+                trace: 0
+            }
         );
     }
 
@@ -913,10 +1128,44 @@ mod tests {
                 )),
             }),
             Response::Pages(PullPage::default()),
+            Response::MetricsOk(orchestra_obs::ObsSnapshot::default()),
+            Response::MetricsOk(sample_obs_snapshot()),
         ];
         for resp in resps {
             let bytes = resp.encode();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    fn sample_obs_snapshot() -> orchestra_obs::ObsSnapshot {
+        orchestra_obs::ObsSnapshot {
+            counters: vec![
+                ("mesh.round.pages_pulled".into(), 17),
+                ("store.published".into(), 3),
+            ],
+            gauges: vec![("net.breaker.open".into(), -2), ("x.g".into(), i64::MAX)],
+            histograms: vec![orchestra_obs::HistogramSnapshot {
+                name: "store.wal.fsync_micros".into(),
+                count: 2,
+                sum: 300,
+                buckets: vec![0, 1, 1],
+            }],
+            spans: vec![orchestra_obs::SpanSnapshot {
+                name: "mesh.round".into(),
+                trace: u64::MAX,
+                start_us: 12,
+                dur_us: 34,
+                thread: 5,
+                seq: 99,
+                attrs: vec![("peer".into(), "Alaska".into())],
+            }],
+        }
+    }
+
+    #[test]
+    fn gauge_zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
         }
     }
 
@@ -1019,7 +1268,11 @@ mod tests {
         assert!(Request::decode(&[0x7f]).is_err(), "unknown opcode");
         assert!(Response::decode(&[0x01]).is_err(), "request op as response");
         // Wrong magic.
-        let mut hello = Request::Hello { version: 1 }.encode();
+        let mut hello = Request::Hello {
+            version: 1,
+            trace: 0,
+        }
+        .encode();
         hello[1] ^= 0xff;
         assert!(Request::decode(&hello).is_err());
         // Trailing bytes.

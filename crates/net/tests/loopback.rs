@@ -359,6 +359,7 @@ fn v2_anti_entropy_exchange_over_loopback() {
 #[test]
 fn circuit_breaker_opens_fast_fails_and_recovers() {
     use orchestra_net::BreakerState;
+    let _serial = breaker_serial();
     let backend = Arc::new(InMemoryStore::new());
     let server = PeerServer::bind("127.0.0.1:0", backend.clone()).unwrap();
     let addr = server.local_addr();
@@ -407,6 +408,7 @@ fn circuit_breaker_opens_fast_fails_and_recovers() {
 
 #[test]
 fn retries_against_a_dead_endpoint_back_off() {
+    let _serial = breaker_serial();
     let server = PeerServer::bind("127.0.0.1:0", Arc::new(InMemoryStore::new())).unwrap();
     let addr = server.local_addr();
     server.shutdown();
@@ -512,7 +514,13 @@ fn v1_negotiated_connection_gets_clean_err_for_v2_opcodes() {
     let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
     raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
 
-    match raw_call(&mut raw, &Request::Hello { version: 1 }) {
+    match raw_call(
+        &mut raw,
+        &Request::Hello {
+            version: 1,
+            trace: 0,
+        },
+    ) {
         Response::HelloOk { version } => assert_eq!(version, 1, "server downgrades to v1"),
         other => panic!("unexpected hello response: {other:?}"),
     }
@@ -528,6 +536,7 @@ fn v1_negotiated_connection_gets_clean_err_for_v2_opcodes() {
             limit: 8,
             interest: Vec::new(),
             have: Vec::new(),
+            trace: 0,
         },
     ] {
         match raw_call(&mut raw, &req) {
@@ -566,5 +575,144 @@ fn garbage_speaking_client_is_rejected_not_served() {
     assert!(!buf.is_empty(), "server sent a rejection before closing");
     let stats = server.stats();
     assert!(stats.protocol_errors >= 1, "{stats:?}");
+    server.shutdown();
+}
+
+/// Serializes the tests that trip circuit breakers: `net.breaker.*`
+/// registry counters are process-global, so exact-delta assertions need
+/// the incrementing tests to run one at a time.
+fn breaker_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn registry_counter(name: &str) -> u64 {
+    orchestra_obs::snapshot()
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// `METRICS` over the wire is the same registry the process sees
+/// locally, round-tripped faithfully by the codec.
+#[test]
+fn metrics_over_the_wire_match_in_process_snapshot() {
+    let backend = Arc::new(InMemoryStore::new());
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+    remote.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+
+    // A name only this test touches: wire and local must agree on it
+    // exactly even while parallel tests mutate the rest of the registry.
+    orchestra_obs::add_named("test.loopback.metrics_probe", 41);
+    orchestra_obs::add_named("test.loopback.metrics_probe", 1);
+
+    let wire = remote.metrics().unwrap();
+    let local = orchestra_obs::snapshot_filtered("test.loopback.");
+    let filtered: Vec<(String, u64)> = wire
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("test.loopback."))
+        .cloned()
+        .collect();
+    assert_eq!(filtered, local.counters);
+    assert_eq!(
+        filtered,
+        vec![("test.loopback.metrics_probe".to_string(), 42)]
+    );
+
+    // The shared names ride along, and arrive name-sorted like a local
+    // snapshot.
+    assert!(
+        wire.counters
+            .iter()
+            .any(|(n, v)| n == "server.requests" && *v > 0),
+        "wire snapshot misses server counters"
+    );
+    assert!(wire.counters.windows(2).all(|w| w[0].0 < w[1].0));
+    server.shutdown();
+}
+
+/// Breaker transitions land in the process-wide registry, so they
+/// survive a `RemoteStore` being dropped and rebuilt — the per-instance
+/// `net_stats()` view resets, the registry must not — and a failed
+/// half-open probe re-arms the cooldown without double-counting an
+/// open.
+#[test]
+fn breaker_registry_counters_survive_reconnect_and_rearm() {
+    use orchestra_net::BreakerState;
+    let _serial = breaker_serial();
+    let server = PeerServer::bind("127.0.0.1:0", Arc::new(InMemoryStore::new())).unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+
+    let opts = RemoteOptions {
+        connect_timeout: Duration::from_millis(200),
+        retries: 0,
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(50),
+        ..fast_opts()
+    };
+    let opened_before = registry_counter("net.breaker.opened");
+
+    let remote = RemoteStore::lazy_with(addr, opts).unwrap();
+    assert!(remote.fetch(&TxnId::new(PeerId::new("A"), 1)).is_err());
+    assert_eq!(remote.breaker_state(), BreakerState::Open);
+    assert_eq!(remote.net_stats().breaker_opened, 1);
+
+    // Half-open probe against the still-dead endpoint: the failure
+    // re-arms the cooldown but the breaker never closed in between, so
+    // neither the instance view nor the registry counts a second open.
+    std::thread::sleep(Duration::from_millis(80));
+    assert!(remote.fetch(&TxnId::new(PeerId::new("A"), 1)).is_err());
+    assert_eq!(remote.breaker_state(), BreakerState::Open);
+    let net = remote.net_stats();
+    assert_eq!(net.breaker_opened, 1, "half-open re-arm double-counted");
+    assert_eq!(registry_counter("net.breaker.opened"), opened_before + 1);
+
+    // The pool is rebuilt — exactly what happens when a caller replaces
+    // a wedged client. The fresh instance's view starts at zero…
+    drop(remote);
+    let remote = RemoteStore::lazy_with(addr, opts).unwrap();
+    assert_eq!(remote.net_stats().breaker_opened, 0);
+    assert!(remote.fetch(&TxnId::new(PeerId::new("A"), 1)).is_err());
+    assert_eq!(remote.net_stats().breaker_opened, 1);
+    // …while the registry remembers this is the process's second open.
+    assert_eq!(registry_counter("net.breaker.opened"), opened_before + 2);
+}
+
+/// A v2 request carrying the caller's trace id stitches the server's
+/// spans into the caller's trace — across a real socket, onto a
+/// different thread.
+#[test]
+fn propagated_trace_stitches_server_spans_into_client_trace() {
+    let backend = Arc::new(InMemoryStore::new());
+    backend.publish(Epoch::new(1), vec![txn("A", 1)]).unwrap();
+    let server = PeerServer::bind("127.0.0.1:0", backend).unwrap();
+    let remote = RemoteStore::connect_with(server.local_addr(), fast_opts()).unwrap();
+
+    let trace = {
+        let guard = orchestra_obs::trace_mint();
+        let _client_span = orchestra_obs::span!("test.loopback.clientside");
+        remote
+            .pull_pages(&FetchCursor::at_epoch(Epoch::zero()), 16, &[], &[])
+            .unwrap();
+        guard.id
+    };
+
+    let snap = orchestra_obs::snapshot();
+    let client = snap
+        .spans
+        .iter()
+        .find(|s| s.trace == trace && s.name == "test.loopback.clientside")
+        .expect("client span recorded under the minted trace");
+    let served = snap
+        .spans
+        .iter()
+        .find(|s| s.trace == trace && s.name == "server.pull_pages")
+        .expect("server span adopted the trace that rode the wire");
+    assert_ne!(served.thread, client.thread, "pull served in-thread?");
     server.shutdown();
 }

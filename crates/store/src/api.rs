@@ -3,7 +3,6 @@
 use orchestra_updates::{Epoch, Transaction, TxnId};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default page size for [`UpdateStore::fetch_page`] and the
 /// [`UpdateStore::fetch_since`] convenience wrapper: the most transactions
@@ -109,49 +108,68 @@ pub struct StoreStats {
 /// Internally synchronized [`StoreStats`] so read paths can count under a
 /// shared read lock (concurrent fetches must not serialize on a write
 /// lock just to bump counters).
-#[derive(Debug, Default)]
+///
+/// Each field is a shard of the corresponding `store.*` counter in the
+/// `orchestra-obs` registry: `snapshot()` reads this instance's own
+/// shard (per-store view, same semantics as before), while the registry
+/// aggregates every live store plus all dropped ones.
+#[derive(Debug)]
 pub(crate) struct AtomicStats {
-    published: AtomicU64,
-    fetched: AtomicU64,
-    probes: AtomicU64,
-    misses: AtomicU64,
-    pages: AtomicU64,
-    unavailable: AtomicU64,
-    degraded: AtomicU64,
+    published: orchestra_obs::CounterHandle,
+    fetched: orchestra_obs::CounterHandle,
+    probes: orchestra_obs::CounterHandle,
+    misses: orchestra_obs::CounterHandle,
+    pages: orchestra_obs::CounterHandle,
+    unavailable: orchestra_obs::CounterHandle,
+    degraded: orchestra_obs::CounterHandle,
+}
+
+impl Default for AtomicStats {
+    fn default() -> Self {
+        AtomicStats {
+            published: orchestra_obs::counter("store.published"),
+            fetched: orchestra_obs::counter("store.fetched"),
+            probes: orchestra_obs::counter("store.probes"),
+            misses: orchestra_obs::counter("store.misses"),
+            pages: orchestra_obs::counter("store.pages"),
+            unavailable: orchestra_obs::counter("store.unavailable"),
+            degraded: orchestra_obs::counter("store.degraded"),
+        }
+    }
 }
 
 impl AtomicStats {
     pub fn add_published(&self, n: u64) {
-        self.published.fetch_add(n, Ordering::Relaxed);
+        self.published.add(n);
     }
     pub fn add_fetched(&self, n: u64) {
-        self.fetched.fetch_add(n, Ordering::Relaxed);
+        self.fetched.add(n);
     }
     pub fn add_probes(&self, n: u64) {
-        self.probes.fetch_add(n, Ordering::Relaxed);
+        self.probes.add(n);
     }
     pub fn add_misses(&self, n: u64) {
-        self.misses.fetch_add(n, Ordering::Relaxed);
+        self.misses.add(n);
     }
     pub fn add_pages(&self, n: u64) {
-        self.pages.fetch_add(n, Ordering::Relaxed);
+        self.pages.add(n);
     }
     pub fn add_unavailable(&self, n: u64) {
-        self.unavailable.fetch_add(n, Ordering::Relaxed);
+        self.unavailable.add(n);
     }
     pub fn add_degraded(&self, n: u64) {
-        self.degraded.fetch_add(n, Ordering::Relaxed);
+        self.degraded.add(n);
     }
 
     pub fn snapshot(&self) -> StoreStats {
         StoreStats {
-            published: self.published.load(Ordering::Relaxed),
-            fetched: self.fetched.load(Ordering::Relaxed),
-            probes: self.probes.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            pages: self.pages.load(Ordering::Relaxed),
-            unavailable: self.unavailable.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
+            published: self.published.get(),
+            fetched: self.fetched.get(),
+            probes: self.probes.get(),
+            misses: self.misses.get(),
+            pages: self.pages.get(),
+            unavailable: self.unavailable.get(),
+            degraded: self.degraded.get(),
         }
     }
 }

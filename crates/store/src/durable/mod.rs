@@ -299,6 +299,7 @@ impl DurableStore {
     /// positions as gossip gaps and re-pulls them from neighbors, healing
     /// them through [`UpdateStore::absorb`].
     pub fn scrub(&self) -> crate::Result<ScrubReport> {
+        let _span = orchestra_obs::span!("store.scrub");
         let mut inner = self.inner.write();
         let mut report = ScrubReport::default();
 
@@ -373,6 +374,7 @@ impl DurableStore {
             inner.quarantined.insert(id, epoch);
             report.quarantined += 1;
         }
+        orchestra_obs::counter!("store.scrub.quarantined", report.quarantined as u64);
         Ok(report)
     }
 
@@ -586,6 +588,7 @@ impl UpdateStore for DurableStore {
         if txns.is_empty() {
             return Ok(()); // Vacuous: nothing a cursor could miss.
         }
+        let _span = orchestra_obs::span!("store.publish", txns = txns.len(), epoch = epoch);
         let mut inner = self.inner.write();
         // Quarantined ids are still *archived* (their position exists);
         // re-publishing one must be rejected like any duplicate — only
@@ -640,6 +643,7 @@ impl UpdateStore for DurableStore {
     }
 
     fn absorb(&self, txns: Vec<Transaction>) -> crate::Result<AbsorbReport> {
+        let _span = orchestra_obs::span!("store.absorb", txns = txns.len());
         let mut inner = self.inner.write();
         let mut report = AbsorbReport::default();
         // Group fresh transactions by the epoch their publisher stamped;

@@ -174,32 +174,41 @@ impl Wal {
         epoch: Epoch,
         txns: &[Transaction],
     ) -> crate::Result<(u64, u64)> {
-        if !self.active.is_empty() && self.active.len() >= self.segment_max_bytes {
-            self.rotate()?;
-        }
-        let payload = encode_batch(epoch, txns);
-        if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
-            return Err(StoreError::InvalidConfig(format!(
-                "publish batch encodes to {} bytes, exceeding the {} byte frame cap \
-                 — split the batch",
-                payload.len(),
-                MAX_FRAME_LEN
-            )));
-        }
-        let framed = frame(&payload);
-        let offset = self.active.append(&framed)?;
-        match self.sync_policy {
-            SyncPolicy::Always => self.active.sync()?,
-            SyncPolicy::EveryN(n) => {
-                self.appends_since_sync += 1;
-                if self.appends_since_sync >= n.max(1) {
-                    self.active.sync()?;
-                    self.appends_since_sync = 0;
-                }
+        orchestra_obs::time_histogram!("store.wal.append_micros", {
+            if !self.active.is_empty() && self.active.len() >= self.segment_max_bytes {
+                self.rotate()?;
             }
-            SyncPolicy::Never => {}
-        }
-        Ok((self.active.seq, offset))
+            let payload = encode_batch(epoch, txns);
+            if payload.len() as u64 > u64::from(MAX_FRAME_LEN) {
+                return Err(StoreError::InvalidConfig(format!(
+                    "publish batch encodes to {} bytes, exceeding the {} byte frame cap \
+                     — split the batch",
+                    payload.len(),
+                    MAX_FRAME_LEN
+                )));
+            }
+            let framed = frame(&payload);
+            let offset = self.active.append(&framed)?;
+            match self.sync_policy {
+                SyncPolicy::Always => self.sync_active()?,
+                SyncPolicy::EveryN(n) => {
+                    self.appends_since_sync += 1;
+                    if self.appends_since_sync >= n.max(1) {
+                        self.sync_active()?;
+                        self.appends_since_sync = 0;
+                    }
+                }
+                SyncPolicy::Never => {}
+            }
+            Ok((self.active.seq, offset))
+        })
+    }
+
+    /// fsync the active segment, recording a `store.wal.fsync` span and
+    /// the `store.wal.fsync_micros` latency histogram.
+    fn sync_active(&mut self) -> crate::Result<()> {
+        let _span = orchestra_obs::span!("store.wal.fsync", segment = self.active.seq);
+        orchestra_obs::time_histogram!("store.wal.fsync_micros", self.active.sync())
     }
 
     /// Seal the active segment and start a new one.
@@ -210,7 +219,8 @@ impl Wal {
         if orchestra_fault::check("store.wal.rotate").is_some() {
             return Err(super::segment::injected_err("rotate", self.active.path()));
         }
-        self.active.sync()?;
+        orchestra_obs::counter!("store.wal.rotations", 1);
+        self.sync_active()?;
         let sealed_seq = self.active.seq;
         self.sealed.push(sealed_seq);
         self.active = ActiveSegment::open(&self.dir, sealed_seq + 1, 0)?;
@@ -221,7 +231,7 @@ impl Wal {
     /// Force outstanding appends to stable storage.
     pub fn sync(&mut self) -> crate::Result<()> {
         self.appends_since_sync = 0;
-        self.active.sync()
+        self.sync_active()
     }
 
     /// The active segment's sequence number.
