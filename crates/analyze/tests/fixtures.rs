@@ -180,6 +180,44 @@ fn determinism_positive_hash_iteration_in_merge() {
 }
 
 #[test]
+fn determinism_covers_partitioned_merge_module() {
+    // The per-shard merge layout (`crates/datalog/src/merge.rs`) is in
+    // the lint's critical set: a hash-order drain inside a sink is
+    // flagged, its order-insensitive twin and non-marker reads are not.
+    let w = ws(
+        vec![entry(
+            "crates/datalog/src/merge.rs",
+            include_str!("fixtures/det_shard_merge.rs"),
+        )],
+        vec![],
+    );
+    let r = run(&w, &[LintId::Determinism]);
+    let hits = of(&r, LintId::Determinism);
+    assert_eq!(hits.len(), 1, "{}", r.render_text());
+    assert!(hits[0].message.contains("pending"), "{}", r.render_text());
+    assert!(
+        hits[0].message.contains("drain_pending"),
+        "{}",
+        r.render_text()
+    );
+}
+
+#[test]
+fn determinism_node_table_module_is_critical() {
+    // The packed-NodeId shard table also decides global order; the same
+    // bad pattern mounted at `crates/datalog/src/node.rs` must be caught.
+    let w = ws(
+        vec![entry(
+            "crates/datalog/src/node.rs",
+            include_str!("fixtures/det_bad.rs"),
+        )],
+        vec![],
+    );
+    let r = run(&w, &[LintId::Determinism]);
+    assert_eq!(of(&r, LintId::Determinism).len(), 1, "{}", r.render_text());
+}
+
+#[test]
 fn determinism_negative_sorted_sinks_are_clean() {
     let w = ws(
         vec![entry(

@@ -1212,6 +1212,24 @@ pub fn e10_network(opts: &Opts) -> BenchReport {
     report
 }
 
+/// Cumulative `engine.round.{plan,join,merge}_micros` histogram sums
+/// from the process-global obs registry (zeros when obs is compiled
+/// off). Callers diff two readings to attribute wall-clock to phases.
+fn round_phase_micros() -> [u64; 3] {
+    let snap = orchestra_obs::snapshot_filtered("engine.round.");
+    let mut out = [0u64; 3];
+    for h in &snap.histograms {
+        let slot = match h.name.as_str() {
+            "engine.round.plan_micros" => 0,
+            "engine.round.join_micros" => 1,
+            "engine.round.merge_micros" => 2,
+            _ => continue,
+        };
+        out[slot] = h.sum;
+    }
+    out
+}
+
 /// E11 — shard-parallel thread scaling: propagate two workloads at
 /// 1/2/4/8 evaluation threads over hash-partitioned relations:
 ///
@@ -1229,10 +1247,20 @@ pub fn e10_network(opts: &Opts) -> BenchReport {
 /// parity**: firings, derivations, rounds, probes, and the fixpoint are
 /// identical at any thread count; only wall-clock differs. Speedups are
 /// naturally ceilinged by `host_parallelism` (recorded in the summary).
+///
+/// Each row also carries the per-phase wall-clock split from the obs
+/// round histograms (`engine.round.{plan,join,merge}_micros`) — in
+/// particular `merge_frac`, the merge phase's share of the round. Before
+/// the partitioned merge this fraction was the Amdahl ceiling on `tc`;
+/// now it should shrink as threads go up.
+///
+/// `ORCHESTRA_EVAL_THREADS` is honored as an explicit override: set it
+/// to a comma-separated list (e.g. `1,2,8`) to pick the exact thread
+/// counts the sweep runs — CI uses this to smoke-test stats parity.
 pub fn e11_threads(opts: &Opts) -> BenchReport {
     println!("── E11: shard-parallel propagate, thread scaling ──");
     println!(
-        "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12} {:>9} {:>9}",
+        "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12} {:>9} {:>7} {:>9}",
         "workload",
         "threads",
         "shards",
@@ -1240,6 +1268,7 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
         "propagate ms",
         "tuples/s",
         "speedup",
+        "merge%",
         "stats=1t"
     );
     let mut report = BenchReport::new("e11", &opts.variant, opts.smoke);
@@ -1248,7 +1277,17 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
     } else {
         (16, 5)
     };
-    let thread_counts: &[usize] = &[1, 2, 4, 8];
+    let thread_counts: Vec<usize> = std::env::var("ORCHESTRA_EVAL_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let thread_counts: &[usize] = &thread_counts;
     let workloads: Vec<(&'static str, _, _, Vec<_>)> = {
         let (tc_db, tc_rules, tc_edges) = if opts.smoke {
             tc_parts(64, 320, 11)
@@ -1282,6 +1321,7 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
             let mut best = std::time::Duration::MAX;
             let mut total = 0usize;
             let mut stats = EngineStats::default();
+            let phases_before = round_phase_micros();
             for _ in 0..iters {
                 let mut engine =
                     Engine::with_options(db.clone(), rules.clone(), true, eval).unwrap();
@@ -1300,6 +1340,19 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
                 assert_eq!(scanned, total);
                 stats = engine.stats();
             }
+            let phases_after = round_phase_micros();
+            // The obs registry is process-global and cumulative, so the
+            // phase split is the delta across this cell's `iters` runs
+            // (averaged back to one propagate).
+            let [plan_ms, join_ms, merge_ms] = std::array::from_fn(|i| {
+                phases_after[i].saturating_sub(phases_before[i]) as f64 / 1e3 / iters as f64
+            });
+            let phase_total = plan_ms + join_ms + merge_ms;
+            let merge_frac = if phase_total > 0.0 {
+                merge_ms / phase_total
+            } else {
+                0.0
+            };
             let secs = best.as_secs_f64().max(1e-9);
             let tps = total as f64 / secs;
             let (t1_tps, stats_match) = match &baseline {
@@ -1318,7 +1371,7 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
             *entry = entry.max(speedup);
             best_tps = best_tps.max(tps);
             println!(
-                "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12.0} {:>9.2} {:>9}",
+                "{:<9} {:<8} {:>7} {:>9} {:>13} {:>12.0} {:>9.2} {:>6.0}% {:>9}",
                 name,
                 threads,
                 shards,
@@ -1326,6 +1379,7 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
                 ms(best),
                 tps,
                 speedup,
+                merge_frac * 100.0,
                 stats_match
             );
             report.row([
@@ -1337,6 +1391,10 @@ pub fn e11_threads(opts: &Opts) -> BenchReport {
                 ("tuples_per_sec", Json::from(tps)),
                 ("speedup_vs_1t", Json::from(speedup)),
                 ("stats_match_1t", Json::from(stats_match)),
+                ("plan_ms", Json::from(plan_ms)),
+                ("join_ms", Json::from(join_ms)),
+                ("merge_ms", Json::from(merge_ms)),
+                ("merge_frac", Json::from(merge_frac)),
                 ("firings", Json::from(stats.firings)),
                 ("rounds", Json::from(stats.rounds)),
             ]);

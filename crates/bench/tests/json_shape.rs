@@ -20,6 +20,9 @@ fn smoke_run_emits_valid_bench_json() {
     let dir = std::env::temp_dir().join(format!("orchestra-bench-json-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let out = Command::new(exe)
+        // This test pins the default 1/2/4/8 E11 sweep; don't let an
+        // ambient thread-count override change the row set.
+        .env_remove("ORCHESTRA_EVAL_THREADS")
         .args([
             "e1",
             "e4",
@@ -170,6 +173,27 @@ fn smoke_run_emits_valid_bench_json() {
                     assert!(
                         row.get("tuples_per_sec").unwrap().as_f64().unwrap() > 0.0,
                         "{exp}: zero-throughput row"
+                    );
+                    // Per-phase split from the obs round histograms:
+                    // finite, non-negative, and merge_frac a fraction.
+                    for key in ["plan_ms", "join_ms", "merge_ms"] {
+                        let v = row
+                            .get(key)
+                            .unwrap_or_else(|| panic!("{exp}: row missing `{key}`"))
+                            .as_f64()
+                            .unwrap();
+                        assert!(v.is_finite() && v >= 0.0, "{exp}: {key} = {v}");
+                    }
+                    let frac = row.get("merge_frac").unwrap().as_f64().unwrap();
+                    assert!((0.0..=1.0).contains(&frac), "{exp}: merge_frac = {frac}");
+                    // A default (obs-enabled) build must attribute real
+                    // time: the split can't be all zeros.
+                    assert!(
+                        row.get("merge_ms").unwrap().as_f64().unwrap()
+                            + row.get("join_ms").unwrap().as_f64().unwrap()
+                            + row.get("plan_ms").unwrap().as_f64().unwrap()
+                            > 0.0,
+                        "{exp}: empty phase split"
                     );
                 }
             }

@@ -69,13 +69,22 @@
 //!    large enough frontier, tasks run on a reusable [`WorkerPool`];
 //!    otherwise they run inline on the calling thread — **the single-thread
 //!    path is `threads = 1` of the same code**, not a second engine.
-//! 3. **Merge (sequential).** Task buffers are drained in the fixed task
-//!    order — never completion order — resolving Skolem heads, interning
-//!    nodes, recording derivations, applying inserts, and appending the
-//!    change log. Every mutation therefore happens in an order that is a
-//!    pure function of the input, which makes the provenance graph,
-//!    `NodeId` assignment, and [`Engine::drain_changes`] order identical
-//!    at any thread count (pinned by the `engine_parity_props` suite).
+//! 3. **Merge (partitioned).** Workers route every staged firing to its
+//!    head tuple's shard (the same content-based routing the relations
+//!    use), so the node table, provenance graph, and relation storage —
+//!    all partitioned by that routing — drain through one per-shard sink
+//!    each, concurrently (see [`crate::merge`]). A short sequential
+//!    pre-pass folds per-task counters and interns first-occurrence
+//!    labeled nulls (the only interner mutation); cross-shard provenance
+//!    edges are spliced from per-target outboxes afterwards; and the
+//!    sinks' counters, change-log entries, and next-round deltas fold
+//!    back in shard order. Every mutation therefore happens in an order
+//!    that is a pure function of the input — task order within a shard,
+//!    shard order across shards — which makes the provenance graph,
+//!    `NodeId` assignment (shard in the id's high bits, per-shard
+//!    assignment order below), and [`Engine::drain_changes`] order
+//!    identical at any thread count (pinned by the `engine_parity_props`
+//!    suite).
 //!
 //! Symbols are process-local (insertion-ordered); everything that leaves
 //! the engine — the change log, [`Engine::relation_tuples`], provenance
@@ -85,13 +94,14 @@
 
 use crate::ast::{Filter, Rule, RuleId, Term};
 use crate::error::DatalogError;
+use crate::merge::{self, Firing, TaskOut};
 use crate::node::{NodeId, NodeTable, RelId};
-use crate::provgraph::{Derivation, ProvGraph};
+use crate::provgraph::ProvGraph;
 use crate::Result;
 use orchestra_provenance::Polynomial;
 use orchestra_relational::{
-    default_threads, CmpOp, DatabaseSchema, Job, ShardedRel, Sym, SymTuple, Tuple, Value,
-    ValueInterner, WorkerPool, DEFAULT_SHARDS,
+    default_threads, host_parallelism, CmpOp, DatabaseSchema, Job, ShardedRel, Sym, SymTuple,
+    Tuple, Value, ValueInterner, WorkerPool, DEFAULT_SHARDS,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -195,10 +205,15 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     /// Threads default to `ORCHESTRA_EVAL_THREADS` (or the machine's
-    /// available parallelism), shards to [`DEFAULT_SHARDS`].
+    /// available parallelism), **clamped to the host's parallelism** —
+    /// oversubscribing cores never helps the deterministic pipeline and
+    /// measurably regresses merge-heavy workloads (the 4/8-thread E11
+    /// rows on a 2-core host). Explicit `EvalOptions { threads, .. }` and
+    /// [`Engine::set_threads`] values are honored unclamped. Shards
+    /// default to [`DEFAULT_SHARDS`].
     fn default() -> Self {
         EvalOptions {
-            threads: default_threads(),
+            threads: default_threads().min(host_parallelism()).max(1),
             shards: DEFAULT_SHARDS,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
@@ -433,45 +448,18 @@ impl JoinPlan {
 
 // ---------------------------------------------------------- plan executor
 
-/// One staged rule firing, produced by the (possibly parallel) join phase
-/// and finalized by the sequential merge phase. Skolem head positions are
-/// left as [`Sym::NONE`] with their argument symbols staged alongside, so
-/// the join phase never mutates the interner.
+/// The plan interpreter. **Read-only** over the engine: it borrows the
+/// sharded data, the rule/plan storage, and the interner immutably, so
+/// any number of `Exec`s can run concurrently over disjoint delta shards.
+/// All effects are staged into the [`TaskOut`] buffers.
 ///
 /// Everything resolvable against the round's immutable snapshot is
 /// resolved **in the worker**: body node ids (every body tuple is alive
 /// or a delta tuple, so it was interned when it first appeared), the
-/// derivation's dedup fingerprint, and the head's snapshot node/liveness.
-/// The merge phase then touches a hash table only for genuinely new
-/// state, which keeps the sequential fraction of a round small.
-struct Firing {
-    /// The head tuple; `Sym::NONE` at Skolem positions.
-    head: SymTuple,
-    /// `(head column, argument symbols)` for each Skolem head slot.
-    skolems: Vec<(u32, Vec<Sym>)>,
-    /// The head's node id as of the round snapshot (`None` when the head
-    /// was not alive then — it may still get interned by an earlier task
-    /// of the same round's merge).
-    head_node: Option<NodeId>,
-    /// Node ids of the matched body tuples, in rule-body order
-    /// (derivation identity depends on the order).
-    body_nodes: Vec<NodeId>,
-    /// Precomputed `(rule, body)` dedup fingerprint.
-    fp: u64,
-}
-
-/// Everything one join task hands back to the merge phase: staged firings
-/// plus the task's private counters (merged at the round barrier).
-#[derive(Default)]
-struct TaskOut {
-    firings: Vec<Firing>,
-    probes: u64,
-}
-
-/// The plan interpreter. **Read-only** over the engine: it borrows the
-/// sharded data, the rule/plan storage, and the interner immutably, so
-/// any number of `Exec`s can run concurrently over disjoint delta shards.
-/// All effects are staged into `results`/`probes`.
+/// derivation's dedup fingerprint, the head's snapshot node/liveness,
+/// already-interned Skolem nulls, and the head's **target shard** — so
+/// the merge phase fans out over per-shard sinks with only the
+/// first-occurrence nulls left on the sequential path.
 struct Exec<'a> {
     rule: &'a CompiledRule,
     plan: &'a JoinPlan,
@@ -479,6 +467,8 @@ struct Exec<'a> {
     delta: Option<&'a [SymTuple]>,
     interner: &'a ValueInterner,
     nodes: &'a NodeTable,
+    /// Shard count shared by every partitioned structure (head routing).
+    shards: usize,
     bindings: Vec<Sym>,
     body_tuples: Vec<Option<&'a SymTuple>>,
     /// One reusable probe-key buffer per step: steady-state probing
@@ -487,8 +477,7 @@ struct Exec<'a> {
     /// Reusable posting-list buffers for probes that fan out across
     /// shards (non-covering column sets).
     slice_bufs: Vec<Vec<&'a [SymTuple]>>,
-    probes: u64,
-    results: Vec<Firing>,
+    out: TaskOut,
 }
 
 impl<'a> Exec<'a> {
@@ -500,20 +489,21 @@ impl<'a> Exec<'a> {
         delta: Option<&'a [SymTuple]>,
         interner: &'a ValueInterner,
         nodes: &'a NodeTable,
+        shards: usize,
         bindings: Vec<Sym>,
     ) -> Self {
         Exec {
             body_tuples: vec![None; rule.body.len()],
             key_bufs: vec![Vec::new(); plan.steps.len()],
             slice_bufs: vec![Vec::new(); plan.steps.len()],
-            probes: 0,
-            results: Vec::new(),
+            out: TaskOut::default(),
             rule,
             plan,
             data,
             delta,
             interner,
             nodes,
+            shards,
             bindings,
         }
     }
@@ -544,7 +534,7 @@ impl<'a> Exec<'a> {
                 self.scan_candidates(si, sp, rd.iter_tuples());
             }
             Source::Probe { cols, key, part } => {
-                self.probes += 1;
+                self.out.probes += 1;
                 let mut buf = std::mem::take(&mut self.key_bufs[si]);
                 buf.clear();
                 for src in key.iter() {
@@ -667,19 +657,21 @@ impl<'a> Exec<'a> {
         }
     }
 
-    /// All atoms bound: stage the head (Skolem slots deferred), resolve
-    /// the body node ids in original rule-body order (derivation identity
-    /// depends on it), and precompute the dedup fingerprint — all against
-    /// the round's immutable snapshot.
+    /// All atoms bound: stage the head, resolve the body node ids in
+    /// original rule-body order (derivation identity depends on it),
+    /// precompute the dedup fingerprint, and route the firing to its head
+    /// shard — all against the round's immutable snapshot.
+    ///
+    /// Skolem head slots resolve read-only when every null already exists
+    /// in the snapshot interner (the steady state once a null has been
+    /// invented); a single missing null defers the whole head to the
+    /// merge's sequential Skolem pass instead.
     fn emit(&mut self) {
         let rule = self.rule;
         let mut skolems: Vec<(u32, Vec<Sym>)> = Vec::new();
-        let head: SymTuple = rule
-            .head
-            .slots
-            .iter()
-            .enumerate()
-            .map(|(ci, s)| match s {
+        let mut head_syms: Vec<Sym> = Vec::with_capacity(rule.head.slots.len());
+        for (ci, s) in rule.head.slots.iter().enumerate() {
+            head_syms.push(match s {
                 Slot::Var(v) => {
                     let sym = self.bindings[*v];
                     debug_assert!(!sym.is_none(), "unbound head slot");
@@ -695,37 +687,80 @@ impl<'a> Exec<'a> {
                     skolems.push((ci as u32, arg_syms));
                     Sym::NONE
                 }
-            })
-            .collect();
+            });
+        }
+        if !skolems.is_empty() {
+            let mut resolved: Vec<Sym> = Vec::with_capacity(skolems.len());
+            let all_known = skolems.iter().all(|(ci, args)| {
+                let Slot::Skolem { function, .. } = &rule.head.slots[*ci as usize] else {
+                    // analyze: allow(panic) -- skolems is built by iterating exactly the head's skolem slots
+                    unreachable!("staged skolem at a non-skolem head slot")
+                };
+                match self.interner.get_skolem(function, args) {
+                    Some(sym) => {
+                        resolved.push(sym);
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if all_known {
+                for ((ci, _), sym) in skolems.iter().zip(resolved) {
+                    head_syms[*ci as usize] = sym;
+                }
+                self.out.skolem_hits += skolems.len() as u64;
+                skolems.clear();
+            }
+        }
+        let head = SymTuple::new(head_syms);
         let body_nodes: Vec<NodeId> = (0..rule.body.len())
             .map(|i| {
                 // analyze: allow(panic) -- a firing is only staged after every body atom matched, binding all slots
                 let t = self.body_tuples[i].expect("bound");
-                // Every candidate is either alive (interned on insert) or
-                // a delta tuple (interned at `insert_base` / the merge
-                // that produced it) — so the lookup cannot miss.
-                self.nodes
-                    .get(rule.body[i].rel, t)
+                let rel = rule.body[i].rel;
+                // Every candidate is either alive — its node rides along
+                // as the relation payload — or a delta tuple interned at
+                // `insert_base` / the merge that produced it; DRed's
+                // over-deletion additionally joins deltas already removed
+                // from `data`, whose nodes remain in the table.
+                self.data[rel.index()]
+                    .get(t)
+                    .or_else(|| {
+                        let shard = self.data[rel.index()].shard_of(t);
+                        self.nodes.get(shard, rel, t)
+                    })
                     // analyze: allow(panic) -- see comment above: candidates are interned on insert or merge
                     .expect("body tuple interned")
             })
             .collect();
         let fp = crate::provgraph::derivation_fingerprint(&rule.id, &body_nodes);
-        // One probe answers both "does the head already have a node" and
-        // "is it alive" as of the snapshot (dead-but-interned heads read
-        // as None — the merge intern then hits the table, same result).
-        let head_node = if skolems.is_empty() {
-            self.data[rule.head.rel.index()].get(&head)
+        if skolems.is_empty() {
+            // One probe answers both "does the head already have a node"
+            // and "is it alive" as of the snapshot (dead-but-interned
+            // heads read as None — the sink intern then hits the shard's
+            // table, same result).
+            let rd = &self.data[rule.head.rel.index()];
+            let shard = rd.shard_of(&head);
+            let head_node = rd.get_in(shard, &head);
+            if self.out.routed.is_empty() {
+                self.out.routed.resize_with(self.shards, Vec::new);
+            }
+            self.out.routed[shard].push(Firing {
+                head,
+                skolems,
+                head_node,
+                body_nodes,
+                fp,
+            });
         } else {
-            None
-        };
-        self.results.push(Firing {
-            head,
-            skolems,
-            head_node,
-            body_nodes,
-            fp,
-        });
+            self.out.unrouted.push(Firing {
+                head,
+                skolems,
+                head_node: None,
+                body_nodes,
+                fp,
+            });
+        }
     }
 }
 
@@ -738,18 +773,16 @@ fn run_task(
     data: &[ShardedRel<NodeId>],
     interner: &ValueInterner,
     nodes: &NodeTable,
+    shards: usize,
     delta: Option<&[SymTuple]>,
     bindings: Vec<Sym>,
 ) -> TaskOut {
     if plan.impossible {
         return TaskOut::default();
     }
-    let mut exec = Exec::new(rule, plan, data, delta, interner, nodes, bindings);
+    let mut exec = Exec::new(rule, plan, data, delta, interner, nodes, shards, bindings);
     exec.run();
-    TaskOut {
-        firings: exec.results,
-        probes: exec.probes,
-    }
+    exec.out
 }
 
 /// Finalize a staged head: intern any deferred Skolem nulls (sequential —
@@ -849,7 +882,9 @@ impl Engine {
     ) -> Result<Engine> {
         let opts = EvalOptions {
             threads: opts.threads.max(1),
-            shards: opts.shards.max(1),
+            // NodeIds pack the shard into their high bits, so the shard
+            // count is bounded by the id space.
+            shards: opts.shards.clamp(1, NodeId::MAX_SHARDS),
             parallel_threshold: opts.parallel_threshold,
         };
         let mut rel_names: Vec<Arc<str>> = Vec::new();
@@ -882,6 +917,11 @@ impl Engine {
             .iter()
             .map(|cols| ShardedRel::new(opts.shards, cols.clone()))
             .collect();
+        // The node table and provenance graph partition by the same shard
+        // routing as the relations, so the merge phase's per-shard sinks
+        // line up across all three.
+        let mut graph = ProvGraph::new();
+        graph.ensure_shards(opts.shards);
         Ok(Engine {
             schema,
             rules: compiled,
@@ -890,8 +930,8 @@ impl Engine {
             interner,
             rel_names,
             rel_ids,
-            nodes: NodeTable::new(),
-            graph: ProvGraph::new(),
+            nodes: NodeTable::with_shards(opts.shards),
+            graph,
             data,
             pending: Vec::new(),
             changes: Vec::new(),
@@ -1224,7 +1264,8 @@ impl Engine {
     pub fn node_id(&self, relation: &str, tuple: &Tuple) -> Option<NodeId> {
         let rel = self.rel_id(relation)?;
         let st = self.interner.get_tuple(tuple)?;
-        self.nodes.get(rel, &st)
+        let shard = self.data[rel.index()].shard_of(&st);
+        self.nodes.get(shard, rel, &st)
     }
 
     /// The `(relation name, tuple)` behind a node id.
@@ -1302,7 +1343,8 @@ impl Engine {
         rel_schema.validate(&tuple)?;
         let rel = self.rel_ids[relation];
         let st = self.interner.intern_tuple(&tuple);
-        let node = self.nodes.intern(rel, &st);
+        let shard = self.data[rel.index()].shard_of(&st);
+        let node = self.nodes.intern(shard, rel, &st);
         if self.graph.is_base(node) {
             return Ok(node);
         }
@@ -1436,11 +1478,12 @@ impl Engine {
                         data,
                         interner,
                         nodes,
+                        shards,
                         Some(&frontiers[spec.rel as usize][spec.shard as usize]),
                         vec![Sym::NONE; rule.num_vars],
                     )
                 };
-                match pool {
+                match pool.as_deref() {
                     Some(pool) => {
                         let jobs: Vec<Job<'_>> = outs
                             .iter_mut()
@@ -1460,11 +1503,15 @@ impl Engine {
                     }
                 }
             });
-            // Merge phase: drain task buffers in task order — NodeId
-            // assignment, provenance recording, inserts, and the change
-            // log replay identically at any thread count.
+            // Merge phase, partitioned by the same routing as the data.
+            // Workers already routed each firing to its head's shard, so
+            // the drains below are disjoint per shard and run on the
+            // pool; every processing order is fixed (task order within a
+            // shard, shard order across shards) and routing is a pure
+            // function of tuple content, so NodeId assignment, provenance
+            // recording, inserts, the change log, and the stats replay
+            // identically at any thread count.
             delta = orchestra_obs::time_histogram!("engine.round.merge_micros", {
-                let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
                 let track = self.track_provenance;
                 let Engine {
                     rules,
@@ -1477,53 +1524,126 @@ impl Engine {
                     rel_names,
                     ..
                 } = self;
-                for (spec, out) in tasks.iter().zip(outs) {
+                // M0 — sequential pre-pass, in task order: fold the join
+                // phase's private counters and intern first-occurrence
+                // labeled nulls (the merge's exclusive right to mutate
+                // the interner), routing the now fully-resolved firings
+                // into their task's shard buckets.
+                let mut outs: Vec<TaskOut> = outs
+                    .into_iter()
                     // analyze: allow(panic) -- the pool barrier completes every task before results are read
-                    let out = out.expect("join task executed");
+                    .map(|o| o.expect("join task executed"))
+                    .collect();
+                for (spec, out) in tasks.iter().zip(outs.iter_mut()) {
                     stats.index_probes += out.probes;
+                    interner.note_skolem_hits(out.skolem_hits);
+                    if out.unrouted.is_empty() {
+                        continue;
+                    }
+                    if out.routed.is_empty() {
+                        out.routed.resize_with(shards, Vec::new);
+                    }
                     let rule = &rules[spec.ri as usize];
                     let head_rel = rule.head.rel;
-                    for firing in out.firings {
-                        stats.firings += 1;
-                        // A head alive at the round snapshot needs no insert
-                        // (propagation is insert-only) and no interning — the
-                        // worker already resolved its node.
-                        let (head_node, head_st) = match firing.head_node {
-                            Some(n) => (n, None),
-                            None => {
-                                let st = resolve_head(interner, rule, &firing);
-                                (nodes.intern(head_rel, &st), Some(st))
-                            }
-                        };
-                        if track {
-                            let fresh_deriv = graph.add_derivation_fp(
-                                Derivation {
-                                    rule: Arc::clone(&rule.id),
-                                    head: head_node,
-                                    body: firing.body_nodes,
-                                },
-                                firing.fp,
-                            );
-                            if fresh_deriv {
-                                stats.derivations += 1;
-                            }
+                    for mut firing in out.unrouted.drain(..) {
+                        firing.head = resolve_head(interner, rule, &firing);
+                        firing.skolems.clear();
+                        let rd = &data[head_rel.index()];
+                        let shard = rd.shard_of(&firing.head);
+                        firing.head_node = rd.get_in(shard, &firing.head);
+                        out.routed[shard].push(firing);
+                    }
+                }
+                // Transpose the per-task buckets into per-shard drain
+                // queues (pointer moves only): `queues[s][k]` holds task
+                // `k`'s firings for shard `s`.
+                let mut queues: Vec<Vec<Vec<Firing>>> = Vec::new();
+                queues.resize_with(shards, || Vec::with_capacity(tasks.len()));
+                for out in outs.iter_mut() {
+                    if out.routed.is_empty() {
+                        for q in queues.iter_mut() {
+                            q.push(Vec::new());
                         }
-                        let Some(head_st) = head_st else {
-                            continue; // Was alive at snapshot: nothing to add.
-                        };
-                        let rd = &mut data[head_rel.index()];
-                        if rd.insert_if_absent(head_st.clone(), head_node) {
-                            stats.tuples_added += 1;
-                            new_tuples += 1;
-                            changes.push(Change {
-                                relation: Arc::clone(&rel_names[head_rel.index()]),
-                                tuple: interner.resolve_tuple(&head_st),
-                                kind: ChangeKind::Added,
-                                node: head_node,
-                            });
-                            next_delta.push((head_rel, head_st));
+                    } else {
+                        for (s, fs) in out.routed.drain(..).enumerate() {
+                            queues[s].push(fs);
                         }
                     }
+                }
+                // M1 — per-shard sinks drain the queues concurrently.
+                // Each sink owns shard `s` of the node table, the
+                // provenance graph, and every relation, so the drains
+                // never touch shared state.
+                let rule_heads: Vec<(&RuleId, RelId)> = tasks
+                    .iter()
+                    .map(|spec| {
+                        let rule = &rules[spec.ri as usize];
+                        (&rule.id, rule.head.rel)
+                    })
+                    .collect();
+                let mut sinks = merge::shard_sinks(nodes, graph, data);
+                {
+                    let interner = &*interner;
+                    let rel_names: &[Arc<str>] = rel_names;
+                    let rule_heads = &rule_heads;
+                    let run_sink = |sink: &mut merge::ShardSink<'_>, queue: Vec<Vec<Firing>>| {
+                        for (k, firings) in queue.into_iter().enumerate() {
+                            let (rule_id, head_rel) = rule_heads[k];
+                            sink.drain_task(rule_id, head_rel, firings, track, interner, rel_names);
+                        }
+                    };
+                    match pool.as_deref() {
+                        Some(pool) => {
+                            let run_sink = &run_sink;
+                            let jobs: Vec<Job<'_>> = sinks
+                                .iter_mut()
+                                .zip(queues)
+                                .map(|(sink, queue)| {
+                                    Box::new(move || run_sink(sink, queue)) as Job<'_>
+                                })
+                                .collect();
+                            pool.run(jobs);
+                        }
+                        None => {
+                            for (sink, queue) in sinks.iter_mut().zip(queues) {
+                                run_sink(sink, queue);
+                            }
+                        }
+                    }
+                }
+                // M2 — splice cross-shard body edges: collect each source
+                // shard's outbox, transpose to per-target inboxes, and
+                // let every target shard apply its inbox in the fixed
+                // (target, source, recording) order.
+                let outboxes: Vec<_> = sinks.iter_mut().map(|s| s.prov.take_outbox()).collect();
+                let inboxes = ProvGraph::transpose_outboxes(outboxes);
+                match pool.as_deref() {
+                    Some(pool) => {
+                        let jobs: Vec<Job<'_>> = sinks
+                            .iter_mut()
+                            .zip(inboxes)
+                            .map(|(sink, inbox)| {
+                                Box::new(move || sink.prov.splice_inbox(inbox)) as Job<'_>
+                            })
+                            .collect();
+                        pool.run(jobs);
+                    }
+                    None => {
+                        for (sink, inbox) in sinks.iter_mut().zip(inboxes) {
+                            sink.prov.splice_inbox(inbox);
+                        }
+                    }
+                }
+                // M3 — sequential fold in shard order: counters, the
+                // change log, and the next round's delta.
+                let mut next_delta: Vec<(RelId, SymTuple)> = Vec::new();
+                for sink in sinks {
+                    stats.firings += sink.firings;
+                    stats.derivations += sink.derivations;
+                    stats.tuples_added += sink.tuples_added;
+                    new_tuples += sink.tuples_added as usize;
+                    changes.extend(sink.changes);
+                    next_delta.extend(sink.next_delta);
                 }
                 next_delta
             });
@@ -1546,6 +1666,7 @@ impl Engine {
         delta_pos: usize,
         delta: &[SymTuple],
     ) -> Vec<(SymTuple, Vec<NodeId>)> {
+        let shards = self.opts.shards;
         let Engine {
             rules,
             plans,
@@ -1575,12 +1696,13 @@ impl Engine {
             data,
             interner,
             nodes,
+            shards,
             Some(delta),
             vec![Sym::NONE; rule.num_vars],
         );
         stats.index_probes += out.probes;
-        out.firings
-            .into_iter()
+        interner.note_skolem_hits(out.skolem_hits);
+        out.into_firings()
             .map(|f| {
                 let head = resolve_head(interner, rule, &f);
                 (head, f.body_nodes)
@@ -1809,6 +1931,7 @@ impl Engine {
     /// firing instantiates the head to exactly `target`. Head variable
     /// slots pre-seed the bindings so the join is index-driven.
     fn join_rule_with_head_filter(&mut self, ri: usize, target: &SymTuple) -> bool {
+        let shards = self.opts.shards;
         let Engine {
             rules,
             plans,
@@ -1852,11 +1975,13 @@ impl Engine {
                 }
             }
         }
-        let out = run_task(rule, plan, data, interner, nodes, None, bindings);
+        let out = run_task(rule, plan, data, interner, nodes, shards, None, bindings);
         stats.index_probes += out.probes;
-        out.firings
-            .iter()
-            .any(|f| resolve_head(interner, rule, f) == *target)
+        interner.note_skolem_hits(out.skolem_hits);
+        let hit = out
+            .firings()
+            .any(|f| resolve_head(interner, rule, f) == *target);
+        hit
     }
 
     /// The provenance polynomial of an alive tuple (over simple proofs).
@@ -1870,6 +1995,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::ast::{Atom, Rule};
+    use crate::provgraph::Derivation;
     use crate::tgd::Tgd;
     use orchestra_provenance::Semiring;
     use orchestra_relational::{tuple, RelationSchema, ValueType};

@@ -29,11 +29,14 @@
 //! * [`engine`] — the semi-naive fixpoint engine with incremental insert
 //!   propagation and two deletion-propagation algorithms (provenance-based
 //!   and DRed), plus a change log for update translation.
+//! * [`merge`] — the partitioned merge phase: per-shard sinks that drain
+//!   the join phase's routed firings concurrently.
 //! * [`query`] — conjunctive queries over peer-local instances.
 
 pub mod ast;
 pub mod engine;
 pub mod error;
+pub mod merge;
 pub mod node;
 pub mod provgraph;
 pub mod query;

@@ -13,7 +13,10 @@
 //! * itself under different **thread counts** (1 vs 2 vs 8) — the
 //!   shard-parallel evaluation must replay byte-identically: same
 //!   provenance-graph edges and recording order, same `NodeId`
-//!   assignment, same change-log order, same stats.
+//!   assignment, same change-log order, same stats — including
+//!   Skolem-heavy programs (labeled-null invention splits between the
+//!   workers' read-only fast path and the merge's sequential pass) and
+//!   DRed deletion replay over the partitioned provenance graph.
 
 use orchestra_datalog::{Atom, Term};
 use orchestra_datalog::{DeletionAlgorithm, Engine, EvalOptions, Rule};
@@ -229,6 +232,89 @@ fn engine_database(e: &Engine) -> Database {
         .collect()
 }
 
+type Observables = (
+    Vec<orchestra_datalog::Change>,
+    Vec<orchestra_datalog::Derivation>,
+    Vec<(orchestra_datalog::NodeId, String, Tuple)>,
+    orchestra_datalog::EngineStats,
+    Database,
+);
+
+/// Everything the thread-count parity properties compare byte-for-byte:
+/// the drained change log (with node ids), the full derivation list in
+/// recording order, every interned node in the deterministic global id
+/// order (shard-major, then per-shard assignment order), the stats, and
+/// the fixpoint.
+fn observables(e: &mut Engine) -> Observables {
+    let changes = e.drain_changes();
+    let derivs: Vec<_> = e.graph().derivations().cloned().collect();
+    let nodes: Vec<_> = e
+        .nodes()
+        .ids()
+        .map(|id| {
+            let (rel, t) = e.resolve_node(id).unwrap();
+            (id, rel.to_string(), t)
+        })
+        .collect();
+    (changes, derivs, nodes, e.stats(), engine_database(e))
+}
+
+/// A random **Skolem-heavy** two-tier program, acyclic by construction so
+/// labeled-null invention terminates: tier A maps `r0`/`r1` into `r2`
+/// heads, tier B maps `r2` into `r3` heads, and every head mixes body
+/// variables with Skolem terms over them. Shared argument variables make
+/// distinct firings re-invent the same null — exercising both the
+/// workers' read-only fast path and the merge's sequential first-invention
+/// pass over the partitioned interner.
+fn random_skolem_program(rng: &mut StdRng, n_rules: usize) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for ri in 0..n_rules {
+        let tier_b = rng.random_bool(0.4);
+        let (brel, barity) = if tier_b {
+            ("r2", 2)
+        } else {
+            [("r0", 1), ("r1", 2)][rng.random_range(0..2usize)]
+        };
+        let body_vars: Vec<&str> = (0..barity).map(|i| VARS[i % VARS.len()]).collect();
+        let body = vec![Atom::new(
+            brel,
+            body_vars.iter().map(Term::var).collect::<Vec<_>>(),
+        )];
+        let (hrel, harity) = if tier_b { ("r3", 1) } else { ("r2", 2) };
+        let head_terms: Vec<Term> = (0..harity)
+            .map(|ci| {
+                if rng.random_bool(0.5) {
+                    let args: Vec<Term> = if rng.random_bool(0.8) {
+                        vec![Term::var(body_vars[rng.random_range(0..body_vars.len())])]
+                    } else {
+                        vec![]
+                    };
+                    Term::skolem(format!("f{ri}_{ci}"), args)
+                } else {
+                    Term::var(body_vars[rng.random_range(0..body_vars.len())])
+                }
+            })
+            .collect();
+        rules
+            .push(Rule::new(format!("sk{ri}"), Atom::new(hrel, head_terms), body, vec![]).unwrap());
+    }
+    rules
+}
+
+/// Random base facts restricted to the Skolem program's tier-A source
+/// relations.
+fn random_source_facts(rng: &mut StdRng, n: usize) -> Vec<(&'static str, Tuple)> {
+    (0..n)
+        .map(|_| {
+            let (rel, arity) = [("r0", 1), ("r1", 2)][rng.random_range(0..2usize)];
+            let t: Tuple = (0..arity)
+                .map(|_| Value::str(VALS[rng.random_range(0..VALS.len())]))
+                .collect();
+            (rel, t)
+        })
+        .collect()
+}
+
 /// Alive tuples with their first-proof lineages, resolved back to
 /// `(relation, tuple)` form so they are comparable across engines with
 /// different interner/node orderings.
@@ -352,15 +438,111 @@ proptest! {
                 e.remove_base(rel, t, DeletionAlgorithm::ProvenanceBased)
                     .unwrap();
             }
-            let changes = e.drain_changes();
-            let derivs: Vec<_> = e.graph().derivations().cloned().collect();
-            let nodes: Vec<_> = (0..e.nodes().len() as u32)
-                .map(|i| {
-                    let (rel, t) = e.resolve_node(orchestra_datalog::NodeId(i)).unwrap();
-                    (rel.to_string(), t)
-                })
+            observables(&mut e)
+        };
+
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let got = run(threads);
+            prop_assert_eq!(&got.0, &base.0, "change order @ {} threads", threads);
+            prop_assert_eq!(&got.1, &base.1, "derivations @ {} threads", threads);
+            prop_assert_eq!(&got.2, &base.2, "node ids @ {} threads", threads);
+            prop_assert_eq!(&got.3, &base.3, "stats @ {} threads", threads);
+            prop_assert_eq!(&got.4, &base.4, "fixpoint @ {} threads", threads);
+        }
+    }
+
+    /// Skolem-heavy thread-count parity over the partitioned provgraph:
+    /// labeled-null invention (first occurrence on the merge's sequential
+    /// pass, repeats on the workers' read-only fast path), the null-typed
+    /// node ids, the derivation lineages through null tuples, and a final
+    /// DRed deletion wave all replay **byte-identically** at 1, 2, and 8
+    /// threads.
+    #[test]
+    fn skolem_heavy_replay_is_thread_invariant(
+        seed in 0u64..1_000_000,
+        n_rules in 1usize..6,
+        n_facts in 0usize..30,
+        n_batches in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rules = random_skolem_program(&mut rng, n_rules);
+        let facts = random_source_facts(&mut rng, n_facts);
+        let victims: Vec<(&'static str, Tuple)> = facts
+            .iter()
+            .filter(|_| rng.random_range(0..100u32) < 25)
+            .cloned()
+            .collect();
+
+        let run = |threads: usize| {
+            let opts = EvalOptions {
+                threads,
+                shards: 8,
+                parallel_threshold: 0,
+            };
+            let mut e = Engine::with_options(schema(), rules.clone(), true, opts).unwrap();
+            let chunk = facts.len().max(1).div_ceil(n_batches);
+            for batch in facts.chunks(chunk) {
+                for (rel, t) in batch {
+                    e.insert_base(rel, t.clone()).unwrap();
+                }
+                e.propagate().unwrap();
+            }
+            for (rel, t) in &victims {
+                e.remove_base(rel, t, DeletionAlgorithm::DRed).unwrap();
+            }
+            observables(&mut e)
+        };
+
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let got = run(threads);
+            prop_assert_eq!(&got.0, &base.0, "change order @ {} threads", threads);
+            prop_assert_eq!(&got.1, &base.1, "derivations @ {} threads", threads);
+            prop_assert_eq!(&got.2, &base.2, "node ids @ {} threads", threads);
+            prop_assert_eq!(&got.3, &base.3, "stats @ {} threads", threads);
+            prop_assert_eq!(&got.4, &base.4, "fixpoint @ {} threads", threads);
+        }
+    }
+
+    /// DRed deletion replay parity: over random recursive programs, the
+    /// over-delete / re-derive sequence — including its `Removed`
+    /// change-log order against the partitioned provgraph — replays
+    /// byte-identically at 1, 2, and 8 threads.
+    #[test]
+    fn dred_deletion_replays_identically_across_threads(
+        seed in 0u64..1_000_000,
+        n_rules in 1usize..5,
+        n_facts in 1usize..24,
+        del_pct in 0u32..101,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rules = random_program(&mut rng, n_rules);
+        let facts = random_facts(&mut rng, n_facts);
+        let victims: Vec<(&'static str, Tuple)> = {
+            let uniq: BTreeSet<(&'static str, Tuple)> = facts
+                .iter()
+                .filter(|_| rng.random_range(0..100u32) < del_pct)
+                .cloned()
                 .collect();
-            (changes, derivs, nodes, e.stats(), engine_database(&e))
+            uniq.into_iter().collect()
+        };
+
+        let run = |threads: usize| {
+            let opts = EvalOptions {
+                threads,
+                shards: 8,
+                parallel_threshold: 0,
+            };
+            let mut e = Engine::with_options(schema(), rules.clone(), true, opts).unwrap();
+            for (rel, t) in &facts {
+                e.insert_base(rel, t.clone()).unwrap();
+            }
+            e.propagate().unwrap();
+            for (rel, t) in &victims {
+                e.remove_base(rel, t, DeletionAlgorithm::DRed).unwrap();
+            }
+            observables(&mut e)
         };
 
         let base = run(1);

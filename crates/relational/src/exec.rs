@@ -200,6 +200,17 @@ fn helper_loop(shared: &Shared) {
     }
 }
 
+/// The host's available parallelism (at least 1). The engine's *default*
+/// thread count is clamped to this: the deterministic pipeline gains
+/// nothing from oversubscription, and merge-heavy workloads measurably
+/// regress when more lanes than cores contend for the same round barrier
+/// (E11). Explicitly configured thread counts are never clamped.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// The default evaluation thread count: `ORCHESTRA_EVAL_THREADS` when set
 /// to a positive integer, otherwise the machine's available parallelism.
 pub fn default_threads() -> usize {
@@ -210,9 +221,7 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    host_parallelism()
 }
 
 #[cfg(test)]

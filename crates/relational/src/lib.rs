@@ -45,14 +45,14 @@ pub mod tuple;
 pub mod value;
 
 pub use error::RelationalError;
-pub use exec::{default_threads, Job, WorkerPool};
+pub use exec::{default_threads, host_parallelism, Job, WorkerPool};
 pub use expr::Expr;
 pub use instance::Instance;
 pub use intern::{InternerStats, Sym, SymTuple, ValueInterner};
 pub use predicate::{CmpOp, Predicate};
 pub use relation::Relation;
 pub use schema::{ColumnDef, DatabaseSchema, RelationSchema};
-pub use shard::{ShardedRel, DEFAULT_SHARDS};
+pub use shard::{RelShardWriter, ShardedRel, DEFAULT_SHARDS};
 pub use tuple::Tuple;
 pub use value::{SkolemValue, Value, ValueType};
 

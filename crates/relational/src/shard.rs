@@ -21,6 +21,13 @@
 //! probed key); any other probe fans out across shards in shard order.
 //! Shard routing uses a seedless FNV-1a over the `u32` symbols, so two
 //! engines fed the same interning sequence place every tuple identically.
+//!
+//! Everything a shard needs to absorb a write — the position map, the
+//! sequence vector, and its index postings — lives **inside** the shard;
+//! the relation level only keeps the registry of which column sets are
+//! indexed. That split is what lets [`ShardedRel::shard_writers`] hand
+//! out one disjoint `&mut` view per shard, so the engine's merge phase
+//! can drain per-shard sinks concurrently without a lock.
 
 use crate::intern::{Sym, SymTuple};
 use std::collections::HashMap;
@@ -49,6 +56,11 @@ struct Shard<P> {
     /// the back, removals swap the last tuple into the hole — the order
     /// is a pure function of the mutation sequence.
     order: Vec<(SymTuple, P)>,
+    /// This shard's slice of every secondary index, parallel to the
+    /// relation-level `index_cols` registry. Emptied buckets are dropped
+    /// eagerly so churny delete/reinsert workloads cannot grow an index
+    /// without bound.
+    indexes: Vec<SymIndex>,
 }
 
 impl<P: Copy> Shard<P> {
@@ -56,7 +68,52 @@ impl<P: Copy> Shard<P> {
         Shard {
             pos: HashMap::new(),
             order: Vec::new(),
+            indexes: Vec::new(),
         }
+    }
+
+    /// The not-present arm of the inserts: index maintenance + append.
+    fn insert_fresh(&mut self, index_cols: &[Box<[usize]>], t: SymTuple, payload: P) {
+        for (slot, cols) in index_cols.iter().enumerate() {
+            self.indexes[slot]
+                .entry(key_of(&t, cols))
+                .or_default()
+                .push(t.clone());
+        }
+        // analyze: allow(panic) -- u32 per-shard capacity (4B tuples) is an accepted engine limit
+        let p = u32::try_from(self.order.len()).expect("shard overflow");
+        self.pos.insert(t.clone(), p);
+        self.order.push((t, payload));
+    }
+
+    fn insert_if_absent(&mut self, index_cols: &[Box<[usize]>], t: SymTuple, payload: P) -> bool {
+        if self.pos.contains_key(&t) {
+            return false;
+        }
+        self.insert_fresh(index_cols, t, payload);
+        true
+    }
+
+    fn remove(&mut self, index_cols: &[Box<[usize]>], t: &SymTuple) -> Option<P> {
+        let p = self.pos.remove(t)? as usize;
+        let (_, payload) = self.order.swap_remove(p);
+        if let Some((moved, _)) = self.order.get(p) {
+            // analyze: allow(panic) -- `order` and `pos` are mutated in lockstep; every stored tuple is indexed
+            *self.pos.get_mut(moved).expect("moved tuple indexed") = p as u32;
+        }
+        for (slot, cols) in index_cols.iter().enumerate() {
+            let idx = &mut self.indexes[slot];
+            let key = key_of(t, cols);
+            if let Some(list) = idx.get_mut(&key) {
+                if let Some(i) = list.iter().position(|x| x == t) {
+                    list.swap_remove(i);
+                }
+                if list.is_empty() {
+                    idx.remove(&key);
+                }
+            }
+        }
+        Some(payload)
     }
 }
 
@@ -71,13 +128,40 @@ fn key_of(t: &SymTuple, cols: &[usize]) -> Box<[Sym]> {
 pub struct ShardedRel<P> {
     /// Partition columns; empty ⇒ partition on the whole tuple.
     part_cols: Box<[usize]>,
+    /// Registry of indexed column sets, in `ensure_index` order; each
+    /// shard's `indexes` vector is parallel to this. A fan-out probe
+    /// hashes `cols` once against `index_of`, not once per shard.
+    index_cols: Vec<Box<[usize]>>,
+    index_of: HashMap<Box<[usize]>, usize>,
     shards: Vec<Shard<P>>,
-    /// Secondary indexes, keyed by column set **once per relation** (a
-    /// fan-out probe hashes `cols` once, not once per shard): each entry
-    /// holds one `[Sym]`-keyed posting map per shard. Emptied buckets
-    /// are dropped eagerly so churny delete/reinsert workloads cannot
-    /// grow an index without bound.
-    indexes: HashMap<Box<[usize]>, Vec<SymIndex>>,
+}
+
+/// A disjoint mutable view of **one shard** of a relation, for the
+/// engine's partitioned merge: the caller has already routed the tuple
+/// (bucket `s` only ever receives tuples whose [`ShardedRel::shard_of`]
+/// is `s`), so writes go straight to the shard without re-hashing the
+/// partition columns and without touching any other shard.
+#[derive(Debug)]
+pub struct RelShardWriter<'a, P> {
+    index_cols: &'a [Box<[usize]>],
+    shard: &'a mut Shard<P>,
+}
+
+impl<P: Copy> RelShardWriter<'_, P> {
+    /// Insert unless present (the present tuple keeps its payload).
+    /// Returns `true` when the tuple was newly inserted. The tuple MUST
+    /// route to this writer's shard.
+    #[inline]
+    pub fn insert_if_absent(&mut self, t: SymTuple, payload: P) -> bool {
+        self.shard.insert_if_absent(self.index_cols, t, payload)
+    }
+
+    /// The payload stored with a tuple, if present in this shard.
+    #[inline]
+    pub fn get(&self, t: &SymTuple) -> Option<P> {
+        let s = &*self.shard;
+        s.pos.get(t).map(|&p| s.order[p as usize].1)
+    }
 }
 
 impl<P: Copy> ShardedRel<P> {
@@ -87,8 +171,9 @@ impl<P: Copy> ShardedRel<P> {
         let shards = shards.max(1);
         ShardedRel {
             part_cols: part_cols.into(),
+            index_cols: Vec::new(),
+            index_of: HashMap::new(),
             shards: (0..shards).map(|_| Shard::empty()).collect(),
-            indexes: HashMap::new(),
         }
     }
 
@@ -144,6 +229,14 @@ impl<P: Copy> ShardedRel<P> {
         s.pos.get(t).map(|&p| s.order[p as usize].1)
     }
 
+    /// Like [`get`](ShardedRel::get) for a caller that already routed the
+    /// tuple (`shard` MUST be [`shard_of`](ShardedRel::shard_of) of `t`):
+    /// skips re-hashing the partition columns.
+    pub fn get_in(&self, shard: usize, t: &SymTuple) -> Option<P> {
+        let s = &self.shards[shard];
+        s.pos.get(t).map(|&p| s.order[p as usize].1)
+    }
+
     /// Insert a tuple with its payload (idempotent: re-inserting updates
     /// the payload without duplicating index entries).
     pub fn insert(&mut self, t: SymTuple, payload: P) {
@@ -153,7 +246,7 @@ impl<P: Copy> ShardedRel<P> {
             shard.order[p as usize].1 = payload;
             return;
         }
-        self.insert_fresh(si, t, payload);
+        shard.insert_fresh(&self.index_cols, t, payload);
     }
 
     /// Insert unless present (the present tuple keeps its payload).
@@ -162,68 +255,32 @@ impl<P: Copy> ShardedRel<P> {
     /// pair would pay both twice (the engine's merge-phase hot path).
     pub fn insert_if_absent(&mut self, t: SymTuple, payload: P) -> bool {
         let si = self.shard_of(&t);
-        if self.shards[si].pos.contains_key(&t) {
-            return false;
-        }
-        self.insert_fresh(si, t, payload);
-        true
-    }
-
-    /// The not-present arm of the inserts: index maintenance + append.
-    fn insert_fresh(&mut self, si: usize, t: SymTuple, payload: P) {
-        for (cols, per_shard) in self.indexes.iter_mut() {
-            per_shard[si]
-                .entry(key_of(&t, cols))
-                .or_default()
-                .push(t.clone());
-        }
-        let shard = &mut self.shards[si];
-        // analyze: allow(panic) -- u32 per-shard capacity (4B tuples) is an accepted engine limit
-        let p = u32::try_from(shard.order.len()).expect("shard overflow");
-        shard.pos.insert(t.clone(), p);
-        shard.order.push((t, payload));
+        self.shards[si].insert_if_absent(&self.index_cols, t, payload)
     }
 
     /// Remove a tuple, returning its payload if it was present.
     pub fn remove(&mut self, t: &SymTuple) -> Option<P> {
         let si = self.shard_of(t);
-        let shard = &mut self.shards[si];
-        let p = shard.pos.remove(t)? as usize;
-        let (_, payload) = shard.order.swap_remove(p);
-        if let Some((moved, _)) = shard.order.get(p) {
-            // analyze: allow(panic) -- `order` and `pos` are mutated in lockstep; every stored tuple is indexed
-            *shard.pos.get_mut(moved).expect("moved tuple indexed") = p as u32;
-        }
-        for (cols, per_shard) in self.indexes.iter_mut() {
-            let idx = &mut per_shard[si];
-            let key = key_of(t, cols);
-            if let Some(list) = idx.get_mut(&key) {
-                if let Some(i) = list.iter().position(|x| x == t) {
-                    list.swap_remove(i);
-                }
-                if list.is_empty() {
-                    idx.remove(&key);
-                }
-            }
-        }
-        Some(payload)
+        self.shards[si].remove(&self.index_cols, t)
     }
 
     /// Build the secondary index on `cols` (per shard) if missing.
     /// Returns `true` when the index was newly built.
     pub fn ensure_index(&mut self, cols: &[usize]) -> bool {
-        if self.indexes.contains_key(cols) {
+        if self.index_of.contains_key(cols) {
             return false;
         }
-        let mut per_shard: Vec<SymIndex> = Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
+        let slot = self.index_cols.len();
+        self.index_cols.push(Box::from(cols));
+        self.index_of.insert(Box::from(cols), slot);
+        for s in &mut self.shards {
             let mut idx = SymIndex::new();
             for (t, _) in &s.order {
                 idx.entry(key_of(t, cols)).or_default().push(t.clone());
             }
-            per_shard.push(idx);
+            debug_assert_eq!(s.indexes.len(), slot);
+            s.indexes.push(idx);
         }
-        self.indexes.insert(Box::from(cols), per_shard);
         true
     }
 
@@ -232,9 +289,9 @@ impl<P: Copy> ShardedRel<P> {
     /// reuse their key buffer while iterating the posting list.
     #[inline]
     pub fn probe_shard<'s>(&'s self, shard: usize, cols: &[usize], key: &[Sym]) -> &'s [SymTuple] {
-        self.indexes
+        self.index_of
             .get(cols)
-            .and_then(|per_shard| per_shard[shard].get(key))
+            .and_then(|&slot| self.shards[shard].indexes[slot].get(key))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -249,16 +306,27 @@ impl<P: Copy> ShardedRel<P> {
         key: &[Sym],
         out: &mut Vec<&'s [SymTuple]>,
     ) {
-        let Some(per_shard) = self.indexes.get(cols) else {
+        let Some(&slot) = self.index_of.get(cols) else {
             return;
         };
-        for idx in per_shard {
-            if let Some(list) = idx.get(key) {
+        for s in &self.shards {
+            if let Some(list) = s.indexes[slot].get(key) {
                 if !list.is_empty() {
                     out.push(list.as_slice());
                 }
             }
         }
+    }
+
+    /// One disjoint mutable writer per shard, in shard order. Each writer
+    /// can absorb routed inserts independently of every other shard, which
+    /// is what the engine's partitioned merge fans out over.
+    pub fn shard_writers(&mut self) -> Vec<RelShardWriter<'_, P>> {
+        let index_cols = &self.index_cols;
+        self.shards
+            .iter_mut()
+            .map(|shard| RelShardWriter { index_cols, shard })
+            .collect()
     }
 
     /// Iterate all live tuples in shard-major sequence order (**not**
@@ -289,9 +357,9 @@ impl<P: Copy> ShardedRel<P> {
     /// Number of live buckets across all shards' indexes (introspection
     /// hook for the empty-bucket leak regression test).
     pub fn index_buckets(&self) -> usize {
-        self.indexes
-            .values()
-            .flat_map(|per_shard| per_shard.iter())
+        self.shards
+            .iter()
+            .flat_map(|s| s.indexes.iter())
             .map(HashMap::len)
             .sum()
     }
@@ -447,5 +515,36 @@ mod tests {
         assert!(r.ensure_index(&[1]));
         assert!(!r.ensure_index(&[1]));
         assert!(r.ensure_index(&[0, 1]));
+    }
+
+    #[test]
+    fn shard_writers_route_free_inserts_match_routed_inserts() {
+        let mut i = ValueInterner::new();
+        let mut routed: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+        let mut written: ShardedRel<u32> = ShardedRel::new(4, vec![0]);
+        routed.ensure_index(&[0]);
+        written.ensure_index(&[0]);
+        let tuples: Vec<SymTuple> = (0..40i64).map(|k| st(&mut i, &[k, k + 1])).collect();
+        for (k, t) in tuples.iter().enumerate() {
+            routed.insert_if_absent(t.clone(), k as u32);
+        }
+        // Pre-route, then write through per-shard writers.
+        let mut buckets: Vec<Vec<(SymTuple, u32)>> = vec![Vec::new(); 4];
+        for (k, t) in tuples.iter().enumerate() {
+            buckets[written.shard_of(t)].push((t.clone(), k as u32));
+        }
+        let mut writers = written.shard_writers();
+        for (s, bucket) in buckets.into_iter().enumerate() {
+            for (t, p) in bucket {
+                assert!(writers[s].insert_if_absent(t.clone(), p));
+                assert!(!writers[s].insert_if_absent(t.clone(), p), "idempotent");
+                assert_eq!(writers[s].get(&t), Some(p));
+            }
+        }
+        drop(writers);
+        let a: Vec<(SymTuple, u32)> = routed.iter().map(|(t, p)| (t.clone(), *p)).collect();
+        let b: Vec<(SymTuple, u32)> = written.iter().map(|(t, p)| (t.clone(), *p)).collect();
+        assert_eq!(a, b, "writer path is byte-identical to routed inserts");
+        assert_eq!(routed.index_buckets(), written.index_buckets());
     }
 }
